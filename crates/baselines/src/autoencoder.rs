@@ -1,0 +1,263 @@
+//! Autoencoder baseline ("Autoencoder + OD").
+//!
+//! The paper's comparison converts the records into a padded matrix
+//! (missing entries at −120 dBm) and trains an autoencoder whose best
+//! configuration used four 1-D convolution layers with ReLU. We mirror
+//! that: a conv1d encoder (two conv layers over the MAC axis) feeding a
+//! dense bottleneck, and a dense decoder; for very small MAC universes a
+//! dense-only encoder is used. The bottleneck is the embedding handed to
+//! the outlier detector.
+
+use gem_core::pipeline::Embedder;
+use gem_nn::layers::{Conv1dLayer, Dense};
+use gem_nn::tape::{Activation, Graph, ParamStore, Var};
+use gem_nn::{Adam, Optimizer, Tensor};
+use gem_signal::rng::child_rng;
+use gem_signal::{PaddedMatrix, RecordSet, SignalRecord, RSS_PAD_DBM};
+
+/// Autoencoder hyperparameters.
+#[derive(Clone, Debug)]
+pub struct AutoencoderConfig {
+    /// Bottleneck (embedding) dimension.
+    pub dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Pad value for missing RSS entries (paper: −120 dBm).
+    pub pad_dbm: f32,
+    /// Use the conv1d encoder when the MAC universe is at least this wide.
+    pub conv_min_width: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AutoencoderConfig {
+    fn default() -> Self {
+        AutoencoderConfig {
+            dim: 32,
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 0.003,
+            pad_dbm: RSS_PAD_DBM,
+            conv_min_width: 16,
+            seed: 42,
+        }
+    }
+}
+
+enum Encoder {
+    Conv { c1: Conv1dLayer, c2: Conv1dLayer, to_code: Dense },
+    Dense { d1: Dense, to_code: Dense },
+}
+
+/// The fitted autoencoder, usable as a streaming [`Embedder`].
+pub struct Autoencoder {
+    /// Hyperparameters.
+    pub cfg: AutoencoderConfig,
+    universe: PaddedMatrix,
+    store: ParamStore,
+    encoder: Encoder,
+    decoder1: Dense,
+    decoder2: Dense,
+}
+
+impl Autoencoder {
+    /// Normalizes a padded dBm row to roughly `[0, 1]`.
+    fn normalize(pad: f32, row: &[f32]) -> Vec<f32> {
+        row.iter().map(|&v| (v - pad) / 100.0).collect()
+    }
+
+    /// Fits the autoencoder; returns the model and training embeddings.
+    pub fn fit(cfg: AutoencoderConfig, train: &RecordSet) -> (Autoencoder, Tensor) {
+        assert!(!train.is_empty(), "autoencoder needs training data");
+        let universe = train.to_matrix(cfg.pad_dbm);
+        let width = universe.cols().max(1);
+        let n = universe.rows;
+        let mut x = Tensor::zeros(n, width);
+        for i in 0..n {
+            x.set_row(i, &Self::normalize(cfg.pad_dbm, universe.row(i)));
+        }
+
+        let mut rng = child_rng(cfg.seed, 0xAE01);
+        let mut store = ParamStore::new();
+        let encoder = if width >= cfg.conv_min_width {
+            let c1 = Conv1dLayer::new(&mut store, "enc.c1", 1, 4, 5, 2, Activation::Relu, &mut rng);
+            let w1 = c1.out_len(width);
+            let c2 = Conv1dLayer::new(&mut store, "enc.c2", 4, 8, 3, 2, Activation::Relu, &mut rng);
+            let w2 = c2.out_len(w1);
+            let to_code =
+                Dense::new(&mut store, "enc.code", 8 * w2, cfg.dim, Activation::Identity, &mut rng);
+            Encoder::Conv { c1, c2, to_code }
+        } else {
+            let hidden = (2 * width).max(cfg.dim);
+            let d1 = Dense::new(&mut store, "enc.d1", width, hidden, Activation::Relu, &mut rng);
+            let to_code =
+                Dense::new(&mut store, "enc.code", hidden, cfg.dim, Activation::Identity, &mut rng);
+            Encoder::Dense { d1, to_code }
+        };
+        let hidden_dec = (width / 2).max(cfg.dim);
+        let decoder1 = Dense::new(&mut store, "dec.d1", cfg.dim, hidden_dec, Activation::Relu, &mut rng);
+        let decoder2 = Dense::new(&mut store, "dec.d2", hidden_dec, width, Activation::Identity, &mut rng);
+
+        let mut model = Autoencoder { cfg, universe, store, encoder, decoder1, decoder2 };
+
+        let mut opt = Adam::new(model.cfg.learning_rate);
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..model.cfg.epochs {
+            // Deterministic rotation instead of a full shuffle keeps the
+            // training loop reproducible and cheap.
+            order.rotate_left(1);
+            for chunk in order.chunks(model.cfg.batch_size) {
+                let mut batch = Tensor::zeros(chunk.len(), width);
+                for (bi, &i) in chunk.iter().enumerate() {
+                    batch.set_row(bi, x.row(i));
+                }
+                let mut g = Graph::new();
+                let input = g.constant(batch.clone());
+                let code = model.encode_var(&mut g, input);
+                let recon = model.decode_var(&mut g, code);
+                let loss = g.mse_mean(recon, batch);
+                g.backward(loss, &mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+                model.store.zero_grads();
+            }
+        }
+
+        let mut train_embeddings = Tensor::zeros(n, model.cfg.dim);
+        for i in 0..n {
+            let code = model.encode_row(x.row(i));
+            train_embeddings.set_row(i, &code);
+        }
+        (model, train_embeddings)
+    }
+
+    fn encode_var(&self, g: &mut Graph, input: Var) -> Var {
+        match &self.encoder {
+            Encoder::Conv { c1, c2, to_code, .. } => {
+                let h1 = c1.forward(g, &self.store, input);
+                let h2 = c2.forward(g, &self.store, h1);
+                to_code.forward(g, &self.store, h2)
+            }
+            Encoder::Dense { d1, to_code } => {
+                let h = d1.forward(g, &self.store, input);
+                to_code.forward(g, &self.store, h)
+            }
+        }
+    }
+
+    fn decode_var(&self, g: &mut Graph, code: Var) -> Var {
+        let h = self.decoder1.forward(g, &self.store, code);
+        self.decoder2.forward(g, &self.store, h)
+    }
+
+    fn encode_row(&self, normalized: &[f32]) -> Vec<f32> {
+        let mut g = Graph::new();
+        let input = g.constant(Tensor::from_vec(1, normalized.len(), normalized.to_vec()));
+        let code = self.encode_var(&mut g, input);
+        g.value(code).row(0).to_vec()
+    }
+
+    /// Mean reconstruction error on a normalized row (diagnostic).
+    pub fn reconstruction_error(&self, normalized: &[f32]) -> f32 {
+        let mut g = Graph::new();
+        let t = Tensor::from_vec(1, normalized.len(), normalized.to_vec());
+        let input = g.constant(t.clone());
+        let code = self.encode_var(&mut g, input);
+        let recon = self.decode_var(&mut g, code);
+        let loss = g.mse_mean(recon, t);
+        g.value(loss)[(0, 0)]
+    }
+}
+
+impl Embedder for Autoencoder {
+    fn embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>> {
+        if record.is_empty() {
+            return None;
+        }
+        let (row, dropped) = self.universe.project(record);
+        if dropped == record.len() {
+            return None; // no overlap with the training MAC universe
+        }
+        Some(self.encode_row(&Self::normalize(self.cfg.pad_dbm, &row)))
+    }
+
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_signal::MacAddr;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn records(n_macs: u64, n: usize) -> RecordSet {
+        (0..n)
+            .map(|i| {
+                SignalRecord::from_pairs(
+                    i as f64,
+                    (1..=n_macs).map(|m| (mac(m), -40.0 - (m as f32 * 2.0) - (i % 4) as f32)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conv_encoder_reconstructs_training_data() {
+        let train = records(24, 40);
+        let cfg = AutoencoderConfig { epochs: 80, ..AutoencoderConfig::default() };
+        let (model, emb) = Autoencoder::fit(cfg, &train);
+        assert!(matches!(model.encoder, Encoder::Conv { .. }));
+        assert_eq!(emb.rows(), 40);
+        assert_eq!(emb.cols(), 32);
+        let m = train.to_matrix(RSS_PAD_DBM);
+        let err = model.reconstruction_error(&Autoencoder::normalize(RSS_PAD_DBM, m.row(0)));
+        assert!(err < 0.01, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn dense_fallback_for_tiny_universe() {
+        let train = records(4, 20);
+        let (model, emb) = Autoencoder::fit(AutoencoderConfig::default(), &train);
+        assert!(matches!(model.encoder, Encoder::Dense { .. }));
+        assert_eq!(emb.rows(), 20);
+    }
+
+    #[test]
+    fn embeds_new_and_rejects_disjoint() {
+        let train = records(24, 30);
+        let (mut model, _) = Autoencoder::fit(AutoencoderConfig::default(), &train);
+        let known = SignalRecord::from_pairs(0.0, [(mac(1), -45.0), (mac(2), -50.0)]);
+        assert_eq!(model.embed(&known).unwrap().len(), 32);
+        let alien = SignalRecord::from_pairs(0.0, [(mac(900), -45.0)]);
+        assert!(model.embed(&alien).is_none());
+        assert!(model.embed(&SignalRecord::new(0.0)).is_none());
+    }
+
+    #[test]
+    fn similar_records_embed_nearby() {
+        let train = records(24, 40);
+        let (mut model, _) = Autoencoder::fit(AutoencoderConfig::default(), &train);
+        let a = model
+            .embed(&SignalRecord::from_pairs(0.0, (1..=24).map(|m| (mac(m), -40.0 - m as f32 * 2.0))))
+            .unwrap();
+        let b = model
+            .embed(&SignalRecord::from_pairs(0.0, (1..=24).map(|m| (mac(m), -41.0 - m as f32 * 2.0))))
+            .unwrap();
+        let c = model
+            .embed(&SignalRecord::from_pairs(0.0, (1..=3).map(|m| (mac(m), -90.0))))
+            .unwrap();
+        let d2 = |x: &[f32], y: &[f32]| -> f32 {
+            x.iter().zip(y).map(|(&p, &q)| (p - q) * (p - q)).sum()
+        };
+        assert!(d2(&a, &b) < d2(&a, &c));
+    }
+}

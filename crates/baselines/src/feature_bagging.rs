@@ -1,0 +1,132 @@
+//! Feature bagging for outlier detection (Lazarevic & Kumar, 2005) —
+//! "BiSAGE + Feature bagging".
+//!
+//! An ensemble of LOF detectors, each fitted on a random feature subset
+//! of size between `⌈d/2⌉` and `d − 1`; member scores are combined by
+//! cumulative sum, the paper's breadth-first variant's simpler sibling.
+
+use rand::RngExt;
+
+use gem_core::pipeline::OutlierModel;
+use gem_nn::Tensor;
+use gem_signal::rng::child_rng;
+
+use crate::lof::Lof;
+
+/// One ensemble member: a feature subset and a LOF model over it.
+struct Member {
+    features: Vec<usize>,
+    lof: Lof,
+}
+
+/// The fitted feature-bagging ensemble.
+pub struct FeatureBagging {
+    members: Vec<Member>,
+    /// Decision threshold on the combined score.
+    pub threshold: f64,
+}
+
+fn project(features: &[usize], sample: &[f32]) -> Vec<f32> {
+    features.iter().map(|&j| sample[j]).collect()
+}
+
+impl FeatureBagging {
+    /// Fits `n_members` LOF detectors on random feature subsets.
+    pub fn fit(
+        train: &Tensor,
+        n_members: usize,
+        k: usize,
+        contamination: f64,
+        seed: u64,
+    ) -> Self {
+        let d = train.cols();
+        assert!(d >= 2, "feature bagging needs at least two features");
+        let mut rng = child_rng(seed, 0xFBA6);
+        let members: Vec<Member> = (0..n_members)
+            .map(|_| {
+                let size = rng.random_range(d.div_ceil(2)..d.max(d / 2 + 2));
+                let size = size.clamp(1, d);
+                // Partial Fisher–Yates to pick `size` distinct features.
+                let mut all: Vec<usize> = (0..d).collect();
+                for i in 0..size {
+                    let j = rng.random_range(i..d);
+                    all.swap(i, j);
+                }
+                let features: Vec<usize> = all[..size].to_vec();
+                let mut sub = Tensor::zeros(train.rows(), size);
+                for i in 0..train.rows() {
+                    sub.set_row(i, &project(&features, train.row(i)));
+                }
+                Member { features, lof: Lof::fit(&sub, k.min(train.rows() - 2), contamination) }
+            })
+            .collect();
+        let mut model = FeatureBagging { members, threshold: 0.0 };
+        let mut scores: Vec<f64> =
+            (0..train.rows()).map(|i| model.combined_score(train.row(i))).collect();
+        scores.sort_by(|a, b| a.total_cmp(b));
+        let idx = (((train.rows() - 1) as f64) * (1.0 - contamination)) as usize;
+        model.threshold = scores[idx];
+        model
+    }
+
+    /// Cumulative-sum combination of member LOF scores.
+    pub fn combined_score(&self, sample: &[f32]) -> f64 {
+        self.members
+            .iter()
+            .map(|m| m.lof.lof_score(&project(&m.features, sample)))
+            .sum()
+    }
+}
+
+impl OutlierModel for FeatureBagging {
+    fn score(&self, sample: &[f32]) -> f64 {
+        self.combined_score(sample)
+    }
+
+    fn is_outlier(&self, sample: &[f32]) -> bool {
+        self.combined_score(sample) > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random (distinct, dense) cluster in the unit cube.
+    fn cluster() -> Tensor {
+        Tensor::from_fn(70, 5, |i, j| (((i * 7919 + j * 104_729 + 7) % 997) as f32) / 997.0)
+    }
+
+    #[test]
+    fn combined_scores_separate_outliers() {
+        let train = cluster();
+        let fb = FeatureBagging::fit(&train, 8, 10, 0.05, 3);
+        let s_in = fb.combined_score(train.row(11));
+        let s_out = fb.combined_score(&[7.0, -7.0, 7.0, -7.0, 7.0]);
+        assert!(s_out > 2.0 * s_in, "in {s_in} out {s_out}");
+        assert!(fb.is_outlier(&[7.0, -7.0, 7.0, -7.0, 7.0]));
+        assert!(!fb.is_outlier(train.row(11)));
+    }
+
+    #[test]
+    fn members_use_distinct_subsets() {
+        let fb = FeatureBagging::fit(&cluster(), 10, 10, 0.05, 3);
+        assert_eq!(fb.members.len(), 10);
+        for m in &fb.members {
+            assert!(m.features.len() >= 2);
+            assert!(m.features.len() <= 5);
+            let mut f = m.features.clone();
+            f.sort_unstable();
+            f.dedup();
+            assert_eq!(f.len(), m.features.len(), "features must be distinct");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = FeatureBagging::fit(&cluster(), 6, 8, 0.05, 9);
+        let b = FeatureBagging::fit(&cluster(), 6, 8, 0.05, 9);
+        let p = [0.4f32, 0.6, 0.2, 0.8, 0.1];
+        assert_eq!(a.combined_score(&p), b.combined_score(&p));
+    }
+}

@@ -1,0 +1,493 @@
+//! GraphSAGE baseline (Hamilton et al., 2017), applied to the bipartite
+//! graph *as if it were homogeneous* — the paper's "GraphSAGE + OD" row.
+//!
+//! Differences from BiSAGE, exactly as the paper frames them: a single
+//! embedding per node (no primary/auxiliary split), uniform neighbor
+//! sampling, plain-mean aggregation, and the standard single-embedding
+//! negative-sampling loss.
+
+use rand::rngs::StdRng;
+
+use gem_core::pipeline::Embedder;
+use gem_graph::{BipartiteGraph, NegativeTable, NodeId, RecordId, WalkConfig, WalkPairs, WeightFn};
+use gem_nn::tape::{Activation, Graph, ParamId, ParamStore, Var};
+use gem_nn::{init, Adam, Optimizer, Tensor};
+use gem_signal::rng::child_rng;
+use gem_signal::{RecordSet, SignalRecord};
+
+/// GraphSAGE hyperparameters (kept deliberately parallel to BiSAGE's so
+/// the comparison isolates the algorithmic differences).
+#[derive(Clone, Debug)]
+pub struct GraphSageConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Aggregation rounds.
+    pub rounds: usize,
+    /// Neighbors sampled per depth.
+    pub sample_sizes: Vec<usize>,
+    /// Nonlinearity.
+    pub activation: Activation,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Epochs over the walk-pair stream.
+    pub epochs: usize,
+    /// Pairs per step.
+    pub batch_size: usize,
+    /// Walk schedule (uniform transitions, per GraphSAGE).
+    pub walks: WalkConfig,
+    /// Negatives per pair.
+    pub negative_samples: usize,
+    /// Edge-weight function used only to *build* the graph (weights are
+    /// ignored by the homogeneous algorithm).
+    pub weight_fn: WeightFn,
+    /// Top-K cap for deterministic inference neighborhoods.
+    pub inference_cap: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for GraphSageConfig {
+    fn default() -> Self {
+        GraphSageConfig {
+            dim: 32,
+            rounds: 2,
+            sample_sizes: vec![8, 4],
+            activation: Activation::LeakyRelu,
+            learning_rate: 0.003,
+            epochs: 3,
+            batch_size: 128,
+            walks: WalkConfig { walks_per_node: 4, walk_length: 5 },
+            negative_samples: 4,
+            weight_fn: WeightFn::OffsetLinear { c: 120.0 },
+            inference_cap: 48,
+            seed: 42,
+        }
+    }
+}
+
+fn node_row(node: NodeId) -> usize {
+    match node {
+        NodeId::Record(r) => 2 * r.0 as usize,
+        NodeId::Mac(m) => 2 * m.0 as usize + 1,
+    }
+}
+
+/// The fitted GraphSAGE model + graph, usable as a streaming [`Embedder`].
+pub struct GraphSage {
+    /// Hyperparameters.
+    pub cfg: GraphSageConfig,
+    graph: BipartiteGraph,
+    w: Vec<Tensor>,
+    base: Tensor,
+    initialized: Vec<bool>,
+    rng: StdRng,
+    /// Pseudo-label gate, mirroring GEM's: streamed records classified as
+    /// outliers are excluded from future neighborhood expansion.
+    trusted: Vec<bool>,
+    last_added: Option<RecordId>,
+}
+
+struct Tree {
+    layers: Vec<Vec<NodeId>>,
+    offsets: Vec<Vec<u32>>,
+    weights: Vec<Vec<f32>>,
+}
+
+impl GraphSage {
+    /// Builds the graph from the training records and trains the model.
+    /// Returns the model and the training-record embedding matrix.
+    pub fn fit(cfg: GraphSageConfig, train: &RecordSet) -> (GraphSage, Tensor) {
+        let graph = BipartiteGraph::from_records(cfg.weight_fn, train.iter());
+        let mut rng = child_rng(cfg.seed, 0x65A6E);
+        let d = cfg.dim;
+        let mut model = GraphSage {
+            w: (0..cfg.rounds).map(|_| init::xavier_uniform(&mut rng, 2 * d, d)).collect(),
+            base: Tensor::zeros(0, d),
+            initialized: Vec::new(),
+            rng: child_rng(cfg.seed, 0x65A6F),
+            trusted: vec![true; graph.n_records()],
+            last_added: None,
+            cfg,
+            graph,
+        };
+        model.ensure_rows();
+        model.train();
+        let train_embeddings = model.embed_all_records();
+        (model, train_embeddings)
+    }
+
+    fn ensure_rows(&mut self) {
+        let needed = 2 * self.graph.n_records().max(self.graph.n_macs());
+        let d = self.cfg.dim;
+        if self.base.rows() < needed {
+            let grown = needed.max(self.base.rows() * 2).max(16);
+            let mut nb = Tensor::zeros(grown, d);
+            for i in 0..self.base.rows() {
+                nb.set_row(i, self.base.row(i));
+            }
+            self.base = nb;
+            self.initialized.resize(grown, false);
+        }
+        // MAC rows first so new records can average them.
+        let macs: Vec<NodeId> =
+            (0..self.graph.n_macs() as u32).map(|m| NodeId::Mac(gem_graph::MacId(m))).collect();
+        let recs: Vec<NodeId> =
+            (0..self.graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        for node in macs.into_iter().chain(recs) {
+            let row = node_row(node);
+            if self.initialized[row] {
+                continue;
+            }
+            let mut acc = vec![0.0f32; d];
+            let mut n = 0usize;
+            let neighbors: Vec<NodeId> = match node {
+                NodeId::Record(r) => {
+                    self.graph.record_neighbors(r).map(|(m, _)| NodeId::Mac(m)).collect()
+                }
+                NodeId::Mac(m) => {
+                    self.graph.mac_neighbors(m).map(|(r, _)| NodeId::Record(r)).collect()
+                }
+            };
+            for nbr in neighbors {
+                let nrow = node_row(nbr);
+                if nrow < self.initialized.len() && self.initialized[nrow] {
+                    for (a, &v) in acc.iter_mut().zip(self.base.row(nrow)) {
+                        *a += v;
+                    }
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                let norm = acc.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+                for a in &mut acc {
+                    *a /= norm;
+                }
+                self.base.set_row(row, &acc);
+            } else {
+                let r = init::unit_rows(&mut self.rng, 1, d);
+                self.base.set_row(row, r.row(0));
+            }
+            self.initialized[row] = true;
+        }
+    }
+
+    fn build_tree(&self, targets: &[NodeId], mut rng: Option<&mut StdRng>) -> Tree {
+        let mut layers = vec![targets.to_vec()];
+        let mut offsets = Vec::new();
+        let mut weights = Vec::new();
+        for depth in 0..self.cfg.rounds {
+            let s = self.cfg.sample_sizes[depth];
+            let cur = &layers[depth];
+            let mut next = Vec::new();
+            let mut offs = vec![0u32];
+            let mut wts = Vec::new();
+            for &node in cur {
+                let sampled: Vec<NodeId> = match rng.as_deref_mut() {
+                    // Uniform sampling: GraphSAGE ignores edge weights.
+                    Some(rng) => self
+                        .graph
+                        .sample_neighbors_uniform(node, s, rng)
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect(),
+                    None => {
+                        let mut all: Vec<NodeId> = match node {
+                            NodeId::Record(r) => self
+                                .graph
+                                .record_neighbors(r)
+                                .map(|(m, _)| NodeId::Mac(m))
+                                .collect(),
+                            NodeId::Mac(m) => self
+                                .graph
+                                .mac_neighbors(m)
+                                .filter(|&(r, _)| {
+                                    self.trusted.get(r.0 as usize).copied().unwrap_or(true)
+                                })
+                                .map(|(r, _)| NodeId::Record(r))
+                                .collect(),
+                        };
+                        all.truncate(self.cfg.inference_cap);
+                        all
+                    }
+                };
+                let w = 1.0 / sampled.len().max(1) as f32;
+                for n in sampled {
+                    next.push(n);
+                    wts.push(w);
+                }
+                offs.push(next.len() as u32);
+            }
+            layers.push(next);
+            offsets.push(offs);
+            weights.push(wts);
+        }
+        Tree { layers, offsets, weights }
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        tree: &Tree,
+        store: Option<&ParamStore>,
+        params: Option<&(Vec<ParamId>, ParamId)>,
+    ) -> Var {
+        let mut cur: Vec<Var> = tree
+            .layers
+            .iter()
+            .map(|layer| {
+                let idx: Vec<u32> = layer.iter().map(|&n| node_row(n) as u32).collect();
+                match (store, params) {
+                    (Some(s), Some((_, base))) => g.gather(s, *base, &idx),
+                    _ => {
+                        let mut t = Tensor::zeros(layer.len(), self.cfg.dim);
+                        for (i, &r) in idx.iter().enumerate() {
+                            t.set_row(i, self.base.row(r as usize));
+                        }
+                        g.constant(t)
+                    }
+                }
+            })
+            .collect();
+        for k in 1..=self.cfg.rounds {
+            let w_var = match (store, params) {
+                (Some(s), Some((w, _))) => g.param(s, w[k - 1]),
+                _ => g.constant(self.w[k - 1].clone()),
+            };
+            let depths = self.cfg.rounds - k;
+            let mut new = Vec::with_capacity(depths + 1);
+            for d in 0..=depths {
+                let agg = g.segment_weighted_sum(
+                    cur[d + 1],
+                    tree.offsets[d].clone(),
+                    tree.weights[d].clone(),
+                );
+                let cat = g.concat_cols(cur[d], agg);
+                let lin = g.matmul(cat, w_var);
+                let act = g.activation(lin, self.cfg.activation);
+                new.push(g.row_l2_normalize(act));
+            }
+            cur = new;
+        }
+        cur[0]
+    }
+
+    fn train(&mut self) {
+        let mut rng = child_rng(self.cfg.seed, 0x65A70);
+        let Some(negatives) = NegativeTable::build(&self.graph, 0.75) else {
+            return;
+        };
+        let mut store = ParamStore::new();
+        let w_ids: Vec<ParamId> =
+            (0..self.cfg.rounds).map(|k| store.add(format!("w{k}"), self.w[k].clone())).collect();
+        let rows = 2 * self.graph.n_records().max(self.graph.n_macs());
+        let mut base = Tensor::zeros(rows, self.cfg.dim);
+        for i in 0..rows {
+            base.set_row(i, self.base.row(i));
+        }
+        let base_id = store.add("base", base);
+        let params = (w_ids, base_id);
+        let mut opt = Adam::new(self.cfg.learning_rate);
+
+        for _ in 0..self.cfg.epochs {
+            let mut pairs = WalkPairs::generate(&self.graph, self.cfg.walks, &mut rng);
+            if pairs.is_empty() {
+                break;
+            }
+            pairs.shuffle(&mut rng);
+            for chunk in pairs.pairs.chunks(self.cfg.batch_size) {
+                let b = chunk.len();
+                let kn = self.cfg.negative_samples;
+                let mut targets: Vec<NodeId> = Vec::with_capacity(2 * b + b * kn);
+                targets.extend(chunk.iter().map(|&(x, _)| x));
+                targets.extend(chunk.iter().map(|&(_, y)| y));
+                for &(x, y) in chunk {
+                    for _ in 0..kn {
+                        targets.push(negatives.sample_excluding(x, y, &mut rng));
+                    }
+                }
+                let tree = self.build_tree(&targets, Some(&mut rng));
+                let mut g = Graph::new();
+                let z = self.forward(&mut g, &tree, Some(&store), Some(&params));
+                let x_idx: Vec<u32> = (0..b as u32).collect();
+                let y_idx: Vec<u32> = (b as u32..2 * b as u32).collect();
+                let z_idx: Vec<u32> = (2 * b as u32..(2 * b + b * kn) as u32).collect();
+                let x_rep: Vec<u32> =
+                    (0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)).collect();
+                let zx = g.select_rows(z, &x_idx);
+                let zy = g.select_rows(z, &y_idx);
+                let zz = g.select_rows(z, &z_idx);
+                let zx_rep = g.select_rows(z, &x_rep);
+                let pos = g.rows_dot(zx, zy);
+                let neg = g.rows_dot(zx_rep, zz);
+                let lp = g.bce_with_logits_mean(pos, &vec![1.0; b]);
+                let ln = g.bce_with_logits_mean(neg, &vec![0.0; b * kn]);
+                let loss = g.add(lp, ln);
+                g.backward(loss, &mut store);
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+                store.zero_grads();
+            }
+        }
+        for k in 0..self.cfg.rounds {
+            self.w[k] = store.value(params.0[k]).clone();
+        }
+        let trained = store.value(params.1);
+        for i in 0..trained.rows() {
+            self.base.set_row(i, trained.row(i));
+        }
+        // Same inductive-consistency rule as BiSAGE: record bases are
+        // re-derived from MAC bases so streamed records are exchangeable
+        // with training records.
+        for r in 0..self.graph.n_records() as u32 {
+            self.derive_record_base(RecordId(r));
+        }
+    }
+
+    fn derive_record_base(&mut self, r: RecordId) {
+        let d = self.cfg.dim;
+        let mut acc = vec![0.0f32; d];
+        let mut n = 0usize;
+        let nbrs: Vec<NodeId> =
+            self.graph.record_neighbors(r).map(|(m, _)| NodeId::Mac(m)).collect();
+        for nbr in nbrs {
+            let nrow = node_row(nbr);
+            if nrow < self.initialized.len() && self.initialized[nrow] {
+                for (a, &v) in acc.iter_mut().zip(self.base.row(nrow)) {
+                    *a += v;
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        let norm = acc.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        for a in &mut acc {
+            *a /= norm;
+        }
+        let row = node_row(NodeId::Record(r));
+        self.base.set_row(row, &acc);
+        self.initialized[row] = true;
+    }
+
+    /// Deterministic embeddings of all current record nodes.
+    pub fn embed_all_records(&self) -> Tensor {
+        let nodes: Vec<NodeId> =
+            (0..self.graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        if nodes.is_empty() {
+            return Tensor::zeros(0, self.cfg.dim);
+        }
+        let tree = self.build_tree(&nodes, None);
+        let mut g = Graph::new();
+        let z = self.forward(&mut g, &tree, None, None);
+        g.value(z).clone()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+}
+
+impl Embedder for GraphSage {
+    fn embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>> {
+        if record.is_empty() || !self.graph.has_known_mac(record) {
+            return None;
+        }
+        let rid = self.graph.add_record(record);
+        // Visible to its own expansion, untrusted until classified.
+        self.trusted.push(true);
+        self.last_added = Some(rid);
+        self.ensure_rows();
+        self.derive_record_base(rid);
+        let tree = self.build_tree(&[NodeId::Record(rid)], None);
+        let mut g = Graph::new();
+        let z = self.forward(&mut g, &tree, None, None);
+        Some(g.value(z).row(0).to_vec())
+    }
+
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn feedback(&mut self, outlier: bool) {
+        if let Some(rid) = self.last_added.take() {
+            self.trusted[rid.0 as usize] = !outlier;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_signal::MacAddr;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn two_cluster_records() -> RecordSet {
+        let mut rs = RecordSet::new();
+        for i in 0..10 {
+            rs.push(SignalRecord::from_pairs(
+                i as f64,
+                [(mac(1), -50.0), (mac(2), -60.0), (mac(3), -70.0)],
+            ));
+        }
+        for i in 0..10 {
+            rs.push(SignalRecord::from_pairs(
+                (10 + i) as f64,
+                [(mac(11), -50.0), (mac(12), -60.0), (mac(13), -70.0)],
+            ));
+        }
+        rs
+    }
+
+    fn small_cfg() -> GraphSageConfig {
+        GraphSageConfig {
+            dim: 16,
+            epochs: 3,
+            learning_rate: 0.01,
+            sample_sizes: vec![6, 3],
+            ..GraphSageConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_produces_unit_embeddings() {
+        let (gs, emb) = GraphSage::fit(small_cfg(), &two_cluster_records());
+        assert_eq!(emb.rows(), 20);
+        assert_eq!(emb.cols(), 16);
+        for i in 0..emb.rows() {
+            let n = emb.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+        assert_eq!(gs.graph().n_records(), 20);
+    }
+
+    #[test]
+    fn clusters_separate() {
+        let (_, emb) = GraphSage::fit(small_cfg(), &two_cluster_records());
+        let dist = |i: usize, j: usize| Tensor::row_distance(&emb, i, &emb, j);
+        let within = (dist(0, 5) + dist(11, 17)) / 2.0;
+        let between = dist(0, 15);
+        assert!(between > within, "between {between} within {within}");
+    }
+
+    #[test]
+    fn embeds_new_records_and_rejects_aliens() {
+        let (mut gs, _) = GraphSage::fit(small_cfg(), &two_cluster_records());
+        let known = SignalRecord::from_pairs(99.0, [(mac(1), -55.0), (mac(2), -65.0)]);
+        assert_eq!(gs.embed(&known).unwrap().len(), 16);
+        let alien = SignalRecord::from_pairs(99.0, [(mac(999), -40.0)]);
+        assert!(gs.embed(&alien).is_none());
+        assert!(gs.embed(&SignalRecord::new(0.0)).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = GraphSage::fit(small_cfg(), &two_cluster_records());
+        let (_, b) = GraphSage::fit(small_cfg(), &two_cluster_records());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Isolation forest (Liu, Ting & Zhou, 2008) — "BiSAGE + iForest".
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use gem_core::pipeline::OutlierModel;
+use gem_nn::Tensor;
+use gem_signal::rng::child_rng;
+
+/// One node of an isolation tree.
+enum Node {
+    Split { dim: usize, value: f32, left: Box<Node>, right: Box<Node> },
+    Leaf { size: usize },
+}
+
+/// Average unsuccessful-search path length in a BST of `n` nodes — the
+/// normalizer `c(n)` from the paper.
+fn c(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+}
+
+fn build(points: &mut Vec<Vec<f32>>, depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+    if points.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: points.len() };
+    }
+    let dims = points[0].len();
+    // Find a dimension with spread; give up after a few attempts.
+    for _ in 0..dims.max(4) {
+        let dim = rng.random_range(0..dims);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for p in points.iter() {
+            lo = lo.min(p[dim]);
+            hi = hi.max(p[dim]);
+        }
+        if hi <= lo {
+            continue;
+        }
+        let value = rng.random_range(lo..hi);
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for p in points.drain(..) {
+            if p[dim] < value {
+                left.push(p);
+            } else {
+                right.push(p);
+            }
+        }
+        return Node::Split {
+            dim,
+            value,
+            left: Box::new(build(&mut left, depth + 1, max_depth, rng)),
+            right: Box::new(build(&mut right, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf { size: points.len() }
+}
+
+fn path_length(node: &Node, point: &[f32], depth: f64) -> f64 {
+    match node {
+        Node::Leaf { size } => depth + c(*size),
+        Node::Split { dim, value, left, right } => {
+            if point[*dim] < *value {
+                path_length(left, point, depth + 1.0)
+            } else {
+                path_length(right, point, depth + 1.0)
+            }
+        }
+    }
+}
+
+/// An isolation forest fitted on embedding vectors.
+pub struct IsolationForest {
+    trees: Vec<Node>,
+    /// Subsample size used per tree.
+    pub subsample: usize,
+    /// Decision threshold on the anomaly score.
+    pub threshold: f64,
+}
+
+impl IsolationForest {
+    /// Fits `n_trees` trees on subsamples of `subsample` points and sets
+    /// the decision threshold at the `1 − contamination` quantile of the
+    /// training scores.
+    pub fn fit(
+        train: &Tensor,
+        n_trees: usize,
+        subsample: usize,
+        contamination: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(train.rows() > 0, "iForest needs training data");
+        let mut rng = child_rng(seed, 0x1F0); // forest-level stream
+        let psi = subsample.min(train.rows()).max(2);
+        let max_depth = (psi as f64).log2().ceil() as usize + 1;
+        let trees: Vec<Node> = (0..n_trees)
+            .map(|_| {
+                let mut sample: Vec<Vec<f32>> = (0..psi)
+                    .map(|_| train.row(rng.random_range(0..train.rows())).to_vec())
+                    .collect();
+                build(&mut sample, 0, max_depth, &mut rng)
+            })
+            .collect();
+        let mut model = IsolationForest { trees, subsample: psi, threshold: 0.5 };
+        let mut scores: Vec<f64> =
+            (0..train.rows()).map(|i| model.anomaly_score(train.row(i))).collect();
+        scores.sort_by(|a, b| a.total_cmp(b));
+        let idx = (((train.rows() - 1) as f64) * (1.0 - contamination)) as usize;
+        model.threshold = scores[idx];
+        model
+    }
+
+    /// The standard iForest anomaly score `2^{-E[h(x)] / c(ψ)}` in
+    /// `(0, 1)`; higher = more anomalous.
+    pub fn anomaly_score(&self, point: &[f32]) -> f64 {
+        let mean_path: f64 = self
+            .trees
+            .iter()
+            .map(|t| path_length(t, point, 0.0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        2f64.powf(-mean_path / c(self.subsample).max(1e-9))
+    }
+}
+
+impl OutlierModel for IsolationForest {
+    fn score(&self, sample: &[f32]) -> f64 {
+        self.anomaly_score(sample)
+    }
+
+    fn is_outlier(&self, sample: &[f32]) -> bool {
+        self.anomaly_score(sample) > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random (distinct, dense) cluster in the unit cube.
+    fn cluster() -> Tensor {
+        Tensor::from_fn(128, 4, |i, j| (((i * 7919 + j * 104_729 + 41) % 997) as f32) / 997.0)
+    }
+
+    fn fit() -> IsolationForest {
+        IsolationForest::fit(&cluster(), 60, 64, 0.05, 7)
+    }
+
+    #[test]
+    fn outliers_score_higher_than_inliers() {
+        let f = fit();
+        let inlier = [0.5f32, 0.5, 0.5, 0.5];
+        let outlier = [4.0f32, -3.0, 5.0, -2.0];
+        assert!(f.anomaly_score(&outlier) > f.anomaly_score(&inlier) + 0.1);
+    }
+
+    #[test]
+    fn decision_respects_threshold() {
+        let f = fit();
+        assert!(f.is_outlier(&[4.0, -3.0, 5.0, -2.0]));
+        assert!(!f.is_outlier(&[0.5, 0.5, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn contamination_bounds_training_rejections() {
+        let f = fit();
+        let train = cluster();
+        let rejected = (0..train.rows()).filter(|&i| f.is_outlier(train.row(i))).count();
+        assert!(rejected <= train.rows() / 10, "rejected {rejected}");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let f = fit();
+        for p in [[0.0f32, 0.0, 0.0, 0.0], [9.0, 9.0, 9.0, 9.0]] {
+            let s = f.anomaly_score(&p);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn c_matches_known_values() {
+        assert_eq!(c(1), 0.0);
+        assert!((c(2) - 2.0 * (0.577_215_664_9) + 1.0).abs() < 1e-6);
+        assert!(c(256) > c(64));
+    }
+}

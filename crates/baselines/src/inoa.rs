@@ -1,0 +1,211 @@
+//! INOA baseline (Chow et al., locality classification): converts each
+//! variable-size record into per-MAC-pair sub-records of RSS values and
+//! classifies with support vector data description.
+//!
+//! For every pair of MACs `(m₁, m₂)` sensed together often enough in the
+//! training data, a 2-D SVDD is fitted on the observed `(rss₁, rss₂)`
+//! points. A streamed record is in-premises when a sufficient fraction
+//! of its known pair sub-records fall inside their balls.
+
+use std::collections::HashMap;
+
+use gem_signal::{Label, MacAddr, RecordSet, SignalRecord};
+
+use crate::svdd::Svdd;
+
+/// INOA hyperparameters.
+#[derive(Clone, Debug)]
+pub struct InoaConfig {
+    /// Minimum co-occurrences for a MAC pair to get a model.
+    pub min_support: usize,
+    /// Keep at most this many highest-support pairs.
+    pub max_pairs: usize,
+    /// Fraction of accepted sub-records needed to call a record In.
+    pub accept_fraction: f64,
+    /// Frank–Wolfe iterations per SVDD.
+    pub svdd_iterations: usize,
+    /// Slack margin on each ball's squared radius.
+    pub svdd_margin: f64,
+    /// Soft-margin fraction ν: this share of training sub-records may
+    /// fall outside their ball (Tax & Duin's slack).
+    pub svdd_nu: f64,
+    /// RSS scaling applied before SVDD (dB → unit-ish scale).
+    pub rss_scale: f32,
+}
+
+impl Default for InoaConfig {
+    fn default() -> Self {
+        InoaConfig {
+            min_support: 8,
+            max_pairs: 400,
+            accept_fraction: 0.5,
+            svdd_iterations: 120,
+            svdd_margin: 1.0,
+            svdd_nu: 0.1,
+            rss_scale: 1.0 / 30.0,
+        }
+    }
+}
+
+/// The fitted INOA system.
+pub struct Inoa {
+    /// Configuration.
+    pub cfg: InoaConfig,
+    models: HashMap<(MacAddr, MacAddr), Svdd>,
+}
+
+/// A canonical (sorted) MAC pair with its 2-D scaled RSS point.
+type PairPoint = ((MacAddr, MacAddr), Vec<f32>);
+
+fn pair_points(record: &SignalRecord, scale: f32) -> Vec<PairPoint> {
+    let mut out = Vec::new();
+    let rs = &record.readings;
+    for i in 0..rs.len() {
+        for j in (i + 1)..rs.len() {
+            let (a, b) = if rs[i].mac < rs[j].mac { (i, j) } else { (j, i) };
+            out.push((
+                (rs[a].mac, rs[b].mac),
+                vec![rs[a].rssi * scale, rs[b].rssi * scale],
+            ));
+        }
+    }
+    out
+}
+
+impl Inoa {
+    /// Fits per-pair SVDD models from the training records.
+    pub fn fit(cfg: InoaConfig, train: &RecordSet) -> Self {
+        let mut by_pair: HashMap<(MacAddr, MacAddr), Vec<Vec<f32>>> = HashMap::new();
+        for rec in train {
+            for (pair, point) in pair_points(rec, cfg.rss_scale) {
+                by_pair.entry(pair).or_default().push(point);
+            }
+        }
+        type PairGroup = ((MacAddr, MacAddr), Vec<Vec<f32>>);
+        let mut eligible: Vec<PairGroup> = by_pair
+            .into_iter()
+            .filter(|(_, pts)| pts.len() >= cfg.min_support)
+            .collect();
+        // Keep the highest-support pairs (stable order for determinism).
+        eligible.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        eligible.truncate(cfg.max_pairs);
+        let models = eligible
+            .into_iter()
+            .map(|(pair, pts)| {
+                let gamma = Svdd::median_gamma(&pts);
+                (
+                    pair,
+                    Svdd::fit_soft(&pts, gamma, cfg.svdd_iterations, cfg.svdd_margin, cfg.svdd_nu),
+                )
+            })
+            .collect();
+        Inoa { cfg, models }
+    }
+
+    /// Number of fitted pair models.
+    pub fn n_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Fraction of a record's known pair sub-records accepted by their
+    /// balls; `None` when the record has no modeled pair.
+    pub fn accepted_fraction(&self, record: &SignalRecord) -> Option<f64> {
+        let mut known = 0usize;
+        let mut accepted = 0usize;
+        for (pair, point) in pair_points(record, self.cfg.rss_scale) {
+            if let Some(model) = self.models.get(&pair) {
+                known += 1;
+                if model.contains(&point) {
+                    accepted += 1;
+                }
+            }
+        }
+        if known == 0 {
+            None
+        } else {
+            Some(accepted as f64 / known as f64)
+        }
+    }
+
+    /// Classifies a record; the score is `1 − accepted fraction`
+    /// (1.0 when the record has no modeled pair at all).
+    pub fn infer(&self, record: &SignalRecord) -> (Label, f64) {
+        match self.accepted_fraction(record) {
+            None => (Label::Out, 1.0),
+            Some(frac) => {
+                let label = if frac >= self.cfg.accept_fraction { Label::In } else { Label::Out };
+                (label, 1.0 - frac)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn train() -> RecordSet {
+        (0..30)
+            .map(|i| {
+                let j = (i % 3) as f32;
+                SignalRecord::from_pairs(
+                    i as f64,
+                    [(mac(1), -50.0 - j), (mac(2), -60.0 + j), (mac(3), -70.0)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_pair_models() {
+        let inoa = Inoa::fit(InoaConfig::default(), &train());
+        assert_eq!(inoa.n_models(), 3); // (1,2), (1,3), (2,3)
+    }
+
+    #[test]
+    fn accepts_training_like_records() {
+        let inoa = Inoa::fit(InoaConfig::default(), &train());
+        let rec = SignalRecord::from_pairs(
+            0.0,
+            [(mac(1), -51.0), (mac(2), -59.0), (mac(3), -70.0)],
+        );
+        let (label, score) = inoa.infer(&rec);
+        assert_eq!(label, Label::In);
+        assert!(score < 0.5);
+    }
+
+    #[test]
+    fn rejects_shifted_rss_profiles() {
+        let inoa = Inoa::fit(InoaConfig::default(), &train());
+        // Same MACs, drastically different strengths (e.g. next door).
+        let rec = SignalRecord::from_pairs(
+            0.0,
+            [(mac(1), -90.0), (mac(2), -20.0), (mac(3), -95.0)],
+        );
+        let (label, _) = inoa.infer(&rec);
+        assert_eq!(label, Label::Out);
+    }
+
+    #[test]
+    fn unknown_pairs_are_outliers() {
+        let inoa = Inoa::fit(InoaConfig::default(), &train());
+        let rec = SignalRecord::from_pairs(0.0, [(mac(8), -50.0), (mac(9), -60.0)]);
+        let (label, score) = inoa.infer(&rec);
+        assert_eq!(label, Label::Out);
+        assert_eq!(score, 1.0);
+        assert!(inoa.accepted_fraction(&rec).is_none());
+    }
+
+    #[test]
+    fn min_support_filters_rare_pairs() {
+        let mut rs = train();
+        // One record with a rare extra MAC → pairs with support 1.
+        rs.push(SignalRecord::from_pairs(99.0, [(mac(1), -50.0), (mac(42), -70.0)]));
+        let inoa = Inoa::fit(InoaConfig::default(), &rs);
+        assert_eq!(inoa.n_models(), 3, "rare pair must not get a model");
+    }
+}

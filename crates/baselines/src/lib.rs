@@ -1,0 +1,44 @@
+//! Reimplementations of every comparator in the paper's evaluation
+//! (Table I):
+//!
+//! * embedding algorithms fed into GEM's detector ("X + OD"):
+//!   [`graphsage`] (homogeneous GraphSAGE on the bipartite graph),
+//!   [`autoencoder`] (conv/dense autoencoder on the padded signal
+//!   matrix), [`mds`] (classical multidimensional scaling on 1−cosine
+//!   distances);
+//! * outlier detectors fed with BiSAGE embeddings ("BiSAGE + X"):
+//!   [`iforest`] (isolation forest), [`lof`] (local outlier factor),
+//!   [`feature_bagging`] (LOF ensemble over feature subsets);
+//! * complete systems: [`signature_home`] (network signature matching)
+//!   and [`inoa`] (per-MAC-pair sub-records + support vector data
+//!   description, built on [`svdd`]);
+//! * an extension beyond Table I: [`deep_svdd`] (Ruff et al.'s deep
+//!   one-class model), testing the paper's claim that deep one-class
+//!   methods are impractical at this data scale.
+//!
+//! Everything is from scratch; the embedders implement
+//! [`gem_core::pipeline::Embedder`] and the detectors
+//! [`gem_core::pipeline::OutlierModel`], so Table I's grid composes
+//! uniformly.
+
+pub mod autoencoder;
+pub mod deep_svdd;
+pub mod feature_bagging;
+pub mod graphsage;
+pub mod iforest;
+pub mod inoa;
+pub mod lof;
+pub mod mds;
+pub mod signature_home;
+pub mod svdd;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use deep_svdd::{DeepSvdd, DeepSvddConfig};
+pub use feature_bagging::FeatureBagging;
+pub use graphsage::{GraphSage, GraphSageConfig};
+pub use iforest::IsolationForest;
+pub use inoa::{Inoa, InoaConfig};
+pub use lof::Lof;
+pub use mds::Mds;
+pub use signature_home::{SignatureHome, SignatureHomeConfig};
+pub use svdd::Svdd;

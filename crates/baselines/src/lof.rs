@@ -1,0 +1,141 @@
+//! Local outlier factor (Breunig et al., 2000) — "BiSAGE + LOF".
+//!
+//! Fitted on the training embeddings; query points are scored against the
+//! training set as reference (the one-class usage of Table I).
+
+use gem_core::pipeline::OutlierModel;
+use gem_nn::Tensor;
+
+/// A fitted LOF reference set.
+pub struct Lof {
+    points: Vec<Vec<f32>>,
+    k: usize,
+    /// Local reachability density of each training point.
+    lrd: Vec<f64>,
+    /// k-distance of each training point.
+    k_dist: Vec<f64>,
+    /// Decision threshold on the LOF score.
+    pub threshold: f64,
+}
+
+fn dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+/// Indices and distances of the `k` nearest points to `q` among
+/// `points`, excluding index `skip` (pass `usize::MAX` to keep all).
+fn knn(points: &[Vec<f32>], q: &[f32], k: usize, skip: usize) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != skip)
+        .map(|(i, p)| (i, dist(q, p)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1));
+    all.truncate(k);
+    all
+}
+
+impl Lof {
+    /// Fits LOF with neighborhood size `k`; the threshold is the
+    /// `1 − contamination` quantile of leave-one-out training LOF scores.
+    pub fn fit(train: &Tensor, k: usize, contamination: f64, ) -> Self {
+        let n = train.rows();
+        assert!(n > k + 1, "LOF needs more than k+1 training points");
+        let points: Vec<Vec<f32>> = (0..n).map(|i| train.row(i).to_vec()).collect();
+
+        // k-distance of every training point (leave-one-out).
+        let neighbors: Vec<Vec<(usize, f64)>> =
+            (0..n).map(|i| knn(&points, &points[i], k, i)).collect();
+        let k_dist: Vec<f64> = neighbors.iter().map(|nb| nb.last().map_or(0.0, |x| x.1)).collect();
+
+        // Local reachability densities.
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let sum: f64 = neighbors[i]
+                    .iter()
+                    .map(|&(j, d)| d.max(k_dist[j]))
+                    .sum();
+                neighbors[i].len() as f64 / sum.max(1e-12)
+            })
+            .collect();
+
+        let mut model = Lof { points, k, lrd, k_dist, threshold: 1.5 };
+        let mut scores: Vec<f64> = (0..n).map(|i| {
+            let nb = &neighbors[i];
+            let mean_lrd: f64 = nb.iter().map(|&(j, _)| model.lrd[j]).sum::<f64>() / nb.len() as f64;
+            mean_lrd / model.lrd[i].max(1e-12)
+        }).collect();
+        scores.sort_by(|a, b| a.total_cmp(b));
+        let idx = (((n - 1) as f64) * (1.0 - contamination)) as usize;
+        model.threshold = scores[idx];
+        model
+    }
+
+    /// LOF score of a query point against the training reference
+    /// (≈1 for inliers, ≫1 for outliers).
+    pub fn lof_score(&self, q: &[f32]) -> f64 {
+        let nb = knn(&self.points, q, self.k, usize::MAX);
+        let reach_sum: f64 = nb.iter().map(|&(j, d)| d.max(self.k_dist[j])).sum();
+        let lrd_q = nb.len() as f64 / reach_sum.max(1e-12);
+        let mean_lrd: f64 = nb.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / nb.len() as f64;
+        mean_lrd / lrd_q.max(1e-12)
+    }
+}
+
+impl OutlierModel for Lof {
+    fn score(&self, sample: &[f32]) -> f64 {
+        self.lof_score(sample)
+    }
+
+    fn is_outlier(&self, sample: &[f32]) -> bool {
+        self.lof_score(sample) > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random (distinct, dense) cluster in the unit cube.
+    fn cluster() -> Tensor {
+        Tensor::from_fn(80, 3, |i, j| (((i * 7919 + j * 104_729 + 13) % 997) as f32) / 997.0)
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let train = cluster();
+        let lof = Lof::fit(&train, 10, 0.05);
+        let s = lof.lof_score(train.row(17));
+        assert!(s < 1.3, "inlier LOF {s}");
+    }
+
+    #[test]
+    fn outliers_score_much_higher() {
+        let train = cluster();
+        let lof = Lof::fit(&train, 10, 0.05);
+        let s_in = lof.lof_score(train.row(3));
+        let s_out = lof.lof_score(&[6.0, -6.0, 6.0]);
+        assert!(s_out > 3.0 * s_in, "in {s_in} out {s_out}");
+        assert!(lof.is_outlier(&[6.0, -6.0, 6.0]));
+        assert!(!lof.is_outlier(train.row(3)));
+    }
+
+    #[test]
+    fn training_rejection_rate_respects_contamination() {
+        let train = cluster();
+        let lof = Lof::fit(&train, 10, 0.05);
+        // Score each training point with itself present in the
+        // reference; near-duplicates keep scores low.
+        let rejected = (0..train.rows())
+            .filter(|&i| lof.is_outlier(train.row(i)))
+            .count();
+        assert!(rejected <= train.rows() / 8, "rejected {rejected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than k+1")]
+    fn rejects_tiny_training_sets() {
+        Lof::fit(&Tensor::zeros(5, 2), 10, 0.05);
+    }
+}

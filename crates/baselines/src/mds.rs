@@ -1,0 +1,201 @@
+//! Classical multidimensional scaling baseline ("MDS + OD").
+//!
+//! Following the paper's convention, pairwise distances are `1 − cosine
+//! similarity` between padded signal vectors (missing entries at −120
+//! dBm). Training embeddings come from double-centering + the top-`d`
+//! eigenpairs (via the Jacobi solver); streamed records are embedded with
+//! the standard Gower/landmark out-of-sample formula.
+
+use gem_core::pipeline::Embedder;
+use gem_nn::linalg::{double_center, jacobi_eigen, EigenDecomposition};
+use gem_nn::Tensor;
+use gem_signal::{PaddedMatrix, RecordSet, SignalRecord, RSS_PAD_DBM};
+
+/// The fitted MDS model.
+pub struct Mds {
+    /// Embedding dimension.
+    pub dim: usize,
+    universe: PaddedMatrix,
+    /// Shifted training vectors (pad-relative, for cosine).
+    train_rows: Vec<Vec<f32>>,
+    eigen: EigenDecomposition,
+    /// Column means of the squared-distance matrix (out-of-sample term).
+    d2_col_mean: Vec<f64>,
+    /// Eigenvalues actually used (positive ones, up to `dim`).
+    used: usize,
+}
+
+fn shift(pad: f32, row: &[f32]) -> Vec<f32> {
+    // Shift so the pad value maps to 0: cosine similarity then reflects
+    // shared *presence and strength* rather than shared absence.
+    row.iter().map(|&v| v - pad).collect()
+}
+
+fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += (x as f64) * (y as f64);
+        na += (x as f64) * (x as f64);
+        nb += (y as f64) * (y as f64);
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+}
+
+impl Mds {
+    /// Fits classical MDS on the training records; returns the model and
+    /// the training embeddings.
+    pub fn fit(dim: usize, train: &RecordSet) -> (Mds, Tensor) {
+        assert!(!train.is_empty(), "MDS needs training data");
+        let universe = train.to_matrix(RSS_PAD_DBM);
+        let n = universe.rows;
+        let train_rows: Vec<Vec<f32>> =
+            (0..n).map(|i| shift(universe.pad, universe.row(i))).collect();
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = cosine_distance(&train_rows[i], &train_rows[j]);
+                d2[i * n + j] = d * d;
+                d2[j * n + i] = d * d;
+            }
+        }
+        let d2_col_mean: Vec<f64> =
+            (0..n).map(|j| (0..n).map(|i| d2[i * n + j]).sum::<f64>() / n as f64).collect();
+        let b = double_center(n, &d2);
+        let eigen = jacobi_eigen(b, 1e-9, 60);
+        let used = eigen.values.iter().take(dim).filter(|&&v| v > 1e-9).count();
+
+        let mut emb = Tensor::zeros(n, dim);
+        for i in 0..n {
+            for k in 0..used {
+                emb[(i, k)] = (eigen.values[k].sqrt() * eigen.vector_component(k, i)) as f32;
+            }
+        }
+        (Mds { dim, universe, train_rows, eigen, d2_col_mean, used }, emb)
+    }
+
+    /// Out-of-sample embedding (Gower's formula): for a new point with
+    /// squared distances `δ` to the training points,
+    /// `y_k = v_kᵀ (δ̄ − δ) / (2 √λ_k)`.
+    fn embed_distances(&self, d2_new: &[f64]) -> Vec<f32> {
+        let n = self.train_rows.len();
+        let mut out = vec![0.0f32; self.dim];
+        for (k, slot) in out.iter_mut().enumerate().take(self.used) {
+            let lambda = self.eigen.values[k];
+            let mut acc = 0.0f64;
+            for (i, &d2) in d2_new.iter().enumerate().take(n) {
+                acc += self.eigen.vector_component(k, i) * (self.d2_col_mean[i] - d2);
+            }
+            *slot = (acc / (2.0 * lambda.sqrt())) as f32;
+        }
+        out
+    }
+}
+
+impl Embedder for Mds {
+    fn embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>> {
+        if record.is_empty() {
+            return None;
+        }
+        let (row, dropped) = self.universe.project(record);
+        if dropped == record.len() {
+            return None;
+        }
+        let shifted = shift(self.universe.pad, &row);
+        let d2: Vec<f64> = self
+            .train_rows
+            .iter()
+            .map(|t| {
+                let d = cosine_distance(&shifted, t);
+                d * d
+            })
+            .collect();
+        Some(self.embed_distances(&d2))
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_signal::MacAddr;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn two_cluster_records() -> RecordSet {
+        let mut rs = RecordSet::new();
+        for i in 0..8 {
+            rs.push(SignalRecord::from_pairs(
+                i as f64,
+                [(mac(1), -45.0 - (i % 3) as f32), (mac(2), -55.0)],
+            ));
+        }
+        for i in 0..8 {
+            rs.push(SignalRecord::from_pairs(
+                (8 + i) as f64,
+                [(mac(11), -45.0), (mac(12), -55.0 - (i % 3) as f32)],
+            ));
+        }
+        rs
+    }
+
+    #[test]
+    fn training_embeddings_preserve_cluster_structure() {
+        let (_, emb) = Mds::fit(8, &two_cluster_records());
+        let d = |i: usize, j: usize| Tensor::row_distance(&emb, i, &emb, j);
+        assert!(d(0, 4) < d(0, 12), "within {} between {}", d(0, 4), d(0, 12));
+        assert!(d(9, 13) < d(9, 3));
+    }
+
+    #[test]
+    fn embedding_distances_match_input_distances() {
+        // With full rank, MDS reproduces the pairwise distances.
+        let rs = two_cluster_records();
+        let (mds, emb) = Mds::fit(16, &rs);
+        let a = shift(RSS_PAD_DBM, mds.universe.row(0));
+        let b = shift(RSS_PAD_DBM, mds.universe.row(12));
+        let want = cosine_distance(&a, &b);
+        let got = Tensor::row_distance(&emb, 0, &emb, 12) as f64;
+        assert!((got - want).abs() < 0.05, "want {want} got {got}");
+    }
+
+    #[test]
+    fn out_of_sample_lands_near_its_cluster() {
+        let rs = two_cluster_records();
+        let (mut mds, emb) = Mds::fit(8, &rs);
+        let new = SignalRecord::from_pairs(99.0, [(mac(1), -46.0), (mac(2), -56.0)]);
+        let y = mds.embed(&new).unwrap();
+        let yt = Tensor::from_vec(1, y.len(), y);
+        let d_a: f32 = (0..8).map(|i| Tensor::row_distance(&yt, 0, &emb, i)).sum::<f32>() / 8.0;
+        let d_b: f32 = (8..16).map(|i| Tensor::row_distance(&yt, 0, &emb, i)).sum::<f32>() / 8.0;
+        assert!(d_a < d_b, "cluster A {d_a} vs B {d_b}");
+    }
+
+    #[test]
+    fn rejects_unembeddable_records() {
+        let (mut mds, _) = Mds::fit(8, &two_cluster_records());
+        assert!(mds.embed(&SignalRecord::new(0.0)).is_none());
+        let alien = SignalRecord::from_pairs(0.0, [(mac(777), -40.0)]);
+        assert!(mds.embed(&alien).is_none());
+    }
+
+    #[test]
+    fn identical_record_embeds_like_training_row() {
+        let rs = two_cluster_records();
+        let (mut mds, emb) = Mds::fit(8, &rs);
+        let same = rs.records()[0].clone();
+        let y = mds.embed(&same).unwrap();
+        let yt = Tensor::from_vec(1, y.len(), y);
+        let d = Tensor::row_distance(&yt, 0, &emb, 0);
+        assert!(d < 0.05, "distance to own training embedding {d}");
+    }
+}

@@ -1,0 +1,217 @@
+//! SignatureHome baseline (Tan et al., IoT geofencing for COVID-19 home
+//! quarantine): learns the home area from network connectivity and a
+//! database of padded RSS signatures.
+//!
+//! The home signature has two parts, per the paper's description:
+//! 1. the *association* set — MACs the device would associate with at
+//!    home (the strongest MACs observed during training);
+//! 2. a database of fixed-length RSS vectors (missing entries padded
+//!    with −120 dBm) against which new scans are matched by cosine
+//!    similarity.
+//!
+//! A scan is in-premises when its strongest MAC belongs to the
+//! association set *and* its best database match exceeds a similarity
+//! threshold calibrated on leave-one-out training similarities.
+
+use std::collections::HashSet;
+
+use gem_signal::{Label, MacAddr, PaddedMatrix, RecordSet, SignalRecord, RSS_PAD_DBM};
+
+/// SignatureHome hyperparameters.
+#[derive(Clone, Debug)]
+pub struct SignatureHomeConfig {
+    /// A MAC joins the association set when it is the strongest reading
+    /// in at least this fraction of training scans.
+    pub association_fraction: f64,
+    /// Quantile of leave-one-out training similarities used as the match
+    /// threshold (lower quantile → more permissive).
+    pub threshold_quantile: f64,
+    /// Pad value for missing entries.
+    pub pad_dbm: f32,
+}
+
+impl Default for SignatureHomeConfig {
+    fn default() -> Self {
+        SignatureHomeConfig {
+            association_fraction: 0.05,
+            threshold_quantile: 0.02,
+            pad_dbm: RSS_PAD_DBM,
+        }
+    }
+}
+
+/// The fitted SignatureHome model.
+pub struct SignatureHome {
+    /// Configuration.
+    pub cfg: SignatureHomeConfig,
+    universe: PaddedMatrix,
+    /// Shifted signature vectors.
+    signatures: Vec<Vec<f32>>,
+    association: HashSet<MacAddr>,
+    /// Calibrated cosine-similarity threshold.
+    pub threshold: f64,
+}
+
+fn shift(pad: f32, row: &[f32]) -> Vec<f32> {
+    row.iter().map(|&v| v - pad).collect()
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += (x as f64) * (y as f64);
+        na += (x as f64) * (x as f64);
+        nb += (y as f64) * (y as f64);
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+impl SignatureHome {
+    /// Builds the signature database and calibrates the match threshold.
+    pub fn fit(cfg: SignatureHomeConfig, train: &RecordSet) -> Self {
+        assert!(train.len() >= 2, "SignatureHome needs at least two scans");
+        let universe = train.to_matrix(cfg.pad_dbm);
+        let signatures: Vec<Vec<f32>> =
+            (0..universe.rows).map(|i| shift(cfg.pad_dbm, universe.row(i))).collect();
+
+        // Association set: MACs that ever win "strongest" often enough.
+        let mut wins: std::collections::HashMap<MacAddr, usize> = std::collections::HashMap::new();
+        for rec in train {
+            if let Some(strongest) = rec.strongest() {
+                *wins.entry(strongest.mac).or_default() += 1;
+            }
+        }
+        let min_wins = ((train.len() as f64) * cfg.association_fraction).ceil() as usize;
+        let association: HashSet<MacAddr> = wins
+            .into_iter()
+            .filter(|&(_, w)| w >= min_wins.max(1))
+            .map(|(m, _)| m)
+            .collect();
+
+        // Leave-one-out best similarities → threshold at a low quantile.
+        let mut best: Vec<f64> = (0..signatures.len())
+            .map(|i| {
+                signatures
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, s)| cosine(&signatures[i], s))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        best.sort_by(|a, b| a.total_cmp(b));
+        let idx = (((best.len() - 1) as f64) * cfg.threshold_quantile) as usize;
+        // Small slack keeps degenerate (near-duplicate) databases from
+        // calibrating an unreachable threshold of exactly 1.0.
+        let threshold = best[idx] - 1e-3;
+
+        SignatureHome { cfg, universe, signatures, association, threshold }
+    }
+
+    /// The association MAC set.
+    pub fn association(&self) -> &HashSet<MacAddr> {
+        &self.association
+    }
+
+    /// Best cosine similarity of a scan against the signature database.
+    pub fn best_similarity(&self, record: &SignalRecord) -> f64 {
+        let (row, _) = self.universe.project(record);
+        let shifted = shift(self.cfg.pad_dbm, &row);
+        self.signatures
+            .iter()
+            .map(|s| cosine(&shifted, s))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Classifies one scan; the score is `1 − best similarity`.
+    pub fn infer(&self, record: &SignalRecord) -> (Label, f64) {
+        if record.is_empty() {
+            return (Label::Out, 1.0);
+        }
+        let associated = record
+            .strongest()
+            .map(|r| self.association.contains(&r.mac))
+            .unwrap_or(false);
+        let sim = self.best_similarity(record);
+        let label = if associated && sim >= self.threshold { Label::In } else { Label::Out };
+        (label, 1.0 - sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn train() -> RecordSet {
+        (0..40)
+            .map(|i| {
+                let j = (i % 4) as f32;
+                let jitter = ((i * 37) % 11) as f32 / 10.0;
+                SignalRecord::from_pairs(
+                    i as f64,
+                    [
+                        (mac(1), -45.0 - j - jitter), // home AP, always strongest
+                        (mac(2), -60.0 + j + jitter / 2.0),
+                        (mac(3), -75.0 - jitter),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn association_set_contains_home_ap() {
+        let sh = SignatureHome::fit(SignatureHomeConfig::default(), &train());
+        assert!(sh.association().contains(&mac(1)));
+        assert!(!sh.association().contains(&mac(3)));
+    }
+
+    #[test]
+    fn accepts_home_like_scans() {
+        let sh = SignatureHome::fit(SignatureHomeConfig::default(), &train());
+        let rec = SignalRecord::from_pairs(
+            0.0,
+            [(mac(1), -46.0), (mac(2), -61.0), (mac(3), -74.0)],
+        );
+        assert_eq!(sh.infer(&rec).0, Label::In);
+    }
+
+    #[test]
+    fn rejects_when_strongest_is_foreign() {
+        let sh = SignatureHome::fit(SignatureHomeConfig::default(), &train());
+        // A neighbor AP dominates → not associated with home.
+        let rec = SignalRecord::from_pairs(
+            0.0,
+            [(mac(99), -30.0), (mac(1), -80.0), (mac(2), -85.0)],
+        );
+        assert_eq!(sh.infer(&rec).0, Label::Out);
+    }
+
+    #[test]
+    fn rejects_dissimilar_profiles() {
+        let sh = SignatureHome::fit(SignatureHomeConfig::default(), &train());
+        // Home AP still strongest but profile totally different.
+        let rec = SignalRecord::from_pairs(0.0, [(mac(1), -20.0)]);
+        let (_, score) = sh.infer(&rec);
+        assert!(score >= 0.0);
+        // Empty scans are always out.
+        assert_eq!(sh.infer(&SignalRecord::new(0.0)).0, Label::Out);
+    }
+
+    #[test]
+    fn training_scans_pass_their_own_test() {
+        let rs = train();
+        let sh = SignatureHome::fit(SignatureHomeConfig::default(), &rs);
+        let accepted = rs.iter().filter(|r| sh.infer(r).0 == Label::In).count();
+        assert!(accepted >= rs.len() * 9 / 10, "accepted {accepted}/{}", rs.len());
+    }
+}

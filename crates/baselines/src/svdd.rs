@@ -1,0 +1,184 @@
+//! Support vector data description (Tax & Duin, 2004), implemented as a
+//! kernel minimum enclosing ball via the Bădoiu–Clarkson / Frank–Wolfe
+//! core-set iteration. This is the classifier inside the INOA baseline.
+//!
+//! With an RBF kernel, `k(x,x) = 1` for every point, so the squared
+//! distance of `x` to the center `c = Σ αᵢ φ(xᵢ)` is
+//! `1 − 2 Σ αᵢ k(x, xᵢ) + ‖c‖²`.
+
+use gem_core::pipeline::OutlierModel;
+
+/// A fitted SVDD ball over one feature space.
+#[derive(Clone, Debug)]
+pub struct Svdd {
+    points: Vec<Vec<f32>>,
+    alpha: Vec<f64>,
+    /// RBF bandwidth `γ` in `exp(−γ‖x−y‖²)`.
+    pub gamma: f64,
+    /// `‖c‖²` of the fitted center.
+    center_norm_sq: f64,
+    /// Squared radius of the ball (with slack margin applied).
+    pub radius_sq: f64,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+}
+
+impl Svdd {
+    /// Fits the kernel MEB with `iterations` Frank–Wolfe steps. `margin`
+    /// (≥ 1) scales the squared radius to tolerate boundary noise.
+    /// Equivalent to [`Svdd::fit_soft`] with `nu = 0`.
+    pub fn fit(train: &[Vec<f32>], gamma: f64, iterations: usize, margin: f64) -> Self {
+        Self::fit_soft(train, gamma, iterations, margin, 0.0)
+    }
+
+    /// Soft-margin SVDD (Tax & Duin): the ball's radius is set so that a
+    /// `nu` fraction of training points fall *outside* (slack), which is
+    /// what keeps boundary noise from inflating the ball. `nu = 0`
+    /// reduces to the hard minimum enclosing ball.
+    pub fn fit_soft(
+        train: &[Vec<f32>],
+        gamma: f64,
+        iterations: usize,
+        margin: f64,
+        nu: f64,
+    ) -> Self {
+        assert!(!train.is_empty(), "SVDD needs training data");
+        let n = train.len();
+        let kernel = |a: &[f32], b: &[f32]| (-gamma * sq_dist(a, b)).exp();
+        let mut alpha = vec![0.0f64; n];
+        alpha[0] = 1.0;
+        // Cache k(c, x_j) = Σ_i α_i k(x_i, x_j) incrementally.
+        let mut center_dot: Vec<f64> = (0..n).map(|j| kernel(&train[0], &train[j])).collect();
+        let mut center_norm_sq = 1.0f64; // k(x0, x0)
+
+        for t in 1..=iterations {
+            // Farthest point from the current center.
+            let (far, far_d2) = (0..n)
+                .map(|j| (j, 1.0 - 2.0 * center_dot[j] + center_norm_sq))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            if far_d2 <= 1e-12 {
+                break;
+            }
+            let eta = 1.0 / (t + 1) as f64;
+            // c ← (1−η)c + η φ(x_far)
+            center_norm_sq = (1.0 - eta) * (1.0 - eta) * center_norm_sq
+                + 2.0 * eta * (1.0 - eta) * center_dot[far]
+                + eta * eta;
+            for j in 0..n {
+                center_dot[j] = (1.0 - eta) * center_dot[j] + eta * kernel(&train[far], &train[j]);
+            }
+            for a in alpha.iter_mut() {
+                *a *= 1.0 - eta;
+            }
+            alpha[far] += eta;
+        }
+
+        let mut dists: Vec<f64> =
+            (0..n).map(|j| 1.0 - 2.0 * center_dot[j] + center_norm_sq).collect();
+        dists.sort_by(|a, b| a.total_cmp(b));
+        let idx = (((n - 1) as f64) * (1.0 - nu.clamp(0.0, 0.5))) as usize;
+        let radius_sq = dists[idx] * margin;
+        Svdd { points: train.to_vec(), alpha, gamma, center_norm_sq, radius_sq }
+    }
+
+    /// Squared kernel distance from `x` to the ball center.
+    pub fn distance_sq(&self, x: &[f32]) -> f64 {
+        let dot: f64 = self
+            .points
+            .iter()
+            .zip(&self.alpha)
+            .filter(|(_, &a)| a > 1e-12)
+            .map(|(p, &a)| a * (-self.gamma * sq_dist(x, p)).exp())
+            .sum();
+        1.0 - 2.0 * dot + self.center_norm_sq
+    }
+
+    /// True when `x` falls inside the (slack-scaled) ball.
+    pub fn contains(&self, x: &[f32]) -> bool {
+        self.distance_sq(x) <= self.radius_sq
+    }
+
+    /// A heuristic RBF bandwidth: inverse of the median squared pairwise
+    /// distance of the sample (subsampled for large sets).
+    pub fn median_gamma(train: &[Vec<f32>]) -> f64 {
+        let n = train.len().min(64);
+        let mut d2: Vec<f64> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d2.push(sq_dist(&train[i], &train[j]));
+            }
+        }
+        if d2.is_empty() {
+            return 1.0;
+        }
+        d2.sort_by(|a, b| a.total_cmp(b));
+        let median = d2[d2.len() / 2].max(1e-9);
+        1.0 / median
+    }
+}
+
+impl OutlierModel for Svdd {
+    fn score(&self, sample: &[f32]) -> f64 {
+        self.distance_sq(sample) - self.radius_sq
+    }
+
+    fn is_outlier(&self, sample: &[f32]) -> bool {
+        !self.contains(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Vec<Vec<f32>> {
+        (0..50)
+            .map(|i| vec![((i * 7) % 10) as f32 / 10.0, ((i * 3) % 10) as f32 / 10.0])
+            .collect()
+    }
+
+    #[test]
+    fn training_points_are_inside() {
+        let train = cluster();
+        let svdd = Svdd::fit(&train, Svdd::median_gamma(&train), 200, 1.05);
+        let inside = train.iter().filter(|p| svdd.contains(p)).count();
+        assert_eq!(inside, train.len(), "all training points inside the ball");
+    }
+
+    #[test]
+    fn far_points_are_outside() {
+        let train = cluster();
+        let svdd = Svdd::fit(&train, Svdd::median_gamma(&train), 200, 1.05);
+        assert!(!svdd.contains(&[8.0, -7.0]));
+        assert!(svdd.score(&[8.0, -7.0]) > 0.0);
+        assert!(svdd.score(&[0.5, 0.5]) < 0.0);
+    }
+
+    #[test]
+    fn alpha_is_a_distribution() {
+        let train = cluster();
+        let svdd = Svdd::fit(&train, 1.0, 100, 1.0);
+        let sum: f64 = svdd.alpha.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(svdd.alpha.iter().all(|&a| a >= 0.0));
+    }
+
+    #[test]
+    fn single_point_ball_is_degenerate() {
+        let train = vec![vec![1.0f32, 2.0]];
+        let svdd = Svdd::fit(&train, 1.0, 50, 1.0);
+        assert!(svdd.contains(&[1.0, 2.0]));
+        assert!(!svdd.contains(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn median_gamma_is_positive_and_scale_aware() {
+        let tight: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 * 0.01]).collect();
+        let wide: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        assert!(Svdd::median_gamma(&tight) > Svdd::median_gamma(&wide));
+        assert!(Svdd::median_gamma(&[vec![1.0]]) > 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the bipartite-graph substrate: record insertion,
+//! weighted neighbor sampling, random walks and alias tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gem_graph::{AliasTable, BipartiteGraph, NodeId, RecordId, WalkConfig, WalkPairs, WeightFn};
+use gem_signal::rng::child_rng;
+use gem_signal::{MacAddr, SignalRecord};
+use rand::RngExt;
+
+fn synthetic_record(i: u64, n_macs: u64) -> SignalRecord {
+    SignalRecord::from_pairs(
+        i as f64,
+        (0..12).map(|k| (MacAddr::from_raw((i * 7 + k * 13) % n_macs), -45.0 - k as f32 * 4.0)),
+    )
+}
+
+fn graph(n: u64) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(WeightFn::default());
+    for i in 0..n {
+        g.add_record(&synthetic_record(i, 60));
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(40);
+
+    group.bench_function("add_record_into_500", |b| {
+        let base = graph(500);
+        let rec = synthetic_record(9999, 60);
+        b.iter_with_setup(
+            || base.clone(),
+            |mut g| {
+                black_box(g.add_record(black_box(&rec)));
+                g
+            },
+        )
+    });
+
+    group.bench_function("weighted_sample_8_neighbors", |b| {
+        let g = graph(500);
+        let mut rng = child_rng(1, 2);
+        b.iter(|| black_box(g.sample_neighbors(NodeId::Record(RecordId(250)), 8, &mut rng)))
+    });
+
+    group.bench_function("walk_pairs_one_epoch_200_records", |b| {
+        let g = graph(200);
+        let mut rng = child_rng(3, 4);
+        let cfg = WalkConfig { walks_per_node: 2, walk_length: 4 };
+        b.iter(|| black_box(WalkPairs::generate(&g, cfg, &mut rng)))
+    });
+
+    group.bench_function("alias_table_build_1000", |b| {
+        let mut rng = child_rng(5, 6);
+        let weights: Vec<f64> = (0..1000).map(|_| rng.random_range(0.1..10.0)).collect();
+        b.iter(|| black_box(AliasTable::new(black_box(&weights))))
+    });
+
+    group.bench_function("alias_table_sample", |b| {
+        let mut rng = child_rng(7, 8);
+        let weights: Vec<f64> = (0..1000).map(|_| rng.random_range(0.1..10.0)).collect();
+        let table = AliasTable::new(&weights).unwrap();
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

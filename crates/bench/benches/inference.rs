@@ -1,0 +1,58 @@
+//! Criterion counterpart of the paper's Table III: per-record inference
+//! time, broken into embedding generation, in-out detection and model
+//! update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gem_bench::{eval_dataset, evaluation_users};
+use gem_core::{Gem, GemConfig};
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = eval_dataset(&evaluation_users()[5]);
+    let mut group = c.benchmark_group("table3_inference");
+    group.sample_size(30);
+
+    // Embedding generation: graph insertion + K-round aggregation.
+    {
+        let mut gem = Gem::fit(GemConfig::default(), &ds.train);
+        let mut idx = 0usize;
+        group.bench_function("embedding_generation", |b| {
+            b.iter(|| {
+                let rec = &ds.test[idx % ds.test.len()].record;
+                idx += 1;
+                black_box(gem.add_and_embed(black_box(rec)))
+            })
+        });
+    }
+
+    // In-out detection on a fixed embedding.
+    {
+        let mut gem = Gem::fit(GemConfig::default(), &ds.train);
+        let h = ds
+            .test
+            .iter()
+            .find_map(|t| gem.add_and_embed(&t.record))
+            .expect("embeddable record");
+        group.bench_function("in_out_detection", |b| {
+            b.iter(|| black_box(gem.detect_only(black_box(&h))))
+        });
+    }
+
+    // Online model update (histogram absorption + re-anchoring).
+    {
+        let mut gem = Gem::fit(GemConfig::default(), &ds.train);
+        let h = ds
+            .test
+            .iter()
+            .find_map(|t| gem.add_and_embed(&t.record))
+            .expect("embeddable record");
+        group.bench_function("model_update", |b| {
+            b.iter(|| black_box(gem.update_with(black_box(&h))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Scenario presets and streaming evaluation helpers.
+
+use std::env;
+use std::path::PathBuf;
+
+use gem_core::{Gem, GemConfig};
+use gem_eval::Confusion;
+use gem_rfsim::{Scenario, ScenarioConfig};
+use gem_signal::{Dataset, Label, LabeledRecord};
+
+/// Global experiment knobs, resolved from the environment once.
+#[derive(Clone, Debug)]
+pub struct Harness {
+    /// Repetitions for randomized experiments (`GEM_RUNS`, default 5).
+    pub runs: usize,
+    /// Grid points per axis for Fig. 13 (`GEM_GRID`, default 3).
+    pub grid: usize,
+    /// Output directory for result tables.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Reads `GEM_RUNS` / `GEM_GRID` / `GEM_OUT` from the environment.
+    pub fn from_env() -> Self {
+        let parse = |key: &str, default: usize| {
+            env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        Harness {
+            runs: parse("GEM_RUNS", 5).max(1),
+            grid: parse("GEM_GRID", 3).max(2),
+            out_dir: env::var("GEM_OUT").map(PathBuf::from).unwrap_or_else(|_| "results".into()),
+        }
+    }
+}
+
+/// The ten Table-II users, sized for tractable single-core evaluation:
+/// ~5 minutes of training walk and a 150 + 150 test stream.
+pub fn evaluation_users() -> Vec<ScenarioConfig> {
+    (1..=10)
+        .map(|uid| {
+            let mut cfg = ScenarioConfig::user(uid);
+            cfg.train_duration_s = 300.0;
+            cfg.n_test_in = 150;
+            cfg.n_test_out = 150;
+            cfg
+        })
+        .collect()
+}
+
+/// The lab scenario (Section VI-D experiments), same sizing.
+pub fn lab_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::lab();
+    cfg.train_duration_s = 300.0;
+    cfg.n_test_in = 150;
+    cfg.n_test_out = 150;
+    cfg
+}
+
+/// Streams a labeled test set through a closure and accumulates the
+/// confusion matrix.
+pub fn eval_stream(
+    test: &[LabeledRecord],
+    mut infer: impl FnMut(&gem_signal::SignalRecord) -> Label,
+) -> Confusion {
+    let mut confusion = Confusion::default();
+    for t in test {
+        confusion.record(t.label, infer(&t.record));
+    }
+    confusion
+}
+
+/// Fits GEM with `cfg` on a dataset and streams the whole test set.
+pub fn eval_gem(cfg: GemConfig, ds: &Dataset) -> Confusion {
+    let mut gem = Gem::fit(cfg, &ds.train);
+    eval_stream(&ds.test, |rec| gem.infer(rec).label)
+}
+
+/// Builds and generates the dataset for a scenario config.
+pub fn eval_dataset(cfg: &ScenarioConfig) -> Dataset {
+    Scenario::build(cfg.clone()).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_env_defaults() {
+        let h = Harness::from_env();
+        assert!(h.runs >= 1);
+        assert!(h.grid >= 2);
+    }
+
+    #[test]
+    fn evaluation_users_are_sized_down() {
+        let users = evaluation_users();
+        assert_eq!(users.len(), 10);
+        for u in &users {
+            assert_eq!(u.n_test_in, 150);
+            assert_eq!(u.n_test_out, 150);
+        }
+    }
+
+    #[test]
+    fn eval_stream_counts() {
+        use gem_signal::{MacAddr, SignalRecord};
+        let test = vec![
+            LabeledRecord {
+                record: SignalRecord::from_pairs(0.0, [(MacAddr::from_raw(1), -50.0)]),
+                label: Label::In,
+            },
+            LabeledRecord { record: SignalRecord::new(1.0), label: Label::Out },
+        ];
+        let c = eval_stream(&test, |r| if r.is_empty() { Label::Out } else { Label::In });
+        assert_eq!(c.in_in, 1);
+        assert_eq!(c.out_out, 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared experiment harness for the reproduction binaries and benches.
+//!
+//! The heavy lifting lives here so the `experiments` binary stays a thin
+//! dispatcher: scenario presets sized for the evaluation, the Table-I
+//! algorithm registry, and streaming evaluation helpers.
+//!
+//! Replication counts are tunable via environment variables so a full
+//! paper-scale run and a quick smoke run use the same code path:
+//!
+//! * `GEM_RUNS` — repetitions for randomized experiments (default 5;
+//!   paper: 30);
+//! * `GEM_GRID` — per-axis points of the Fig. 13 (p,q) grid (default 3;
+//!   paper: 9).
+
+pub mod algos;
+pub mod harness;
+
+pub use algos::{run_algorithm, Algorithm};
+pub use harness::{eval_dataset, eval_gem, evaluation_users, lab_scenario, Harness};

@@ -1,0 +1,117 @@
+//! Minimal `--key value` / `--flag` argument parsing (the allowed crate
+//! set has no CLI parser, and the surface here is small).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s. A `--key` followed
+    /// by another `--...` token is treated as a flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {token:?}"));
+            };
+            if key.is_empty() {
+                return Err("empty option name".to_string());
+            }
+            match argv.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    if args.values.insert(key.to_string(), value.clone()).is_some() {
+                        return Err(format!("duplicate option --{key}"));
+                    }
+                    i += 2;
+                }
+                _ => {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of a required option.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional option parsed into `T`.
+    pub fn get_parsed<T: FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&argv(&["--user", "3", "--lab", "--out", "x.json"])).unwrap();
+        assert_eq!(a.require("user").unwrap(), "3");
+        assert_eq!(a.require("out").unwrap(), "x.json");
+        assert!(a.flag("lab"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn parses_typed_values() {
+        let a = Args::parse(&argv(&["--seed", "42", "--train-secs", "120.5"])).unwrap();
+        assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(42));
+        assert_eq!(a.get_parsed::<f64>("train-secs").unwrap(), Some(120.5));
+        assert_eq!(a.get_parsed::<u64>("absent").unwrap(), None);
+        assert!(a.get_parsed::<u64>("train-secs").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&argv(&["positional"])).is_err());
+        assert!(Args::parse(&argv(&["--dup", "1", "--dup", "2"])).is_err());
+        assert!(Args::parse(&argv(&["--"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_reported() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        let err = a.require("model").unwrap_err();
+        assert!(err.contains("--model"));
+    }
+
+    #[test]
+    fn trailing_key_is_flag() {
+        let a = Args::parse(&argv(&["--save-back"])).unwrap();
+        assert!(a.flag("save-back"));
+    }
+}

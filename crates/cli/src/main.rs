@@ -1,0 +1,211 @@
+//! `gem` — command-line interface for the GEM geofencing system.
+//!
+//! ```text
+//! gem simulate --user 3 --out dataset.json        # synthesize a dataset
+//! gem train    --dataset dataset.json --model model.json
+//! gem eval     --dataset dataset.json --model model.json
+//! gem stream   --dataset dataset.json --model model.json --alert-after 3
+//! gem info     --model model.json
+//! ```
+//!
+//! Datasets are JSON (`gem_signal::Dataset`); models are GEM snapshots
+//! (`gem_core::persist::GemSnapshot`).
+
+use std::process::ExitCode;
+
+/// `println!` that ignores broken pipes (e.g. `gem info | head`), so the
+/// CLI exits quietly instead of panicking when the reader goes away.
+macro_rules! say {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    }};
+}
+
+mod args;
+
+use args::Args;
+use gem_core::{Gem, GemConfig};
+use gem_eval::Confusion;
+use gem_rfsim::{Scenario, ScenarioConfig};
+use gem_service::{Event, Monitor, MonitorConfig};
+use gem_signal::Dataset;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(usage());
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "simulate" => simulate(&args),
+        "train" => train(&args),
+        "eval" => eval(&args),
+        "stream" => stream(&args),
+        "info" => info(&args),
+        "help" | "--help" | "-h" => {
+            say!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: gem <command> [options]\n\
+     commands:\n\
+     \x20 simulate --out FILE [--user 1..10 | --lab] [--train-secs S] [--test N] [--seed X]\n\
+     \x20 train    --dataset FILE --model FILE [--dim D] [--epochs E] [--seed X]\n\
+     \x20 eval     --dataset FILE --model FILE\n\
+     \x20 stream   --dataset FILE --model FILE [--alert-after K] [--save-back]\n\
+     \x20 info     --model FILE"
+        .to_string()
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let path = args.require("dataset")?;
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let mut cfg = if args.flag("lab") {
+        ScenarioConfig::lab()
+    } else {
+        let user: u32 = args.get_parsed("user")?.unwrap_or(1);
+        if !(1..=10).contains(&user) {
+            return Err("--user must be 1..10".into());
+        }
+        ScenarioConfig::user(user)
+    };
+    if let Some(secs) = args.get_parsed::<f64>("train-secs")? {
+        cfg.train_duration_s = secs;
+    }
+    if let Some(n) = args.get_parsed::<usize>("test")? {
+        cfg.n_test_in = n;
+        cfg.n_test_out = n;
+    }
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        cfg.seed = seed;
+    }
+    let scenario = Scenario::build(cfg);
+    let dataset = scenario.generate();
+    let json = serde_json::to_string(&dataset).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    say!(
+        "wrote {}: {} training scans, {} test scans, {:.0} m² premises",
+        out,
+        dataset.train.len(),
+        dataset.test.len(),
+        scenario.world.plan.area_m2()
+    );
+    Ok(())
+}
+
+fn train(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let model_path = args.require("model")?;
+    let mut cfg = GemConfig::default();
+    if let Some(d) = args.get_parsed::<usize>("dim")? {
+        cfg.embedding_dim = d;
+    }
+    if let Some(e) = args.get_parsed::<usize>("epochs")? {
+        cfg.epochs = e;
+    }
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        cfg.seed = seed;
+    }
+    let start = std::time::Instant::now();
+    let gem = Gem::fit(cfg, &dataset.train);
+    gem.save(&model_path).map_err(|e| e.to_string())?;
+    say!(
+        "trained on {} scans in {:.1}s ({} graph nodes, {} edges); model → {}",
+        dataset.train.len(),
+        start.elapsed().as_secs_f64(),
+        gem.graph().n_nodes(),
+        gem.graph().n_edges(),
+        model_path
+    );
+    Ok(())
+}
+
+fn eval(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let mut gem = Gem::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let mut confusion = Confusion::default();
+    for t in &dataset.test {
+        confusion.record(t.label, gem.infer(&t.record).label);
+    }
+    let i = confusion.in_metrics();
+    let o = confusion.out_metrics();
+    say!("scans: {}", confusion.total());
+    say!("accuracy: {:.3}", confusion.accuracy());
+    say!("in-premises  P {:.3}  R {:.3}  F {:.3}", i.precision, i.recall, i.f_score);
+    say!("outside      P {:.3}  R {:.3}  F {:.3}", o.precision, o.recall, o.f_score);
+    say!("online updates: {}", gem.detector().n_updates);
+    Ok(())
+}
+
+fn stream(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let model_path = args.require("model")?;
+    let gem = Gem::load(&model_path).map_err(|e| e.to_string())?;
+    let alert_after = args.get_parsed::<usize>("alert-after")?.unwrap_or(3);
+    let mut monitor =
+        Monitor::new(gem, MonitorConfig { alert_after, ..MonitorConfig::default() });
+    for t in &dataset.test {
+        for event in monitor.process(&t.record) {
+            match event {
+                Event::AlertRaised { timestamp_s, consecutive_out } => {
+                    say!("t={timestamp_s:8.1}s  ALERT raised ({consecutive_out} consecutive outside scans)");
+                }
+                Event::AlertCleared { timestamp_s } => {
+                    say!("t={timestamp_s:8.1}s  alert cleared");
+                }
+                Event::Decision { .. } => {}
+            }
+        }
+    }
+    let stats = monitor.stats();
+    say!(
+        "processed {} scans: {} in / {} out, {} alerts, {} model updates",
+        stats.scans, stats.in_decisions, stats.out_decisions, stats.alerts, stats.model_updates
+    );
+    if args.flag("save-back") {
+        monitor.gem().save(&model_path).map_err(|e| e.to_string())?;
+        say!("updated model saved back to {model_path}");
+    }
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let path = args.require("model")?;
+    let snapshot = gem_core::GemSnapshot::load(&path).map_err(|e| e.to_string())?;
+    say!("model: {path}");
+    say!("embedding dim: {}", snapshot.cfg.embedding_dim);
+    say!("graph: {} records, {} MACs, {} edges",
+        snapshot.graph.n_records(), snapshot.graph.n_macs(), snapshot.graph.n_edges());
+    say!("detector samples: {} (+{} online updates)",
+        snapshot.detector.n_samples(), snapshot.detector.n_updates);
+    say!(
+        "training loss: {:?}",
+        snapshot
+            .train_report
+            .epoch_losses
+            .iter()
+            .map(|l| (l * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

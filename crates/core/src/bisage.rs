@@ -1,0 +1,1045 @@
+//! BiSAGE: inductive network embedding for weighted bipartite graphs
+//! (paper Section IV-B).
+//!
+//! Every node carries two embeddings: the *primary* embedding `h` (used
+//! downstream for classification) and the *auxiliary* embedding `l`, the
+//! "carrier" that propagates information between nodes of the same type
+//! without disturbing the other type's primary embeddings. One
+//! aggregation round updates, for every node `i`:
+//!
+//! ```text
+//! h_i^k = normalize(σ(W_h^k · [h_i^{k-1} | Σ_j w̃_ij · l_j^{k-1}]))
+//! l_i^k = normalize(σ(W_l^k · [l_i^{k-1} | Σ_j w̃_ij · h_j^{k-1}]))
+//! ```
+//!
+//! with `j` ranging over a *weighted sample* of `i`'s neighbors and `w̃`
+//! the paper's weighted-mean aggregator (Eqs. 3–7). Training minimizes
+//! the bi-level negative-sampling loss of Eq. 8 over consecutive pairs of
+//! weighted random walks.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::Serialize;
+
+use gem_graph::{BipartiteGraph, NegativeTable, NodeId, RecordId, WalkConfig, WalkPairs};
+use gem_nn::tape::{Activation, Graph, ParamId, ParamStore, Var};
+use gem_nn::{init, Adam, Optimizer, Tensor};
+use gem_signal::rng::child_rng;
+
+/// Neighborhood aggregator choice (paper: "e.g. MEAN(·) or MAX(·)"; GEM
+/// uses the edge-weighted mean).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, serde::Deserialize)]
+pub enum Aggregator {
+    /// `Σ w_ij · l_j / Σ w_ij` over the sampled neighborhood (the paper's
+    /// choice — attention "for free" from the physical edge weights).
+    WeightedMean,
+    /// Plain mean over the sampled neighborhood (GraphSAGE-style ablation).
+    Mean,
+}
+
+/// Hyperparameters of the embedding algorithm.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct BiSageConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Aggregation rounds `K`.
+    pub rounds: usize,
+    /// Neighbors sampled per node at each tree depth (len = `rounds`).
+    pub sample_sizes: Vec<usize>,
+    /// Nonlinearity `σ`.
+    pub activation: Activation,
+    /// Optimizer learning rate.
+    pub learning_rate: f32,
+    /// Passes over the random-walk pair stream.
+    pub epochs: usize,
+    /// Positive pairs per step.
+    pub batch_size: usize,
+    /// Walk schedule for positive-pair generation.
+    pub walks: WalkConfig,
+    /// Negative samples per positive pair (`K_N`).
+    pub negative_samples: usize,
+    /// Negative distribution exponent (`deg^{3/4}`).
+    pub negative_power: f64,
+    /// Train the base embeddings `h⁰, l⁰` (vs frozen random).
+    pub trainable_base: bool,
+    /// Aggregator.
+    pub aggregator: Aggregator,
+    /// Sample neighbors uniformly instead of by edge weight (ablation).
+    pub uniform_sampling: bool,
+    /// Ablation: draw each pair's negatives only from the side opposite
+    /// to `x` instead of the paper's `z ∈ U ∪ V`. Empirically *worse* —
+    /// same-type repulsion gives records discriminative relative
+    /// positions — so the default follows the paper.
+    pub typed_negatives: bool,
+    /// At inference the full neighborhood is aggregated deterministically
+    /// (exact Eq. 3); nodes with more neighbors than this cap keep only
+    /// their top-cap heaviest edges.
+    pub inference_cap: usize,
+    /// A MAC node must appear in at least this many records before it
+    /// contributes to a record's neighborhood expansion at inference —
+    /// brand-new MACs carry no in/out evidence yet and would destabilize
+    /// embeddings; they join once sighted often enough (the paper's
+    /// "newly sensed MACs … improve the performance over time").
+    pub min_mac_degree: usize,
+    /// Seed for all training/inference randomness.
+    pub seed: u64,
+}
+
+impl Default for BiSageConfig {
+    fn default() -> Self {
+        BiSageConfig {
+            dim: 32,
+            rounds: 2,
+            sample_sizes: vec![8, 4],
+            activation: Activation::LeakyRelu,
+            learning_rate: 0.003,
+            epochs: 3,
+            batch_size: 128,
+            walks: WalkConfig { walks_per_node: 4, walk_length: 5 },
+            negative_samples: 4,
+            negative_power: 0.75,
+            trainable_base: true,
+            aggregator: Aggregator::WeightedMean,
+            uniform_sampling: false,
+            typed_negatives: false,
+            inference_cap: 48,
+            min_mac_degree: usize::MAX,
+            seed: 42,
+        }
+    }
+}
+
+/// Sampled neighborhood tree for a batch of target nodes.
+///
+/// `layers[0]` is the batch; `layers[d+1]` holds, for every node of
+/// `layers[d]`, its sampled neighbors (with replacement) in segment order.
+struct Tree {
+    layers: Vec<Vec<NodeId>>,
+    /// Per depth `d`: segment offsets into `layers[d+1]` (+ end sentinel).
+    offsets: Vec<Vec<u32>>,
+    /// Per depth `d`: aggregation weight of each `layers[d+1]` node,
+    /// normalized within its segment.
+    weights: Vec<Vec<f32>>,
+}
+
+/// Handles of the learnable parameters during a training run.
+struct TrainParams {
+    w_h: Vec<ParamId>,
+    w_l: Vec<ParamId>,
+    /// `(h⁰ table, l⁰ table)` when the base embeddings are trainable.
+    base: Option<(ParamId, ParamId)>,
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Clone, Debug, Default, Serialize, serde::Deserialize)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Positive pairs consumed.
+    pub pairs_seen: usize,
+}
+
+/// The BiSAGE model: trained aggregation matrices plus the (growable)
+/// base-embedding tables for every node seen so far.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct BiSage {
+    /// Hyperparameters.
+    pub cfg: BiSageConfig,
+    /// `W_h^k`, each `(2d × d)`.
+    w_h: Vec<Tensor>,
+    /// `W_l^k`, each `(2d × d)`.
+    w_l: Vec<Tensor>,
+    /// Unified base primary table: row `2·r` for record `r`, `2·m+1` for
+    /// MAC `m`.
+    base_h: Tensor,
+    /// Unified base auxiliary table (same indexing).
+    base_l: Tensor,
+    /// Which unified rows have been initialized.
+    initialized: Vec<bool>,
+    /// Rows initialized before their node was *established* (enough
+    /// trusted sightings); re-derived once establishment is reached.
+    provisional: Vec<bool>,
+    /// MAC nodes below this id existed at fit time and are established
+    /// by definition.
+    macs_at_fit: usize,
+    /// Whether `fit` has completed at least once.
+    trained: bool,
+}
+
+/// Unified row index of a node in the base tables.
+fn node_row(node: NodeId) -> usize {
+    match node {
+        NodeId::Record(r) => 2 * r.0 as usize,
+        NodeId::Mac(m) => 2 * m.0 as usize + 1,
+    }
+}
+
+impl BiSage {
+    /// Creates an untrained model.
+    pub fn new(cfg: BiSageConfig) -> Self {
+        assert_eq!(cfg.sample_sizes.len(), cfg.rounds, "one sample size per round");
+        assert!(cfg.dim > 0 && cfg.rounds > 0);
+        let d = cfg.dim;
+        let mut seed_rng = child_rng(cfg.seed, 0x5EED_B15A);
+        let w_h = (0..cfg.rounds).map(|_| init::xavier_uniform(&mut seed_rng, 2 * d, d)).collect();
+        let w_l = (0..cfg.rounds).map(|_| init::xavier_uniform(&mut seed_rng, 2 * d, d)).collect();
+        BiSage {
+            cfg,
+            w_h,
+            w_l,
+            base_h: Tensor::zeros(0, d),
+            base_l: Tensor::zeros(0, d),
+            initialized: Vec::new(),
+            provisional: Vec::new(),
+            macs_at_fit: 0,
+            trained: false,
+        }
+    }
+
+    /// Whether `fit` has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn grow_tables(&mut self, rows_needed: usize) {
+        let d = self.cfg.dim;
+        if self.base_h.rows() >= rows_needed {
+            return;
+        }
+        let grown = rows_needed.max(self.base_h.rows() * 2).max(16);
+        let mut new_h = Tensor::zeros(grown, d);
+        let mut new_l = Tensor::zeros(grown, d);
+        for i in 0..self.base_h.rows() {
+            new_h.set_row(i, self.base_h.row(i));
+            new_l.set_row(i, self.base_l.row(i));
+        }
+        self.base_h = new_h;
+        self.base_l = new_l;
+        self.initialized.resize(grown, false);
+        self.provisional.resize(grown, false);
+    }
+
+    /// Makes sure every node of the graph has initialized base rows.
+    ///
+    /// Before training, new rows are random unit vectors (the paper's
+    /// "h⁰ and l⁰ are chosen randomly"). After training, a new node is
+    /// initialized with the edge-weighted mean of its neighbors' carriers
+    /// (`h⁰` from neighbor `l⁰`s and vice versa), the documented inductive
+    /// rule for streamed nodes; isolated nodes fall back to random.
+    pub fn ensure_rows(&mut self, graph: &BipartiteGraph, rng: &mut impl RngExt) {
+        self.ensure_rows_filtered(graph, rng, None)
+    }
+
+    /// [`BiSage::ensure_rows`] with a trusted-record filter: new record
+    /// bases are derived only from *established* MACs (enough trusted
+    /// sightings) and new MAC bases only from trusted records, falling
+    /// back to the unfiltered neighborhood when nothing qualifies.
+    pub fn ensure_rows_filtered(
+        &mut self,
+        graph: &BipartiteGraph,
+        rng: &mut impl RngExt,
+        trusted: Option<&dyn Fn(RecordId) -> bool>,
+    ) {
+        let needed = 2 * graph.n_records().max(graph.n_macs());
+        self.grow_tables(needed);
+        let d = self.cfg.dim;
+        // MAC nodes first so that brand-new records can average them.
+        let macs: Vec<NodeId> = (0..graph.n_macs() as u32).map(|m| NodeId::Mac(gem_graph::MacId(m))).collect();
+        let recs: Vec<NodeId> = (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        for node in macs.into_iter().chain(recs) {
+            let row = node_row(node);
+            if self.initialized[row] {
+                // Provisional MAC bases are re-derived once the MAC has
+                // gathered enough trusted sightings.
+                if self.provisional[row] {
+                    if let NodeId::Mac(m) = node {
+                        let need = self.cfg.min_mac_degree;
+                        let now_established = (m.0 as usize) < self.macs_at_fit
+                            || (need != usize::MAX
+                                && match trusted {
+                                    None => true,
+                                    Some(f) => {
+                                        graph
+                                            .mac_neighbors(m)
+                                            .filter(|&(r, _)| f(r))
+                                            .take(need)
+                                            .count()
+                                            >= need
+                                    }
+                                });
+                        if now_established {
+                            self.initialized[row] = false; // re-derive below
+                            self.provisional[row] = false;
+                        }
+                    }
+                }
+                if self.initialized[row] {
+                    continue;
+                }
+            }
+            let mut h_acc = vec![0.0f32; d];
+            let mut l_acc = vec![0.0f32; d];
+            let mut w_sum = 0.0f32;
+            if self.trained {
+                let established = |m: gem_graph::MacId| -> bool {
+                    if (m.0 as usize) < self.macs_at_fit {
+                        return true;
+                    }
+                    if self.cfg.min_mac_degree == usize::MAX {
+                        return false;
+                    }
+                    let need = self.cfg.min_mac_degree;
+                    match trusted {
+                        None => true,
+                        Some(f) => {
+                            graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
+                                >= need
+                        }
+                    }
+                };
+                let mut neighbors: Vec<(NodeId, f32)> = match node {
+                    NodeId::Record(r) => graph
+                        .record_neighbors(r)
+                        .filter(|&(m, _)| established(m))
+                        .map(|(m, w)| (NodeId::Mac(m), w))
+                        .collect(),
+                    NodeId::Mac(m) => graph
+                        .mac_neighbors(m)
+                        .filter(|&(r, _)| trusted.is_none_or(|f| f(r)))
+                        .map(|(r, w)| (NodeId::Record(r), w))
+                        .collect(),
+                };
+                if neighbors.is_empty() {
+                    neighbors = match node {
+                        NodeId::Record(r) => graph
+                            .record_neighbors(r)
+                            .map(|(m, w)| (NodeId::Mac(m), w))
+                            .collect(),
+                        NodeId::Mac(m) => graph
+                            .mac_neighbors(m)
+                            .map(|(r, w)| (NodeId::Record(r), w))
+                            .collect(),
+                    };
+                }
+                for (nbr, w) in neighbors {
+                    let nrow = node_row(nbr);
+                    if nrow < self.initialized.len() && self.initialized[nrow] {
+                        // Carrier semantics: my h aligns with neighbors' l.
+                        for (a, &v) in h_acc.iter_mut().zip(self.base_l.row(nrow)) {
+                            *a += w * v;
+                        }
+                        for (a, &v) in l_acc.iter_mut().zip(self.base_h.row(nrow)) {
+                            *a += w * v;
+                        }
+                        w_sum += w;
+                    }
+                }
+            }
+            if w_sum > 0.0 {
+                normalize_into(&mut h_acc);
+                normalize_into(&mut l_acc);
+                self.base_h.set_row(row, &h_acc);
+                self.base_l.set_row(row, &l_acc);
+            } else {
+                let h = init::unit_rows(rng, 1, d);
+                let l = init::unit_rows(rng, 1, d);
+                self.base_h.set_row(row, h.row(0));
+                self.base_l.set_row(row, l.row(0));
+            }
+            self.initialized[row] = true;
+            // New MAC nodes seen by too few trusted records keep a
+            // provisional base until they are established.
+            if let NodeId::Mac(m) = node {
+                if self.trained {
+                    let need = self.cfg.min_mac_degree;
+                    let established = (m.0 as usize) < self.macs_at_fit
+                        || (need != usize::MAX
+                            && match trusted {
+                                None => true,
+                                Some(f) => {
+                                    graph
+                                        .mac_neighbors(m)
+                                        .filter(|&(r, _)| f(r))
+                                        .take(need)
+                                        .count()
+                                        >= need
+                                }
+                            });
+                    self.provisional[row] = !established;
+                }
+            }
+        }
+    }
+
+    /// Overwrites a record node's base rows with the inductive
+    /// neighbor-mean rule (`h⁰` from its MACs' `l⁰`s and vice versa,
+    /// weighted by edge weight). Returns false for isolated records.
+    fn derive_record_base(&mut self, graph: &BipartiteGraph, r: RecordId) -> bool {
+        let d = self.cfg.dim;
+        let mut h_acc = vec![0.0f32; d];
+        let mut l_acc = vec![0.0f32; d];
+        let mut w_sum = 0.0f32;
+        for (m, w) in graph.record_neighbors(r) {
+            let nrow = node_row(NodeId::Mac(m));
+            if nrow < self.initialized.len() && self.initialized[nrow] {
+                for (a, &v) in h_acc.iter_mut().zip(self.base_l.row(nrow)) {
+                    *a += w * v;
+                }
+                for (a, &v) in l_acc.iter_mut().zip(self.base_h.row(nrow)) {
+                    *a += w * v;
+                }
+                w_sum += w;
+            }
+        }
+        if w_sum <= 0.0 {
+            return false;
+        }
+        normalize_into(&mut h_acc);
+        normalize_into(&mut l_acc);
+        let row = node_row(NodeId::Record(r));
+        self.base_h.set_row(row, &h_acc);
+        self.base_l.set_row(row, &l_acc);
+        self.initialized[row] = true;
+        true
+    }
+
+    /// Collects a node's neighborhood for one tree level: a weighted
+    /// random sample during training, or (deterministically) the full
+    /// neighborhood — truncated to the top-`cap` heaviest edges — at
+    /// inference time.
+    fn neighborhood(
+        &self,
+        graph: &BipartiteGraph,
+        node: NodeId,
+        sample_size: usize,
+        rng: Option<&mut StdRng>,
+        trusted: Option<&dyn Fn(RecordId) -> bool>,
+    ) -> Vec<(NodeId, f32)> {
+        match rng {
+            Some(rng) => {
+                if self.cfg.uniform_sampling {
+                    graph.sample_neighbors_uniform(node, sample_size, rng)
+                } else {
+                    graph.sample_neighbors(node, sample_size, rng)
+                }
+            }
+            None => {
+                // A MAC is "established" once enough *trusted* records
+                // have sighted it; until then it carries no reliable
+                // in/out evidence and is left out of record expansions.
+                let established = |m: gem_graph::MacId| -> bool {
+                    // MACs present at fit time are established by
+                    // definition; later arrivals must first gather
+                    // enough trusted sightings (usize::MAX = session
+                    // quarantine: never admitted before a re-fit).
+                    if (m.0 as usize) < self.macs_at_fit {
+                        return true;
+                    }
+                    let need = self.cfg.min_mac_degree;
+                    if need == usize::MAX {
+                        return false;
+                    }
+                    match trusted {
+                        None => true,
+                        Some(f) => {
+                            graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
+                                >= need
+                        }
+                    }
+                };
+                let mut all: Vec<(NodeId, f32)> = match node {
+                    NodeId::Record(r) => graph
+                        .record_neighbors(r)
+                        .filter(|&(m, _)| established(m))
+                        .map(|(m, w)| (NodeId::Mac(m), w))
+                        .collect(),
+                    NodeId::Mac(m) => graph
+                        .mac_neighbors(m)
+                        .filter(|&(r, _)| trusted.is_none_or(|f| f(r)))
+                        .map(|(r, w)| (NodeId::Record(r), w))
+                        .collect(),
+                };
+                // Freshly streamed nodes may have no established
+                // neighbors at all; fall back to the raw neighborhood
+                // rather than embedding from nothing.
+                if all.is_empty() {
+                    all = match node {
+                        NodeId::Record(r) => {
+                            graph.record_neighbors(r).map(|(m, w)| (NodeId::Mac(m), w)).collect()
+                        }
+                        NodeId::Mac(m) => {
+                            graph.mac_neighbors(m).map(|(r, w)| (NodeId::Record(r), w)).collect()
+                        }
+                    };
+                }
+                if all.len() > self.cfg.inference_cap {
+                    all.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    all.truncate(self.cfg.inference_cap);
+                }
+                all
+            }
+        }
+    }
+
+    fn build_tree(
+        &self,
+        graph: &BipartiteGraph,
+        targets: &[NodeId],
+        mut rng: Option<&mut StdRng>,
+        trusted: Option<&dyn Fn(RecordId) -> bool>,
+    ) -> Tree {
+        let mut layers = vec![targets.to_vec()];
+        let mut offsets = Vec::with_capacity(self.cfg.rounds);
+        let mut weights = Vec::with_capacity(self.cfg.rounds);
+        for depth in 0..self.cfg.rounds {
+            let s = self.cfg.sample_sizes[depth];
+            let cur = &layers[depth];
+            let mut next = Vec::with_capacity(cur.len() * s);
+            let mut offs = Vec::with_capacity(cur.len() + 1);
+            let mut wts = Vec::with_capacity(cur.len() * s);
+            offs.push(0u32);
+            for &node in cur {
+                let sampled = self.neighborhood(graph, node, s, rng.as_deref_mut(), trusted);
+                let w_total: f32 = match self.cfg.aggregator {
+                    Aggregator::WeightedMean => sampled.iter().map(|&(_, w)| w).sum(),
+                    Aggregator::Mean => sampled.len() as f32,
+                };
+                for (nbr, w) in &sampled {
+                    next.push(*nbr);
+                    let norm_w = match self.cfg.aggregator {
+                        Aggregator::WeightedMean => w / w_total.max(1e-12),
+                        Aggregator::Mean => 1.0 / w_total.max(1e-12),
+                    };
+                    wts.push(norm_w);
+                }
+                offs.push(next.len() as u32);
+            }
+            layers.push(next);
+            offsets.push(offs);
+            weights.push(wts);
+        }
+        Tree { layers, offsets, weights }
+    }
+
+    /// Shared forward pass over a neighborhood tree. When `params` is
+    /// `Some`, learnable tensors come from the store (training); otherwise
+    /// the model's frozen tensors enter as constants (inference).
+    fn forward(
+        &self,
+        g: &mut Graph,
+        tree: &Tree,
+        store: Option<&ParamStore>,
+        params: Option<&TrainParams>,
+    ) -> (Var, Var) {
+        let k_rounds = self.cfg.rounds;
+        let mut cur_h: Vec<Var> = Vec::with_capacity(k_rounds + 1);
+        let mut cur_l: Vec<Var> = Vec::with_capacity(k_rounds + 1);
+        for layer in &tree.layers {
+            let idx: Vec<u32> = layer.iter().map(|&n| node_row(n) as u32).collect();
+            match (store, params.and_then(|p| p.base.as_ref())) {
+                (Some(s), Some(&(bh, bl))) => {
+                    cur_h.push(g.gather(s, bh, &idx));
+                    cur_l.push(g.gather(s, bl, &idx));
+                }
+                _ => {
+                    let mut h = Tensor::zeros(layer.len(), self.cfg.dim);
+                    let mut l = Tensor::zeros(layer.len(), self.cfg.dim);
+                    for (i, &r) in idx.iter().enumerate() {
+                        h.set_row(i, self.base_h.row(r as usize));
+                        l.set_row(i, self.base_l.row(r as usize));
+                    }
+                    cur_h.push(g.constant(h));
+                    cur_l.push(g.constant(l));
+                }
+            }
+        }
+        for k in 1..=k_rounds {
+            let (w_h_var, w_l_var) = match (store, params) {
+                (Some(s), Some(p)) => (g.param(s, p.w_h[k - 1]), g.param(s, p.w_l[k - 1])),
+                _ => (
+                    g.constant(self.w_h[k - 1].clone()),
+                    g.constant(self.w_l[k - 1].clone()),
+                ),
+            };
+            let depths = k_rounds - k;
+            let mut new_h = Vec::with_capacity(depths + 1);
+            let mut new_l = Vec::with_capacity(depths + 1);
+            for d in 0..=depths {
+                let agg_h = g.segment_weighted_sum(
+                    cur_l[d + 1],
+                    tree.offsets[d].clone(),
+                    tree.weights[d].clone(),
+                );
+                let cat_h = g.concat_cols(cur_h[d], agg_h);
+                let lin_h = g.matmul(cat_h, w_h_var);
+                let act_h = g.activation(lin_h, self.cfg.activation);
+                new_h.push(g.row_l2_normalize(act_h));
+
+                let agg_l = g.segment_weighted_sum(
+                    cur_h[d + 1],
+                    tree.offsets[d].clone(),
+                    tree.weights[d].clone(),
+                );
+                let cat_l = g.concat_cols(cur_l[d], agg_l);
+                let lin_l = g.matmul(cat_l, w_l_var);
+                let act_l = g.activation(lin_l, self.cfg.activation);
+                new_l.push(g.row_l2_normalize(act_l));
+            }
+            cur_h = new_h;
+            cur_l = new_l;
+        }
+        (cur_h[0], cur_l[0])
+    }
+
+    /// Trains the model on the current graph (paper's initial training).
+    /// Re-fitting resets the aggregation matrices.
+    pub fn fit(&mut self, graph: &BipartiteGraph) -> TrainReport {
+        let mut rng = child_rng(self.cfg.seed, 0x7_1A14);
+        self.ensure_rows(graph, &mut rng);
+        let mut report = TrainReport::default();
+        let Some(negatives) = NegativeTable::build(graph, self.cfg.negative_power) else {
+            // Graph without edges: nothing to learn from.
+            self.trained = true;
+            self.macs_at_fit = graph.n_macs();
+            return report;
+        };
+        let typed_tables = if self.cfg.typed_negatives {
+            let recs = NegativeTable::build_filtered(graph, self.cfg.negative_power, |n| n.is_record());
+            let macs = NegativeTable::build_filtered(graph, self.cfg.negative_power, |n| !n.is_record());
+            recs.zip(macs)
+        } else {
+            None
+        };
+
+        let d = self.cfg.dim;
+        let mut store = ParamStore::new();
+        let w_h: Vec<ParamId> = (0..self.cfg.rounds)
+            .map(|k| store.add(format!("w_h{k}"), self.w_h[k].clone()))
+            .collect();
+        let w_l: Vec<ParamId> = (0..self.cfg.rounds)
+            .map(|k| store.add(format!("w_l{k}"), self.w_l[k].clone()))
+            .collect();
+        let base = if self.cfg.trainable_base {
+            let rows = 2 * graph.n_records().max(graph.n_macs());
+            let mut bh = Tensor::zeros(rows, d);
+            let mut bl = Tensor::zeros(rows, d);
+            for i in 0..rows {
+                bh.set_row(i, self.base_h.row(i));
+                bl.set_row(i, self.base_l.row(i));
+            }
+            Some((store.add("base_h", bh), store.add("base_l", bl)))
+        } else {
+            None
+        };
+        let params = TrainParams { w_h, w_l, base };
+        let mut opt = Adam::new(self.cfg.learning_rate);
+
+        for _epoch in 0..self.cfg.epochs {
+            let mut pairs = WalkPairs::generate(graph, self.cfg.walks, &mut rng);
+            if pairs.is_empty() {
+                break;
+            }
+            pairs.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut steps = 0usize;
+            for chunk in pairs.pairs.chunks(self.cfg.batch_size) {
+                let loss = self.train_step(
+                    graph,
+                    &mut store,
+                    &params,
+                    chunk,
+                    &negatives,
+                    typed_tables.as_ref(),
+                    &mut opt,
+                    &mut rng,
+                );
+                epoch_loss += loss as f64;
+                steps += 1;
+            }
+            report.pairs_seen += pairs.len();
+            report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
+        }
+
+        for k in 0..self.cfg.rounds {
+            self.w_h[k] = store.value(params.w_h[k]).clone();
+            self.w_l[k] = store.value(params.w_l[k]).clone();
+        }
+        if let Some((bh, bl)) = params.base {
+            let trained_h = store.value(bh);
+            let trained_l = store.value(bl);
+            for i in 0..trained_h.rows() {
+                self.base_h.set_row(i, trained_h.row(i));
+                self.base_l.set_row(i, trained_l.row(i));
+            }
+        }
+        self.trained = true;
+        self.macs_at_fit = graph.n_macs();
+        // Inductive consistency: record nodes keep *no* node-specific
+        // parameters at inference. Their trained bases served as free
+        // variables that shaped the MAC bases and aggregation matrices
+        // during training; now every record base is re-derived from its
+        // MAC neighbors by the same rule streamed records will use, so
+        // training and streamed records are exchangeable.
+        for r in 0..graph.n_records() as u32 {
+            self.derive_record_base(graph, RecordId(r));
+        }
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_step(
+        &self,
+        graph: &BipartiteGraph,
+        store: &mut ParamStore,
+        params: &TrainParams,
+        pairs: &[(NodeId, NodeId)],
+        negatives: &NegativeTable,
+        typed_tables: Option<&(NegativeTable, NegativeTable)>,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let b = pairs.len();
+        let kn = self.cfg.negative_samples;
+        let mut targets: Vec<NodeId> = Vec::with_capacity(2 * b + b * kn);
+        targets.extend(pairs.iter().map(|&(x, _)| x));
+        targets.extend(pairs.iter().map(|&(_, y)| y));
+        for &(x, y) in pairs {
+            let table = match typed_tables {
+                // Negatives share y's type (the side opposite to x).
+                Some((recs, macs)) => {
+                    if y.is_record() {
+                        recs
+                    } else {
+                        macs
+                    }
+                }
+                None => negatives,
+            };
+            for _ in 0..kn {
+                targets.push(table.sample_excluding(x, y, rng));
+            }
+        }
+        let tree = self.build_tree(graph, &targets, Some(rng), None);
+        let mut g = Graph::new();
+        let (h_all, l_all) = self.forward(&mut g, &tree, Some(store), Some(params));
+
+        let x_idx: Vec<u32> = (0..b as u32).collect();
+        let y_idx: Vec<u32> = (b as u32..2 * b as u32).collect();
+        let z_idx: Vec<u32> = (2 * b as u32..(2 * b + b * kn) as u32).collect();
+        let x_rep: Vec<u32> = (0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)).collect();
+
+        let h_x = g.select_rows(h_all, &x_idx);
+        let l_x = g.select_rows(l_all, &x_idx);
+        let h_y = g.select_rows(h_all, &y_idx);
+        let l_y = g.select_rows(l_all, &y_idx);
+        let h_z = g.select_rows(h_all, &z_idx);
+        let l_z = g.select_rows(l_all, &z_idx);
+        let h_x_rep = g.select_rows(h_all, &x_rep);
+        let l_x_rep = g.select_rows(l_all, &x_rep);
+
+        let pos1 = g.rows_dot(h_x, l_y);
+        let pos2 = g.rows_dot(l_x, h_y);
+        let neg1 = g.rows_dot(h_x_rep, l_z);
+        let neg2 = g.rows_dot(l_x_rep, h_z);
+
+        let ones = vec![1.0f32; b];
+        let zeros = vec![0.0f32; b * kn];
+        let lp1 = g.bce_with_logits_mean(pos1, &ones);
+        let lp2 = g.bce_with_logits_mean(pos2, &ones);
+        let ln1 = g.bce_with_logits_mean(neg1, &zeros);
+        let ln2 = g.bce_with_logits_mean(neg2, &zeros);
+        let pos_sum = g.add(lp1, lp2);
+        let neg_sum = g.add(ln1, ln2);
+        let loss = g.add(pos_sum, neg_sum);
+        let loss_value = g.value(loss)[(0, 0)];
+
+        g.backward(loss, store);
+        store.clip_grad_norm(5.0);
+        opt.step(store);
+        store.zero_grads();
+        loss_value
+    }
+
+    /// Diagnostic: the depth-1 expansion (MAC neighbors) a record target
+    /// would use at inference under a trust filter.
+    pub fn debug_expansion(
+        &self,
+        graph: &BipartiteGraph,
+        record: RecordId,
+        trusted: Option<&dyn Fn(RecordId) -> bool>,
+    ) -> Vec<(NodeId, f32)> {
+        self.neighborhood(graph, NodeId::Record(record), 0, None, trusted)
+    }
+
+    /// Computes final `(h^K, l^K)` embeddings for a set of nodes through
+    /// the learned aggregation, deterministically over the (capped) full
+    /// neighborhoods. Rows for every tree node must exist (call
+    /// [`BiSage::ensure_rows`] after adding nodes to the graph).
+    pub fn embed_nodes(&self, graph: &BipartiteGraph, nodes: &[NodeId]) -> (Tensor, Tensor) {
+        self.embed_nodes_filtered(graph, nodes, None)
+    }
+
+    /// Like [`BiSage::embed_nodes`], but the deterministic neighborhood
+    /// expansion only passes through record nodes accepted by `trusted`.
+    /// GEM uses this to keep streamed records that were classified as
+    /// outliers from redefining the in-premises graph structure (the
+    /// pseudo-label principle of Section V-B).
+    pub fn embed_nodes_filtered(
+        &self,
+        graph: &BipartiteGraph,
+        nodes: &[NodeId],
+        trusted: Option<&dyn Fn(RecordId) -> bool>,
+    ) -> (Tensor, Tensor) {
+        let tree = self.build_tree(graph, nodes, None, trusted);
+        let mut g = Graph::new();
+        let (h, l) = self.forward(&mut g, &tree, None, None);
+        (g.value(h).clone(), g.value(l).clone())
+    }
+
+    /// Primary embeddings of every record node in the graph (training-set
+    /// feature matrix for the detector).
+    pub fn embed_all_records(&self, graph: &BipartiteGraph) -> Tensor {
+        let nodes: Vec<NodeId> =
+            (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        if nodes.is_empty() {
+            return Tensor::zeros(0, self.cfg.dim);
+        }
+        self.embed_nodes(graph, &nodes).0
+    }
+
+    /// Stochastic variant of [`BiSage::embed_all_records`]: neighborhoods
+    /// are randomly sub-sampled (training-style), which simulates records
+    /// observed with missing MACs. GEM fits its detector on several such
+    /// variants so the histograms cover the MAC-churn reality.
+    pub fn embed_all_records_sampled(
+        &self,
+        graph: &BipartiteGraph,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let nodes: Vec<NodeId> =
+            (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        if nodes.is_empty() {
+            return Tensor::zeros(0, self.cfg.dim);
+        }
+        let tree = self.build_tree(graph, &nodes, Some(rng), None);
+        let mut g = Graph::new();
+        let (h, _) = self.forward(&mut g, &tree, None, None);
+        g.value(h).clone()
+    }
+
+    /// Primary embedding of one (possibly new) record node. Grows and
+    /// initializes base rows as needed — this is the paper's Section V-A
+    /// embedding prediction for streamed records. The RNG is only used
+    /// for the random-init fallback of isolated new nodes.
+    pub fn embed_record(
+        &mut self,
+        graph: &BipartiteGraph,
+        record: RecordId,
+        rng: &mut impl RngExt,
+    ) -> Vec<f32> {
+        self.embed_record_filtered(graph, record, rng, None)
+    }
+
+    /// [`BiSage::embed_record`] with a trusted-record filter on the
+    /// neighborhood expansion (the streamed node itself is always kept).
+    pub fn embed_record_filtered(
+        &mut self,
+        graph: &BipartiteGraph,
+        record: RecordId,
+        rng: &mut impl RngExt,
+        trusted: Option<&dyn Fn(RecordId) -> bool>,
+    ) -> Vec<f32> {
+        self.ensure_rows_filtered(graph, rng, trusted);
+        let wrapped = trusted.map(|f| {
+            move |r: RecordId| r == record || f(r)
+        });
+        let (h, _) = self.embed_nodes_filtered(
+            graph,
+            &[NodeId::Record(record)],
+            wrapped.as_ref().map(|f| f as &dyn Fn(RecordId) -> bool),
+        );
+        h.row(0).to_vec()
+    }
+}
+
+fn normalize_into(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_graph::WeightFn;
+    use gem_signal::{MacAddr, SignalRecord};
+    use rand::SeedableRng;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    /// Two well-separated clusters of records: cluster A shares MACs 1–3,
+    /// cluster B shares MACs 11–13.
+    fn cluster_graph(n_per: usize) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(WeightFn::OffsetLinear { c: 120.0 });
+        for i in 0..n_per {
+            let jitter = (i % 3) as f32;
+            g.add_record(&SignalRecord::from_pairs(
+                i as f64,
+                [(mac(1), -45.0 - jitter), (mac(2), -55.0 + jitter), (mac(3), -65.0)],
+            ));
+        }
+        for i in 0..n_per {
+            let jitter = (i % 3) as f32;
+            g.add_record(&SignalRecord::from_pairs(
+                (n_per + i) as f64,
+                [(mac(11), -45.0 + jitter), (mac(12), -55.0 - jitter), (mac(13), -65.0)],
+            ));
+        }
+        g
+    }
+
+    fn small_cfg() -> BiSageConfig {
+        BiSageConfig {
+            dim: 16,
+            epochs: 4,
+            batch_size: 64,
+            sample_sizes: vec![6, 3],
+            learning_rate: 0.01,
+            ..BiSageConfig::default()
+        }
+    }
+
+    fn mean_dist(emb: &Tensor, ids: &[usize], jds: &[usize]) -> f32 {
+        let mut s = 0.0;
+        let mut n = 0;
+        for &i in ids {
+            for &j in jds {
+                if i != j {
+                    s += Tensor::row_distance(emb, i, emb, j);
+                    n += 1;
+                }
+            }
+        }
+        s / n as f32
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let g = cluster_graph(12);
+        let mut model = BiSage::new(small_cfg());
+        let report = model.fit(&g);
+        assert!(model.is_trained());
+        assert!(report.epoch_losses.len() >= 2);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn embeddings_separate_clusters() {
+        let n = 12;
+        let g = cluster_graph(n);
+        let mut model = BiSage::new(small_cfg());
+        model.fit(&g);
+        let _rng = StdRng::seed_from_u64(5);
+        let emb = model.embed_all_records(&g);
+        let a: Vec<usize> = (0..n).collect();
+        let b: Vec<usize> = (n..2 * n).collect();
+        let within = (mean_dist(&emb, &a, &a) + mean_dist(&emb, &b, &b)) / 2.0;
+        let between = mean_dist(&emb, &a, &b);
+        assert!(
+            between > 1.5 * within,
+            "clusters must separate: within {within:.3}, between {between:.3}"
+        );
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let g = cluster_graph(6);
+        let mut model = BiSage::new(small_cfg());
+        model.fit(&g);
+        let _rng = StdRng::seed_from_u64(6);
+        let emb = model.embed_all_records(&g);
+        for i in 0..emb.rows() {
+            let n = emb.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    fn new_record_lands_near_its_cluster() {
+        let n = 12;
+        let mut g = cluster_graph(n);
+        let mut model = BiSage::new(small_cfg());
+        model.fit(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = model.embed_all_records(&g);
+        // Stream a new record that looks like cluster A.
+        let rid = g.add_record(&SignalRecord::from_pairs(
+            99.0,
+            [(mac(1), -46.0), (mac(2), -56.0), (mac(3), -64.0)],
+        ));
+        let h = model.embed_record(&g, rid, &mut rng);
+        let hrow = Tensor::from_vec(1, h.len(), h);
+        let da: f32 =
+            (0..n).map(|i| Tensor::row_distance(&hrow, 0, &emb, i)).sum::<f32>() / n as f32;
+        let db: f32 =
+            (n..2 * n).map(|i| Tensor::row_distance(&hrow, 0, &emb, i)).sum::<f32>() / n as f32;
+        assert!(da < db, "new A-record must embed nearer cluster A ({da:.3} vs {db:.3})");
+    }
+
+    #[test]
+    fn frozen_base_also_trains() {
+        let g = cluster_graph(8);
+        let mut cfg = small_cfg();
+        cfg.trainable_base = false;
+        let mut model = BiSage::new(cfg);
+        let report = model.fit(&g);
+        assert!(model.is_trained());
+        assert!(!report.epoch_losses.is_empty());
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = BipartiteGraph::new(WeightFn::default());
+        let mut model = BiSage::new(small_cfg());
+        let report = model.fit(&g);
+        assert!(model.is_trained());
+        assert!(report.epoch_losses.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = cluster_graph(6);
+        let run = || {
+            let mut m = BiSage::new(small_cfg());
+            m.fit(&g);
+            let _rng = StdRng::seed_from_u64(3);
+            m.embed_all_records(&g)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uniform_sampling_ablation_runs() {
+        let g = cluster_graph(6);
+        let mut cfg = small_cfg();
+        cfg.uniform_sampling = true;
+        cfg.aggregator = Aggregator::Mean;
+        let mut model = BiSage::new(cfg);
+        model.fit(&g);
+        let _rng = StdRng::seed_from_u64(4);
+        let emb = model.embed_all_records(&g);
+        assert_eq!(emb.rows(), 12);
+    }
+}

@@ -1,0 +1,267 @@
+//! Model persistence: snapshot a trained GEM system to disk and restore
+//! it later — the deployment story of the paper's server-side component
+//! (the Android app uploads scans; the server keeps the model warm
+//! across restarts).
+//!
+//! A [`GemSnapshot`] captures everything the online system needs: the
+//! configuration, the bipartite graph (including streamed nodes), the
+//! trained BiSAGE model with its base tables, the detector state
+//! (histograms, frozen reference set, thresholds) and the per-record
+//! trust bits. Snapshots are JSON (portable, diff-able); a typical
+//! one-home model is a few hundred kilobytes.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use gem_graph::BipartiteGraph;
+use gem_nn::Tensor;
+
+use crate::bisage::{BiSage, TrainReport};
+use crate::config::GemConfig;
+use crate::detector::EnhancedDetector;
+use crate::gem::Gem;
+use crate::pca::PcaRotation;
+
+/// Magic marker + version guard for snapshot files.
+const FORMAT: &str = "gem-snapshot";
+const VERSION: u32 = 1;
+
+/// A complete serialized GEM system.
+#[derive(Serialize, Deserialize)]
+pub struct GemSnapshot {
+    format: String,
+    version: u32,
+    /// Configuration the system was trained with.
+    pub cfg: GemConfig,
+    /// The bipartite graph (training + streamed records).
+    pub graph: BipartiteGraph,
+    /// The trained embedding model.
+    pub bisage: BiSage,
+    /// The detector with its online-update state.
+    pub detector: EnhancedDetector,
+    /// BiSAGE training diagnostics.
+    pub train_report: TrainReport,
+    /// Primary embeddings of the initial training records.
+    pub train_embeddings: Tensor,
+    /// Per-record pseudo-label trust bits.
+    pub trusted: Vec<bool>,
+    /// The fitted PCA rotation, when enabled.
+    pub pca: Option<PcaRotation>,
+}
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Malformed JSON or wrong schema.
+    Format(String),
+    /// The file is valid JSON but not a compatible snapshot.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "snapshot format error: {e}"),
+            PersistError::Incompatible(e) => write!(f, "incompatible snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl GemSnapshot {
+    /// Captures the full state of a running system.
+    pub fn capture(gem: &Gem) -> GemSnapshot {
+        GemSnapshot {
+            format: FORMAT.to_string(),
+            version: VERSION,
+            cfg: gem.cfg.clone(),
+            graph: gem.graph().clone(),
+            bisage: gem.bisage().clone(),
+            detector: gem.detector().clone(),
+            train_report: gem.train_report().clone(),
+            train_embeddings: gem.training_embeddings().clone(),
+            trusted: gem.trusted_records().to_vec(),
+            pca: gem.pca().cloned(),
+        }
+    }
+
+    /// Restores a runnable system. Fails when the snapshot is internally
+    /// inconsistent (e.g. trust bits not matching the graph).
+    pub fn restore(self) -> Result<Gem, PersistError> {
+        if self.format != FORMAT {
+            return Err(PersistError::Incompatible(format!("format tag {:?}", self.format)));
+        }
+        if self.version != VERSION {
+            return Err(PersistError::Incompatible(format!(
+                "snapshot version {} (supported: {VERSION})",
+                self.version
+            )));
+        }
+        if self.trusted.len() != self.graph.n_records() {
+            return Err(PersistError::Incompatible(format!(
+                "trust bits ({}) do not match graph records ({})",
+                self.trusted.len(),
+                self.graph.n_records()
+            )));
+        }
+        if self.cfg.pca_rotation && self.pca.is_none() {
+            return Err(PersistError::Incompatible(
+                "config enables pca_rotation but the snapshot has no rotation".into(),
+            ));
+        }
+        Ok(Gem::from_parts(
+            self.cfg,
+            self.graph,
+            self.bisage,
+            self.detector,
+            self.train_report,
+            self.train_embeddings,
+            self.trusted,
+            self.pca,
+        ))
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        serde_json::to_string(self).map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// Parses from a JSON string.
+    pub fn from_json(json: &str) -> Result<GemSnapshot, PersistError> {
+        serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<GemSnapshot, PersistError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+impl Gem {
+    /// Saves the full system state to a JSON snapshot file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        GemSnapshot::capture(self).save(path)
+    }
+
+    /// Restores a system from a snapshot file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Gem, PersistError> {
+        GemSnapshot::load(path)?.restore()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_rfsim::{Scenario, ScenarioConfig};
+    use gem_signal::Label;
+
+    fn trained_gem() -> (Gem, gem_signal::Dataset) {
+        let mut cfg = ScenarioConfig::user(1);
+        cfg.train_duration_s = 150.0;
+        cfg.n_test_in = 30;
+        cfg.n_test_out = 30;
+        let ds = Scenario::build(cfg).generate();
+        (Gem::fit(GemConfig::default(), &ds.train), ds)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let (gem, ds) = trained_gem();
+        let json = GemSnapshot::capture(&gem).to_json().unwrap();
+        let restored = GemSnapshot::from_json(&json).unwrap().restore().unwrap();
+        // The restored system must make identical decisions.
+        let mut a = gem;
+        let mut b = restored;
+        for t in &ds.test {
+            let da = a.infer(&t.record);
+            let db = b.infer(&t.record);
+            assert_eq!(da.label, db.label);
+            assert!((da.score - db.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_online_state() {
+        let (mut gem, ds) = trained_gem();
+        for t in ds.test.iter().take(20) {
+            gem.infer(&t.record);
+        }
+        let n_records = gem.graph().n_records();
+        let n_updates = gem.detector().n_updates;
+        let restored = GemSnapshot::capture(&gem).to_json().unwrap();
+        let restored = GemSnapshot::from_json(&restored).unwrap().restore().unwrap();
+        assert_eq!(restored.graph().n_records(), n_records);
+        assert_eq!(restored.detector().n_updates, n_updates);
+    }
+
+    #[test]
+    fn save_load_via_files() {
+        let (gem, _) = trained_gem();
+        let path = std::env::temp_dir().join("gem_persist_test.json");
+        gem.save(&path).unwrap();
+        let restored = Gem::load(&path).unwrap();
+        assert_eq!(restored.graph().n_edges(), gem.graph().n_edges());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_corrupted_snapshots() {
+        assert!(matches!(
+            GemSnapshot::from_json("not json"),
+            Err(PersistError::Format(_))
+        ));
+        let (gem, _) = trained_gem();
+        let mut snap = GemSnapshot::capture(&gem);
+        snap.version = 99;
+        let json = snap.to_json().unwrap();
+        assert!(matches!(
+            GemSnapshot::from_json(&json).unwrap().restore(),
+            Err(PersistError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_trust_bits() {
+        let (gem, _) = trained_gem();
+        let mut snap = GemSnapshot::capture(&gem);
+        snap.trusted.pop();
+        assert!(matches!(snap.restore(), Err(PersistError::Incompatible(_))));
+    }
+
+    #[test]
+    fn restored_system_keeps_learning() {
+        let (gem, ds) = trained_gem();
+        let mut restored =
+            GemSnapshot::capture(&gem).to_json().and_then(|j| GemSnapshot::from_json(&j))
+                .unwrap()
+                .restore()
+                .unwrap();
+        let before = restored.graph().n_records();
+        let mut saw_in = false;
+        for t in &ds.test {
+            let d = restored.infer(&t.record);
+            saw_in |= d.label == Label::In;
+        }
+        assert!(restored.graph().n_records() > before);
+        assert!(saw_in, "restored model should accept some in-premises scans");
+    }
+}

@@ -1,0 +1,179 @@
+//! Composition traits for the evaluation's algorithm grid.
+//!
+//! Table I of the paper crosses embedding algorithms (BiSAGE, GraphSAGE,
+//! autoencoder, MDS) with outlier detectors (our enhanced histogram "OD",
+//! feature bagging, iForest, LOF). These traits give every combination
+//! the same streaming interface. Construction/fitting stays concrete per
+//! algorithm (their hyperparameters differ); the traits cover post-fit
+//! behaviour only.
+
+use gem_signal::{Label, SignalRecord};
+
+use crate::detector::{BaselineHbos, EnhancedDetector};
+
+/// Anything that can turn a streamed signal record into a fixed-length
+/// embedding. Implementations may mutate internal state (e.g. grow the
+/// bipartite graph). `None` means the record cannot be embedded at all
+/// (e.g. it shares no MAC with the training data) and must be treated as
+/// an outlier.
+pub trait Embedder {
+    /// Embeds one new record.
+    fn embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>>;
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Post-decision hook: tells the embedder whether the record it just
+    /// embedded was classified an outlier, so graph-growing embedders can
+    /// exclude outliers from future neighborhood expansion.
+    fn feedback(&mut self, _outlier: bool) {}
+}
+
+/// A fitted one-class model over embeddings.
+pub trait OutlierModel {
+    /// Outlier score; higher = more likely outside.
+    fn score(&self, sample: &[f32]) -> f64;
+    /// Hard decision at the model's operating threshold.
+    fn is_outlier(&self, sample: &[f32]) -> bool;
+    /// Post-decision hook for models that self-update on streamed data.
+    fn observe(&mut self, _sample: &[f32], _predicted_outlier: bool) {}
+}
+
+impl OutlierModel for EnhancedDetector {
+    fn score(&self, sample: &[f32]) -> f64 {
+        EnhancedDetector::score(self, sample)
+    }
+
+    fn is_outlier(&self, sample: &[f32]) -> bool {
+        self.detect(sample).is_outlier
+    }
+
+    fn observe(&mut self, sample: &[f32], _predicted_outlier: bool) {
+        // detect_and_update re-checks confidence internally.
+        let det = self.detect(sample);
+        if det.confident_inlier {
+            self.detect_and_update(sample);
+        }
+    }
+}
+
+impl OutlierModel for BaselineHbos {
+    fn score(&self, sample: &[f32]) -> f64 {
+        BaselineHbos::score(self, sample)
+    }
+
+    fn is_outlier(&self, sample: &[f32]) -> bool {
+        self.detect(sample).is_outlier
+    }
+
+    fn observe(&mut self, sample: &[f32], predicted_outlier: bool) {
+        if !predicted_outlier {
+            self.detect_and_update(sample);
+        }
+    }
+}
+
+/// One streaming decision from a pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelineDecision {
+    /// Predicted location class.
+    pub label: Label,
+    /// Outlier score (higher = more outside).
+    pub score: f64,
+    /// Whether the record was embeddable at all.
+    pub embeddable: bool,
+}
+
+/// An embedder plus an outlier model, streamed record by record.
+pub struct Pipeline<E: Embedder, D: OutlierModel> {
+    /// The embedding stage.
+    pub embedder: E,
+    /// The detection stage.
+    pub detector: D,
+}
+
+impl<E: Embedder, D: OutlierModel> Pipeline<E, D> {
+    /// Wires the two fitted stages together.
+    pub fn new(embedder: E, detector: D) -> Self {
+        Pipeline { embedder, detector }
+    }
+
+    /// Classifies one streamed record, letting the detector self-update.
+    pub fn infer(&mut self, record: &SignalRecord) -> PipelineDecision {
+        match self.embedder.embed(record) {
+            None => PipelineDecision { label: Label::Out, score: 1.0, embeddable: false },
+            Some(h) => {
+                let outlier = self.detector.is_outlier(&h);
+                let score = self.detector.score(&h);
+                self.detector.observe(&h, outlier);
+                self.embedder.feedback(outlier);
+                PipelineDecision {
+                    label: if outlier { Label::Out } else { Label::In },
+                    score,
+                    embeddable: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_nn::Tensor;
+
+    struct StubEmbedder;
+    impl Embedder for StubEmbedder {
+        fn embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>> {
+            if record.is_empty() {
+                None
+            } else {
+                Some(vec![record.readings[0].rssi / 100.0; 2])
+            }
+        }
+        fn dim(&self) -> usize {
+            2
+        }
+    }
+
+    fn train_cluster() -> Tensor {
+        // Mass at -0.60/-0.61 with a thin tail at -0.70.
+        Tensor::from_fn(40, 2, |i, _| {
+            if i % 20 == 19 {
+                -0.70
+            } else {
+                -0.60 - (i % 2) as f32 / 100.0
+            }
+        })
+    }
+
+    #[test]
+    fn pipeline_routes_unembeddable_to_out() {
+        let det = EnhancedDetector::fit(&train_cluster(), 8, 0.06, 0.005, 0.001);
+        let mut p = Pipeline::new(StubEmbedder, det);
+        let d = p.infer(&SignalRecord::new(0.0));
+        assert_eq!(d.label, Label::Out);
+        assert!(!d.embeddable);
+        assert_eq!(d.score, 1.0);
+    }
+
+    #[test]
+    fn pipeline_classifies_by_detector() {
+        use gem_signal::MacAddr;
+        let det = EnhancedDetector::fit(&train_cluster(), 8, 0.06, 0.005, 0.001);
+        let mut p = Pipeline::new(StubEmbedder, det);
+        // rssi -60 → embedding -0.6 → inlier region.
+        let inside = SignalRecord::from_pairs(0.0, [(MacAddr::from_raw(1), -61.0)]);
+        let outside = SignalRecord::from_pairs(0.0, [(MacAddr::from_raw(1), -95.0)]);
+        assert_eq!(p.infer(&inside).label, Label::In);
+        assert_eq!(p.infer(&outside).label, Label::Out);
+    }
+
+    #[test]
+    fn enhanced_detector_observe_updates_only_confident() {
+        let mut det = EnhancedDetector::fit(&train_cluster(), 8, 0.06, 0.005, 0.001);
+        let n0 = det.n_samples();
+        det.observe(&[-0.61, -0.61], false);
+        assert_eq!(det.n_samples(), n0 + 1);
+        det.observe(&[5.0, 5.0], true);
+        assert_eq!(det.n_samples(), n0 + 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation tooling: classification metrics, ROC/AUC, t-SNE, and
+//! result-table emission for the reproduction harness.
+
+pub mod metrics;
+pub mod pr;
+pub mod roc;
+pub mod stats;
+pub mod table;
+pub mod tsne;
+
+pub use metrics::{ClassMetrics, Confusion};
+pub use pr::{average_precision, pr_curve, PrPoint};
+pub use roc::{auc, roc_curve, RocPoint};
+pub use stats::Summary;
+pub use table::Table;
+pub use tsne::{tsne, TsneConfig};

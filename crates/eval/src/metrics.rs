@@ -1,0 +1,154 @@
+//! Classification metrics: the paper's `P_in/R_in/F_in` (in-premises
+//! detection, in-premises = positive) and `P_out/R_out/F_out` (outside
+//! detection, outside = positive).
+
+use serde::Serialize;
+
+use gem_signal::Label;
+
+/// A binary confusion matrix over ground truth × prediction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Confusion {
+    /// Truth In, predicted In.
+    pub in_in: usize,
+    /// Truth In, predicted Out.
+    pub in_out: usize,
+    /// Truth Out, predicted In.
+    pub out_in: usize,
+    /// Truth Out, predicted Out.
+    pub out_out: usize,
+}
+
+impl Confusion {
+    /// Accumulates one decision.
+    pub fn record(&mut self, truth: Label, predicted: Label) {
+        match (truth, predicted) {
+            (Label::In, Label::In) => self.in_in += 1,
+            (Label::In, Label::Out) => self.in_out += 1,
+            (Label::Out, Label::In) => self.out_in += 1,
+            (Label::Out, Label::Out) => self.out_out += 1,
+        }
+    }
+
+    /// Builds from an iterator of `(truth, predicted)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Label, Label)>) -> Self {
+        let mut c = Confusion::default();
+        for (t, p) in pairs {
+            c.record(t, p);
+        }
+        c
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> usize {
+        self.in_in + self.in_out + self.out_in + self.out_out
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.in_in + self.out_out) as f64 / self.total() as f64
+    }
+
+    /// Metrics with the given class treated as positive.
+    pub fn class_metrics(&self, positive: Label) -> ClassMetrics {
+        let (tp, fp, fn_) = match positive {
+            Label::In => (self.in_in, self.out_in, self.in_out),
+            Label::Out => (self.out_out, self.in_out, self.out_in),
+        };
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f_score = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ClassMetrics { precision, recall, f_score }
+    }
+
+    /// `(P_in, R_in, F_in)` — in-premises detection.
+    pub fn in_metrics(&self) -> ClassMetrics {
+        self.class_metrics(Label::In)
+    }
+
+    /// `(P_out, R_out, F_out)` — outside detection.
+    pub fn out_metrics(&self) -> ClassMetrics {
+        self.class_metrics(Label::Out)
+    }
+}
+
+/// Precision / recall / F-score for one positive class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ClassMetrics {
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of the two.
+    pub f_score: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Confusion {
+        // 8 true In (6 correct), 12 true Out (9 correct).
+        Confusion { in_in: 6, in_out: 2, out_in: 3, out_out: 9 }
+    }
+
+    #[test]
+    fn accuracy_counts_diagonal() {
+        let c = sample();
+        assert_eq!(c.total(), 20);
+        assert!((c.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_metrics_match_hand_computation() {
+        let m = sample().in_metrics();
+        assert!((m.precision - 6.0 / 9.0).abs() < 1e-12);
+        assert!((m.recall - 6.0 / 8.0).abs() < 1e-12);
+        let f = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+        assert!((m.f_score - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_metrics_match_hand_computation() {
+        let m = sample().out_metrics();
+        assert!((m.precision - 9.0 / 11.0).abs() < 1e-12);
+        assert!((m.recall - 9.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pairs_accumulates() {
+        let c = Confusion::from_pairs([
+            (Label::In, Label::In),
+            (Label::In, Label::Out),
+            (Label::Out, Label::Out),
+        ]);
+        assert_eq!(c.in_in, 1);
+        assert_eq!(c.in_out, 1);
+        assert_eq!(c.out_out, 1);
+        assert_eq!(c.out_in, 0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = Confusion::default();
+        let m = c.in_metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_score, 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let c = Confusion { in_in: 10, in_out: 0, out_in: 0, out_out: 10 };
+        assert_eq!(c.in_metrics().f_score, 1.0);
+        assert_eq!(c.out_metrics().f_score, 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Precision–recall curves and average precision.
+//!
+//! For geofencing, the outside class is rare in normal operation, so the
+//! PR view (which ignores true negatives) is often more informative than
+//! ROC for the alerting trade-off.
+
+use serde::Serialize;
+
+/// One point of a precision-recall curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PrPoint {
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// The score threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Computes the PR curve for `(score, is_positive)` samples where higher
+/// scores indicate the positive class. Points run from low recall to
+/// full recall; ties on score collapse.
+pub fn pr_curve(samples: &[(f64, bool)]) -> Vec<PrPoint> {
+    let n_pos = samples.iter().filter(|(_, p)| *p).count();
+    if n_pos == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(f64, bool)> = samples.to_vec();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut points = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(PrPoint {
+            recall: tp as f64 / n_pos as f64,
+            precision: tp as f64 / (tp + fp) as f64,
+            threshold,
+        });
+    }
+    points
+}
+
+/// Average precision: the step-wise integral of precision over recall.
+pub fn average_precision(curve: &[PrPoint]) -> f64 {
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in curve {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let samples: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, i >= 5)).collect();
+        let curve = pr_curve(&samples);
+        assert!((average_precision(&curve) - 1.0).abs() < 1e-12);
+        assert_eq!(curve.last().unwrap().recall, 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_ap() {
+        let samples: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, i < 5)).collect();
+        let ap = average_precision(&pr_curve(&samples));
+        assert!(ap < 0.5, "ap {ap}");
+    }
+
+    #[test]
+    fn random_ranking_ap_near_prevalence() {
+        // Alternating labels: AP ≈ positive prevalence (0.5).
+        let samples: Vec<(f64, bool)> = (0..2000).map(|i| (i as f64, i % 2 == 0)).collect();
+        let ap = average_precision(&pr_curve(&samples));
+        assert!((ap - 0.5).abs() < 0.02, "ap {ap}");
+    }
+
+    #[test]
+    fn no_positives_yields_empty_curve() {
+        let samples = vec![(1.0, false), (2.0, false)];
+        assert!(pr_curve(&samples).is_empty());
+        assert_eq!(average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn recall_is_monotone() {
+        let samples: Vec<(f64, bool)> =
+            (0..100).map(|i| (((i * 37) % 101) as f64, i % 3 == 0)).collect();
+        let curve = pr_curve(&samples);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+    }
+}

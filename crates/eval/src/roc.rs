@@ -1,0 +1,106 @@
+//! ROC curves and area under the curve (paper Fig. 8).
+
+use serde::Serialize;
+
+/// One point of an ROC curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// The score threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Computes the ROC curve for `(score, is_positive)` samples where higher
+/// scores indicate the positive class. Points are ordered from `(0,0)` to
+/// `(1,1)`; ties on score collapse into single points.
+pub fn roc_curve(samples: &[(f64, bool)]) -> Vec<RocPoint> {
+    let n_pos = samples.iter().filter(|(_, p)| *p).count();
+    let n_neg = samples.len() - n_pos;
+    let mut sorted: Vec<(f64, bool)> = samples.to_vec();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        // Consume the whole tie group.
+        while i < sorted.len() && sorted[i].0 == threshold {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: if n_neg == 0 { 0.0 } else { fp as f64 / n_neg as f64 },
+            tpr: if n_pos == 0 { 0.0 } else { tp as f64 / n_pos as f64 },
+            threshold,
+        });
+    }
+    points
+}
+
+/// Trapezoidal area under an ROC curve.
+pub fn auc(curve: &[RocPoint]) -> f64 {
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let samples: Vec<(f64, bool)> =
+            (0..10).map(|i| (i as f64, i >= 5)).collect();
+        let curve = roc_curve(&samples);
+        assert!((auc(&curve) - 1.0).abs() < 1e-12);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let samples: Vec<(f64, bool)> =
+            (0..10).map(|i| (i as f64, i < 5)).collect();
+        assert!(auc(&roc_curve(&samples)) < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_have_auc_half() {
+        // Alternating labels over strictly increasing scores.
+        let samples: Vec<(f64, bool)> =
+            (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
+        let a = auc(&roc_curve(&samples));
+        assert!((a - 0.5).abs() < 0.01, "auc {a}");
+    }
+
+    #[test]
+    fn ties_collapse_into_one_point() {
+        let samples = vec![(1.0, true), (1.0, false), (0.0, true), (0.0, false)];
+        let curve = roc_curve(&samples);
+        // (0,0), tie group at 1.0, tie group at 0.0.
+        assert_eq!(curve.len(), 3);
+        assert!((auc(&curve) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let samples: Vec<(f64, bool)> =
+            (0..200).map(|i| (((i * 37) % 101) as f64, i % 3 == 0)).collect();
+        let curve = roc_curve(&samples);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+}

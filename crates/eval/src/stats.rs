@@ -1,0 +1,72 @@
+//! Small descriptive-statistics helpers for result aggregation.
+
+use serde::Serialize;
+
+/// Mean / min / max / sd summary of a sample, matching the paper's
+/// "mean (min, max)" table entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice (empty input → all zeros).
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sd = if n < 2 {
+            0.0
+        } else {
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+        };
+        Summary { mean, min, max, sd, n }
+    }
+
+    /// The paper's table format: `mean (min, max)`.
+    pub fn paper_format(&self) -> String {
+        format!("{:.2} ({:.2}, {:.2})", self.mean, self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        assert!((s.sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    fn paper_format_shape() {
+        let s = Summary::of(&[0.97, 0.99, 1.0]);
+        assert_eq!(s.paper_format(), "0.99 (0.97, 1.00)");
+    }
+}

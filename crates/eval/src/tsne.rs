@@ -1,0 +1,235 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for visualizing learned
+//! embeddings (paper Fig. 6). O(n²) per iteration — intended for the few
+//! hundred nodes of a GEM graph, not for large corpora.
+
+use rand::RngExt;
+
+use gem_signal::rng::normal;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Factor applied to `P` during the first quarter of iterations
+    /// (early exaggeration).
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            momentum: 0.8,
+            exaggeration: 8.0,
+        }
+    }
+}
+
+fn pairwise_sq_dists(data: &[Vec<f32>]) -> Vec<f64> {
+    let n = data.len();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    d2
+}
+
+/// Binary-searches the Gaussian bandwidth of row `i` to match the target
+/// perplexity; returns the conditional probabilities `p_{j|i}`.
+fn conditional_probs(d2_row: &[f64], i: usize, perplexity: f64) -> Vec<f64> {
+    let n = d2_row.len();
+    let target_entropy = perplexity.ln();
+    let mut beta = 1.0f64; // 1 / (2σ²)
+    let (mut beta_min, mut beta_max) = (0.0f64, f64::INFINITY);
+    let mut probs = vec![0.0f64; n];
+    for _ in 0..50 {
+        let mut sum = 0.0f64;
+        for j in 0..n {
+            probs[j] = if j == i { 0.0 } else { (-beta * d2_row[j]).exp() };
+            sum += probs[j];
+        }
+        if sum <= 0.0 {
+            // All mass collapsed; relax beta.
+            beta /= 2.0;
+            continue;
+        }
+        let mut entropy = 0.0f64;
+        for p in probs.iter_mut() {
+            *p /= sum;
+            if *p > 1e-12 {
+                entropy -= *p * p.ln();
+            }
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_max = beta;
+            beta = (beta + beta_min) / 2.0;
+        }
+    }
+    probs
+}
+
+/// Runs exact t-SNE, returning one 2-D point per input row.
+pub fn tsne(data: &[Vec<f32>], cfg: TsneConfig, rng: &mut impl RngExt) -> Vec<[f64; 2]> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+    let d2 = pairwise_sq_dists(data);
+    // Symmetrized joint probabilities.
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = conditional_probs(&d2[i * n..(i + 1) * n], i, cfg.perplexity.min((n - 1) as f64));
+        for (j, &pj) in row.iter().enumerate() {
+            p[i * n + j] = pj;
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+            p[i * n + j] = avg;
+            p[j * n + i] = avg;
+        }
+        p[i * n + i] = 0.0;
+    }
+
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [normal(rng, 0.0, 1e-2), normal(rng, 0.0, 1e-2)])
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let exaggerate_until = cfg.iterations / 4;
+
+    let mut q = vec![0.0f64; n * n];
+    for iter in 0..cfg.iterations {
+        // Student-t affinities in the embedding.
+        let mut q_sum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = y[i][0] - y[j][0];
+                let dy1 = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                q_sum += 2.0 * w;
+            }
+        }
+        let exag = if iter < exaggerate_until { cfg.exaggeration } else { 1.0 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let q_ij = (w / q_sum).max(1e-12);
+                let coeff = 4.0 * (exag * p[i * n + j] - q_ij) * w;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            velocity[i][0] = cfg.momentum * velocity[i][0] - cfg.learning_rate * grad[0];
+            velocity[i][1] = cfg.momentum * velocity[i][1] - cfg.learning_rate * grad[1];
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+        // Re-center to keep coordinates bounded.
+        let (cx, cy) = y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        let (cx, cy) = (cx / n as f64, cy / n as f64);
+        for point in &mut y {
+            point[0] -= cx;
+            point[1] -= cy;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two well-separated 8-D clusters must map to separated 2-D clusters.
+    #[test]
+    fn separates_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for i in 0..30 {
+            let center = if i < 15 { 0.0f32 } else { 5.0f32 };
+            data.push((0..8).map(|j| center + ((i * 7 + j) % 5) as f32 * 0.02).collect());
+        }
+        let cfg = TsneConfig {
+            iterations: 400,
+            perplexity: 8.0,
+            learning_rate: 30.0,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&data, cfg, &mut rng);
+        let mean = |range: std::ops::Range<usize>| -> [f64; 2] {
+            let mut m = [0.0; 2];
+            for i in range.clone() {
+                m[0] += y[i][0];
+                m[1] += y[i][1];
+            }
+            [m[0] / range.len() as f64, m[1] / range.len() as f64]
+        };
+        let ma = mean(0..15);
+        let mb = mean(15..30);
+        let between = ((ma[0] - mb[0]).powi(2) + (ma[1] - mb[1]).powi(2)).sqrt();
+        let spread = |range: std::ops::Range<usize>, c: [f64; 2]| -> f64 {
+            range
+                .clone()
+                .map(|i| ((y[i][0] - c[0]).powi(2) + (y[i][1] - c[1]).powi(2)).sqrt())
+                .sum::<f64>()
+                / range.len() as f64
+        };
+        let within = (spread(0..15, ma) + spread(15..30, mb)) / 2.0;
+        assert!(between > 2.0 * within, "between {between:.3} within {within:.3}");
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(tsne(&[], TsneConfig::default(), &mut rng).is_empty());
+        let one = tsne(&[vec![1.0, 2.0]], TsneConfig::default(), &mut rng);
+        assert_eq!(one, vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn output_is_centered_and_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f32>> =
+            (0..20).map(|i| vec![(i % 4) as f32, (i % 5) as f32, i as f32 * 0.1]).collect();
+        let y = tsne(&data, TsneConfig { iterations: 100, ..TsneConfig::default() }, &mut rng);
+        let cx: f64 = y.iter().map(|p| p[0]).sum::<f64>() / y.len() as f64;
+        assert!(cx.abs() < 1e-6);
+        assert!(y.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+}

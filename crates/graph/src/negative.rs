@@ -1,0 +1,156 @@
+//! Negative-sampling distribution over graph nodes.
+//!
+//! The BiSAGE loss (paper Eq. 8) draws `K_N` negative nodes `z` per positive
+//! pair with `Pr(z) ∝ deg_z^{3/4}`, the word2vec/GraphSAGE convention. The
+//! table snapshots the graph's degrees at build time; rebuild it after
+//! large batches of insertions.
+
+use rand::RngExt;
+
+use crate::bigraph::{BipartiteGraph, MacId, NodeId, RecordId};
+use crate::sampling::AliasTable;
+
+/// Alias-backed sampler for `Pr(z) ∝ deg_z^{3/4}` over all nodes `U ∪ V`.
+#[derive(Clone, Debug)]
+pub struct NegativeTable {
+    nodes: Vec<NodeId>,
+    table: AliasTable,
+}
+
+impl NegativeTable {
+    /// Builds the table from the graph's current degrees, raising each to
+    /// `power` (the paper uses 3/4). Nodes with zero degree are excluded.
+    /// Returns `None` when the graph has no edges at all.
+    pub fn build(graph: &BipartiteGraph, power: f64) -> Option<Self> {
+        Self::build_filtered(graph, power, |_| true)
+    }
+
+    /// Like [`NegativeTable::build`], restricted to nodes accepted by the
+    /// predicate (e.g. one side of the bipartite graph).
+    pub fn build_filtered(
+        graph: &BipartiteGraph,
+        power: f64,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> Option<Self> {
+        let mut nodes = Vec::with_capacity(graph.n_nodes());
+        let mut weights = Vec::with_capacity(graph.n_nodes());
+        for node in graph.nodes() {
+            let deg = graph.degree(node);
+            if deg > 0 && keep(node) {
+                nodes.push(node);
+                weights.push((deg as f64).powf(power));
+            }
+        }
+        let table = AliasTable::new(&weights)?;
+        Some(NegativeTable { nodes, table })
+    }
+
+    /// Draws one negative node.
+    pub fn sample(&self, rng: &mut impl RngExt) -> NodeId {
+        self.nodes[self.table.sample(rng)]
+    }
+
+    /// Draws one negative node distinct from both `x` and `y`, retrying a
+    /// bounded number of times (falls back to whatever was drawn last if
+    /// the graph is tiny).
+    pub fn sample_excluding(&self, x: NodeId, y: NodeId, rng: &mut impl RngExt) -> NodeId {
+        let mut z = self.sample(rng);
+        for _ in 0..16 {
+            if z != x && z != y {
+                break;
+            }
+            z = self.sample(rng);
+        }
+        z
+    }
+
+    /// Number of sampleable nodes.
+    pub fn support(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Convenience accessors for type-specific sampling diagnostics.
+    pub fn records(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.nodes.iter().filter_map(|n| match n {
+            NodeId::Record(r) => Some(*r),
+            NodeId::Mac(_) => None,
+        })
+    }
+
+    /// MAC nodes in the support.
+    pub fn macs(&self) -> impl Iterator<Item = MacId> + '_ {
+        self.nodes.iter().filter_map(|n| match n {
+            NodeId::Mac(m) => Some(*m),
+            NodeId::Record(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigraph::WeightFn;
+    use gem_signal::{MacAddr, SignalRecord};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn graph() -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(WeightFn::default());
+        // MAC 1 appears in 4 records, MAC 2 in 1 → degree skew.
+        for i in 0..4 {
+            let mut pairs = vec![(MacAddr::from_raw(1), -50.0)];
+            if i == 0 {
+                pairs.push((MacAddr::from_raw(2), -60.0));
+            }
+            g.add_record(&SignalRecord::from_pairs(i as f64, pairs));
+        }
+        g
+    }
+
+    #[test]
+    fn frequencies_follow_degree_power() {
+        let g = graph();
+        let table = NegativeTable::build(&g, 0.75).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts: HashMap<NodeId, usize> = HashMap::new();
+        let draws = 300_000;
+        for _ in 0..draws {
+            *counts.entry(table.sample(&mut rng)).or_default() += 1;
+        }
+        let m1 = NodeId::Mac(g.mac_id(MacAddr::from_raw(1)).unwrap());
+        let m2 = NodeId::Mac(g.mac_id(MacAddr::from_raw(2)).unwrap());
+        let ratio = counts[&m1] as f64 / counts[&m2] as f64;
+        let expect = 4.0f64.powf(0.75); // deg 4 vs deg 1
+        assert!((ratio - expect).abs() < 0.2, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn excludes_given_nodes_when_possible() {
+        let g = graph();
+        let table = NegativeTable::build(&g, 0.75).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = NodeId::Record(RecordId(0));
+        let y = NodeId::Mac(g.mac_id(MacAddr::from_raw(1)).unwrap());
+        for _ in 0..200 {
+            let z = table.sample_excluding(x, y, &mut rng);
+            assert_ne!(z, x);
+            assert_ne!(z, y);
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_table() {
+        let g = BipartiteGraph::new(WeightFn::default());
+        assert!(NegativeTable::build(&g, 0.75).is_none());
+    }
+
+    #[test]
+    fn support_counts_both_sides() {
+        let g = graph();
+        let table = NegativeTable::build(&g, 0.75).unwrap();
+        assert_eq!(table.support(), 6); // 4 records + 2 MACs
+        assert_eq!(table.records().count(), 4);
+        assert_eq!(table.macs().count(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Walker alias tables for O(1) discrete sampling.
+//!
+//! Used by the negative-sampling distribution (`deg^{3/4}`), which is drawn
+//! from millions of times per training run and whose support spans every
+//! node in the graph.
+
+use rand::RngExt;
+
+/// A Walker alias table over `n` outcomes with fixed (unnormalized)
+/// non-negative weights. Construction is O(n); sampling is O(1).
+///
+/// ```
+/// use gem_graph::AliasTable;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let t = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let hits = (0..10_000).filter(|_| t.sample(&mut rng) == 1).count();
+/// assert!((hits as f64 / 10_000.0 - 0.75).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the primary outcome in each bucket.
+    prob: Vec<f64>,
+    /// Fallback outcome of each bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table. Returns `None` when the weights are empty, contain
+    /// a negative/NaN entry, or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled weights: mean bucket mass is exactly 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: whatever remains gets probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample(&self, rng: &mut impl RngExt) -> usize {
+        let bucket = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [5.0, 1.0, 0.0, 2.0, 2.0];
+        let total: f64 = weights.iter().sum();
+        let freq = empirical(&weights, 200_000, 42);
+        for (i, (&w, &f)) in weights.iter().zip(&freq).enumerate() {
+            let expect = w / total;
+            assert!((f - expect).abs() < 0.01, "outcome {i}: {f} vs {expect}");
+        }
+        assert_eq!(freq[2], 0.0, "zero-weight outcome must never appear");
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[3.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let freq = empirical(&[1.0; 8], 160_000, 9);
+        for f in freq {
+            assert!((f - 0.125).abs() < 0.01, "f={f}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn len_reports_outcomes() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Graph diagnostics: connectivity and degree statistics.
+//!
+//! A healthy GEM training graph is (nearly) one connected component —
+//! random walks cannot carry information across components, so a
+//! fragmented graph means fragmented embeddings. These diagnostics are
+//! cheap enough to run at fit time.
+
+use serde::Serialize;
+
+use crate::bigraph::{BipartiteGraph, MacId, NodeId, RecordId};
+
+/// Summary statistics of a bipartite graph.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct GraphStats {
+    /// Record nodes.
+    pub n_records: usize,
+    /// MAC nodes.
+    pub n_macs: usize,
+    /// Edges.
+    pub n_edges: usize,
+    /// Connected components (isolated nodes each count as one).
+    pub n_components: usize,
+    /// Nodes in the largest component.
+    pub largest_component: usize,
+    /// Mean record degree.
+    pub mean_record_degree: f64,
+    /// Mean MAC degree.
+    pub mean_mac_degree: f64,
+    /// Maximum MAC degree (the most widely heard transceiver).
+    pub max_mac_degree: usize,
+    /// Nodes with no edges at all.
+    pub isolated_nodes: usize,
+}
+
+/// Computes summary statistics (BFS over the whole graph; O(V + E)).
+pub fn graph_stats(graph: &BipartiteGraph) -> GraphStats {
+    let n_records = graph.n_records();
+    let n_macs = graph.n_macs();
+
+    let index = |node: NodeId| -> usize {
+        match node {
+            NodeId::Record(r) => r.0 as usize,
+            NodeId::Mac(m) => n_records + m.0 as usize,
+        }
+    };
+    let total = n_records + n_macs;
+    let mut visited = vec![false; total];
+    let mut n_components = 0usize;
+    let mut largest_component = 0usize;
+    let mut isolated_nodes = 0usize;
+
+    for start in graph.nodes() {
+        if visited[index(start)] {
+            continue;
+        }
+        n_components += 1;
+        // BFS.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        visited[index(start)] = true;
+        let mut size = 0usize;
+        while let Some(node) = queue.pop_front() {
+            size += 1;
+            let neighbors: Vec<NodeId> = match node {
+                NodeId::Record(r) => {
+                    graph.record_neighbors(r).map(|(m, _)| NodeId::Mac(m)).collect()
+                }
+                NodeId::Mac(m) => {
+                    graph.mac_neighbors(m).map(|(r, _)| NodeId::Record(r)).collect()
+                }
+            };
+            for nbr in neighbors {
+                if !visited[index(nbr)] {
+                    visited[index(nbr)] = true;
+                    queue.push_back(nbr);
+                }
+            }
+        }
+        largest_component = largest_component.max(size);
+        if size == 1 {
+            isolated_nodes += 1;
+        }
+    }
+
+    let record_deg_sum: usize =
+        (0..n_records as u32).map(|r| graph.degree(NodeId::Record(RecordId(r)))).sum();
+    let mac_degs: Vec<usize> =
+        (0..n_macs as u32).map(|m| graph.degree(NodeId::Mac(MacId(m)))).collect();
+
+    GraphStats {
+        n_records,
+        n_macs,
+        n_edges: graph.n_edges(),
+        n_components,
+        largest_component,
+        mean_record_degree: record_deg_sum as f64 / n_records.max(1) as f64,
+        mean_mac_degree: mac_degs.iter().sum::<usize>() as f64 / n_macs.max(1) as f64,
+        max_mac_degree: mac_degs.into_iter().max().unwrap_or(0),
+        isolated_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigraph::WeightFn;
+    use gem_signal::{MacAddr, SignalRecord};
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn rec(pairs: &[(u64, f32)]) -> SignalRecord {
+        SignalRecord::from_pairs(0.0, pairs.iter().map(|&(m, r)| (mac(m), r)))
+    }
+
+    #[test]
+    fn single_component_graph() {
+        let mut g = BipartiteGraph::new(WeightFn::default());
+        g.add_record(&rec(&[(1, -50.0), (2, -60.0)]));
+        g.add_record(&rec(&[(2, -55.0), (3, -65.0)]));
+        let s = graph_stats(&g);
+        assert_eq!(s.n_components, 1);
+        assert_eq!(s.largest_component, 5); // 2 records + 3 MACs
+        assert_eq!(s.isolated_nodes, 0);
+        assert_eq!(s.n_edges, 4);
+        assert!((s.mean_record_degree - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_fragmentation() {
+        let mut g = BipartiteGraph::new(WeightFn::default());
+        g.add_record(&rec(&[(1, -50.0)]));
+        g.add_record(&rec(&[(2, -50.0)])); // disjoint MAC → second component
+        let s = graph_stats(&g);
+        assert_eq!(s.n_components, 2);
+        assert_eq!(s.largest_component, 2);
+    }
+
+    #[test]
+    fn counts_isolated_nodes() {
+        let mut g = BipartiteGraph::new(WeightFn::default());
+        g.add_record(&rec(&[(1, -50.0)]));
+        g.add_record(&rec(&[])); // empty scan → isolated record node
+        let s = graph_stats(&g);
+        assert_eq!(s.isolated_nodes, 1);
+        assert_eq!(s.n_components, 2);
+    }
+
+    #[test]
+    fn mac_degree_statistics() {
+        let mut g = BipartiteGraph::new(WeightFn::default());
+        for _ in 0..5 {
+            g.add_record(&rec(&[(1, -50.0)]));
+        }
+        g.add_record(&rec(&[(2, -50.0), (1, -60.0)]));
+        let s = graph_stats(&g);
+        assert_eq!(s.max_mac_degree, 6);
+        assert!((s.mean_mac_degree - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(WeightFn::default());
+        let s = graph_stats(&g);
+        assert_eq!(s.n_components, 0);
+        assert_eq!(s.largest_component, 0);
+        assert_eq!(s.mean_record_degree, 0.0);
+    }
+}

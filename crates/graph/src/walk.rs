@@ -1,0 +1,186 @@
+//! Weighted random walks and positive training pairs.
+//!
+//! BiSAGE trains on pairs of *consecutively visited* nodes from weighted
+//! random walks over the bipartite graph (paper Section IV-B): the
+//! transition from the current node picks a neighbor with probability
+//! proportional to edge weight. Because the graph is bipartite, consecutive
+//! nodes always have different types, which is what the bi-level loss
+//! (Eq. 8) expects.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::bigraph::{BipartiteGraph, NodeId};
+
+/// Random-walk generation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkConfig {
+    /// Number of walks started from every node per epoch.
+    pub walks_per_node: usize,
+    /// Nodes visited per walk (including the start node).
+    pub walk_length: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { walks_per_node: 6, walk_length: 6 }
+    }
+}
+
+/// A batch of positive `(x, y)` pairs harvested from random walks.
+///
+/// Pairs are consecutive visits, so `x` and `y` are always of opposite
+/// types in a bipartite graph.
+#[derive(Clone, Debug, Default)]
+pub struct WalkPairs {
+    /// The harvested pairs.
+    pub pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl WalkPairs {
+    /// Generates one epoch of weighted walks from every node of the graph
+    /// and collects the consecutive-pair stream.
+    pub fn generate(graph: &BipartiteGraph, cfg: WalkConfig, rng: &mut impl RngExt) -> Self {
+        let mut pairs =
+            Vec::with_capacity(graph.n_nodes() * cfg.walks_per_node * cfg.walk_length.saturating_sub(1));
+        for start in graph.nodes() {
+            for _ in 0..cfg.walks_per_node {
+                let mut cur = start;
+                for _ in 1..cfg.walk_length {
+                    match graph.walk_step(cur, rng) {
+                        Some(next) => {
+                            pairs.push((cur, next));
+                            cur = next;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        WalkPairs { pairs }
+    }
+
+    /// Generates pairs from walks started only at the given nodes — used
+    /// when embedding a few new nodes without re-walking the whole graph.
+    pub fn generate_from(
+        graph: &BipartiteGraph,
+        starts: &[NodeId],
+        cfg: WalkConfig,
+        rng: &mut impl RngExt,
+    ) -> Self {
+        let mut pairs = Vec::new();
+        for &start in starts {
+            for _ in 0..cfg.walks_per_node {
+                let mut cur = start;
+                for _ in 1..cfg.walk_length {
+                    match graph.walk_step(cur, rng) {
+                        Some(next) => {
+                            pairs.push((cur, next));
+                            cur = next;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        WalkPairs { pairs }
+    }
+
+    /// Number of harvested pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs were harvested.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Shuffles the pair order in place (epoch re-randomization).
+    pub fn shuffle(&mut self, rng: &mut impl RngExt) {
+        // Fisher–Yates; rand's SliceRandom is avoided to keep the trait
+        // surface minimal.
+        for i in (1..self.pairs.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.pairs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigraph::WeightFn;
+    use gem_signal::{MacAddr, SignalRecord};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_graph() -> BipartiteGraph {
+        // Two records sharing MAC 3: 1-2-3 and 3-4-5 (the paper's Fig. 3).
+        let mut g = BipartiteGraph::new(WeightFn::OffsetLinear { c: 120.0 });
+        g.add_record(&SignalRecord::from_pairs(
+            0.0,
+            [(MacAddr::from_raw(1), -50.0), (MacAddr::from_raw(2), -60.0), (MacAddr::from_raw(3), -70.0)],
+        ));
+        g.add_record(&SignalRecord::from_pairs(
+            1.0,
+            [(MacAddr::from_raw(3), -55.0), (MacAddr::from_raw(4), -65.0), (MacAddr::from_raw(5), -75.0)],
+        ));
+        g
+    }
+
+    #[test]
+    fn pairs_alternate_types() {
+        let g = chain_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = WalkPairs::generate(&g, WalkConfig { walks_per_node: 3, walk_length: 5 }, &mut rng);
+        assert!(!pairs.is_empty());
+        for &(x, y) in &pairs.pairs {
+            assert_ne!(x.is_record(), y.is_record(), "bipartite walk must alternate");
+        }
+    }
+
+    #[test]
+    fn pair_count_upper_bound() {
+        let g = chain_graph();
+        let cfg = WalkConfig { walks_per_node: 2, walk_length: 4 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let pairs = WalkPairs::generate(&g, cfg, &mut rng);
+        // 7 nodes × 2 walks × 3 transitions max.
+        assert!(pairs.len() <= 7 * 2 * 3);
+        assert_eq!(pairs.len(), 7 * 2 * 3, "no isolated nodes, all walks complete");
+    }
+
+    #[test]
+    fn generate_from_only_uses_given_starts() {
+        let g = chain_graph();
+        let cfg = WalkConfig { walks_per_node: 1, walk_length: 2 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = NodeId::Record(crate::bigraph::RecordId(0));
+        let pairs = WalkPairs::generate_from(&g, &[start], cfg, &mut rng);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs.pairs[0].0, start);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let g = chain_graph();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pairs =
+            WalkPairs::generate(&g, WalkConfig { walks_per_node: 2, walk_length: 4 }, &mut rng);
+        let mut before = pairs.pairs.clone();
+        pairs.shuffle(&mut rng);
+        let mut after = pairs.pairs.clone();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn walks_on_empty_graph_are_empty() {
+        let g = BipartiteGraph::new(WeightFn::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let pairs = WalkPairs::generate(&g, WalkConfig::default(), &mut rng);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the graph substrate, including distributional
+//! checks on the weighted samplers.
+
+use proptest::prelude::*;
+
+use gem_graph::{AliasTable, BipartiteGraph, NegativeTable, NodeId, RecordId, WeightFn};
+use gem_signal::rng::child_rng;
+use gem_signal::{MacAddr, SignalRecord};
+
+fn records_strategy() -> impl Strategy<Value = Vec<SignalRecord>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..15, -100.0f32..-20.0), 1..6),
+        1..25,
+    )
+    .prop_map(|records| {
+        records
+            .into_iter()
+            .enumerate()
+            .map(|(i, pairs)| {
+                SignalRecord::from_pairs(
+                    i as f64,
+                    pairs.into_iter().map(|(m, r)| (MacAddr::from_raw(m), r)),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Edge weights computed through any weight function are positive and
+    /// finite for all physical RSS values.
+    #[test]
+    fn weight_functions_are_positive(rssi in -120.0f32..0.0) {
+        for wf in [
+            WeightFn::OffsetLinear { c: 120.0 },
+            WeightFn::Exponential { scale: 20.0 },
+            WeightFn::Unit,
+        ] {
+            let w = wf.weight(rssi);
+            prop_assert!(w > 0.0 && w.is_finite());
+        }
+    }
+
+    /// Sampling with replacement returns only true neighbors.
+    #[test]
+    fn sampled_neighbors_are_real_neighbors(records in records_strategy(), seed in 0u64..500) {
+        let g = BipartiteGraph::from_records(WeightFn::default(), records.iter());
+        let mut rng = child_rng(seed, 0);
+        for r in 0..g.n_records() as u32 {
+            let rid = RecordId(r);
+            let true_neighbors: Vec<NodeId> =
+                g.record_neighbors(rid).map(|(m, _)| NodeId::Mac(m)).collect();
+            for (nbr, w) in g.sample_neighbors(NodeId::Record(rid), 4, &mut rng) {
+                prop_assert!(true_neighbors.contains(&nbr));
+                prop_assert!(w > 0.0);
+            }
+        }
+    }
+
+    /// The alias table's empirical distribution matches its weights
+    /// (chi-square-ish bound on each cell).
+    #[test]
+    fn alias_table_distribution(weights in prop::collection::vec(0.5f64..8.0, 2..10), seed in 0u64..100) {
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = child_rng(seed, 1);
+        let draws = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, (&w, &c)) in weights.iter().zip(&counts).enumerate() {
+            let expect = w / total;
+            let got = c as f64 / draws as f64;
+            // 5σ bound on a binomial proportion.
+            let sigma = (expect * (1.0 - expect) / draws as f64).sqrt();
+            prop_assert!(
+                (got - expect).abs() < 5.0 * sigma + 0.005,
+                "cell {i}: got {got:.4} expected {expect:.4}"
+            );
+        }
+    }
+
+    /// Filtered negative tables only produce accepted nodes.
+    #[test]
+    fn filtered_negative_table_respects_predicate(records in records_strategy(), seed in 0u64..100) {
+        let g = BipartiteGraph::from_records(WeightFn::default(), records.iter());
+        if let Some(table) = NegativeTable::build_filtered(&g, 0.75, |n| n.is_record()) {
+            let mut rng = child_rng(seed, 2);
+            for _ in 0..50 {
+                prop_assert!(table.sample(&mut rng).is_record());
+            }
+        }
+        if let Some(table) = NegativeTable::build_filtered(&g, 0.75, |n| !n.is_record()) {
+            let mut rng = child_rng(seed, 3);
+            for _ in 0..50 {
+                prop_assert!(!table.sample(&mut rng).is_record());
+            }
+        }
+    }
+
+    /// Streaming insertion commutes with batch construction.
+    #[test]
+    fn incremental_equals_batch_construction(records in records_strategy()) {
+        let batch = BipartiteGraph::from_records(WeightFn::default(), records.iter());
+        let mut inc = BipartiteGraph::new(WeightFn::default());
+        for r in &records {
+            inc.add_record(r);
+        }
+        prop_assert_eq!(batch.n_records(), inc.n_records());
+        prop_assert_eq!(batch.n_macs(), inc.n_macs());
+        prop_assert_eq!(batch.n_edges(), inc.n_edges());
+        for r in 0..batch.n_records() as u32 {
+            let a: Vec<_> = batch.record_neighbors(RecordId(r)).collect();
+            let b: Vec<_> = inc.record_neighbors(RecordId(r)).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Weight initializers.
+
+use rand::RngExt;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The right default for tanh/sigmoid networks and fine for shallow ReLU
+/// stacks like ours.
+pub fn xavier_uniform(rng: &mut impl RngExt, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// Uniform in `[lo, hi)`.
+pub fn uniform(rng: &mut impl RngExt, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Row-normalized random embeddings: each row drawn uniformly then scaled
+/// to unit L2 norm — the paper's "h⁰ and l⁰ are chosen randomly" with the
+/// same scale the L2-normalized aggregation rounds produce.
+pub fn unit_rows(rng: &mut impl RngExt, rows: usize, cols: usize) -> Tensor {
+    let mut t = uniform(rng, rows, cols, -1.0, 1.0);
+    for i in 0..rows {
+        let norm = t.row(i).iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        for x in t.row_mut(i) {
+            *x /= norm;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = uniform(&mut rng, 5, 5, -0.5, 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn unit_rows_have_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = unit_rows(&mut rng, 8, 16);
+        for i in 0..8 {
+            let n = t.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(9), 3, 3);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(9), 3, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense symmetric linear algebra (f64), used by the classical-MDS
+//! baseline: a cyclic Jacobi eigensolver and the double-centering
+//! transform.
+
+/// A dense symmetric matrix stored fully (row-major) in `f64`.
+#[derive(Clone, Debug)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Builds from a full row-major buffer; symmetry is enforced by
+    /// averaging `(i,j)` and `(j,i)`.
+    pub fn from_dense(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n);
+        let mut m = SymMatrix { n, data };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (m.get(i, j) + m.get(j, i));
+                m.set(i, j, avg);
+                m.set(j, i, avg);
+            }
+        }
+        m
+    }
+
+    /// Order of the matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element assignment (caller keeps symmetry).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Sum of squares of off-diagonal elements (convergence measure).
+    fn off_diag_norm_sq(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    s += self.get(i, j) * self.get(i, j);
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Eigen-decomposition result: `values[k]` belongs to the eigenvector
+/// stored in column `k` of `vectors` (row-major `n × n`), sorted by
+/// descending eigenvalue.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Row-major `n × n`; column `k` is the k-th eigenvector.
+    pub vectors: Vec<f64>,
+    /// Matrix order.
+    pub n: usize,
+}
+
+impl EigenDecomposition {
+    /// Component `i` of eigenvector `k`.
+    pub fn vector_component(&self, k: usize, i: usize) -> f64 {
+        self.vectors[i * self.n + k]
+    }
+}
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// Runs sweeps of Givens rotations until the off-diagonal mass drops below
+/// `tol` (relative to the Frobenius norm) or `max_sweeps` is reached.
+/// O(n³) per sweep; intended for the ≤ ~1000-point matrices the MDS
+/// baseline produces.
+pub fn jacobi_eigen(mut a: SymMatrix, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    let n = a.n();
+    // Eigenvector accumulator starts as identity.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let frob = a.data.iter().map(|x| x * x).sum::<f64>().max(1e-300);
+    for _ in 0..max_sweeps {
+        if a.off_diag_norm_sq() / frob < tol * tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                // Accumulate rotation into eigenvectors.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract eigenvalues and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+    order.sort_by(|&i, &j| values_raw[j].total_cmp(&values_raw[i]));
+    let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
+    let mut vectors = vec![0.0f64; n * n];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[row * n + new_col] = v[row * n + old_col];
+        }
+    }
+    EigenDecomposition { values, vectors, n }
+}
+
+/// Double-centers a squared-distance matrix: `B = -1/2 · J D² J` with
+/// `J = I - (1/n)·11ᵀ`. This is the Gram matrix classical MDS
+/// eigendecomposes. `d2` is the row-major `n × n` matrix of *squared*
+/// distances.
+pub fn double_center(n: usize, d2: &[f64]) -> SymMatrix {
+    assert_eq!(d2.len(), n * n);
+    let mut row_mean = vec![0.0f64; n];
+    let mut total = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            row_mean[i] += d2[i * n + j];
+        }
+        total += row_mean[i];
+        row_mean[i] /= n as f64;
+    }
+    let grand = total / (n * n) as f64;
+    let mut b = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = -0.5 * (d2[i * n + j] - row_mean[i] - row_mean[j] + grand);
+            b.set(i, j, v);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let mut a = SymMatrix::zeros(3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, -1.0);
+        a.set(2, 2, 7.0);
+        let e = jacobi_eigen(a, 1e-12, 50);
+        assert!((e.values[0] - 7.0).abs() < 1e-9);
+        assert!((e.values[1] - 3.0).abs() < 1e-9);
+        assert!((e.values[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_of_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = SymMatrix::from_dense(2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = jacobi_eigen(a, 1e-12, 50);
+        assert!((e.values[0] - 3.0).abs() < 1e-9);
+        assert!((e.values[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let (x, y) = (e.vector_component(0, 0), e.vector_component(0, 1));
+        assert!((x.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((x - y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_from_eigenpairs() {
+        // A = V Λ Vᵀ must reproduce the original matrix.
+        let a_data = vec![
+            4.0, 1.0, -2.0, //
+            1.0, 2.0, 0.0, //
+            -2.0, 0.0, 3.0,
+        ];
+        let a = SymMatrix::from_dense(3, a_data.clone());
+        let e = jacobi_eigen(a, 1e-14, 100);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += e.values[k] * e.vector_component(k, i) * e.vector_component(k, j);
+                }
+                assert!((s - a_data[i * 3 + j]).abs() < 1e-8, "({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = SymMatrix::from_dense(
+            4,
+            vec![
+                5.0, 2.0, 0.0, 1.0, //
+                2.0, 4.0, 1.0, 0.0, //
+                0.0, 1.0, 3.0, 2.0, //
+                1.0, 0.0, 2.0, 6.0,
+            ],
+        );
+        let e = jacobi_eigen(a, 1e-14, 100);
+        for k in 0..4 {
+            for l in 0..4 {
+                let dot: f64 = (0..4)
+                    .map(|i| e.vector_component(k, i) * e.vector_component(l, i))
+                    .sum();
+                let expect = if k == l { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "({k},{l}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_center_recovers_1d_configuration() {
+        // Points on a line at 0, 1, 3 → classical MDS must recover the
+        // pairwise geometry: B = X Xᵀ for centered X.
+        let pts = [0.0f64, 1.0, 3.0];
+        let n = 3;
+        let mut d2 = vec![0.0f64; 9];
+        for i in 0..n {
+            for j in 0..n {
+                d2[i * n + j] = (pts[i] - pts[j]).powi(2);
+            }
+        }
+        let b = double_center(n, &d2);
+        let e = jacobi_eigen(b, 1e-14, 100);
+        // Exactly one significant eigenvalue (1-D configuration).
+        assert!(e.values[0] > 1.0);
+        assert!(e.values[1].abs() < 1e-9);
+        // Embedded coordinates reproduce pairwise distances.
+        let coord: Vec<f64> = (0..n)
+            .map(|i| e.values[0].sqrt() * e.vector_component(0, i))
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                let d = (coord[i] - coord[j]).abs();
+                assert!((d * d - d2[i * n + j]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::tape::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// A gradient-descent style optimizer.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently accumulated in the
+    /// store, then leaves the gradients untouched (callers usually follow
+    /// with [`ParamStore::zero_grads`]).
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    fn velocity_for(&mut self, id: ParamId, rows: usize, cols: usize) -> &mut Tensor {
+        if self.velocity.len() <= id.0 {
+            self.velocity.resize(id.0 + 1, None);
+        }
+        self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(rows, cols))
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        for id in store.ids().collect::<Vec<_>>() {
+            let grad = store.grad(id).clone();
+            if self.momentum > 0.0 {
+                let momentum = self.momentum;
+                let (r, c) = grad.shape();
+                let v = self.velocity_for(id, r, c);
+                v.scale_in_place(momentum);
+                v.axpy(1.0, &grad);
+                let v = v.clone();
+                store.value_mut(id).axpy(-self.lr, &v);
+            } else {
+                store.value_mut(id).axpy(-self.lr, &grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the customary β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    fn slot(vec: &mut Vec<Option<Tensor>>, id: ParamId, rows: usize, cols: usize) -> &mut Tensor {
+        if vec.len() <= id.0 {
+            vec.resize(id.0 + 1, None);
+        }
+        vec[id.0].get_or_insert_with(|| Tensor::zeros(rows, cols))
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in store.ids().collect::<Vec<_>>() {
+            let grad = store.grad(id).clone();
+            let (r, c) = grad.shape();
+            let m = Self::slot(&mut self.m, id, r, c);
+            for (mi, &gi) in m.data_mut().iter_mut().zip(grad.data()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            }
+            let m_snapshot = m.clone();
+            let v = Self::slot(&mut self.v, id, r, c);
+            for (vi, &gi) in v.data_mut().iter_mut().zip(grad.data()) {
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let value = store.value_mut(id);
+            for ((pv, &mi), &vi) in value
+                .data_mut()
+                .iter_mut()
+                .zip(m_snapshot.data())
+                .zip(v.data())
+            {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Graph;
+
+    /// Minimizes ||w - target||² and checks convergence.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 2, vec![5.0, -3.0]));
+        let target = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        for _ in 0..400 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let loss = g.mse_mean(wv, target.clone());
+            g.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let v = store.value(w);
+        ((v[(0, 0)] - 1.0).powi(2) + (v[(0, 1)] - 2.0).powi(2)).sqrt()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        assert!(converges(&mut Sgd::new(0.1)) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(converges(&mut Sgd::with_momentum(0.05, 0.9)) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges() {
+        assert!(converges(&mut Adam::new(0.05)) < 1e-2);
+    }
+
+    #[test]
+    fn learning_rate_override() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn adam_handles_late_registered_params() {
+        let mut store = ParamStore::new();
+        let _a = store.add("a", Tensor::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store);
+        let b = store.add("b", Tensor::from_vec(1, 1, vec![1.0]));
+        store.grad_mut(b)[(0, 0)] = 1.0;
+        opt.step(&mut store); // must not panic on the new slot
+        assert!(store.value(b)[(0, 0)] < 1.0);
+    }
+}

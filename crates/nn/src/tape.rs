@@ -1,0 +1,1069 @@
+//! Reverse-mode automatic differentiation on a per-step tape.
+//!
+//! Usage pattern (define-by-run): create a [`Graph`] for each training
+//! step, build the computation with the op methods (values are computed
+//! eagerly), call [`Graph::backward`] on the scalar loss, then let an
+//! optimizer consume the gradients accumulated in the [`ParamStore`].
+//!
+//! The op set is deliberately small — exactly what BiSAGE, GraphSAGE and
+//! the autoencoder baseline need — and every op's gradient is validated
+//! against central finite differences in this module's tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Handle to a learnable parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// A named, learnable tensor plus its gradient accumulator.
+#[derive(Clone, Debug)]
+struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// Container of all learnable parameters of a model.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Borrow a parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutably borrow a parameter value (optimizers, manual edits).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Borrow a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Mutably borrow a parameter's gradient.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].grad
+    }
+
+    /// Zeroes every gradient accumulator (start of a step).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                p.grad.scale_in_place(s);
+            }
+        }
+    }
+}
+
+/// Nonlinearities supported by [`Graph::activation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// x for x ≥ 0, 0.01·x otherwise.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Pass-through.
+    Identity,
+}
+
+impl Activation {
+    #[inline]
+    fn forward(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative given the input `x` and output `y`.
+    #[inline]
+    fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// Constant leaf (inputs to the network; receives no gradient).
+    Constant,
+    /// Full parameter matrix.
+    Param(ParamId),
+    /// Selected rows of a parameter table (embedding lookup).
+    Gather { param: ParamId, indices: Vec<u32> },
+    /// `a · b`.
+    MatMul(Var, Var),
+    /// `a + b`, same shape.
+    Add(Var, Var),
+    /// `a - b`, same shape.
+    Sub(Var, Var),
+    /// Element-wise product, same shape.
+    MulElem(Var, Var),
+    /// `c · a`.
+    Scale(Var, f32),
+    /// Horizontal concatenation `[a | b]`.
+    ConcatCols(Var, Var),
+    /// Element-wise nonlinearity.
+    Act(Var, Activation),
+    /// Row-wise L2 normalization (paper Eq. 7).
+    RowL2Norm(Var),
+    /// Per-segment weighted sum of input rows: output row `s` is
+    /// `Σ_{j ∈ seg s} weights[j] · input_row[j]`. This is the paper's
+    /// weighted aggregator over sampled neighborhoods.
+    SegmentWeightedSum { input: Var, offsets: Vec<u32>, weights: Vec<f32> },
+    /// Copies selected rows of another node's value (slicing, repeating).
+    SelectRows { input: Var, indices: Vec<u32> },
+    /// Row-wise dot product of two same-shape matrices → `(m × 1)`.
+    RowsDot(Var, Var),
+    /// Broadcast row-vector bias add: `(m × n) + (1 × n)`.
+    AddBias(Var, Var),
+    /// Mean binary-cross-entropy with logits against fixed targets → `1 × 1`.
+    BceWithLogitsMean { scores: Var, targets: Vec<f32> },
+    /// Mean squared error against a fixed target → `1 × 1`.
+    MseMean { pred: Var, target: Tensor },
+    /// 1-D convolution with bias over channel-major rows.
+    Conv1d {
+        input: Var,
+        kernel: Var,
+        bias: Var,
+        in_ch: usize,
+        out_ch: usize,
+        ksize: usize,
+        stride: usize,
+        in_len: usize,
+    },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+/// A define-by-run computation tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        self.nodes.push(Node { op, value, grad: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node after [`Graph::backward`] (if it received one).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a constant (non-learnable) leaf.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Constant, value)
+    }
+
+    /// References a full parameter matrix.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let value = store.value(id).clone();
+        self.push(Op::Param(id), value)
+    }
+
+    /// Looks up rows of a parameter table (embedding gather).
+    pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
+        let table = store.value(id);
+        let mut value = Tensor::zeros(indices.len(), table.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            value.set_row(i, table.row(idx as usize));
+        }
+        self.push(Op::Gather { param: id, indices: indices.to_vec() }, value)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut value = self.value(a).clone();
+        value.axpy(1.0, self.value(b));
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let mut value = self.value(a).clone();
+        value.axpy(-1.0, self.value(b));
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Element-wise product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape());
+        let bv = self.value(b).clone();
+        let value = Tensor::from_vec(
+            bv.rows(),
+            bv.cols(),
+            self.value(a)
+                .data()
+                .iter()
+                .zip(bv.data())
+                .map(|(&x, &y)| x * y)
+                .collect(),
+        );
+        self.push(Op::MulElem(a, b), value)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| c * x);
+        self.push(Op::Scale(a, c), value)
+    }
+
+    /// Horizontal concatenation `[a | b]` (paper's CONCAT in Eq. 4/6).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+        let (m, n1, n2) = (av.rows(), av.cols(), bv.cols());
+        let mut value = Tensor::zeros(m, n1 + n2);
+        for i in 0..m {
+            value.row_mut(i)[..n1].copy_from_slice(av.row(i));
+            value.row_mut(i)[n1..].copy_from_slice(bv.row(i));
+        }
+        self.push(Op::ConcatCols(a, b), value)
+    }
+
+    /// Element-wise nonlinearity.
+    pub fn activation(&mut self, a: Var, act: Activation) -> Var {
+        let value = self.value(a).map(|x| act.forward(x));
+        self.push(Op::Act(a, act), value)
+    }
+
+    /// Row-wise L2 normalization (paper Eq. 7). Zero rows stay zero.
+    pub fn row_l2_normalize(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = av.clone();
+        for i in 0..value.rows() {
+            let norm = value.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for x in value.row_mut(i) {
+                    *x /= norm;
+                }
+            }
+        }
+        self.push(Op::RowL2Norm(a), value)
+    }
+
+    /// Weighted aggregation over sampled neighborhoods: `offsets` has one
+    /// entry per output row giving the start of its segment in `input`
+    /// (plus a final end sentinel); `weights` has one entry per input row.
+    /// Callers normalize weights per segment to implement the paper's
+    /// weighted-mean aggregator.
+    pub fn segment_weighted_sum(&mut self, input: Var, offsets: Vec<u32>, weights: Vec<f32>) -> Var {
+        let inp = self.value(input);
+        assert_eq!(weights.len(), inp.rows(), "one weight per input row");
+        assert!(!offsets.is_empty(), "offsets needs an end sentinel");
+        assert_eq!(*offsets.last().unwrap() as usize, inp.rows(), "sentinel mismatch");
+        let n_seg = offsets.len() - 1;
+        let d = inp.cols();
+        let mut value = Tensor::zeros(n_seg, d);
+        for s in 0..n_seg {
+            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+            for (j, &w) in weights.iter().enumerate().take(hi).skip(lo) {
+                let src = inp.row(j);
+                for (o, &x) in value.row_mut(s).iter_mut().zip(src) {
+                    *o += w * x;
+                }
+            }
+        }
+        self.push(Op::SegmentWeightedSum { input, offsets, weights }, value)
+    }
+
+    /// Selects rows of a node's value by index (repetition allowed) —
+    /// used to slice batches apart and to align positives with their
+    /// repeated negative samples.
+    pub fn select_rows(&mut self, input: Var, indices: &[u32]) -> Var {
+        let inp = self.value(input);
+        let mut value = Tensor::zeros(indices.len(), inp.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            value.set_row(i, inp.row(idx as usize));
+        }
+        self.push(Op::SelectRows { input, indices: indices.to_vec() }, value)
+    }
+
+    /// Row-wise dot products → column vector.
+    pub fn rows_dot(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "rows_dot shape mismatch");
+        let m = av.rows();
+        let mut value = Tensor::zeros(m, 1);
+        for i in 0..m {
+            value[(i, 0)] = av.row(i).iter().zip(bv.row(i)).map(|(&x, &y)| x * y).sum();
+        }
+        self.push(Op::RowsDot(a, b), value)
+    }
+
+    /// Broadcast row-bias add.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(bias));
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(av.cols(), bv.cols(), "bias width mismatch");
+        let mut value = av.clone();
+        for i in 0..value.rows() {
+            for (x, &b) in value.row_mut(i).iter_mut().zip(bv.row(0)) {
+                *x += b;
+            }
+        }
+        self.push(Op::AddBias(a, bias), value)
+    }
+
+    /// Mean binary cross-entropy with logits: implements the negative-
+    /// sampling loss (paper Eq. 8) with targets 1 for positive pairs and 0
+    /// for negatives. Numerically stable softplus formulation.
+    pub fn bce_with_logits_mean(&mut self, scores: Var, targets: &[f32]) -> Var {
+        let sv = self.value(scores);
+        assert_eq!(sv.cols(), 1, "scores must be a column vector");
+        assert_eq!(sv.rows(), targets.len(), "one target per score");
+        let m = targets.len().max(1);
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let s = sv[(i, 0)];
+            // softplus(s) - t*s, stable for |s| large.
+            let softplus = s.max(0.0) + (-s.abs()).exp().ln_1p();
+            loss += (softplus - t * s) as f64;
+        }
+        let value = Tensor::from_vec(1, 1, vec![(loss / m as f64) as f32]);
+        self.push(Op::BceWithLogitsMean { scores, targets: targets.to_vec() }, value)
+    }
+
+    /// Mean squared error against a fixed target.
+    pub fn mse_mean(&mut self, pred: Var, target: Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse shape mismatch");
+        let n = pv.len().max(1);
+        let mut loss = 0.0f64;
+        for (&p, &t) in pv.data().iter().zip(target.data()) {
+            let d = (p - t) as f64;
+            loss += d * d;
+        }
+        let value = Tensor::from_vec(1, 1, vec![(loss / n as f64) as f32]);
+        self.push(Op::MseMean { pred, target }, value)
+    }
+
+    /// Valid (no-padding) 1-D convolution with per-output-channel bias.
+    ///
+    /// `input` rows are channel-major: `in_ch` blocks of `in_len` samples.
+    /// `kernel` is `(out_ch × in_ch·ksize)`; `bias` is `(1 × out_ch)`.
+    /// Output rows are `out_ch` blocks of `out_len` samples where
+    /// `out_len = (in_len - ksize) / stride + 1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv1d(
+        &mut self,
+        input: Var,
+        kernel: Var,
+        bias: Var,
+        in_ch: usize,
+        out_ch: usize,
+        ksize: usize,
+        stride: usize,
+    ) -> Var {
+        let (iv, kv, bv) = (self.value(input), self.value(kernel), self.value(bias));
+        assert_eq!(iv.cols() % in_ch, 0, "input width must be in_ch * in_len");
+        let in_len = iv.cols() / in_ch;
+        assert!(in_len >= ksize, "input shorter than kernel");
+        assert_eq!(kv.shape(), (out_ch, in_ch * ksize), "kernel shape");
+        assert_eq!(bv.shape(), (1, out_ch), "bias shape");
+        let out_len = (in_len - ksize) / stride + 1;
+        let batch = iv.rows();
+        let mut value = Tensor::zeros(batch, out_ch * out_len);
+        for b in 0..batch {
+            let in_row = iv.row(b);
+            for oc in 0..out_ch {
+                let k_row = kv.row(oc);
+                let bias_v = bv[(0, oc)];
+                for p in 0..out_len {
+                    let mut acc = bias_v;
+                    for ic in 0..in_ch {
+                        let in_base = ic * in_len + p * stride;
+                        let k_base = ic * ksize;
+                        for kk in 0..ksize {
+                            acc += in_row[in_base + kk] * k_row[k_base + kk];
+                        }
+                    }
+                    value[(b, oc * out_len + p)] = acc;
+                }
+            }
+        }
+        self.push(
+            Op::Conv1d { input, kernel, bias, in_ch, out_ch, ksize, stride, in_len },
+            value,
+        )
+    }
+
+    fn accumulate(&mut self, v: Var, delta: &Tensor) {
+        let node = &mut self.nodes[v.0];
+        match &mut node.grad {
+            Some(g) => g.axpy(1.0, delta),
+            None => node.grad = Some(delta.clone()),
+        }
+    }
+
+    /// Runs the reverse pass from scalar node `loss` (seeded with 1.0),
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// The tape is consumed structurally: ops are taken out as they are
+    /// processed, so `backward` can only run once per graph. Node values
+    /// and gradients remain readable afterwards.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(grad) = self.nodes[idx].grad.take() else {
+                continue;
+            };
+            // Re-install so callers can inspect intermediate grads.
+            self.nodes[idx].grad = Some(grad.clone());
+            // Take the op out to release the borrow on `self.nodes`.
+            let op = std::mem::replace(&mut self.nodes[idx].op, Op::Constant);
+            match op {
+                Op::Constant => {}
+                Op::Param(id) => {
+                    store.grad_mut(id).axpy(1.0, &grad);
+                }
+                Op::Gather { param, indices } => {
+                    let g = store.grad_mut(param);
+                    for (i, &r) in indices.iter().enumerate() {
+                        let dst = g.row_mut(r as usize);
+                        for (d, &s) in dst.iter_mut().zip(grad.row(i)) {
+                            *d += s;
+                        }
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul_nt(self.value(b));
+                    let db = self.value(a).matmul_tn(&grad);
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, &grad);
+                    self.accumulate(b, &grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, &grad);
+                    let mut neg = grad.clone();
+                    neg.scale_in_place(-1.0);
+                    self.accumulate(b, &neg);
+                }
+                Op::MulElem(a, b) => {
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(self.value(b).data())
+                            .map(|(&g, &y)| g * y)
+                            .collect(),
+                    );
+                    let db = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(self.value(a).data())
+                            .map(|(&g, &x)| g * x)
+                            .collect(),
+                    );
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::Scale(a, c) => {
+                    let da = grad.map(|g| c * g);
+                    self.accumulate(a, &da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let n1 = self.value(a).cols();
+                    let n2 = self.value(b).cols();
+                    let m = grad.rows();
+                    let mut da = Tensor::zeros(m, n1);
+                    let mut db = Tensor::zeros(m, n2);
+                    for i in 0..m {
+                        da.row_mut(i).copy_from_slice(&grad.row(i)[..n1]);
+                        db.row_mut(i).copy_from_slice(&grad.row(i)[n1..]);
+                    }
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::Act(a, act) => {
+                    let x = self.value(a);
+                    let y = &self.nodes[idx].value;
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(x.data().iter().zip(y.data()))
+                            .map(|(&g, (&xv, &yv))| g * act.derivative(xv, yv))
+                            .collect(),
+                    );
+                    self.accumulate(a, &da);
+                }
+                Op::RowL2Norm(a) => {
+                    let x = self.value(a);
+                    let y = &self.nodes[idx].value;
+                    let mut da = Tensor::zeros(grad.rows(), grad.cols());
+                    for i in 0..grad.rows() {
+                        let norm = x.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+                        if norm <= 1e-12 {
+                            continue; // forward left the row at zero
+                        }
+                        let y_row = y.row(i);
+                        let g_row = grad.row(i);
+                        let ydotg: f32 = y_row.iter().zip(g_row).map(|(&a, &b)| a * b).sum();
+                        for ((d, &g), &yv) in da.row_mut(i).iter_mut().zip(g_row).zip(y_row) {
+                            *d = (g - yv * ydotg) / norm;
+                        }
+                    }
+                    self.accumulate(a, &da);
+                }
+                Op::SegmentWeightedSum { input, offsets, weights } => {
+                    let inp_shape = self.value(input).shape();
+                    let mut da = Tensor::zeros(inp_shape.0, inp_shape.1);
+                    for s in 0..offsets.len() - 1 {
+                        let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+                        let g_row = grad.row(s);
+                        for (j, &w) in weights.iter().enumerate().take(hi).skip(lo) {
+                            for (d, &g) in da.row_mut(j).iter_mut().zip(g_row) {
+                                *d += w * g;
+                            }
+                        }
+                    }
+                    self.accumulate(input, &da);
+                }
+                Op::SelectRows { input, indices } => {
+                    let shape = self.value(input).shape();
+                    let mut da = Tensor::zeros(shape.0, shape.1);
+                    for (i, &idx) in indices.iter().enumerate() {
+                        let dst = da.row_mut(idx as usize);
+                        for (d, &g) in dst.iter_mut().zip(grad.row(i)) {
+                            *d += g;
+                        }
+                    }
+                    self.accumulate(input, &da);
+                }
+                Op::RowsDot(a, b) => {
+                    let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+                    let mut da = Tensor::zeros(av.rows(), av.cols());
+                    let mut db = Tensor::zeros(bv.rows(), bv.cols());
+                    for i in 0..av.rows() {
+                        let g = grad[(i, 0)];
+                        for ((d, &y), (e, &x)) in da
+                            .row_mut(i)
+                            .iter_mut()
+                            .zip(bv.row(i))
+                            .zip(db.row_mut(i).iter_mut().zip(av.row(i)))
+                        {
+                            *d = g * y;
+                            *e = g * x;
+                        }
+                    }
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::AddBias(a, bias) => {
+                    self.accumulate(a, &grad);
+                    let mut db = Tensor::zeros(1, grad.cols());
+                    for i in 0..grad.rows() {
+                        for (d, &g) in db.row_mut(0).iter_mut().zip(grad.row(i)) {
+                            *d += g;
+                        }
+                    }
+                    self.accumulate(bias, &db);
+                }
+                Op::BceWithLogitsMean { scores, targets } => {
+                    let g = grad[(0, 0)];
+                    let m = targets.len().max(1) as f32;
+                    let sv = self.value(scores);
+                    let mut ds = Tensor::zeros(sv.rows(), 1);
+                    for (i, &t) in targets.iter().enumerate() {
+                        let s = sv[(i, 0)];
+                        let sigma = 1.0 / (1.0 + (-s).exp());
+                        ds[(i, 0)] = g * (sigma - t) / m;
+                    }
+                    self.accumulate(scores, &ds);
+                }
+                Op::MseMean { pred, target } => {
+                    let g = grad[(0, 0)];
+                    let n = target.len().max(1) as f32;
+                    let pv = self.value(pred);
+                    let dp = Tensor::from_vec(
+                        pv.rows(),
+                        pv.cols(),
+                        pv.data()
+                            .iter()
+                            .zip(target.data())
+                            .map(|(&p, &t)| g * 2.0 * (p - t) / n)
+                            .collect(),
+                    );
+                    self.accumulate(pred, &dp);
+                }
+                Op::Conv1d { input, kernel, bias, in_ch, out_ch, ksize, stride, in_len } => {
+                    let out_len = (in_len - ksize) / stride + 1;
+                    let iv = self.value(input).clone();
+                    let kv = self.value(kernel).clone();
+                    let batch = iv.rows();
+                    let mut di = Tensor::zeros(batch, in_ch * in_len);
+                    let mut dk = Tensor::zeros(out_ch, in_ch * ksize);
+                    let mut db = Tensor::zeros(1, out_ch);
+                    for b in 0..batch {
+                        for oc in 0..out_ch {
+                            for p in 0..out_len {
+                                let g = grad[(b, oc * out_len + p)];
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                db[(0, oc)] += g;
+                                for ic in 0..in_ch {
+                                    let in_base = ic * in_len + p * stride;
+                                    let k_base = ic * ksize;
+                                    for kk in 0..ksize {
+                                        di[(b, in_base + kk)] += g * kv[(oc, k_base + kk)];
+                                        dk[(oc, k_base + kk)] += g * iv[(b, in_base + kk)];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.accumulate(input, &di);
+                    self.accumulate(kernel, &dk);
+                    self.accumulate(bias, &db);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Central finite-difference check of `d loss / d param` for every
+    /// element of every parameter used by `build`.
+    fn grad_check(
+        store: &mut ParamStore,
+        build: &mut dyn FnMut(&mut Graph, &ParamStore) -> Var,
+        tol: f32,
+    ) {
+        // Analytic gradients.
+        store.zero_grads();
+        let mut g = Graph::new();
+        let loss = build(&mut g, store);
+        g.backward(loss, store);
+        let analytic: Vec<Tensor> = store.ids().map(|id| store.grad(id).clone()).collect();
+
+        let eps = 3e-3f32;
+        for id in store.ids() {
+            let (rows, cols) = store.value(id).shape();
+            for i in 0..rows {
+                for j in 0..cols {
+                    let orig = store.value(id)[(i, j)];
+                    store.value_mut(id)[(i, j)] = orig + eps;
+                    let mut gp = Graph::new();
+                    let lp = build(&mut gp, store);
+                    let fp = gp.value(lp)[(0, 0)];
+                    store.value_mut(id)[(i, j)] = orig - eps;
+                    let mut gm = Graph::new();
+                    let lm = build(&mut gm, store);
+                    let fm = gm.value(lm)[(0, 0)];
+                    store.value_mut(id)[(i, j)] = orig;
+                    let numeric = (fp - fm) / (2.0 * eps);
+                    let a = analytic[id.0][(i, j)];
+                    assert!(
+                        (a - numeric).abs() <= tol * (1.0 + numeric.abs().max(a.abs())),
+                        "param {} [{i},{j}]: analytic {a} vs numeric {numeric}",
+                        store.name(id),
+                    );
+                }
+            }
+        }
+    }
+
+    fn rand_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0f32))
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", rand_tensor(&mut rng, 3, 4));
+        let w2 = store.add("w2", rand_tensor(&mut rng, 4, 2));
+        let x = rand_tensor(&mut rng, 2, 3);
+        let target = rand_tensor(&mut rng, 2, 2);
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let xv = g.constant(x.clone());
+                let a = g.param(s, w1);
+                let b = g.param(s, w2);
+                let h = g.matmul(xv, a);
+                let y = g.matmul(h, b);
+                g.mse_mean(y, target.clone())
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut store = ParamStore::new();
+            // Keep values away from the ReLU kink for stable finite diffs.
+            let w = store.add(
+                "w",
+                Tensor::from_fn(2, 3, |_, _| {
+                    let v: f32 = rng.random_range(0.1..1.0);
+                    if rng.random_bool(0.5) {
+                        v
+                    } else {
+                        -v
+                    }
+                }),
+            );
+            let target = rand_tensor(&mut rng, 2, 3);
+            grad_check(
+                &mut store,
+                &mut |g, s| {
+                    let a = g.param(s, w);
+                    let y = g.activation(a, act);
+                    g.mse_mean(y, target.clone())
+                },
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_row_l2_normalize() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let w = store.add("w", rand_tensor(&mut rng, 3, 4));
+        let target = rand_tensor(&mut rng, 3, 4);
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let a = g.param(s, w);
+                let y = g.row_l2_normalize(a);
+                g.mse_mean(y, target.clone())
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_and_bias() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let a = store.add("a", rand_tensor(&mut rng, 2, 3));
+        let b = store.add("b", rand_tensor(&mut rng, 2, 2));
+        let bias = store.add("bias", rand_tensor(&mut rng, 1, 5));
+        let target = rand_tensor(&mut rng, 2, 5);
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let av = g.param(s, a);
+                let bv = g.param(s, b);
+                let cat = g.concat_cols(av, bv);
+                let biasv = g.param(s, bias);
+                let y = g.add_bias(cat, biasv);
+                g.mse_mean(y, target.clone())
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_segment_weighted_sum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let w = store.add("w", rand_tensor(&mut rng, 5, 3));
+        let target = rand_tensor(&mut rng, 2, 3);
+        let offsets = vec![0u32, 2, 5];
+        let weights = vec![0.6, 0.4, 0.2, 0.5, 0.3];
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let a = g.param(s, w);
+                let y = g.segment_weighted_sum(a, offsets.clone(), weights.clone());
+                g.mse_mean(y, target.clone())
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_rows_dot_and_bce() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let a = store.add("a", rand_tensor(&mut rng, 4, 3));
+        let b = store.add("b", rand_tensor(&mut rng, 4, 3));
+        let targets = vec![1.0, 0.0, 1.0, 0.0];
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let av = g.param(s, a);
+                let bv = g.param(s, b);
+                let scores = g.rows_dot(av, bv);
+                g.bce_with_logits_mean(scores, &targets)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let table = store.add("table", rand_tensor(&mut rng, 6, 3));
+        let target = rand_tensor(&mut rng, 4, 3);
+        // Repeated index 2 exercises scatter-add accumulation.
+        let idx = vec![2u32, 0, 2, 5];
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let a = g.gather(s, table, &idx);
+                g.mse_mean(a, target.clone())
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_select_rows() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let w = store.add("w", rand_tensor(&mut rng, 4, 3));
+        let target = rand_tensor(&mut rng, 5, 3);
+        // Repeats exercise gradient accumulation.
+        let idx = vec![0u32, 2, 2, 3, 0];
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let a = g.param(s, w);
+                let sel = g.select_rows(a, &idx);
+                g.mse_mean(sel, target.clone())
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_scale_sub() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let a = store.add("a", rand_tensor(&mut rng, 2, 3));
+        let b = store.add("b", rand_tensor(&mut rng, 2, 3));
+        let target = rand_tensor(&mut rng, 2, 3);
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let av = g.param(s, a);
+                let bv = g.param(s, b);
+                let prod = g.mul_elem(av, bv);
+                let scaled = g.scale(prod, 1.7);
+                let diff = g.sub(scaled, bv);
+                g.mse_mean(diff, target.clone())
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_conv1d() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let (in_ch, out_ch, ksize, stride, in_len, batch) = (2, 3, 3, 2, 8, 2);
+        let out_len = (in_len - ksize) / stride + 1;
+        let input = store.add("input", rand_tensor(&mut rng, batch, in_ch * in_len));
+        let kernel = store.add("kernel", rand_tensor(&mut rng, out_ch, in_ch * ksize));
+        let bias = store.add("bias", rand_tensor(&mut rng, 1, out_ch));
+        let target = rand_tensor(&mut rng, batch, out_ch * out_len);
+        grad_check(
+            &mut store,
+            &mut |g, s| {
+                let iv = g.param(s, input);
+                let kv = g.param(s, kernel);
+                let bv = g.param(s, bias);
+                let y = g.conv1d(iv, kv, bv, in_ch, out_ch, ksize, stride);
+                g.mse_mean(y, target.clone())
+            },
+            1.5e-2,
+        );
+    }
+
+    #[test]
+    fn shared_param_accumulates_grads() {
+        // loss = mse(w + w) pulls gradient through two paths.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 1, vec![3.0]));
+        let mut g = Graph::new();
+        let a = g.param(&store, w);
+        let b = g.param(&store, w);
+        let sum = g.add(a, b);
+        let loss = g.mse_mean(sum, Tensor::from_vec(1, 1, vec![0.0]));
+        g.backward(loss, &mut store);
+        // d/dw (2w)^2 = 8w = 24.
+        assert!((store.grad(w)[(0, 0)] - 24.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 2, vec![10.0, 0.0]));
+        let mut g = Graph::new();
+        let a = g.param(&store, w);
+        let loss = g.mse_mean(a, Tensor::zeros(1, 2));
+        g.backward(loss, &mut store);
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_row_l2_norm_is_stable() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(2, 3));
+        let mut g = Graph::new();
+        let a = g.param(&store, w);
+        let y = g.row_l2_normalize(a);
+        let loss = g.mse_mean(y, Tensor::full(2, 3, 1.0));
+        g.backward(loss, &mut store);
+        assert!(store.grad(w).data().iter().all(|v| v.is_finite()));
+    }
+
+}

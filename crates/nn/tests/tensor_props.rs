@@ -1,0 +1,97 @@
+//! Property-based tests for the tensor and linalg kernels.
+
+use proptest::prelude::*;
+
+use gem_nn::linalg::{jacobi_eigen, SymMatrix};
+use gem_nn::Tensor;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(t in tensor_strategy(4, 7)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(t in tensor_strategy(5, 5)) {
+        let eye = Tensor::from_fn(5, 5, |i, j| if i == j { 1.0 } else { 0.0 });
+        let prod = t.matmul(&eye);
+        for (a, b) in prod.data().iter().zip(t.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_and_nt_agree_with_explicit_transpose(
+        a in tensor_strategy(4, 3),
+        b in tensor_strategy(4, 5),
+    ) {
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let c = Tensor::from_vec(5, 3, b.data()[..15].to_vec());
+        let fast = a.matmul_nt(&c);
+        let slow = a.matmul(&c.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        // a·(b + c) == a·b + a·c
+        let mut bc = b.clone();
+        bc.axpy(1.0, &c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.axpy(1.0, &a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn axpy_then_inverse_axpy_roundtrips(
+        a in tensor_strategy(3, 3),
+        b in tensor_strategy(3, 3),
+    ) {
+        let mut m = a.clone();
+        m.axpy(2.5, &b);
+        m.axpy(-2.5, &b);
+        for (x, y) in m.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Jacobi invariants: eigenvalue sum = trace, descending order,
+    /// orthonormal eigenvectors.
+    #[test]
+    fn jacobi_preserves_trace_and_orthonormality(
+        entries in prop::collection::vec(-5.0f64..5.0, 16),
+    ) {
+        let a = SymMatrix::from_dense(4, entries.clone());
+        let trace: f64 = (0..4).map(|i| a.get(i, i)).sum();
+        let e = jacobi_eigen(a, 1e-12, 100);
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - trace).abs() < 1e-6, "trace {trace} vs Σλ {sum}");
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9, "eigenvalues must be sorted");
+        }
+        for k in 0..4 {
+            let norm: f64 = (0..4).map(|i| e.vector_component(k, i).powi(2)).sum();
+            prop_assert!((norm - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The IoT device's sensing model.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Models how a phone/watch turns a true received power into a scan entry:
+/// a soft sensitivity threshold (weak beacons are missed probabilistically),
+/// quantization to whole dBm, and the chipset's reporting range clamp.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Nominal sensitivity, dBm: at this level detection probability is ½.
+    pub sensitivity_dbm: f64,
+    /// Softness of the detection roll-off, dB (logistic scale).
+    pub softness_db: f64,
+    /// Weakest RSS the chipset ever reports.
+    pub floor_dbm: f64,
+    /// Strongest RSS the chipset ever reports.
+    pub ceil_dbm: f64,
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        DeviceModel { sensitivity_dbm: -95.0, softness_db: 2.0, floor_dbm: -100.0, ceil_dbm: -20.0 }
+    }
+}
+
+impl DeviceModel {
+    /// Probability that a beacon at `rss_dbm` is detected at all.
+    pub fn detection_probability(&self, rss_dbm: f64) -> f64 {
+        1.0 / (1.0 + (-(rss_dbm - self.sensitivity_dbm) / self.softness_db).exp())
+    }
+
+    /// Simulates one sensing attempt: `None` when missed, otherwise the
+    /// quantized, clamped RSS the device would report.
+    pub fn sense(&self, rng: &mut impl RngExt, rss_dbm: f64) -> Option<f32> {
+        if rng.random::<f64>() >= self.detection_probability(rss_dbm) {
+            return None;
+        }
+        let clamped = rss_dbm.clamp(self.floor_dbm, self.ceil_dbm);
+        Some(clamped.round() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strong_signals_always_sensed() {
+        let d = DeviceModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(d.sense(&mut rng, -50.0).is_some());
+        }
+    }
+
+    #[test]
+    fn very_weak_signals_never_sensed() {
+        let d = DeviceModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..500).filter(|_| d.sense(&mut rng, -115.0).is_some()).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn threshold_is_soft() {
+        let d = DeviceModel::default();
+        let p = d.detection_probability(d.sensitivity_dbm);
+        assert!((p - 0.5).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..4000)
+            .filter(|_| d.sense(&mut rng, d.sensitivity_dbm).is_some())
+            .count();
+        let frac = hits as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn readings_are_quantized_and_clamped() {
+        let d = DeviceModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = d.sense(&mut rng, -63.4).unwrap();
+        assert_eq!(r, -63.0);
+        let strong = d.sense(&mut rng, -5.0).unwrap();
+        assert_eq!(strong, -20.0);
+    }
+
+    #[test]
+    fn detection_probability_monotone() {
+        let d = DeviceModel::default();
+        assert!(d.detection_probability(-80.0) > d.detection_probability(-95.0));
+        assert!(d.detection_probability(-95.0) > d.detection_probability(-105.0));
+    }
+}

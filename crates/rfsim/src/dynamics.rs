@@ -1,0 +1,255 @@
+//! Environment perturbations used by the micro-benchmarks: MAC pruning
+//! (Figs. 10–11) and the two-state ON-OFF Markov model over APs/MACs
+//! (Figs. 12–13).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::RngExt;
+
+use gem_signal::{Dataset, LabeledRecord, MacAddr, RecordSet};
+
+/// Removes a uniformly random `fraction` of the MAC universe from a record
+/// set (all readings of the selected MACs disappear). Returns the pruned
+/// MACs. This is the protocol of the paper's "adaptation to changes in
+/// APs" experiment.
+pub fn prune_macs(records: &mut RecordSet, fraction: f64, rng: &mut impl RngExt) -> Vec<MacAddr> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut universe = records.mac_universe();
+    // Fisher–Yates prefix shuffle to pick the victims.
+    let n_remove = (universe.len() as f64 * fraction).round() as usize;
+    for i in 0..n_remove.min(universe.len().saturating_sub(1)) {
+        let j = rng.random_range(i..universe.len());
+        universe.swap(i, j);
+    }
+    let removed: Vec<MacAddr> = universe[..n_remove].to_vec();
+    let removed_set: std::collections::HashSet<MacAddr> = removed.iter().copied().collect();
+    for rec in records.records_mut() {
+        rec.retain_macs(|m| !removed_set.contains(&m));
+    }
+    removed
+}
+
+/// Simulates the MAC churn of a live radio environment over a test
+/// stream: each unprotected MAC independently "churns" with the given
+/// probability — at a uniformly random point of the stream its
+/// transceiver disappears and a brand-new MAC (a rebooted AP, a BSSID
+/// rotation, a replacement unit) takes over its readings. Returns the
+/// number of churned MACs.
+///
+/// This is the paper's "APs could also be added or removed" reality:
+/// methods with a fixed-length MAC universe cannot see the replacement
+/// MACs, while graph-based methods grow new nodes for them.
+pub fn churn_macs(
+    test: &mut [LabeledRecord],
+    protect: &HashSet<MacAddr>,
+    fraction: f64,
+    rng: &mut impl RngExt,
+) -> usize {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut universe: Vec<MacAddr> = test
+        .iter()
+        .flat_map(|t| t.record.macs())
+        .filter(|m| !protect.contains(m))
+        .collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let n = test.len();
+    let mut churned = 0usize;
+    for mac in universe {
+        if rng.random::<f64>() >= fraction {
+            continue;
+        }
+        // Switch somewhere in the middle 60% of the stream.
+        let switch = (n as f64 * rng.random_range(0.2..0.8)) as usize;
+        let replacement = MacAddr::simulated(0x00C0_0000 + churned as u32, 0)
+            .raw()
+            .wrapping_add(rng.random_range(0..1u64 << 20));
+        let replacement = MacAddr::from_raw(replacement);
+        for t in test.iter_mut().skip(switch) {
+            for reading in &mut t.record.readings {
+                if reading.mac == mac {
+                    reading.mac = replacement;
+                }
+            }
+        }
+        churned += 1;
+    }
+    churned
+}
+
+/// Removes the given MACs from a labeled test stream.
+pub fn prune_macs_from_test(test: &mut [gem_signal::LabeledRecord], macs: &[MacAddr]) {
+    let set: std::collections::HashSet<MacAddr> = macs.iter().copied().collect();
+    for t in test.iter_mut() {
+        t.record.retain_macs(|m| !set.contains(&m));
+    }
+}
+
+/// The paper's Fig. 12 two-state Markov model: each MAC independently
+/// toggles between ON and OFF. A state transition (including
+/// self-transition) is evaluated every `period` samples; from ON the MAC
+/// moves to OFF with probability `p`, from OFF back to ON with
+/// probability `q`. While OFF, the MAC's readings are deleted from the
+/// affected samples.
+#[derive(Clone, Debug)]
+pub struct MarkovOnOff {
+    /// ON → OFF transition probability.
+    pub p: f64,
+    /// OFF → ON transition probability.
+    pub q: f64,
+    /// Samples between transition epochs (the paper uses 30).
+    pub period: usize,
+}
+
+impl MarkovOnOff {
+    /// Standard paper protocol: transition every 30 samples.
+    pub fn new(p: f64, q: f64) -> Self {
+        MarkovOnOff { p, q, period: 30 }
+    }
+
+    /// Applies the chain over a whole dataset *in sample order*: the
+    /// training set first, then the test stream, exactly like the paper's
+    /// "throughout the training and testing sets". All MACs start ON.
+    pub fn apply(&self, dataset: &mut Dataset, rng: &mut impl RngExt) {
+        let mut universe: Vec<MacAddr> = dataset.train.mac_universe();
+        for t in &dataset.test {
+            universe.extend(t.record.macs());
+        }
+        universe.sort_unstable();
+        universe.dedup();
+        let mut state: HashMap<MacAddr, bool> = universe.iter().map(|&m| (m, true)).collect();
+
+        let mut sample_idx = 0usize;
+        let mut step = |rec: &mut gem_signal::SignalRecord,
+                        state: &mut HashMap<MacAddr, bool>,
+                        rng: &mut dyn FnMut() -> f64| {
+            if sample_idx.is_multiple_of(self.period) {
+                for on in state.values_mut() {
+                    let flip = if *on { rng() < self.p } else { rng() < self.q };
+                    if flip {
+                        *on = !*on;
+                    }
+                }
+            }
+            rec.retain_macs(|m| state.get(&m).copied().unwrap_or(true));
+            sample_idx += 1;
+        };
+        let mut draw = || rng.random::<f64>();
+        for rec in dataset.train.records_mut() {
+            step(rec, &mut state, &mut draw);
+        }
+        for t in dataset.test.iter_mut() {
+            step(&mut t.record, &mut state, &mut draw);
+        }
+    }
+
+    /// Stationary probability of being ON (diagnostic; `p + q > 0`).
+    pub fn stationary_on(&self) -> f64 {
+        if self.p + self.q == 0.0 {
+            1.0
+        } else {
+            self.q / (self.p + self.q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_signal::{Label, LabeledRecord, SignalRecord};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_raw(i)
+    }
+
+    fn record_set(n: usize, macs: &[u64]) -> RecordSet {
+        (0..n)
+            .map(|i| {
+                SignalRecord::from_pairs(i as f64, macs.iter().map(|&m| (mac(m), -60.0 - m as f32)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prune_removes_requested_fraction() {
+        let mut rs = record_set(20, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let removed = prune_macs(&mut rs, 0.3, &mut rng);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(rs.mac_universe().len(), 7);
+        for m in &removed {
+            assert!(!rs.mac_universe().contains(m));
+        }
+    }
+
+    #[test]
+    fn prune_zero_is_noop() {
+        let mut rs = record_set(5, &[1, 2, 3]);
+        let before = rs.clone();
+        let removed = prune_macs(&mut rs, 0.0, &mut StdRng::seed_from_u64(2));
+        assert!(removed.is_empty());
+        assert_eq!(rs, before);
+    }
+
+    #[test]
+    fn prune_from_test_targets_specific_macs() {
+        let mut test = vec![LabeledRecord {
+            record: SignalRecord::from_pairs(0.0, [(mac(1), -50.0), (mac(2), -60.0)]),
+            label: Label::In,
+        }];
+        prune_macs_from_test(&mut test, &[mac(2)]);
+        assert_eq!(test[0].record.len(), 1);
+        assert!(test[0].record.rssi_of(mac(1)).is_some());
+    }
+
+    #[test]
+    fn markov_off_deletes_readings() {
+        // p = 1, q = 0: every MAC turns OFF at the first epoch and stays off.
+        let chain = MarkovOnOff::new(1.0, 0.0);
+        let mut ds = Dataset::new(
+            record_set(5, &[1, 2]),
+            (0..5)
+                .map(|_| LabeledRecord {
+                    record: SignalRecord::from_pairs(0.0, [(mac(1), -50.0)]),
+                    label: Label::In,
+                })
+                .collect(),
+        );
+        chain.apply(&mut ds, &mut StdRng::seed_from_u64(3));
+        assert!(ds.train.iter().all(|r| r.is_empty()));
+        assert!(ds.test.iter().all(|t| t.record.is_empty()));
+    }
+
+    #[test]
+    fn markov_p_zero_keeps_everything() {
+        let chain = MarkovOnOff::new(0.0, 0.5);
+        let mut ds = Dataset::new(record_set(40, &[1, 2, 3]), Vec::new());
+        let before = ds.train.clone();
+        chain.apply(&mut ds, &mut StdRng::seed_from_u64(4));
+        assert_eq!(ds.train, before);
+    }
+
+    #[test]
+    fn markov_occupancy_tracks_stationary_distribution() {
+        let chain = MarkovOnOff { p: 0.3, q: 0.6, period: 1 };
+        assert!((chain.stationary_on() - 2.0 / 3.0).abs() < 1e-12);
+        let mut ds = Dataset::new(record_set(6000, &[1]), Vec::new());
+        chain.apply(&mut ds, &mut StdRng::seed_from_u64(5));
+        let on_frac = ds.train.iter().filter(|r| !r.is_empty()).count() as f64 / 6000.0;
+        assert!((on_frac - 2.0 / 3.0).abs() < 0.05, "on fraction {on_frac}");
+    }
+
+    #[test]
+    fn markov_transitions_only_at_period_boundaries() {
+        let chain = MarkovOnOff::new(0.5, 0.5); // period 30
+        let mut ds = Dataset::new(record_set(90, &[1]), Vec::new());
+        chain.apply(&mut ds, &mut StdRng::seed_from_u64(6));
+        // Within each 30-sample block the MAC's presence is constant.
+        for block in ds.train.records().chunks(30) {
+            let first = !block[0].is_empty();
+            assert!(block.iter().all(|r| r.is_empty() != first));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Floorplans: rooms, walls, materials, floors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{Point, Rect, Segment};
+
+/// Wall construction material with its one-pass attenuation at 2.4 GHz.
+/// The paper's discussion section quotes ~3 dB for drywall and up to 10 dB
+/// for brick; 5 GHz signals lose more per wall (a band factor applied by
+/// the propagation model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Interior partition, ≈3 dB.
+    Drywall,
+    /// Brick wall, ≈10 dB.
+    Brick,
+    /// Load-bearing concrete, ≈13 dB.
+    Concrete,
+    /// Glass pane / window, ≈2 dB.
+    Glass,
+}
+
+impl Material {
+    /// One-pass attenuation in dB at 2.4 GHz.
+    pub fn attenuation_db(self) -> f64 {
+        match self {
+            Material::Drywall => 3.0,
+            Material::Brick => 10.0,
+            Material::Concrete => 13.0,
+            Material::Glass => 2.0,
+        }
+    }
+}
+
+/// A wall: a segment on a given floor with a material.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// Wall footprint.
+    pub segment: Segment,
+    /// Floor index the wall stands on.
+    pub floor: i32,
+    /// Construction material.
+    pub material: Material,
+}
+
+/// A rectangular room on a floor. The union of rooms is the geofenced
+/// premises.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Room {
+    /// Room footprint.
+    pub rect: Rect,
+    /// Floor index.
+    pub floor: i32,
+}
+
+/// A 2.5-D position: planar coordinates plus a floor index.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Planar point, meters.
+    pub point: Point,
+    /// Floor index (0 = ground).
+    pub floor: i32,
+}
+
+impl Position {
+    /// Constructor.
+    pub const fn new(x: f64, y: f64, floor: i32) -> Self {
+        Position { point: Point::new(x, y), floor }
+    }
+
+    /// 3-D distance given a floor height.
+    pub fn distance(self, other: Position, floor_height_m: f64) -> f64 {
+        let dz = (self.floor - other.floor) as f64 * floor_height_m;
+        (self.point.distance(other.point).powi(2) + dz * dz).sqrt()
+    }
+}
+
+/// The premises floorplan: rooms, walls, and vertical geometry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Rooms forming the premises.
+    pub rooms: Vec<Room>,
+    /// Walls (exterior and interior).
+    pub walls: Vec<Wall>,
+    /// Slab-to-slab floor height, meters.
+    pub floor_height_m: f64,
+    /// One-pass attenuation of a floor slab, dB (≈15–20 dB in practice).
+    pub slab_attenuation_db: f64,
+}
+
+impl Floorplan {
+    /// Creates an empty plan with standard vertical geometry.
+    pub fn new() -> Self {
+        Floorplan { rooms: Vec::new(), walls: Vec::new(), floor_height_m: 3.0, slab_attenuation_db: 17.0 }
+    }
+
+    /// Adds a room and surrounds it with walls of the given material
+    /// (shared edges between adjacent rooms double up, which approximates
+    /// a single interior partition well enough at our fidelity).
+    pub fn add_room(&mut self, rect: Rect, floor: i32, material: Material) {
+        self.rooms.push(Room { rect, floor });
+        for seg in rect.edges() {
+            self.walls.push(Wall { segment: seg, floor, material });
+        }
+    }
+
+    /// Adds a free-standing wall.
+    pub fn add_wall(&mut self, segment: Segment, floor: i32, material: Material) {
+        self.walls.push(Wall { segment, floor, material });
+    }
+
+    /// True when the position lies inside the premises.
+    pub fn contains(&self, pos: Position) -> bool {
+        self.rooms
+            .iter()
+            .any(|r| r.floor == pos.floor && r.rect.contains(pos.point))
+    }
+
+    /// Total premises floor area, m².
+    pub fn area_m2(&self) -> f64 {
+        self.rooms.iter().map(|r| r.rect.area()).sum()
+    }
+
+    /// Total wall attenuation (dB at 2.4 GHz) along the straight path from
+    /// `a` to `b`: counts wall crossings on both endpoint floors for the
+    /// planar projection, plus slab attenuation per floor crossed. A
+    /// `band_wall_factor` scales the per-wall losses (>1 for 5 GHz).
+    pub fn attenuation_db(&self, a: Position, b: Position, band_wall_factor: f64) -> f64 {
+        let path = Segment::new(a.point, b.point);
+        let mut floors = [a.floor, b.floor];
+        floors.sort_unstable();
+        let mut db = 0.0;
+        for wall in &self.walls {
+            let on_a_floor = wall.floor == a.floor;
+            let on_b_floor = wall.floor == b.floor && b.floor != a.floor;
+            if (on_a_floor || on_b_floor) && path.intersects(wall.segment) {
+                db += wall.material.attenuation_db() * band_wall_factor;
+            }
+        }
+        db += self.slab_attenuation_db * (floors[1] - floors[0]) as f64;
+        db
+    }
+
+    /// Rooms on a given floor.
+    pub fn rooms_on(&self, floor: i32) -> impl Iterator<Item = &Room> {
+        self.rooms.iter().filter(move |r| r.floor == floor)
+    }
+
+    /// Bounding rectangle of the whole plan's footprint (all floors).
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        let mut it = self.rooms.iter();
+        let first = it.next()?.rect;
+        let mut min = first.min;
+        let mut max = first.max;
+        for r in it {
+            min.x = min.x.min(r.rect.min.x);
+            min.y = min.y.min(r.rect.min.y);
+            max.x = max.x.max(r.rect.max.x);
+            max.y = max.y.max(r.rect.max.y);
+        }
+        Some(Rect { min, max })
+    }
+}
+
+impl Default for Floorplan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_room_plan() -> Floorplan {
+        let mut p = Floorplan::new();
+        p.add_room(Rect::new(0.0, 0.0, 5.0, 4.0), 0, Material::Brick);
+        p
+    }
+
+    #[test]
+    fn contains_respects_floor() {
+        let p = one_room_plan();
+        assert!(p.contains(Position::new(2.0, 2.0, 0)));
+        assert!(!p.contains(Position::new(2.0, 2.0, 1)));
+        assert!(!p.contains(Position::new(9.0, 2.0, 0)));
+    }
+
+    #[test]
+    fn wall_attenuation_counts_crossings() {
+        let p = one_room_plan();
+        // Inside → inside: no wall crossed.
+        let a = Position::new(1.0, 1.0, 0);
+        let b = Position::new(4.0, 3.0, 0);
+        assert_eq!(p.attenuation_db(a, b, 1.0), 0.0);
+        // Inside → outside: one brick wall.
+        let c = Position::new(8.0, 1.0, 0);
+        assert_eq!(p.attenuation_db(a, c, 1.0), 10.0);
+        // Band factor scales wall loss.
+        assert_eq!(p.attenuation_db(a, c, 1.6), 16.0);
+        // Straight through the room from outside to outside: two walls.
+        let d = Position::new(-2.0, 1.0, 0);
+        assert_eq!(p.attenuation_db(d, c, 1.0), 20.0);
+    }
+
+    #[test]
+    fn slab_attenuation_between_floors() {
+        let mut p = one_room_plan();
+        p.add_room(Rect::new(0.0, 0.0, 5.0, 4.0), 1, Material::Brick);
+        let a = Position::new(1.0, 1.0, 0);
+        let b = Position::new(1.0, 1.0, 1);
+        // Same planar point: degenerate path crosses no walls, one slab.
+        assert_eq!(p.attenuation_db(a, b, 1.0), p.slab_attenuation_db);
+    }
+
+    #[test]
+    fn position_distance_includes_height() {
+        let a = Position::new(0.0, 0.0, 0);
+        let b = Position::new(0.0, 4.0, 1);
+        assert_eq!(a.distance(b, 3.0), 5.0);
+    }
+
+    #[test]
+    fn area_and_bounding_rect() {
+        let mut p = one_room_plan();
+        p.add_room(Rect::new(5.0, 0.0, 8.0, 4.0), 0, Material::Drywall);
+        assert_eq!(p.area_m2(), 20.0 + 12.0);
+        let bb = p.bounding_rect().unwrap();
+        assert_eq!(bb, Rect::new(0.0, 0.0, 8.0, 4.0));
+        assert_eq!(p.rooms_on(0).count(), 2);
+        assert_eq!(p.rooms_on(1).count(), 0);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = Floorplan::new();
+        assert!(p.bounding_rect().is_none());
+        assert_eq!(p.area_m2(), 0.0);
+    }
+}

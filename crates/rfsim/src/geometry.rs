@@ -1,0 +1,225 @@
+//! 2-D geometric primitives for floorplans and radio line-of-sight tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point in meters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate, meters.
+    pub x: f64,
+    /// Y coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructor.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation `self + t·(other - self)`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+}
+
+/// A 2-D line segment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Constructor.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Robust proper/improper segment intersection test (shared endpoints
+    /// and collinear overlap count as intersections).
+    pub fn intersects(self, other: Segment) -> bool {
+        fn orient(p: Point, q: Point, r: Point) -> f64 {
+            (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+        }
+        fn on_segment(p: Point, q: Point, r: Point) -> bool {
+            // With orient(p,q,r) == 0, is r within the bounding box of pq?
+            r.x >= p.x.min(q.x) - 1e-12
+                && r.x <= p.x.max(q.x) + 1e-12
+                && r.y >= p.y.min(q.y) - 1e-12
+                && r.y <= p.y.max(q.y) + 1e-12
+        }
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1.abs() < 1e-12 && on_segment(other.a, other.b, self.a))
+            || (d2.abs() < 1e-12 && on_segment(other.a, other.b, self.b))
+            || (d3.abs() < 1e-12 && on_segment(self.a, self.b, other.a))
+            || (d4.abs() < 1e-12 && on_segment(self.a, self.b, other.b))
+    }
+}
+
+/// An axis-aligned rectangle (rooms, regions).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Builds a rectangle from corner coordinates (sorted automatically).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            min: Point::new(x0.min(x1), y0.min(y1)),
+            max: Point::new(x0.max(x1), y0.max(y1)),
+        }
+    }
+
+    /// Width in meters.
+    pub fn width(self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters.
+    pub fn height(self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square meters.
+    pub fn area(self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Point-in-rectangle test (closed).
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Center point.
+    pub fn center(self) -> Point {
+        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+
+    /// Rectangle shrunk inward by `margin` on every side (clamped so it
+    /// never inverts).
+    pub fn shrink(self, margin: f64) -> Rect {
+        let m = margin.min(self.width() / 2.0 - 1e-9).min(self.height() / 2.0 - 1e-9).max(0.0);
+        Rect::new(self.min.x + m, self.min.y + m, self.max.x - m, self.max.y - m)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// The four edges as segments, counter-clockwise.
+    pub fn edges(self) -> [Segment; 4] {
+        let c = self.corners();
+        [
+            Segment::new(c[0], c[1]),
+            Segment::new(c[1], c[2]),
+            Segment::new(c[2], c[3]),
+            Segment::new(c[3], c[0]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let s2 = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+        assert!(s1.intersects(s2));
+        assert!(s2.intersects(s1));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(2.0, 1.0));
+        assert!(!s1.intersects(s2));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(1.0, 0.0), Point::new(1.0, 1.0));
+        assert!(s1.intersects(s2));
+    }
+
+    #[test]
+    fn collinear_disjoint_do_not_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(3.0, 0.0));
+        assert!(!s1.intersects(s2));
+    }
+
+    #[test]
+    fn rect_contains_and_shrink() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0);
+        assert!(r.contains(Point::new(2.0, 1.0)));
+        assert!(r.contains(Point::new(0.0, 0.0))); // closed boundary
+        assert!(!r.contains(Point::new(4.1, 1.0)));
+        let s = r.shrink(0.5);
+        assert_eq!(s, Rect::new(0.5, 0.5, 3.5, 1.5));
+        assert_eq!(r.area(), 8.0);
+        // Over-shrink clamps instead of inverting.
+        let tiny = r.shrink(5.0);
+        assert!(tiny.width() >= 0.0 && tiny.height() >= 0.0);
+    }
+
+    #[test]
+    fn edges_form_closed_loop() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let edges = r.edges();
+        for i in 0..4 {
+            assert_eq!(edges[i].b, edges[(i + 1) % 4].a);
+        }
+        let perimeter: f64 = edges.iter().map(|e| e.length()).sum();
+        assert!((perimeter - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_sorts_corners() {
+        let r = Rect::new(5.0, 3.0, 1.0, 7.0);
+        assert_eq!(r.min, Point::new(1.0, 3.0));
+        assert_eq!(r.max, Point::new(5.0, 7.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! RF propagation and mobility simulator.
+//!
+//! The paper evaluates GEM on WiFi scans collected by volunteers in real
+//! homes. That data (and the radio environment that produced it) is not
+//! available, so this crate simulates the closest synthetic equivalent —
+//! see DESIGN.md for the substitution argument. The simulator is
+//! physically grounded:
+//!
+//! * [`geometry`] — points, segments, rectangles, intersection tests;
+//! * [`floorplan`] — rooms, walls with per-material attenuation, floors;
+//! * [`propagation`] — log-distance path loss per band, spatially
+//!   correlated shadow fading (a deterministic value-noise field), and
+//!   per-sample temporal noise;
+//! * [`device`] — the IoT device's sensing model: sensitivity threshold,
+//!   probabilistic detection near the floor, dBm quantization;
+//! * [`trajectory`] — perimeter walks (initial training), waypoint roams
+//!   (testing, inside and outside);
+//! * [`scenario`] — complete worlds: AP populations, dataset generation,
+//!   the ten Table-II user presets and the lab environment;
+//! * [`dynamics`] — the evaluation's environment perturbations: MAC
+//!   pruning (Figs. 10–11), the two-state ON-OFF Markov model (Figs.
+//!   12–13), and time-of-day profiles (Table IV / Fig. 15b).
+
+pub mod device;
+pub mod dynamics;
+pub mod floorplan;
+pub mod geometry;
+pub mod propagation;
+pub mod scenario;
+pub mod trajectory;
+
+pub use device::DeviceModel;
+pub use dynamics::{prune_macs, MarkovOnOff};
+pub use floorplan::{Floorplan, Material, Position, Room, Wall};
+pub use geometry::{Point, Rect, Segment};
+pub use propagation::{BandKind, NoiseField, PathLossModel};
+pub use scenario::{AccessPoint, Scenario, ScenarioConfig, TimeProfile, World};
+pub use trajectory::{perimeter_walk, waypoint_roam};

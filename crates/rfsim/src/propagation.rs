@@ -1,0 +1,184 @@
+//! Radio propagation: log-distance path loss per band plus spatially
+//! correlated shadow fading.
+
+use serde::{Deserialize, Serialize};
+
+use crate::floorplan::Position;
+
+/// WiFi frequency band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandKind {
+    /// 2.4 GHz — longer reach, thinner walls.
+    Ghz24,
+    /// 5 GHz — higher free-space loss and wall losses, better confinement.
+    Ghz5,
+}
+
+impl BandKind {
+    /// Multiplier applied to per-wall attenuation for this band.
+    pub fn wall_factor(self) -> f64 {
+        match self {
+            BandKind::Ghz24 => 1.0,
+            BandKind::Ghz5 => 1.6,
+        }
+    }
+}
+
+/// Log-distance path-loss model:
+/// `PL(d) = pl0 + 10·n·log10(max(d, d_min))` in dB.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    /// Path loss at 1 m, dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent (≈2.7–3.3 indoors).
+    pub exponent: f64,
+    /// Amplitude of the spatially correlated shadow fading, dB.
+    pub shadow_sd_db: f64,
+    /// Per-sample temporal noise standard deviation, dB.
+    pub noise_sd_db: f64,
+}
+
+impl PathLossModel {
+    /// Typical indoor model for a band.
+    pub fn indoor(band: BandKind) -> Self {
+        match band {
+            BandKind::Ghz24 => {
+                PathLossModel { pl0_db: 40.0, exponent: 2.8, shadow_sd_db: 3.0, noise_sd_db: 4.0 }
+            }
+            BandKind::Ghz5 => {
+                PathLossModel { pl0_db: 47.0, exponent: 3.0, shadow_sd_db: 3.5, noise_sd_db: 4.5 }
+            }
+        }
+    }
+
+    /// Distance-dependent loss in dB (no walls, no fading).
+    pub fn path_loss_db(&self, distance_m: f64) -> f64 {
+        self.pl0_db + 10.0 * self.exponent * (distance_m.max(0.5)).log10()
+    }
+}
+
+/// A deterministic, spatially smooth noise field used for shadow fading.
+///
+/// Shadow fading is *location*-dependent: two scans taken a step apart see
+/// nearly the same obstruction pattern, while scans far apart are
+/// uncorrelated. We model it with per-stream 2-D value noise: hash the
+/// surrounding grid cell corners and interpolate with a smoothstep. The
+/// field is a pure function of `(seed, stream, position)`, so datasets are
+/// reproducible.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoiseField {
+    /// Base seed shared by the whole world.
+    pub seed: u64,
+    /// Correlation length in meters (grid cell size).
+    pub cell_m: f64,
+}
+
+impl NoiseField {
+    /// Creates a field with the given seed and correlation length.
+    pub fn new(seed: u64, cell_m: f64) -> Self {
+        NoiseField { seed, cell_m }
+    }
+
+    fn hash(&self, stream: u64, ix: i64, iy: i64, floor: i32) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add((ix as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add((iy as u64).wrapping_mul(0x1656_67B1_9E37_79F9))
+            .wrapping_add(floor as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Map the top 52 bits to [0, 1), then to [-1, 1).
+        (z >> 12) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+
+    /// Field value in `[-1, 1]` for a stream (e.g. one per AP transceiver)
+    /// at a position; bilinear smoothstep interpolation of cell corners.
+    pub fn value(&self, stream: u64, pos: Position) -> f64 {
+        let gx = pos.point.x / self.cell_m;
+        let gy = pos.point.y / self.cell_m;
+        let ix = gx.floor() as i64;
+        let iy = gy.floor() as i64;
+        let fx = gx - ix as f64;
+        let fy = gy - iy as f64;
+        // Smoothstep for C¹ continuity.
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let v00 = self.hash(stream, ix, iy, pos.floor);
+        let v10 = self.hash(stream, ix + 1, iy, pos.floor);
+        let v01 = self.hash(stream, ix, iy + 1, pos.floor);
+        let v11 = self.hash(stream, ix + 1, iy + 1, pos.floor);
+        let a = v00 + sx * (v10 - v00);
+        let b = v01 + sx * (v11 - v01);
+        a + sy * (b - a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_monotone_in_distance() {
+        let m = PathLossModel::indoor(BandKind::Ghz24);
+        let mut prev = m.path_loss_db(0.5);
+        for d in [1.0, 2.0, 5.0, 10.0, 30.0, 100.0] {
+            let pl = m.path_loss_db(d);
+            assert!(pl > prev, "PL must grow with distance");
+            prev = pl;
+        }
+    }
+
+    #[test]
+    fn path_loss_clamps_close_range() {
+        let m = PathLossModel::indoor(BandKind::Ghz24);
+        assert_eq!(m.path_loss_db(0.0), m.path_loss_db(0.5));
+    }
+
+    #[test]
+    fn five_ghz_loses_more() {
+        let m24 = PathLossModel::indoor(BandKind::Ghz24);
+        let m5 = PathLossModel::indoor(BandKind::Ghz5);
+        for d in [1.0, 5.0, 20.0] {
+            assert!(m5.path_loss_db(d) > m24.path_loss_db(d));
+        }
+        assert!(BandKind::Ghz5.wall_factor() > BandKind::Ghz24.wall_factor());
+    }
+
+    #[test]
+    fn noise_field_is_deterministic_and_bounded() {
+        let f = NoiseField::new(7, 2.5);
+        for i in 0..100 {
+            let p = Position::new(i as f64 * 0.37, (i % 13) as f64 * 0.91, 0);
+            let v = f.value(3, p);
+            assert_eq!(v, f.value(3, p));
+            assert!((-1.0..=1.0).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn noise_field_is_spatially_smooth() {
+        let f = NoiseField::new(7, 2.5);
+        // Nearby points differ slightly; far points can differ a lot.
+        let p = Position::new(10.0, 10.0, 0);
+        let near = Position::new(10.05, 10.0, 0);
+        assert!((f.value(1, p) - f.value(1, near)).abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_field_streams_are_independent() {
+        let f = NoiseField::new(7, 2.5);
+        let p = Position::new(3.3, 4.4, 0);
+        assert_ne!(f.value(1, p), f.value(2, p));
+    }
+
+    #[test]
+    fn noise_field_distinguishes_floors() {
+        let f = NoiseField::new(7, 2.5);
+        let a = Position::new(3.3, 4.4, 0);
+        let b = Position::new(3.3, 4.4, 1);
+        assert_ne!(f.value(1, a), f.value(1, b));
+    }
+}

@@ -1,0 +1,795 @@
+//! Complete simulated worlds and dataset generation.
+//!
+//! A [`Scenario`] bundles a floorplan, an ambient AP population, the
+//! propagation models and a data-collection protocol, and produces
+//! [`Dataset`]s equivalent to what the paper's Android app collected:
+//! a perimeter-walk training set (in-premises only) followed by a labeled
+//! test stream of inside roams and outside walks.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use gem_signal::rng::{child_rng, normal};
+use gem_signal::{Dataset, Label, LabeledRecord, MacAddr, RecordSet, SignalRecord};
+
+use crate::device::DeviceModel;
+use crate::floorplan::{Floorplan, Material, Position};
+use crate::geometry::{Point, Rect, Segment};
+use crate::propagation::{BandKind, NoiseField, PathLossModel};
+use crate::trajectory::{perimeter_walk, waypoint_roam};
+
+/// One simulated access point (may expose one MAC per band).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AccessPoint {
+    /// Stable AP identity (drives MAC derivation and fading streams).
+    pub id: u32,
+    /// Mounting position.
+    pub pos: Position,
+    /// Transmit power, dBm (typical home APs: 13–19 dBm).
+    pub tx_power_dbm: f64,
+    /// Bands this AP transmits on.
+    pub bands: Vec<BandKind>,
+    /// Transient devices (phone hotspots, portable APs) are only active
+    /// during busy time profiles.
+    pub transient: bool,
+}
+
+impl AccessPoint {
+    /// The MAC address of the transceiver on `bands[band_idx]`.
+    pub fn mac(&self, band_idx: usize) -> MacAddr {
+        MacAddr::simulated(self.id, band_idx as u8)
+    }
+}
+
+/// A time-of-day radio profile (Table IV / Fig. 15b): crowds attenuate
+/// signals and add variance; transient devices appear and disappear.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct TimeProfile {
+    /// Human-readable tag ("11AM", "9PM", …).
+    pub name: &'static str,
+    /// Mean extra crowd/body attenuation, dB.
+    pub extra_loss_mean_db: f64,
+    /// Standard deviation of the extra attenuation, dB.
+    pub extra_loss_sd_db: f64,
+    /// Probability that a transient AP is active in a given scan.
+    pub transient_active: f64,
+}
+
+impl TimeProfile {
+    /// Quiet baseline: no crowds, no transient devices.
+    pub const QUIET: TimeProfile = TimeProfile {
+        name: "quiet",
+        extra_loss_mean_db: 0.0,
+        extra_loss_sd_db: 0.0,
+        transient_active: 0.0,
+    };
+    /// Late morning: moderate crowd, some hotspots (paper's 11 AM).
+    pub const MORNING: TimeProfile = TimeProfile {
+        name: "11AM",
+        extra_loss_mean_db: 0.5,
+        extra_loss_sd_db: 2.0,
+        transient_active: 0.6,
+    };
+    /// Afternoon rush: heavy crowd, most hotspots on (paper's 4 PM).
+    pub const AFTERNOON: TimeProfile = TimeProfile {
+        name: "4PM",
+        extra_loss_mean_db: 15.0,
+        extra_loss_sd_db: 8.0,
+        transient_active: 0.95,
+    };
+    /// Evening: quiet building, few devices (paper's 9 PM).
+    pub const EVENING: TimeProfile = TimeProfile {
+        name: "9PM",
+        extra_loss_mean_db: 9.0,
+        extra_loss_sd_db: 5.0,
+        transient_active: 0.05,
+    };
+}
+
+/// Housing archetypes used by the paper's user study (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Single-room dorm, ≈10 m².
+    Dorm,
+    /// Small apartment, ≈50 m².
+    SmallApartment,
+    /// Large multi-room apartment, ≈100 m².
+    LargeApartment,
+    /// Detached two-story house, ≈200 m².
+    TwoStoryHouse,
+    /// Open-plan office/lab, ≈150 m² (the three-day experiments).
+    Lab,
+}
+
+/// Full description of one data-collection scenario.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioConfig {
+    /// Scenario tag (e.g. "user-3").
+    pub name: String,
+    /// Base seed; all randomness derives from it.
+    pub seed: u64,
+    /// Housing archetype.
+    pub layout: Layout,
+    /// APs installed inside the premises.
+    pub n_home_aps: usize,
+    /// Ambient APs in neighboring units / buildings.
+    pub n_neighbor_aps: usize,
+    /// Transient devices (active only in busy profiles).
+    pub n_transient_aps: usize,
+    /// Probability that an AP is dual-band.
+    pub dual_band_prob: f64,
+    /// Bands the collecting device listens on (Fig. 15d).
+    pub enabled_bands: Vec<BandKind>,
+    /// Walking speed for all trajectories, m/s (Fig. 15c).
+    pub speed_mps: f64,
+    /// Scan period, seconds.
+    pub sample_period_s: f64,
+    /// Duration of the initial perimeter walk, seconds.
+    pub train_duration_s: f64,
+    /// In-premises test scans.
+    pub n_test_in: usize,
+    /// Outside test scans.
+    pub n_test_out: usize,
+    /// Radio environment profile during collection.
+    pub profile: TimeProfile,
+    /// Fraction of non-home MACs that churn (disappear and get replaced
+    /// by a new MAC) during the test phase.
+    pub churn_fraction: f64,
+}
+
+impl ScenarioConfig {
+    /// The ten user presets of Table II: `(layout, home, neighbor)` tuned
+    /// so sensed MAC counts land near the paper's reported values.
+    pub fn user(user_id: u32) -> ScenarioConfig {
+        assert!((1..=10).contains(&user_id), "users are numbered 1–10");
+        let (layout, home, neighbor, dual) = match user_id {
+            1 => (Layout::Dorm, 1, 13, 0.55),
+            2 => (Layout::Dorm, 1, 17, 0.55),
+            3 => (Layout::SmallApartment, 2, 21, 0.55),
+            4 => (Layout::SmallApartment, 1, 10, 0.50),
+            5 => (Layout::SmallApartment, 1, 13, 0.55),
+            6 => (Layout::LargeApartment, 3, 42, 0.55),
+            7 => (Layout::LargeApartment, 2, 29, 0.55),
+            8 => (Layout::LargeApartment, 3, 47, 0.60),
+            9 => (Layout::LargeApartment, 2, 37, 0.60),
+            10 => (Layout::TwoStoryHouse, 2, 6, 0.50),
+            _ => unreachable!(),
+        };
+        ScenarioConfig {
+            name: format!("user-{user_id}"),
+            seed: 0xC0FFEE + user_id as u64,
+            layout,
+            n_home_aps: home,
+            n_neighbor_aps: neighbor,
+            n_transient_aps: 0,
+            dual_band_prob: dual,
+            enabled_bands: vec![BandKind::Ghz24, BandKind::Ghz5],
+            speed_mps: 0.8,
+            sample_period_s: 1.5,
+            train_duration_s: 420.0,
+            n_test_in: 250,
+            n_test_out: 250,
+            profile: TimeProfile::QUIET,
+            churn_fraction: 0.3,
+        }
+    }
+
+    /// The lab used for the environmental-factor experiments (Section VI-D).
+    pub fn lab() -> ScenarioConfig {
+        ScenarioConfig {
+            name: "lab".to_string(),
+            seed: 0x1AB,
+            layout: Layout::Lab,
+            n_home_aps: 4,
+            n_neighbor_aps: 38,
+            n_transient_aps: 30,
+            dual_band_prob: 0.6,
+            enabled_bands: vec![BandKind::Ghz24, BandKind::Ghz5],
+            speed_mps: 0.8,
+            sample_period_s: 1.5,
+            train_duration_s: 420.0,
+            n_test_in: 250,
+            n_test_out: 250,
+            profile: TimeProfile::MORNING,
+            churn_fraction: 0.3,
+        }
+    }
+}
+
+/// The instantiated world: geometry + AP population + radio models.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// Premises floorplan.
+    pub plan: Floorplan,
+    /// Regions the user roams while inside (slightly inset rooms).
+    pub inside_regions: Vec<(Rect, i32)>,
+    /// Regions for outside walks (corridor, neighbor unit, far field).
+    pub outside_regions: Vec<(Rect, i32)>,
+    /// Ambient AP population.
+    pub aps: Vec<AccessPoint>,
+    /// Shadow-fading field.
+    pub noise: NoiseField,
+    /// The sensing device.
+    pub device: DeviceModel,
+    /// Path-loss model per band (2.4 GHz, 5 GHz).
+    pub models: [PathLossModel; 2],
+    /// Bands the device listens on.
+    pub enabled_bands: Vec<BandKind>,
+}
+
+fn hash01(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 12) as f64 / (1u64 << 52) as f64
+}
+
+fn model_index(band: BandKind) -> usize {
+    match band {
+        BandKind::Ghz24 => 0,
+        BandKind::Ghz5 => 1,
+    }
+}
+
+impl World {
+    /// True when a position is inside the geofenced premises.
+    pub fn is_inside(&self, pos: Position) -> bool {
+        self.plan.contains(pos)
+    }
+
+    /// Whether a transient AP exists during a session under a profile
+    /// (deterministic per world seed, AP and profile).
+    fn transient_exists(&self, ap_id: u32, profile: &TimeProfile) -> bool {
+        let tag = profile.name.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+        hash01(self.noise.seed, ap_id as u64, tag) < profile.transient_active
+    }
+
+    /// Simulates one scan at `pos` and time `t` under `profile`.
+    pub fn sense_at(
+        &self,
+        pos: Position,
+        t: f64,
+        profile: &TimeProfile,
+        rng: &mut impl RngExt,
+    ) -> SignalRecord {
+        let mut record = SignalRecord::new(t);
+        for ap in &self.aps {
+            if ap.transient {
+                // Transient devices exist (or not) for the whole session
+                // under a given profile, with a little per-scan flicker.
+                if !self.transient_exists(ap.id, profile) || rng.random::<f64>() >= 0.75 {
+                    continue;
+                }
+            }
+            for (band_idx, &band) in ap.bands.iter().enumerate() {
+                if !self.enabled_bands.contains(&band) {
+                    continue;
+                }
+                let model = &self.models[model_index(band)];
+                let d = pos.distance(ap.pos, self.plan.floor_height_m);
+                let walls = self.plan.attenuation_db(ap.pos, pos, band.wall_factor());
+                let stream = (ap.id as u64) * 4 + band_idx as u64;
+                let shadow = self.noise.value(stream, pos) * model.shadow_sd_db;
+                let temporal = normal(rng, 0.0, model.noise_sd_db);
+                let crowd = if profile.extra_loss_mean_db > 0.0 || profile.extra_loss_sd_db > 0.0 {
+                    normal(rng, profile.extra_loss_mean_db, profile.extra_loss_sd_db).max(0.0)
+                } else {
+                    0.0
+                };
+                let rss = ap.tx_power_dbm - model.path_loss_db(d) - walls - shadow - temporal - crowd;
+                if let Some(reported) = self.device.sense(rng, rss) {
+                    record.push(ap.mac(band_idx), reported);
+                }
+            }
+        }
+        record
+    }
+}
+
+/// A buildable, generatable scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The configuration it was built from.
+    pub cfg: ScenarioConfig,
+    /// The instantiated world.
+    pub world: World,
+}
+
+impl Scenario {
+    /// Instantiates the world (geometry, AP placement) from a config.
+    pub fn build(cfg: ScenarioConfig) -> Self {
+        let mut rng = child_rng(cfg.seed, 0xB01D);
+        let (plan, inside, outside) = build_geometry(cfg.layout);
+        let aps = place_aps(&cfg, &plan, &outside);
+        let _ = &mut rng;
+        let world = World {
+            plan,
+            inside_regions: inside,
+            outside_regions: outside,
+            aps,
+            noise: NoiseField::new(cfg.seed ^ 0x5EED, 2.5),
+            device: DeviceModel::default(),
+            models: [PathLossModel::indoor(BandKind::Ghz24), PathLossModel::indoor(BandKind::Ghz5)],
+            enabled_bands: cfg.enabled_bands.clone(),
+        };
+        Scenario { cfg, world }
+    }
+
+    /// The perimeter-walk training positions (per floor, laps derived from
+    /// the configured duration and speed).
+    pub fn training_positions(&self) -> Vec<Position> {
+        let floors: Vec<i32> = {
+            let mut f: Vec<i32> = self.world.plan.rooms.iter().map(|r| r.floor).collect();
+            f.sort_unstable();
+            f.dedup();
+            f
+        };
+        let per_floor_duration = self.cfg.train_duration_s / floors.len() as f64;
+        let mut out = Vec::new();
+        for floor in floors {
+            let mut bb: Option<Rect> = None;
+            for room in self.world.plan.rooms_on(floor) {
+                bb = Some(match bb {
+                    None => room.rect,
+                    Some(acc) => Rect::new(
+                        acc.min.x.min(room.rect.min.x),
+                        acc.min.y.min(room.rect.min.y),
+                        acc.max.x.max(room.rect.max.x),
+                        acc.max.y.max(room.rect.max.y),
+                    ),
+                });
+            }
+            let Some(bb) = bb else { continue };
+            let inner = bb.shrink(0.4);
+            let perimeter = 2.0 * (inner.width() + inner.height());
+            let laps = (per_floor_duration * self.cfg.speed_mps / perimeter).max(1.0);
+            out.extend(perimeter_walk(
+                bb,
+                floor,
+                0.4,
+                self.cfg.speed_mps,
+                laps,
+                self.cfg.sample_period_s,
+            ));
+        }
+        out
+    }
+
+    /// Senses a record at every position under a profile, starting at
+    /// `start_t` and advancing by the scan period.
+    pub fn sense_positions(
+        &self,
+        positions: &[Position],
+        profile: &TimeProfile,
+        start_t: f64,
+        rng: &mut impl RngExt,
+    ) -> RecordSet {
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                self.world
+                    .sense_at(p, start_t + i as f64 * self.cfg.sample_period_s, profile, rng)
+            })
+            .collect()
+    }
+
+    /// Generates the complete dataset: perimeter-walk training set plus a
+    /// randomly interleaved labeled test stream.
+    pub fn generate(&self) -> Dataset {
+        self.generate_with(self.cfg.profile, self.cfg.profile)
+    }
+
+    /// Like [`Scenario::generate`], but with distinct radio profiles for
+    /// the training and testing phases (Fig. 15b).
+    pub fn generate_with(&self, train_profile: TimeProfile, test_profile: TimeProfile) -> Dataset {
+        let mut rng = child_rng(self.cfg.seed, 0xDA7A);
+        let train_pos = self.training_positions();
+        let train = self.sense_positions(&train_pos, &train_profile, 0.0, &mut rng);
+        let t0 = train_pos.len() as f64 * self.cfg.sample_period_s;
+
+        // Roam slightly inside the rooms for positives.
+        let inside: Vec<(Rect, i32)> = self
+            .world
+            .inside_regions
+            .iter()
+            .map(|&(r, f)| (r.shrink(0.2), f))
+            .collect();
+        let in_pos = waypoint_roam(
+            &inside,
+            self.cfg.speed_mps,
+            self.cfg.sample_period_s,
+            self.cfg.n_test_in,
+            &mut rng,
+        );
+        let out_pos = waypoint_roam(
+            &self.world.outside_regions,
+            self.cfg.speed_mps,
+            self.cfg.sample_period_s,
+            self.cfg.n_test_out,
+            &mut rng,
+        );
+        let in_recs = self.sense_positions(&in_pos, &test_profile, t0, &mut rng);
+        let out_recs = self.sense_positions(&out_pos, &test_profile, t0, &mut rng);
+
+        // Random interleave preserving within-class order, like a user who
+        // alternates between staying home and going out.
+        let mut test: Vec<LabeledRecord> = Vec::with_capacity(in_recs.len() + out_recs.len());
+        let mut in_iter = in_recs.into_records().into_iter().peekable();
+        let mut out_iter = out_recs.into_records().into_iter().peekable();
+        while in_iter.peek().is_some() || out_iter.peek().is_some() {
+            let take_in = match (in_iter.peek(), out_iter.peek()) {
+                (Some(_), Some(_)) => rng.random_bool(0.5),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_in {
+                test.push(LabeledRecord { record: in_iter.next().expect("peeked"), label: Label::In });
+            } else {
+                test.push(LabeledRecord { record: out_iter.next().expect("peeked"), label: Label::Out });
+            }
+        }
+        // Live radio environments churn: some ambient (non-home) MACs
+        // disappear mid-stream and new ones take their place.
+        if self.cfg.churn_fraction > 0.0 {
+            let home: std::collections::HashSet<MacAddr> = self
+                .world
+                .aps
+                .iter()
+                .filter(|ap| self.world.plan.contains(ap.pos))
+                .flat_map(|ap| (0..ap.bands.len()).map(|b| ap.mac(b)))
+                .collect();
+            crate::dynamics::churn_macs(&mut test, &home, self.cfg.churn_fraction, &mut rng);
+        }
+        Dataset::new(train, test)
+    }
+
+    /// A fresh RNG stream derived from this scenario's seed.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        child_rng(self.cfg.seed, stream)
+    }
+}
+
+/// Region list: rectangles with their floor index.
+type Regions = Vec<(Rect, i32)>;
+
+/// Builds geometry for a layout: `(plan, inside regions, outside regions)`.
+fn build_geometry(layout: Layout) -> (Floorplan, Regions, Regions) {
+    let mut plan = Floorplan::new();
+    let mut inside = Vec::new();
+    let mut outside = Vec::new();
+    match layout {
+        Layout::Dorm => {
+            let room = Rect::new(0.0, 0.0, 3.4, 3.0);
+            plan.add_room(room, 0, Material::Concrete);
+            inside.push((room, 0));
+            // Corridor along the south wall; neighbor dorms east and west.
+            outside.push((Rect::new(-4.0, -2.2, 7.4, -0.1), 0));
+            outside.push((Rect::new(3.5, 0.0, 6.9, 3.0), 0));
+            outside.push((Rect::new(-3.5, 0.0, -0.1, 3.0), 0));
+            // Far field: elsewhere in the building.
+            outside.push((Rect::new(12.0, -6.0, 20.0, 2.0), 0));
+        }
+        Layout::SmallApartment => {
+            let unit = Rect::new(0.0, 0.0, 8.2, 6.1);
+            plan.add_room(unit, 0, Material::Concrete);
+            // One interior partition (bedroom | living room).
+            plan.add_wall(
+                Segment::new(Point::new(4.1, 0.0), Point::new(4.1, 4.5)),
+                0,
+                Material::Drywall,
+            );
+            inside.push((unit, 0));
+            outside.push((Rect::new(-3.0, 6.2, 11.2, 8.2), 0)); // corridor north
+            outside.push((Rect::new(8.3, 0.0, 16.5, 6.1), 0)); // neighbor east
+            outside.push((Rect::new(-8.3, 0.0, -0.1, 6.1), 0)); // neighbor west
+            outside.push((Rect::new(20.0, -8.0, 30.0, 2.0), 0)); // far
+        }
+        Layout::LargeApartment => {
+            let unit = Rect::new(0.0, 0.0, 12.0, 8.3);
+            plan.add_room(unit, 0, Material::Concrete);
+            plan.add_wall(
+                Segment::new(Point::new(4.0, 0.0), Point::new(4.0, 6.0)),
+                0,
+                Material::Drywall,
+            );
+            plan.add_wall(
+                Segment::new(Point::new(8.0, 2.3), Point::new(8.0, 8.3)),
+                0,
+                Material::Drywall,
+            );
+            plan.add_wall(
+                Segment::new(Point::new(4.0, 4.2), Point::new(12.0, 4.2)),
+                0,
+                Material::Drywall,
+            );
+            inside.push((unit, 0));
+            outside.push((Rect::new(-3.0, 8.4, 15.0, 10.4), 0)); // corridor
+            outside.push((Rect::new(12.1, 0.0, 24.1, 8.3), 0)); // neighbor east
+            outside.push((Rect::new(-12.1, 0.0, -0.1, 8.3), 0)); // neighbor west
+            outside.push((Rect::new(28.0, -10.0, 38.0, 0.0), 0)); // far
+        }
+        Layout::TwoStoryHouse => {
+            let footprint = Rect::new(0.0, 0.0, 10.0, 10.0);
+            plan.add_room(footprint, 0, Material::Brick);
+            plan.add_room(footprint, 1, Material::Brick);
+            plan.add_wall(
+                Segment::new(Point::new(5.0, 0.0), Point::new(5.0, 7.0)),
+                0,
+                Material::Drywall,
+            );
+            plan.add_wall(
+                Segment::new(Point::new(0.0, 5.0), Point::new(7.0, 5.0)),
+                1,
+                Material::Drywall,
+            );
+            inside.push((footprint, 0));
+            inside.push((footprint, 1));
+            // Detached: garden ring and the street.
+            outside.push((Rect::new(-4.0, -4.0, 14.0, -0.3), 0)); // front yard
+            outside.push((Rect::new(-4.0, 10.3, 14.0, 14.0), 0)); // back yard
+            outside.push((Rect::new(-4.0, -0.3, -0.3, 10.3), 0)); // side
+            outside.push((Rect::new(18.0, -6.0, 30.0, 6.0), 0)); // street / neighbor lot
+        }
+        Layout::Lab => {
+            let lab = Rect::new(0.0, 0.0, 15.0, 10.0);
+            plan.add_room(lab, 0, Material::Concrete);
+            plan.add_wall(
+                Segment::new(Point::new(9.0, 3.0), Point::new(9.0, 10.0)),
+                0,
+                Material::Glass,
+            );
+            inside.push((lab, 0));
+            outside.push((Rect::new(-5.0, 10.2, 20.0, 12.4), 0)); // corridor
+            outside.push((Rect::new(15.2, 0.0, 25.0, 10.0), 0)); // adjacent lab
+            outside.push((Rect::new(-14.0, 0.0, -0.2, 10.0), 0)); // offices
+            outside.push((Rect::new(30.0, -12.0, 42.0, 0.0), 0)); // far wing
+        }
+    }
+    (plan, inside, outside)
+}
+
+/// Places home, neighbor and transient APs.
+fn place_aps(cfg: &ScenarioConfig, plan: &Floorplan, outside: &[(Rect, i32)]) -> Vec<AccessPoint> {
+    let mut aps = Vec::new();
+    let mut next_id = 0u32;
+    let mut push_ap = |aps: &mut Vec<AccessPoint>, pos: Position, transient: bool, rng: &mut StdRng| {
+        let dual = rng.random::<f64>() < cfg.dual_band_prob;
+        let bands = if dual {
+            vec![BandKind::Ghz24, BandKind::Ghz5]
+        } else if rng.random::<f64>() < 0.25 {
+            vec![BandKind::Ghz5]
+        } else {
+            vec![BandKind::Ghz24]
+        };
+        // Phone hotspots and portable devices transmit well below fixed
+        // infrastructure APs.
+        let base_power = if transient { 8.0 } else { 16.0 };
+        aps.push(AccessPoint {
+            id: next_id,
+            pos,
+            tx_power_dbm: base_power + normal(rng, 0.0, 1.5),
+            bands,
+            transient,
+        });
+        next_id += 1;
+    };
+
+    // Home APs: uniform inside rooms.
+    let rooms: Vec<_> = plan.rooms.clone();
+    let mut rng_local = child_rng(cfg.seed, 0xAAAA);
+    for _ in 0..cfg.n_home_aps {
+        let room = &rooms[rng_local.random_range(0..rooms.len())];
+        let r = room.rect.shrink(0.3);
+        let pos = Position::new(
+            r.min.x + rng_local.random::<f64>() * r.width(),
+            r.min.y + rng_local.random::<f64>() * r.height(),
+            room.floor,
+        );
+        push_ap(&mut aps, pos, false, &mut rng_local);
+    }
+    // Neighbor APs: in outside regions and on adjacent floors.
+    for _ in 0..cfg.n_neighbor_aps {
+        let (rect, floor) = outside[rng_local.random_range(0..outside.len())];
+        let df: i32 = match cfg.layout {
+            // Apartment buildings have neighbors above and below.
+            Layout::Dorm | Layout::SmallApartment | Layout::LargeApartment | Layout::Lab => {
+                rng_local.random_range(-1..=1)
+            }
+            Layout::TwoStoryHouse => 0,
+        };
+        let pos = Position::new(
+            rect.min.x + rng_local.random::<f64>() * rect.width(),
+            rect.min.y + rng_local.random::<f64>() * rect.height(),
+            floor + df,
+        );
+        push_ap(&mut aps, pos, false, &mut rng_local);
+    }
+    // Transient devices: scattered through inside and nearby outside.
+    for i in 0..cfg.n_transient_aps {
+        let pos = if i % 3 == 0 && !rooms.is_empty() {
+            let room = &rooms[rng_local.random_range(0..rooms.len())];
+            let r = room.rect;
+            Position::new(
+                r.min.x + rng_local.random::<f64>() * r.width(),
+                r.min.y + rng_local.random::<f64>() * r.height(),
+                room.floor,
+            )
+        } else {
+            let (rect, floor) = outside[rng_local.random_range(0..outside.len())];
+            Position::new(
+                rect.min.x + rng_local.random::<f64>() * rect.width(),
+                rect.min.y + rng_local.random::<f64>() * rect.height(),
+                floor,
+            )
+        };
+        push_ap(&mut aps, pos, true, &mut rng_local);
+    }
+    aps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_generate() {
+        let sc = Scenario::build(ScenarioConfig::user(1));
+        let ds = sc.generate();
+        assert!(ds.train.len() > 100, "train {}", ds.train.len());
+        assert_eq!(ds.test.len(), 500);
+        assert_eq!(ds.count(Label::In), 250);
+        assert_eq!(ds.count(Label::Out), 250);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::build(ScenarioConfig::user(2)).generate();
+        let b = Scenario::build(ScenarioConfig::user(2)).generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test.len(), b.test.len());
+        assert_eq!(a.test[17].record, b.test[17].record);
+    }
+
+    #[test]
+    fn training_positions_are_inside() {
+        for uid in [1, 4, 10] {
+            let sc = Scenario::build(ScenarioConfig::user(uid));
+            for p in sc.training_positions() {
+                assert!(sc.world.is_inside(p), "user {uid}: {p:?} not inside");
+            }
+        }
+    }
+
+    #[test]
+    fn records_are_variable_length_and_nonempty_inside() {
+        let sc = Scenario::build(ScenarioConfig::user(3));
+        let ds = sc.generate();
+        let lens: Vec<usize> = ds.train.iter().map(|r| r.len()).collect();
+        assert!(lens.iter().all(|&l| l > 0), "inside scans hear something");
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(min < max, "scan lengths must vary (min={min}, max={max})");
+    }
+
+    #[test]
+    fn mac_counts_are_in_table2_ballpark() {
+        // (user, expected #MACs) from Table II, tolerance ±40%.
+        for (uid, expect) in [(1u32, 20usize), (6, 65), (10, 12)] {
+            let sc = Scenario::build(ScenarioConfig::user(uid));
+            let ds = sc.generate();
+            let mut macs = ds.train.mac_universe();
+            for t in &ds.test {
+                macs.extend(t.record.macs());
+            }
+            macs.sort_unstable();
+            macs.dedup();
+            let n = macs.len();
+            let lo = expect * 6 / 10;
+            let hi = expect * 15 / 10;
+            assert!((lo..=hi).contains(&n), "user {uid}: {n} MACs, expected ≈{expect}");
+        }
+    }
+
+    #[test]
+    fn inside_scans_hear_home_aps_stronger() {
+        let sc = Scenario::build(ScenarioConfig::user(6));
+        let ds = sc.generate();
+        let home_macs: Vec<MacAddr> = sc
+            .world
+            .aps
+            .iter()
+            .filter(|ap| sc.world.plan.contains(ap.pos))
+            .flat_map(|ap| (0..ap.bands.len()).map(|b| ap.mac(b)))
+            .collect();
+        let mean_rssi = |recs: &[&SignalRecord]| -> f64 {
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for r in recs {
+                for reading in &r.readings {
+                    if home_macs.contains(&reading.mac) {
+                        s += reading.rssi as f64;
+                        n += 1;
+                    }
+                }
+            }
+            s / n.max(1) as f64
+        };
+        let in_recs: Vec<&SignalRecord> = ds
+            .test
+            .iter()
+            .filter(|t| t.label == Label::In)
+            .map(|t| &t.record)
+            .collect();
+        let out_recs: Vec<&SignalRecord> = ds
+            .test
+            .iter()
+            .filter(|t| t.label == Label::Out)
+            .map(|t| &t.record)
+            .collect();
+        let gap = mean_rssi(&in_recs) - mean_rssi(&out_recs);
+        assert!(gap > 8.0, "home APs must be markedly stronger inside (gap {gap:.1} dB)");
+    }
+
+    #[test]
+    fn busy_profile_attenuates_and_adds_transients() {
+        let sc = Scenario::build(ScenarioConfig::lab());
+        let pos = vec![Position::new(7.0, 5.0, 0); 60];
+        let mut rng = sc.rng(1);
+        let quiet = sc.sense_positions(&pos, &TimeProfile::QUIET, 0.0, &mut rng);
+        let mut rng = sc.rng(1);
+        let busy = sc.sense_positions(&pos, &TimeProfile::AFTERNOON, 0.0, &mut rng);
+        assert!(
+            busy.rss_stats().n_macs > quiet.rss_stats().n_macs,
+            "transients add MACs ({} vs {})",
+            busy.rss_stats().n_macs,
+            quiet.rss_stats().n_macs
+        );
+        // Crowd attenuation must show on the persistent (non-transient)
+        // APs; transient hotspots would otherwise confound the mean.
+        let persistent: std::collections::HashSet<MacAddr> = sc
+            .world
+            .aps
+            .iter()
+            .filter(|ap| !ap.transient)
+            .flat_map(|ap| (0..ap.bands.len()).map(|b| ap.mac(b)))
+            .collect();
+        let mean_of = |rs: &RecordSet| {
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for r in rs.iter() {
+                for reading in &r.readings {
+                    if persistent.contains(&reading.mac) {
+                        s += reading.rssi as f64;
+                        n += 1;
+                    }
+                }
+            }
+            s / n.max(1) as f64
+        };
+        let (q, b) = (mean_of(&quiet), mean_of(&busy));
+        assert!(b < q, "crowds attenuate persistent APs ({b:.1} vs {q:.1})");
+    }
+
+    #[test]
+    fn band_filter_reduces_macs() {
+        let mut cfg = ScenarioConfig::user(6);
+        cfg.enabled_bands = vec![BandKind::Ghz24];
+        let only24 = Scenario::build(cfg).generate();
+        let both = Scenario::build(ScenarioConfig::user(6)).generate();
+        assert!(only24.train.mac_universe().len() < both.train.mac_universe().len());
+    }
+
+    #[test]
+    fn two_story_house_uses_both_floors() {
+        let sc = Scenario::build(ScenarioConfig::user(10));
+        let pos = sc.training_positions();
+        assert!(pos.iter().any(|p| p.floor == 0));
+        assert!(pos.iter().any(|p| p.floor == 1));
+    }
+}

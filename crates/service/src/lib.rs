@@ -1,0 +1,18 @@
+//! Streaming geofencing service on top of [`gem_core::Gem`].
+//!
+//! The paper's deployment (Fig. 2) is an IoT device that uploads scans to
+//! a server, which performs in-out detection and notifies a caregiver.
+//! This crate is that server-side layer:
+//!
+//! * [`Monitor`] — a single-user session wrapping a trained model with an
+//!   *alert policy* (consecutive-outside debouncing, the practical fix
+//!   for one-scan flukes) and an event/statistics log;
+//! * [`Supervisor`] — a thread-safe wrapper that feeds a monitor from a
+//!   crossbeam channel and publishes [`Event`]s on another, so device
+//!   ingest and alert handling can live on different threads.
+
+pub mod monitor;
+pub mod supervisor;
+
+pub use monitor::{Event, Monitor, MonitorConfig, MonitorStats};
+pub use supervisor::Supervisor;

@@ -1,0 +1,233 @@
+//! Single-session monitoring with alert debouncing.
+
+use serde::Serialize;
+
+use gem_core::{Decision, Gem};
+use gem_signal::{Label, SignalRecord};
+
+/// Alert policy and bookkeeping knobs.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MonitorConfig {
+    /// Raise the alert only after this many *consecutive* outside
+    /// decisions (debounces single-scan flukes; 1 = immediate).
+    pub alert_after: usize,
+    /// Clear an active alert after this many consecutive in-premises
+    /// decisions.
+    pub clear_after: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { alert_after: 3, clear_after: 2 }
+    }
+}
+
+/// Events emitted by [`Monitor::process`].
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum Event {
+    /// A scan was classified.
+    Decision {
+        /// Scan timestamp.
+        timestamp_s: f64,
+        /// Predicted class.
+        label: Label,
+        /// Outlier score.
+        score: f64,
+    },
+    /// The consecutive-outside threshold was crossed.
+    AlertRaised {
+        /// Timestamp of the scan that crossed the threshold.
+        timestamp_s: f64,
+        /// Consecutive outside decisions at that point.
+        consecutive_out: usize,
+    },
+    /// An active alert was cleared by consecutive in-premises scans.
+    AlertCleared {
+        /// Timestamp of the clearing scan.
+        timestamp_s: f64,
+    },
+}
+
+/// Running statistics of a monitoring session.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MonitorStats {
+    /// Scans processed.
+    pub scans: usize,
+    /// Scans classified in-premises.
+    pub in_decisions: usize,
+    /// Scans classified outside.
+    pub out_decisions: usize,
+    /// Alerts raised.
+    pub alerts: usize,
+    /// Model self-updates performed.
+    pub model_updates: usize,
+}
+
+/// A monitoring session: a trained GEM model plus alert state.
+pub struct Monitor {
+    gem: Gem,
+    cfg: MonitorConfig,
+    consecutive_out: usize,
+    consecutive_in: usize,
+    alert_active: bool,
+    stats: MonitorStats,
+}
+
+impl Monitor {
+    /// Wraps a trained model.
+    pub fn new(gem: Gem, cfg: MonitorConfig) -> Self {
+        assert!(cfg.alert_after >= 1 && cfg.clear_after >= 1);
+        Monitor { gem, cfg, consecutive_out: 0, consecutive_in: 0, alert_active: false, stats: MonitorStats::default() }
+    }
+
+    /// Processes one scan; returns the decision event plus any alert
+    /// transitions it triggered.
+    pub fn process(&mut self, record: &SignalRecord) -> Vec<Event> {
+        let decision: Decision = self.gem.infer(record);
+        self.stats.scans += 1;
+        if decision.updated {
+            self.stats.model_updates += 1;
+        }
+        let mut events = vec![Event::Decision {
+            timestamp_s: record.timestamp_s,
+            label: decision.label,
+            score: decision.score,
+        }];
+        match decision.label {
+            Label::Out => {
+                self.stats.out_decisions += 1;
+                self.consecutive_out += 1;
+                self.consecutive_in = 0;
+                if !self.alert_active && self.consecutive_out >= self.cfg.alert_after {
+                    self.alert_active = true;
+                    self.stats.alerts += 1;
+                    events.push(Event::AlertRaised {
+                        timestamp_s: record.timestamp_s,
+                        consecutive_out: self.consecutive_out,
+                    });
+                }
+            }
+            Label::In => {
+                self.stats.in_decisions += 1;
+                self.consecutive_in += 1;
+                self.consecutive_out = 0;
+                if self.alert_active && self.consecutive_in >= self.cfg.clear_after {
+                    self.alert_active = false;
+                    events.push(Event::AlertCleared { timestamp_s: record.timestamp_s });
+                }
+            }
+        }
+        events
+    }
+
+    /// Whether an alert is currently active.
+    pub fn alert_active(&self) -> bool {
+        self.alert_active
+    }
+
+    /// Session statistics so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Borrow the underlying model (e.g. to snapshot it).
+    pub fn gem(&self) -> &Gem {
+        &self.gem
+    }
+
+    /// Consumes the monitor and returns the model.
+    pub fn into_gem(self) -> Gem {
+        self.gem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::GemConfig;
+    use gem_rfsim::{Scenario, ScenarioConfig};
+
+    fn monitor() -> (Monitor, gem_signal::Dataset) {
+        let mut cfg = ScenarioConfig::user(1);
+        cfg.train_duration_s = 150.0;
+        cfg.n_test_in = 40;
+        cfg.n_test_out = 40;
+        let ds = Scenario::build(cfg).generate();
+        let gem = Gem::fit(GemConfig::default(), &ds.train);
+        (Monitor::new(gem, MonitorConfig::default()), ds)
+    }
+
+    #[test]
+    fn every_scan_yields_a_decision_event() {
+        let (mut m, ds) = monitor();
+        for t in ds.test.iter().take(20) {
+            let events = m.process(&t.record);
+            assert!(matches!(events[0], Event::Decision { .. }));
+        }
+        assert_eq!(m.stats().scans, 20);
+    }
+
+    #[test]
+    fn alert_debounces_and_raises() {
+        let (mut m, ds) = monitor();
+        // Feed a scan that is an outlier by rule (unknown MACs) repeatedly.
+        let alien = gem_signal::SignalRecord::from_pairs(
+            1.0,
+            [(gem_signal::MacAddr::from_raw(0xFFFF_0001), -40.0)],
+        );
+        let e1 = m.process(&alien);
+        let e2 = m.process(&alien);
+        assert!(!m.alert_active(), "not yet: {e1:?} {e2:?}");
+        let e3 = m.process(&alien);
+        assert!(m.alert_active());
+        assert!(e3.iter().any(|e| matches!(e, Event::AlertRaised { consecutive_out: 3, .. })));
+        assert_eq!(m.stats().alerts, 1);
+        // Further outside scans do not re-raise.
+        let e4 = m.process(&alien);
+        assert_eq!(e4.len(), 1);
+        let _ = ds;
+    }
+
+    #[test]
+    fn alert_clears_after_consecutive_in() {
+        let (mut m, ds) = monitor();
+        let alien = gem_signal::SignalRecord::from_pairs(
+            1.0,
+            [(gem_signal::MacAddr::from_raw(0xFFFF_0002), -40.0)],
+        );
+        for _ in 0..3 {
+            m.process(&alien);
+        }
+        assert!(m.alert_active());
+        // Feed in-premises scans until cleared.
+        let mut cleared = false;
+        for t in ds.test.iter().filter(|t| t.label == gem_signal::Label::In) {
+            let events = m.process(&t.record);
+            if events.iter().any(|e| matches!(e, Event::AlertCleared { .. })) {
+                cleared = true;
+                break;
+            }
+        }
+        assert!(cleared, "alert should eventually clear on in-premises scans");
+        assert!(!m.alert_active());
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let (mut m, ds) = monitor();
+        for t in &ds.test {
+            m.process(&t.record);
+        }
+        let s = m.stats();
+        assert_eq!(s.scans, ds.test.len());
+        assert_eq!(s.in_decisions + s.out_decisions, s.scans);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_thresholds() {
+        let (m, _) = monitor();
+        let gem = m.into_gem();
+        Monitor::new(gem, MonitorConfig { alert_after: 0, clear_after: 2 });
+    }
+}

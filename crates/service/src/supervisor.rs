@@ -1,0 +1,160 @@
+//! Threaded supervision: feed scans in on one channel, receive events on
+//! another. Ingest (the device uplink) and alert handling (the caregiver
+//! notifier) usually live on different threads; the supervisor owns the
+//! monitor in between.
+
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use gem_signal::SignalRecord;
+
+use crate::monitor::{Event, Monitor, MonitorStats};
+
+/// Handle to a running monitoring thread.
+pub struct Supervisor {
+    scan_tx: Sender<SignalRecord>,
+    event_rx: Receiver<Event>,
+    stats: Arc<Mutex<MonitorStats>>,
+    worker: Option<JoinHandle<Monitor>>,
+}
+
+impl Supervisor {
+    /// Spawns the worker thread around a monitor. `queue` bounds both
+    /// channels (back-pressure toward the ingest side).
+    pub fn spawn(monitor: Monitor, queue: usize) -> Supervisor {
+        let (scan_tx, scan_rx) = bounded::<SignalRecord>(queue);
+        let (event_tx, event_rx) = bounded::<Event>(queue.max(16));
+        let stats = Arc::new(Mutex::new(monitor.stats()));
+        let stats_worker = Arc::clone(&stats);
+        let worker = thread::spawn(move || {
+            let mut monitor = monitor;
+            while let Ok(record) = scan_rx.recv() {
+                for event in monitor.process(&record) {
+                    // Receiver gone → stop quietly; the join still
+                    // returns the model.
+                    if event_tx.send(event).is_err() {
+                        return monitor;
+                    }
+                }
+                *stats_worker.lock() = monitor.stats();
+            }
+            monitor
+        });
+        Supervisor { scan_tx, event_rx, stats, worker: Some(worker) }
+    }
+
+    /// Submits a scan for processing (blocks when the queue is full).
+    /// Returns false when the worker has shut down.
+    pub fn submit(&self, record: SignalRecord) -> bool {
+        self.scan_tx.send(record).is_ok()
+    }
+
+    /// The event stream.
+    pub fn events(&self) -> &Receiver<Event> {
+        &self.event_rx
+    }
+
+    /// Latest statistics snapshot.
+    pub fn stats(&self) -> MonitorStats {
+        *self.stats.lock()
+    }
+
+    /// Stops the worker and returns the monitor (with its learned state).
+    pub fn shutdown(mut self) -> Monitor {
+        let worker = self.worker.take().expect("worker present");
+        // Dropping `self` drops the only scan sender, closing the channel
+        // so the worker's recv loop ends.
+        drop(self);
+        worker.join().expect("worker panicked")
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            // Close the scan channel so the worker's recv loop ends, and
+            // drop the event receiver *before* joining: a worker blocked
+            // on a full event queue would otherwise never observe the
+            // shutdown and the join would deadlock.
+            let (dead_tx, _) = bounded::<SignalRecord>(1);
+            self.scan_tx = dead_tx;
+            let (_, dead_rx) = bounded::<Event>(1);
+            self.event_rx = dead_rx;
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorConfig;
+    use gem_core::{Gem, GemConfig};
+    use gem_rfsim::{Scenario, ScenarioConfig};
+
+    fn monitor() -> (Monitor, gem_signal::Dataset) {
+        let mut cfg = ScenarioConfig::user(1);
+        cfg.train_duration_s = 150.0;
+        cfg.n_test_in = 30;
+        cfg.n_test_out = 30;
+        let ds = Scenario::build(cfg).generate();
+        let gem = Gem::fit(GemConfig::default(), &ds.train);
+        (Monitor::new(gem, MonitorConfig::default()), ds)
+    }
+
+    #[test]
+    fn processes_scans_across_threads() {
+        let (m, ds) = monitor();
+        let sup = Supervisor::spawn(m, 8);
+        let n = 20;
+        for t in ds.test.iter().take(n) {
+            assert!(sup.submit(t.record.clone()));
+        }
+        let mut decisions = 0;
+        while decisions < n {
+            match sup.events().recv_timeout(std::time::Duration::from_secs(30)) {
+                Ok(Event::Decision { .. }) => decisions += 1,
+                Ok(_) => {}
+                Err(e) => panic!("event stream stalled: {e}"),
+            }
+        }
+        assert_eq!(sup.stats().scans, n);
+    }
+
+    #[test]
+    fn drop_with_pending_events_does_not_deadlock() {
+        let (m, ds) = monitor();
+        // Tiny queues: the worker will fill the event channel and block.
+        let sup = Supervisor::spawn(m, 2);
+        for t in ds.test.iter().take(12) {
+            sup.submit(t.record.clone());
+        }
+        // Give the worker time to wedge on the full event queue, then
+        // drop without draining. A regression here hangs the test.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        drop(sup);
+    }
+
+    #[test]
+    fn shutdown_returns_monitor_with_state() {
+        let (m, ds) = monitor();
+        let sup = Supervisor::spawn(m, 8);
+        for t in ds.test.iter().take(5) {
+            sup.submit(t.record.clone());
+        }
+        // Drain so the worker isn't blocked on a full event queue.
+        let mut seen = 0;
+        while seen < 5 {
+            if let Ok(Event::Decision { .. }) =
+                sup.events().recv_timeout(std::time::Duration::from_secs(30))
+            {
+                seen += 1;
+            }
+        }
+        let monitor = sup.shutdown();
+        assert_eq!(monitor.stats().scans, 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Labeled datasets for geofencing evaluation.
+//!
+//! Training data in GEM is *one-class*: only in-premises records, collected
+//! while walking the inner perimeter. Test data carries ground-truth
+//! [`Label`]s so evaluation code can compute precision/recall/F for both the
+//! in-premises and outside classes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{RecordSet, SignalRecord};
+
+/// Ground-truth location class of a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Collected inside the geofenced premises ("normal").
+    In,
+    /// Collected outside the premises ("outlier").
+    Out,
+}
+
+impl Label {
+    /// True when the record is in-premises.
+    pub fn is_in(self) -> bool {
+        matches!(self, Label::In)
+    }
+}
+
+/// A test record together with its ground truth.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRecord {
+    /// The scan itself.
+    pub record: SignalRecord,
+    /// Where it was really collected.
+    pub label: Label,
+}
+
+/// A complete experiment dataset: unlabeled (implicitly in-premises)
+/// training records plus a labeled, time-ordered test stream.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Initial training records (all collected in-premises).
+    pub train: RecordSet,
+    /// Time-ordered test stream with ground truth.
+    pub test: Vec<LabeledRecord>,
+}
+
+impl Dataset {
+    /// Creates a dataset from its parts.
+    pub fn new(train: RecordSet, test: Vec<LabeledRecord>) -> Self {
+        Dataset { train, test }
+    }
+
+    /// Number of test records with the given label.
+    pub fn count(&self, label: Label) -> usize {
+        self.test.iter().filter(|t| t.label == label).count()
+    }
+
+    /// Splits the test stream into `k` nearly-equal contiguous stages,
+    /// preserving order (used for the online-update experiment, Fig. 9b).
+    pub fn test_stages(&self, k: usize) -> Vec<&[LabeledRecord]> {
+        assert!(k > 0, "stage count must be positive");
+        let n = self.test.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut idx = 0usize;
+        for c in 0..k {
+            let take = base + usize::from(c < extra);
+            out.push(&self.test[idx..idx + take]);
+            idx += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+
+    fn labeled(label: Label) -> LabeledRecord {
+        LabeledRecord {
+            record: SignalRecord::from_pairs(0.0, [(MacAddr::from_raw(1), -50.0)]),
+            label,
+        }
+    }
+
+    #[test]
+    fn count_by_label() {
+        let ds = Dataset::new(
+            RecordSet::new(),
+            vec![labeled(Label::In), labeled(Label::Out), labeled(Label::In)],
+        );
+        assert_eq!(ds.count(Label::In), 2);
+        assert_eq!(ds.count(Label::Out), 1);
+    }
+
+    #[test]
+    fn stages_cover_stream_in_order() {
+        let ds = Dataset::new(
+            RecordSet::new(),
+            (0..7).map(|_| labeled(Label::In)).collect(),
+        );
+        let stages = ds.test_stages(3);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages.iter().map(|s| s.len()).sum::<usize>(), 7);
+        assert_eq!(stages[0].len(), 3);
+    }
+
+    #[test]
+    fn label_is_in() {
+        assert!(Label::In.is_in());
+        assert!(!Label::Out.is_in());
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared vocabulary types for the GEM geofencing system.
+//!
+//! This crate defines the data model that every other crate in the workspace
+//! speaks: [`MacAddr`] identifiers for access-point transceivers, RSS
+//! readings, variable-length [`SignalRecord`]s, and labeled [`Dataset`]s.
+//! It also provides the padded matrix view of a record set
+//! ([`RecordSet::to_matrix`]) used by the matrix-based baselines the paper
+//! compares against, and a small deterministic random-number utility module
+//! ([`rng`]) shared across the workspace.
+
+pub mod dataset;
+pub mod mac;
+pub mod record;
+pub mod rng;
+
+pub use dataset::{Dataset, Label, LabeledRecord};
+pub use mac::MacAddr;
+pub use record::{PaddedMatrix, Reading, RecordSet, SignalRecord};
+
+/// Default RSS floor (in dBm) used to pad missing entries in matrix
+/// representations, following the paper's convention of -120 dBm.
+pub const RSS_PAD_DBM: f32 = -120.0;
+
+/// Default device sensitivity (in dBm): readings weaker than this are not
+/// observed by the IoT device.
+pub const RSS_SENSITIVITY_DBM: f32 = -95.0;

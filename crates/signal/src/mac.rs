@@ -1,0 +1,180 @@
+//! MAC address identifiers.
+//!
+//! Each access point can expose one or more MAC addresses (one per
+//! transceiver/band). The paper builds its bipartite graph over MAC
+//! addresses rather than physical APs; this type is the node identity for
+//! that side of the graph.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit IEEE 802 MAC address, stored in the low 48 bits of a `u64`.
+///
+/// `MacAddr` is `Copy`, cheap to hash, and ordered, which makes it a good
+/// key for interning tables and sorted containers.
+///
+/// ```
+/// use gem_signal::MacAddr;
+/// let m: MacAddr = "aa:bb:cc:00:11:22".parse().unwrap();
+/// assert_eq!(m.to_string(), "aa:bb:cc:00:11:22");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MacAddr(u64);
+
+impl MacAddr {
+    /// Bit mask covering the 48 significant bits.
+    pub const MASK: u64 = 0xFFFF_FFFF_FFFF;
+
+    /// Creates a MAC address from a raw integer; bits above 48 are dropped.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        MacAddr(raw & Self::MASK)
+    }
+
+    /// Returns the raw 48-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a MAC address from six octets.
+    pub const fn from_octets(o: [u8; 6]) -> Self {
+        MacAddr(
+            ((o[0] as u64) << 40)
+                | ((o[1] as u64) << 32)
+                | ((o[2] as u64) << 24)
+                | ((o[3] as u64) << 16)
+                | ((o[4] as u64) << 8)
+                | (o[5] as u64),
+        )
+    }
+
+    /// Returns the six octets of the address.
+    pub const fn octets(self) -> [u8; 6] {
+        [
+            (self.0 >> 40) as u8,
+            (self.0 >> 32) as u8,
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Derives a deterministic, locally-administered MAC address for a
+    /// simulated AP transceiver. `ap` identifies the AP and `transceiver`
+    /// the radio within it (e.g. 2.4 GHz vs 5 GHz).
+    ///
+    /// The locally-administered bit (bit 1 of the first octet) is set so
+    /// simulated addresses can never collide with real vendor OUIs.
+    pub fn simulated(ap: u32, transceiver: u8) -> Self {
+        // SplitMix64-style scramble so nearby ids don't produce nearby MACs.
+        let mut z = ((ap as u64) << 8 | transceiver as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let raw = z & Self::MASK;
+        // Force locally-administered unicast: xxxx_xx10 in the first octet.
+        let first = ((raw >> 40) as u8 & !0b01) | 0b10;
+        MacAddr((raw & 0x00FF_FFFF_FFFF) | ((first as u64) << 40))
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+/// Error returned when parsing a malformed MAC address string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError(String);
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in octets.iter_mut() {
+            let part = parts.next().ok_or_else(|| ParseMacError(s.to_string()))?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| ParseMacError(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError(s.to_string()));
+        }
+        Ok(MacAddr::from_octets(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_octets() {
+        let m = MacAddr::from_octets([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.octets(), [0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.raw(), 0xdead_beef_0001);
+    }
+
+    #[test]
+    fn roundtrip_string() {
+        let m: MacAddr = "de:ad:be:ef:00:01".parse().unwrap();
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:01:02".parse::<MacAddr>().is_err());
+        assert!("zz:ad:be:ef:00:01".parse::<MacAddr>().is_err());
+        assert!("".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn from_raw_masks_high_bits() {
+        let m = MacAddr::from_raw(u64::MAX);
+        assert_eq!(m.raw(), MacAddr::MASK);
+    }
+
+    #[test]
+    fn simulated_addresses_are_distinct_and_local() {
+        let mut seen = std::collections::HashSet::new();
+        for ap in 0..200u32 {
+            for t in 0..3u8 {
+                let m = MacAddr::simulated(ap, t);
+                assert!(seen.insert(m), "collision for ap={ap} t={t}");
+                let first = m.octets()[0];
+                assert_eq!(first & 0b11, 0b10, "must be locally-administered unicast");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_is_deterministic() {
+        assert_eq!(MacAddr::simulated(7, 1), MacAddr::simulated(7, 1));
+        assert_ne!(MacAddr::simulated(7, 1), MacAddr::simulated(7, 2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic random-number utilities shared across the workspace.
+//!
+//! The offline `rand` crate ships uniform sampling only; Gaussian variates
+//! (shadow fading, measurement noise, embedding initialization) and
+//! stream-splitting helpers are provided here so every crate draws from the
+//! same, seed-reproducible implementations.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws a standard normal variate using the Box–Muller transform.
+///
+/// One of the two generated variates is discarded for simplicity; the
+/// generator is cheap enough that caching the spare is not worth the state.
+pub fn gaussian(rng: &mut impl RngExt) -> f64 {
+    // Guard against log(0): sample u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal(rng: &mut impl RngExt, mean: f64, sd: f64) -> f64 {
+    mean + sd * gaussian(rng)
+}
+
+/// Derives an independent child RNG from a base seed and a stream tag.
+///
+/// Experiments that fan out over users/runs derive one child per unit of
+/// work so that adding or reordering work does not perturb other streams.
+pub fn child_rng(base_seed: u64, stream: u64) -> StdRng {
+    // SplitMix64 mixing of (seed, stream) into a fresh 64-bit seed.
+    let mut z = base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+/// Samples an index from an (unnormalized) non-negative weight slice.
+///
+/// Panics if the weights are empty or sum to a non-positive value.
+pub fn weighted_index(rng: &mut impl RngExt, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index: empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index: non-positive total weight");
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = gaussian(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean_target = -70.0;
+        let sd_target = 8.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += normal(&mut rng, mean_target, sd_target);
+        }
+        assert!((sum / n as f64 - mean_target).abs() < 0.3);
+    }
+
+    #[test]
+    fn child_rngs_are_deterministic_and_distinct() {
+        let a: f64 = child_rng(1, 0).random();
+        let a2: f64 = child_rng(1, 0).random();
+        let b: f64 = child_rng(1, 1).random();
+        let c: f64 = child_rng(2, 0).random();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn weighted_index_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        weighted_index(&mut rng, &[]);
+    }
+}

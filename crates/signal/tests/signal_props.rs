@@ -1,0 +1,81 @@
+//! Property-based tests for the signal vocabulary types.
+
+use proptest::prelude::*;
+
+use gem_signal::{MacAddr, RecordSet, SignalRecord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mac_display_parse_roundtrip(raw in 0u64..=MacAddr::MASK) {
+        let mac = MacAddr::from_raw(raw);
+        let parsed: MacAddr = mac.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, mac);
+    }
+
+    #[test]
+    fn mac_octet_roundtrip(octets in prop::array::uniform6(any::<u8>())) {
+        let mac = MacAddr::from_octets(octets);
+        prop_assert_eq!(mac.octets(), octets);
+    }
+
+    #[test]
+    fn record_push_keeps_strongest(
+        readings in prop::collection::vec((0u64..5, -100.0f32..-20.0), 1..20),
+    ) {
+        let mut rec = SignalRecord::new(0.0);
+        for &(m, r) in &readings {
+            rec.push(MacAddr::from_raw(m), r);
+        }
+        // At most one reading per MAC, and it is the maximum seen.
+        prop_assert!(rec.len() <= 5);
+        for reading in &rec.readings {
+            let best = readings
+                .iter()
+                .filter(|(m, _)| MacAddr::from_raw(*m) == reading.mac)
+                .map(|&(_, r)| r)
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(reading.rssi, best);
+        }
+    }
+
+    #[test]
+    fn chunks_partition_and_preserve_order(
+        n in 1usize..50,
+        k in 1usize..10,
+    ) {
+        let rs: RecordSet = (0..n)
+            .map(|i| SignalRecord::from_pairs(i as f64, [(MacAddr::from_raw(1), -50.0)]))
+            .collect();
+        let chunks = rs.chunks(k);
+        prop_assert_eq!(chunks.len(), k);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+        // Re-concatenation reproduces the original order.
+        let mut rebuilt = Vec::new();
+        for c in &chunks {
+            rebuilt.extend(c.records().iter().cloned());
+        }
+        prop_assert_eq!(rebuilt, rs.records().to_vec());
+        // Sizes are balanced within one.
+        let min = chunks.iter().map(|c| c.len()).min().unwrap();
+        let max = chunks.iter().map(|c| c.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn rss_stats_mean_is_bounded_by_extremes(
+        readings in prop::collection::vec((0u64..30, -100.0f32..-20.0), 1..40),
+    ) {
+        let rec = SignalRecord::from_pairs(
+            0.0,
+            readings.iter().map(|&(m, r)| (MacAddr::from_raw(m), r)),
+        );
+        let rs = RecordSet::from_records(vec![rec]);
+        let stats = rs.rss_stats();
+        prop_assert!(stats.mean_dbm <= -20.0 + 1e-6);
+        prop_assert!(stats.mean_dbm >= -100.0 - 1e-6);
+        prop_assert!(stats.sd_dbm >= 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Robustness to AP dynamics (the paper's micro-benchmarks, Figs. 10–13):
+//! MAC pruning and the two-state ON-OFF Markov model.
+//!
+//! ```text
+//! cargo run --release --example ap_churn
+//! ```
+
+use gem::core::{Gem, GemConfig};
+use gem::eval::Confusion;
+use gem::rfsim::{prune_macs, MarkovOnOff, Scenario, ScenarioConfig};
+use gem::signal::rng::child_rng;
+
+fn f_scores(ds: &gem::signal::Dataset) -> (f64, f64) {
+    let mut gem = Gem::fit(GemConfig::default(), &ds.train);
+    let mut c = Confusion::default();
+    for t in &ds.test {
+        c.record(t.label, gem.infer(&t.record).label);
+    }
+    (c.in_metrics().f_score, c.out_metrics().f_score)
+}
+
+fn main() {
+    let mut cfg = ScenarioConfig::user(6);
+    cfg.train_duration_s = 240.0;
+    cfg.n_test_in = 100;
+    cfg.n_test_out = 100;
+    let base = Scenario::build(cfg).generate();
+
+    println!("baseline (no churn):");
+    let (fi, fo) = f_scores(&base);
+    println!("  F_in {fi:.3}  F_out {fo:.3}\n");
+
+    println!("pruning MACs from the training set (paper Fig. 10):");
+    for pct in [10usize, 25] {
+        let mut ds = base.clone();
+        let mut rng = child_rng(1, pct as u64);
+        let removed = prune_macs(&mut ds.train, pct as f64 / 100.0, &mut rng);
+        let (fi, fo) = f_scores(&ds);
+        println!("  {pct:>2}% pruned ({} MACs gone): F_in {fi:.3}  F_out {fo:.3}", removed.len());
+    }
+
+    println!("\nAP ON-OFF Markov dynamics (paper Figs. 12–13):");
+    for (p, q) in [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1)] {
+        let mut ds = base.clone();
+        let chain = MarkovOnOff::new(p, q);
+        let mut rng = child_rng(2, (p * 10.0) as u64);
+        chain.apply(&mut ds, &mut rng);
+        let (fi, fo) = f_scores(&ds);
+        println!(
+            "  p={p:.1} q={q:.1} (stationary ON {:.0}%): F_in {fi:.3}  F_out {fo:.3}",
+            chain.stationary_on() * 100.0
+        );
+    }
+}

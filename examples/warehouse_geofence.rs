@@ -1,0 +1,58 @@
+//! Logistics scenario: freight must stay inside a warehouse area
+//! (the paper's logistics-management motivation), evaluated with the
+//! algorithm grid so the comparison of Table I can be reproduced on a
+//! single scenario in seconds.
+//!
+//! ```text
+//! cargo run --release --example warehouse_geofence
+//! ```
+
+use gem::baselines::{Inoa, InoaConfig, SignatureHome, SignatureHomeConfig};
+use gem::core::{Gem, GemConfig};
+use gem::eval::Confusion;
+use gem::rfsim::{Scenario, ScenarioConfig};
+
+fn main() {
+    // The open-plan lab layout doubles as a small warehouse floor.
+    let mut cfg = ScenarioConfig::lab();
+    cfg.name = "warehouse".into();
+    cfg.train_duration_s = 240.0;
+    cfg.n_test_in = 120;
+    cfg.n_test_out = 120;
+    let dataset = Scenario::build(cfg).generate();
+    println!(
+        "warehouse dataset: {} training scans, {} test scans",
+        dataset.train.len(),
+        dataset.test.len()
+    );
+
+    // GEM.
+    let mut gem = Gem::fit(GemConfig::default(), &dataset.train);
+    let mut gem_c = Confusion::default();
+    for t in &dataset.test {
+        gem_c.record(t.label, gem.infer(&t.record).label);
+    }
+
+    // Two classical geofencing baselines on the same stream.
+    let sh = SignatureHome::fit(SignatureHomeConfig::default(), &dataset.train);
+    let mut sh_c = Confusion::default();
+    for t in &dataset.test {
+        sh_c.record(t.label, sh.infer(&t.record).0);
+    }
+    let inoa = Inoa::fit(InoaConfig::default(), &dataset.train);
+    let mut inoa_c = Confusion::default();
+    for t in &dataset.test {
+        inoa_c.record(t.label, inoa.infer(&t.record).0);
+    }
+
+    println!("\n{:<16} {:>6} {:>6} {:>6}", "system", "F_in", "F_out", "acc");
+    for (name, c) in [("GEM", gem_c), ("SignatureHome", sh_c), ("INOA", inoa_c)] {
+        println!(
+            "{:<16} {:>6.3} {:>6.3} {:>6.3}",
+            name,
+            c.in_metrics().f_score,
+            c.out_metrics().f_score,
+            c.accuracy()
+        );
+    }
+}

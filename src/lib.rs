@@ -1,0 +1,25 @@
+//! # GEM — geofencing with network embedding on ambient RF signals
+//!
+//! Umbrella crate re-exporting the whole workspace, so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`signal`] — records, MAC addresses, datasets;
+//! * [`rfsim`] — the RF propagation / mobility simulator;
+//! * [`graph`] — the weighted bipartite graph substrate;
+//! * [`nn`] — tensors, autograd, optimizers;
+//! * [`core`] — BiSAGE, the enhanced histogram detector, and the
+//!   end-to-end [`core::Gem`](gem_core) pipeline;
+//! * [`baselines`] — every comparator from the paper's evaluation;
+//! * [`eval`] — metrics, ROC/AUC, t-SNE;
+//! * [`service`] — the streaming monitor/alert layer.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use gem_baselines as baselines;
+pub use gem_core as core;
+pub use gem_eval as eval;
+pub use gem_graph as graph;
+pub use gem_nn as nn;
+pub use gem_rfsim as rfsim;
+pub use gem_service as service;
+pub use gem_signal as signal;

@@ -1,0 +1,165 @@
+//! Training-path benchmarks: the blocked matmul kernels and data-parallel
+//! BiSAGE `fit()` throughput (positive pairs consumed per second),
+//! sequential vs. worker pool.
+//!
+//! Run with `cargo bench -p gem-bench --bench train`. Each run appends one
+//! JSON line to `BENCH_train.json` at the repository root; set
+//! `GEM_NUM_THREADS` to size the pool (the container may expose fewer
+//! cores than the pool has workers, in which case the recorded speedup is
+//! bounded by the hardware, not the implementation).
+
+use std::hint::black_box;
+use std::io::Write;
+
+use criterion::Criterion;
+
+use gem_core::{BiSage, BiSageConfig};
+use gem_graph::{BipartiteGraph, WeightFn};
+use gem_nn::init;
+use gem_signal::rng::child_rng;
+use gem_signal::{MacAddr, SignalRecord};
+
+/// Records in clusters of 20 sharing a 10-MAC block (same shape as the
+/// model_ops bench, scaled up so `fit` has real work per epoch).
+fn cluster_graph(n: u64) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(WeightFn::default());
+    for i in 0..n {
+        g.add_record(&SignalRecord::from_pairs(
+            i as f64,
+            (0..10).map(|k| (MacAddr::from_raw((i / 20) * 10 + k), -50.0 - k as f32 * 3.0)),
+        ));
+    }
+    g
+}
+
+fn fit_cfg(num_threads: usize) -> BiSageConfig {
+    BiSageConfig {
+        dim: 32,
+        epochs: 1,
+        batch_size: 128,
+        sample_sizes: vec![8, 4],
+        grad_accum: 4,
+        num_threads,
+        ..BiSageConfig::default()
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = child_rng(21, 22);
+    // Non-square, non-multiple-of-tile shapes exercise the remainder
+    // paths of the blocked kernels as well as the main tiles.
+    let (m, k, n) = (250, 130, 70);
+    let a = init::xavier_uniform(&mut rng, m, k);
+    let b = init::xavier_uniform(&mut rng, k, n);
+    let a_t = init::xavier_uniform(&mut rng, k, m);
+    let b_t = init::xavier_uniform(&mut rng, n, k);
+
+    let mut group = c.benchmark_group("matmul_kernels");
+    group.sample_size(40);
+    group.bench_function("matmul_250x130x70", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+    group.bench_function("matmul_tn_250x130x70", |bch| {
+        bch.iter(|| black_box(black_box(&a_t).matmul_tn(black_box(&b))))
+    });
+    group.bench_function("matmul_nt_250x130x70", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul_nt(black_box(&b_t))))
+    });
+    group.finish();
+}
+
+/// Positive pairs one `fit()` call consumes under `fit_cfg` (deterministic
+/// for a fixed graph and seed).
+fn pairs_per_fit(graph: &BipartiteGraph) -> usize {
+    let mut model = BiSage::new(fit_cfg(1));
+    model.fit(graph).pairs_seen
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let graph = cluster_graph(200);
+    let mut group = c.benchmark_group("bisage_fit");
+    group.sample_size(10);
+    group.bench_function("fit_200_records_seq", |bch| {
+        bch.iter(|| {
+            let mut model = BiSage::new(fit_cfg(1));
+            black_box(model.fit(black_box(&graph)))
+        })
+    });
+    group.bench_function("fit_200_records_pool", |bch| {
+        bch.iter(|| {
+            let mut model = BiSage::new(fit_cfg(0));
+            black_box(model.fit(black_box(&graph)))
+        })
+    });
+    group.finish();
+}
+
+#[derive(serde::Serialize)]
+struct KernelLine {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+#[derive(serde::Serialize)]
+struct TrainBenchLine {
+    bench: &'static str,
+    pool_threads: usize,
+    pairs_per_fit: usize,
+    seq_median_ns: f64,
+    pool_median_ns: f64,
+    seq_pairs_per_sec: f64,
+    pool_pairs_per_sec: f64,
+    speedup: f64,
+    kernels: Vec<KernelLine>,
+}
+
+fn append_results(c: &Criterion, pairs: usize) {
+    let find = |name: &str| {
+        c.reports()
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing bench report {name}"))
+    };
+    let seq = find("fit_200_records_seq").median_ns;
+    let pool = find("fit_200_records_pool").median_ns;
+    let line = TrainBenchLine {
+        bench: "train",
+        pool_threads: gem_par::num_threads(),
+        pairs_per_fit: pairs,
+        seq_median_ns: seq,
+        pool_median_ns: pool,
+        seq_pairs_per_sec: pairs as f64 / (seq * 1e-9),
+        pool_pairs_per_sec: pairs as f64 / (pool * 1e-9),
+        speedup: seq / pool,
+        kernels: c
+            .reports()
+            .iter()
+            .filter(|r| r.group == "matmul_kernels")
+            .map(|r| KernelLine {
+                name: r.name.clone(),
+                median_ns: r.median_ns,
+                min_ns: r.min_ns,
+            })
+            .collect(),
+    };
+    let json = serde_json::to_string(&line).expect("serialize bench line");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open BENCH_train.json");
+    writeln!(f, "{json}").expect("append BENCH_train.json");
+    println!("appended results to {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_kernels(&mut c);
+    let graph = cluster_graph(200);
+    let pairs = pairs_per_fit(&graph);
+    bench_fit(&mut c);
+    c.final_summary();
+    append_results(&c, pairs);
+}

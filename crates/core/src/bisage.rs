@@ -17,12 +17,15 @@
 //! the bi-level negative-sampling loss of Eq. 8 over consecutive pairs of
 //! weighted random walks.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::Serialize;
 
 use gem_graph::{BipartiteGraph, NegativeTable, NodeId, RecordId, WalkConfig, WalkPairs};
-use gem_nn::tape::{Activation, Graph, ParamId, ParamStore, Var};
+use gem_nn::tape::{Activation, GradStore, Graph, ParamId, ParamStore, Var};
 use gem_nn::{init, Adam, Optimizer, Tensor};
 use gem_signal::rng::child_rng;
 
@@ -81,6 +84,20 @@ pub struct BiSageConfig {
     /// embeddings; they join once sighted often enough (the paper's
     /// "newly sensed MACs … improve the performance over time").
     pub min_mac_degree: usize,
+    /// Worker threads for data-parallel training and batch inference:
+    /// `0` uses the process-global pool (all cores, or `GEM_NUM_THREADS`),
+    /// `1` forces the sequential path on the caller thread. The result is
+    /// bit-identical for every setting — each minibatch chunk derives its
+    /// own RNG from `(seed, epoch, chunk_idx)` and chunk gradients are
+    /// reduced in fixed chunk order, so thread count never touches the
+    /// arithmetic.
+    pub num_threads: usize,
+    /// Minibatch chunks whose gradients are averaged into one optimizer
+    /// step. Every chunk of a group is computed against the same
+    /// parameter snapshot — that independence is what makes the chunks
+    /// parallelizable. `1` recovers strict per-chunk stepping (and
+    /// serializes training).
+    pub grad_accum: usize,
     /// Seed for all training/inference randomness.
     pub seed: u64,
 }
@@ -104,6 +121,8 @@ impl Default for BiSageConfig {
             typed_negatives: false,
             inference_cap: 48,
             min_mac_degree: usize::MAX,
+            num_threads: 0,
+            grad_accum: 2,
             seed: 42,
         }
     }
@@ -116,10 +135,12 @@ impl Default for BiSageConfig {
 struct Tree {
     layers: Vec<Vec<NodeId>>,
     /// Per depth `d`: segment offsets into `layers[d+1]` (+ end sentinel).
-    offsets: Vec<Vec<u32>>,
+    /// `Arc` so the forward pass can hand the buffers to the tape without
+    /// copying them once per aggregation round.
+    offsets: Vec<Arc<Vec<u32>>>,
     /// Per depth `d`: aggregation weight of each `layers[d+1]` node,
     /// normalized within its segment.
-    weights: Vec<Vec<f32>>,
+    weights: Vec<Arc<Vec<f32>>>,
 }
 
 /// Handles of the learnable parameters during a training run.
@@ -206,6 +227,13 @@ impl BiSage {
         self.cfg.dim
     }
 
+    /// The trained aggregation matrices `(W_h^k, W_l^k)`. Exposed so the
+    /// determinism contract — identical parameters for a fixed seed at
+    /// any thread count — can be checked from outside the crate.
+    pub fn aggregation_weights(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.w_h, &self.w_l)
+    }
+
     fn grow_tables(&mut self, rows_needed: usize) {
         let d = self.cfg.dim;
         if self.base_h.rows() >= rows_needed {
@@ -243,7 +271,7 @@ impl BiSage {
         &mut self,
         graph: &BipartiteGraph,
         rng: &mut impl RngExt,
-        trusted: Option<&dyn Fn(RecordId) -> bool>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) {
         let needed = 2 * graph.n_records().max(graph.n_macs());
         self.grow_tables(needed);
@@ -376,10 +404,16 @@ impl BiSage {
         }
     }
 
-    /// Overwrites a record node's base rows with the inductive
-    /// neighbor-mean rule (`h⁰` from its MACs' `l⁰`s and vice versa,
-    /// weighted by edge weight). Returns false for isolated records.
-    fn derive_record_base(&mut self, graph: &BipartiteGraph, r: RecordId) -> bool {
+    /// Pure half of [`BiSage::derive_record_base`]: the inductive
+    /// neighbor-mean base rows of a record (`h⁰` from its MACs' `l⁰`s and
+    /// vice versa, weighted by edge weight), or `None` for isolated
+    /// records. Reads only MAC rows, so it is safe to evaluate for many
+    /// records in parallel before any record row is written.
+    fn compute_record_base(
+        &self,
+        graph: &BipartiteGraph,
+        r: RecordId,
+    ) -> Option<(Vec<f32>, Vec<f32>)> {
         let d = self.cfg.dim;
         let mut h_acc = vec![0.0f32; d];
         let mut l_acc = vec![0.0f32; d];
@@ -397,15 +431,19 @@ impl BiSage {
             }
         }
         if w_sum <= 0.0 {
-            return false;
+            return None;
         }
         normalize_into(&mut h_acc);
         normalize_into(&mut l_acc);
+        Some((h_acc, l_acc))
+    }
+
+    /// Writes freshly derived base rows for a record.
+    fn apply_record_base(&mut self, r: RecordId, h: &[f32], l: &[f32]) {
         let row = node_row(NodeId::Record(r));
-        self.base_h.set_row(row, &h_acc);
-        self.base_l.set_row(row, &l_acc);
+        self.base_h.set_row(row, h);
+        self.base_l.set_row(row, l);
         self.initialized[row] = true;
-        true
     }
 
     /// Collects a node's neighborhood for one tree level: a weighted
@@ -418,7 +456,7 @@ impl BiSage {
         node: NodeId,
         sample_size: usize,
         rng: Option<&mut StdRng>,
-        trusted: Option<&dyn Fn(RecordId) -> bool>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> Vec<(NodeId, f32)> {
         match rng {
             Some(rng) => {
@@ -491,25 +529,38 @@ impl BiSage {
         graph: &BipartiteGraph,
         targets: &[NodeId],
         mut rng: Option<&mut StdRng>,
-        trusted: Option<&dyn Fn(RecordId) -> bool>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> Tree {
+        /// Below this many frontier nodes, fan-out overhead beats the win.
+        const PAR_THRESHOLD: usize = 32;
         let mut layers = vec![targets.to_vec()];
         let mut offsets = Vec::with_capacity(self.cfg.rounds);
         let mut weights = Vec::with_capacity(self.cfg.rounds);
         for depth in 0..self.cfg.rounds {
             let s = self.cfg.sample_sizes[depth];
             let cur = &layers[depth];
+            // The deterministic (inference) expansion has no RNG stream to
+            // preserve, so the per-node neighborhood collection — the
+            // expensive part: filtering, weighting, top-cap sorting — can
+            // fan out; segment assembly stays sequential either way.
+            let sampled: Vec<Vec<(NodeId, f32)>> =
+                if rng.is_none() && self.cfg.num_threads != 1 && cur.len() >= PAR_THRESHOLD {
+                    gem_par::par_map(cur, |&node| self.neighborhood(graph, node, s, None, trusted))
+                } else {
+                    cur.iter()
+                        .map(|&node| self.neighborhood(graph, node, s, rng.as_deref_mut(), trusted))
+                        .collect()
+                };
             let mut next = Vec::with_capacity(cur.len() * s);
             let mut offs = Vec::with_capacity(cur.len() + 1);
             let mut wts = Vec::with_capacity(cur.len() * s);
             offs.push(0u32);
-            for &node in cur {
-                let sampled = self.neighborhood(graph, node, s, rng.as_deref_mut(), trusted);
+            for sampled in &sampled {
                 let w_total: f32 = match self.cfg.aggregator {
                     Aggregator::WeightedMean => sampled.iter().map(|&(_, w)| w).sum(),
                     Aggregator::Mean => sampled.len() as f32,
                 };
-                for (nbr, w) in &sampled {
+                for (nbr, w) in sampled {
                     next.push(*nbr);
                     let norm_w = match self.cfg.aggregator {
                         Aggregator::WeightedMean => w / w_total.max(1e-12),
@@ -520,8 +571,8 @@ impl BiSage {
                 offs.push(next.len() as u32);
             }
             layers.push(next);
-            offsets.push(offs);
-            weights.push(wts);
+            offsets.push(Arc::new(offs));
+            weights.push(Arc::new(wts));
         }
         Tree { layers, offsets, weights }
     }
@@ -572,8 +623,8 @@ impl BiSage {
             for d in 0..=depths {
                 let agg_h = g.segment_weighted_sum(
                     cur_l[d + 1],
-                    tree.offsets[d].clone(),
-                    tree.weights[d].clone(),
+                    Arc::clone(&tree.offsets[d]),
+                    Arc::clone(&tree.weights[d]),
                 );
                 let cat_h = g.concat_cols(cur_h[d], agg_h);
                 let lin_h = g.matmul(cat_h, w_h_var);
@@ -582,8 +633,8 @@ impl BiSage {
 
                 let agg_l = g.segment_weighted_sum(
                     cur_h[d + 1],
-                    tree.offsets[d].clone(),
-                    tree.weights[d].clone(),
+                    Arc::clone(&tree.offsets[d]),
+                    Arc::clone(&tree.weights[d]),
                 );
                 let cat_l = g.concat_cols(cur_l[d], agg_l);
                 let lin_l = g.matmul(cat_l, w_l_var);
@@ -639,7 +690,16 @@ impl BiSage {
         let params = TrainParams { w_h, w_l, base };
         let mut opt = Adam::new(self.cfg.learning_rate);
 
-        for _epoch in 0..self.cfg.epochs {
+        // Data-parallel epoch loop. The chunk decomposition is a pure
+        // function of the shuffled pair stream and `batch_size`; every
+        // chunk derives its RNG from `(seed, epoch, chunk_idx)` and its
+        // gradients are computed against the parameter snapshot at the
+        // start of its group. The reducer then folds the group's gradient
+        // sinks back in fixed chunk order, so the parameter trajectory is
+        // bit-identical for any thread count.
+        let group_len = self.cfg.grad_accum.max(1);
+        let parallel = self.cfg.num_threads != 1 && gem_par::num_threads() > 1;
+        for epoch in 0..self.cfg.epochs {
             let mut pairs = WalkPairs::generate(graph, self.cfg.walks, &mut rng);
             if pairs.is_empty() {
                 break;
@@ -647,19 +707,35 @@ impl BiSage {
             pairs.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut steps = 0usize;
-            for chunk in pairs.pairs.chunks(self.cfg.batch_size) {
-                let loss = self.train_step(
-                    graph,
-                    &mut store,
-                    &params,
-                    chunk,
-                    &negatives,
-                    typed_tables.as_ref(),
-                    &mut opt,
-                    &mut rng,
-                );
-                epoch_loss += loss as f64;
-                steps += 1;
+            let chunks: Vec<&[(NodeId, NodeId)]> =
+                pairs.pairs.chunks(self.cfg.batch_size).collect();
+            for (group_idx, group) in chunks.chunks(group_len).enumerate() {
+                let grads_of = |i: usize, chunk: &&[(NodeId, NodeId)]| {
+                    self.chunk_grads(
+                        graph,
+                        &store,
+                        &params,
+                        chunk,
+                        &negatives,
+                        typed_tables.as_ref(),
+                        epoch,
+                        group_idx * group_len + i,
+                    )
+                };
+                let results: Vec<(f32, GradStore)> = if parallel {
+                    gem_par::par_map_indexed(group, grads_of)
+                } else {
+                    group.iter().enumerate().map(|(i, c)| grads_of(i, c)).collect()
+                };
+                let alpha = 1.0 / results.len() as f32;
+                for (loss, sink) in &results {
+                    epoch_loss += *loss as f64;
+                    store.apply_grads(sink, alpha);
+                    steps += 1;
+                }
+                store.clip_grad_norm(5.0);
+                opt.step(&mut store);
+                store.zero_grads();
             }
             report.pairs_seen += pairs.len();
             report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
@@ -684,85 +760,114 @@ impl BiSage {
         // variables that shaped the MAC bases and aggregation matrices
         // during training; now every record base is re-derived from its
         // MAC neighbors by the same rule streamed records will use, so
-        // training and streamed records are exchangeable.
-        for r in 0..graph.n_records() as u32 {
-            self.derive_record_base(graph, RecordId(r));
+        // training and streamed records are exchangeable. The derivation
+        // reads only MAC rows, so all records compute in parallel before
+        // any row is written.
+        let recs: Vec<RecordId> = (0..graph.n_records() as u32).map(RecordId).collect();
+        let bases = if self.cfg.num_threads != 1 && recs.len() >= 32 {
+            gem_par::par_map(&recs, |&r| self.compute_record_base(graph, r))
+        } else {
+            recs.iter().map(|&r| self.compute_record_base(graph, r)).collect()
+        };
+        for (&r, base) in recs.iter().zip(&bases) {
+            if let Some((h, l)) = base {
+                self.apply_record_base(r, h, l);
+            }
         }
         report
     }
 
+    /// Forward + backward for one minibatch chunk against a read-only
+    /// parameter snapshot. The chunk's negative sampling and neighborhood
+    /// sampling run on an RNG derived from `(seed, epoch, chunk_idx)`, so
+    /// the result does not depend on which thread — or in what order —
+    /// the chunk is evaluated. Gradients land in a fresh [`GradStore`];
+    /// the caller folds them into the shared store in chunk order.
     #[allow(clippy::too_many_arguments)]
-    fn train_step(
+    fn chunk_grads(
         &self,
         graph: &BipartiteGraph,
-        store: &mut ParamStore,
+        store: &ParamStore,
         params: &TrainParams,
         pairs: &[(NodeId, NodeId)],
         negatives: &NegativeTable,
         typed_tables: Option<&(NegativeTable, NegativeTable)>,
-        opt: &mut Adam,
-        rng: &mut StdRng,
-    ) -> f32 {
+        epoch: usize,
+        chunk_idx: usize,
+    ) -> (f32, GradStore) {
+        let mut rng = child_rng(self.cfg.seed, chunk_stream(epoch, chunk_idx));
         let b = pairs.len();
         let kn = self.cfg.negative_samples;
-        let mut targets: Vec<NodeId> = Vec::with_capacity(2 * b + b * kn);
-        targets.extend(pairs.iter().map(|&(x, _)| x));
-        targets.extend(pairs.iter().map(|&(_, y)| y));
-        for &(x, y) in pairs {
-            let table = match typed_tables {
-                // Negatives share y's type (the side opposite to x).
-                Some((recs, macs)) => {
-                    if y.is_record() {
-                        recs
-                    } else {
-                        macs
+        STEP_BUFFERS.with(|buffers| {
+            let buf = &mut *buffers.borrow_mut();
+            buf.targets.clear();
+            buf.targets.reserve(2 * b + b * kn);
+            buf.targets.extend(pairs.iter().map(|&(x, _)| x));
+            buf.targets.extend(pairs.iter().map(|&(_, y)| y));
+            for &(x, y) in pairs {
+                let table = match typed_tables {
+                    // Negatives share y's type (the side opposite to x).
+                    Some((recs, macs)) => {
+                        if y.is_record() {
+                            recs
+                        } else {
+                            macs
+                        }
                     }
+                    None => negatives,
+                };
+                for _ in 0..kn {
+                    buf.targets.push(table.sample_excluding(x, y, &mut rng));
                 }
-                None => negatives,
-            };
-            for _ in 0..kn {
-                targets.push(table.sample_excluding(x, y, rng));
             }
-        }
-        let tree = self.build_tree(graph, &targets, Some(rng), None);
-        let mut g = Graph::new();
-        let (h_all, l_all) = self.forward(&mut g, &tree, Some(store), Some(params));
+            let tree = self.build_tree(graph, &buf.targets, Some(&mut rng), None);
+            let mut g = Graph::new();
+            let (h_all, l_all) = self.forward(&mut g, &tree, Some(store), Some(params));
 
-        let x_idx: Vec<u32> = (0..b as u32).collect();
-        let y_idx: Vec<u32> = (b as u32..2 * b as u32).collect();
-        let z_idx: Vec<u32> = (2 * b as u32..(2 * b + b * kn) as u32).collect();
-        let x_rep: Vec<u32> = (0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)).collect();
+            // Selection index vectors depend only on `(b, kn)`; rebuild
+            // them (into retained capacity) only when the shape changes —
+            // the final short chunk of an epoch, typically.
+            if buf.index_shape != (b, kn) {
+                buf.x_idx.clear();
+                buf.x_idx.extend(0..b as u32);
+                buf.y_idx.clear();
+                buf.y_idx.extend(b as u32..2 * b as u32);
+                buf.z_idx.clear();
+                buf.z_idx.extend(2 * b as u32..(2 * b + b * kn) as u32);
+                buf.x_rep.clear();
+                buf.x_rep.extend((0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)));
+                buf.index_shape = (b, kn);
+            }
 
-        let h_x = g.select_rows(h_all, &x_idx);
-        let l_x = g.select_rows(l_all, &x_idx);
-        let h_y = g.select_rows(h_all, &y_idx);
-        let l_y = g.select_rows(l_all, &y_idx);
-        let h_z = g.select_rows(h_all, &z_idx);
-        let l_z = g.select_rows(l_all, &z_idx);
-        let h_x_rep = g.select_rows(h_all, &x_rep);
-        let l_x_rep = g.select_rows(l_all, &x_rep);
+            let h_x = g.select_rows(h_all, &buf.x_idx);
+            let l_x = g.select_rows(l_all, &buf.x_idx);
+            let h_y = g.select_rows(h_all, &buf.y_idx);
+            let l_y = g.select_rows(l_all, &buf.y_idx);
+            let h_z = g.select_rows(h_all, &buf.z_idx);
+            let l_z = g.select_rows(l_all, &buf.z_idx);
+            let h_x_rep = g.select_rows(h_all, &buf.x_rep);
+            let l_x_rep = g.select_rows(l_all, &buf.x_rep);
 
-        let pos1 = g.rows_dot(h_x, l_y);
-        let pos2 = g.rows_dot(l_x, h_y);
-        let neg1 = g.rows_dot(h_x_rep, l_z);
-        let neg2 = g.rows_dot(l_x_rep, h_z);
+            let pos1 = g.rows_dot(h_x, l_y);
+            let pos2 = g.rows_dot(l_x, h_y);
+            let neg1 = g.rows_dot(h_x_rep, l_z);
+            let neg2 = g.rows_dot(l_x_rep, h_z);
 
-        let ones = vec![1.0f32; b];
-        let zeros = vec![0.0f32; b * kn];
-        let lp1 = g.bce_with_logits_mean(pos1, &ones);
-        let lp2 = g.bce_with_logits_mean(pos2, &ones);
-        let ln1 = g.bce_with_logits_mean(neg1, &zeros);
-        let ln2 = g.bce_with_logits_mean(neg2, &zeros);
-        let pos_sum = g.add(lp1, lp2);
-        let neg_sum = g.add(ln1, ln2);
-        let loss = g.add(pos_sum, neg_sum);
-        let loss_value = g.value(loss)[(0, 0)];
+            let ones = vec![1.0f32; b];
+            let zeros = vec![0.0f32; b * kn];
+            let lp1 = g.bce_with_logits_mean(pos1, &ones);
+            let lp2 = g.bce_with_logits_mean(pos2, &ones);
+            let ln1 = g.bce_with_logits_mean(neg1, &zeros);
+            let ln2 = g.bce_with_logits_mean(neg2, &zeros);
+            let pos_sum = g.add(lp1, lp2);
+            let neg_sum = g.add(ln1, ln2);
+            let loss = g.add(pos_sum, neg_sum);
+            let loss_value = g.value(loss)[(0, 0)];
 
-        g.backward(loss, store);
-        store.clip_grad_norm(5.0);
-        opt.step(store);
-        store.zero_grads();
-        loss_value
+            let mut sink = GradStore::zeros_like(store);
+            g.backward_into(loss, &mut sink);
+            (loss_value, sink)
+        })
     }
 
     /// Diagnostic: the depth-1 expansion (MAC neighbors) a record target
@@ -771,7 +876,7 @@ impl BiSage {
         &self,
         graph: &BipartiteGraph,
         record: RecordId,
-        trusted: Option<&dyn Fn(RecordId) -> bool>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> Vec<(NodeId, f32)> {
         self.neighborhood(graph, NodeId::Record(record), 0, None, trusted)
     }
@@ -793,7 +898,7 @@ impl BiSage {
         &self,
         graph: &BipartiteGraph,
         nodes: &[NodeId],
-        trusted: Option<&dyn Fn(RecordId) -> bool>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> (Tensor, Tensor) {
         let tree = self.build_tree(graph, nodes, None, trusted);
         let mut g = Graph::new();
@@ -852,7 +957,7 @@ impl BiSage {
         graph: &BipartiteGraph,
         record: RecordId,
         rng: &mut impl RngExt,
-        trusted: Option<&dyn Fn(RecordId) -> bool>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> Vec<f32> {
         self.ensure_rows_filtered(graph, rng, trusted);
         let wrapped = trusted.map(|f| {
@@ -861,10 +966,36 @@ impl BiSage {
         let (h, _) = self.embed_nodes_filtered(
             graph,
             &[NodeId::Record(record)],
-            wrapped.as_ref().map(|f| f as &dyn Fn(RecordId) -> bool),
+            wrapped.as_ref().map(|f| f as &(dyn Fn(RecordId) -> bool + Sync)),
         );
         h.row(0).to_vec()
     }
+}
+
+/// RNG stream id of one training chunk: a fixed tag XOR-folded with the
+/// epoch and the chunk's position in the (deterministic) epoch
+/// decomposition. Fed to [`child_rng`] together with the model seed.
+fn chunk_stream(epoch: usize, chunk_idx: usize) -> u64 {
+    0x7C41_0000_0000_0000 ^ ((epoch as u64) << 32) ^ chunk_idx as u64
+}
+
+/// Per-thread scratch reused across training chunks so the hot loop stops
+/// reallocating its target/index vectors every step. Each pool worker (and
+/// the sequential path) keeps its own copy, so no synchronization is
+/// involved and reuse cannot change results.
+#[derive(Default)]
+struct StepBuffers {
+    targets: Vec<NodeId>,
+    x_idx: Vec<u32>,
+    y_idx: Vec<u32>,
+    z_idx: Vec<u32>,
+    x_rep: Vec<u32>,
+    /// `(batch, negatives)` shape the index vectors were built for.
+    index_shape: (usize, usize),
+}
+
+thread_local! {
+    static STEP_BUFFERS: RefCell<StepBuffers> = RefCell::new(StepBuffers::default());
 }
 
 fn normalize_into(v: &mut [f32]) {

@@ -84,6 +84,13 @@ pub struct GemConfig {
     /// Contamination factor `γ` of the original histogram algorithm
     /// (used by the non-enhanced baseline and ROC comparisons).
     pub contamination: f32,
+    /// Worker threads for training and batch scoring: `0` = all cores
+    /// (or `GEM_NUM_THREADS`), `1` = sequential. Results are identical
+    /// for any value (see `BiSageConfig::num_threads`).
+    pub num_threads: usize,
+    /// Minibatch chunks averaged into each optimizer step
+    /// (see `BiSageConfig::grad_accum`).
+    pub grad_accum: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -120,6 +127,8 @@ impl Default for GemConfig {
             calibrate_keep_in: 0.95,
             calibrate_confident: 0.70,
             contamination: 0.05,
+            num_threads: 0,
+            grad_accum: 2,
             seed: 42,
         }
     }
@@ -145,6 +154,8 @@ impl GemConfig {
             typed_negatives: self.typed_negatives,
             inference_cap: self.inference_cap,
             min_mac_degree: self.min_mac_degree,
+            num_threads: self.num_threads,
+            grad_accum: self.grad_accum,
             seed: self.seed,
         }
     }

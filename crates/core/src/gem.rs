@@ -192,6 +192,12 @@ impl Gem {
         self.detector.detect(h)
     }
 
+    /// Stage 2 over many embeddings at once: the read-only detector fans
+    /// the batch across the worker pool; results keep input order.
+    pub fn detect_only_batch<S: AsRef<[f32]> + Sync>(&self, hs: &[S]) -> Vec<Detection> {
+        self.detector.detect_batch(hs)
+    }
+
     /// Stage 3: absorb a highly confident in-premises embedding into the
     /// detector. Returns whether an update happened.
     pub fn update_with(&mut self, h: &[f32]) -> bool {
@@ -245,6 +251,7 @@ impl Gem {
 
     /// Reassembles a system from persisted parts (see
     /// [`crate::persist::GemSnapshot`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cfg: GemConfig,
         graph: BipartiteGraph,

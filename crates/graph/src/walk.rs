@@ -7,6 +7,7 @@
 //! nodes always have different types, which is what the bi-level loss
 //! (Eq. 8) expects.
 
+use gem_signal::rng::child_rng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
@@ -40,22 +41,27 @@ pub struct WalkPairs {
 impl WalkPairs {
     /// Generates one epoch of weighted walks from every node of the graph
     /// and collects the consecutive-pair stream.
+    ///
+    /// Walks from different start nodes are independent, so they run in
+    /// parallel: one 64-bit value is drawn from `rng` and every start
+    /// node derives its own child stream from it by index. The harvested
+    /// stream is therefore a pure function of the incoming RNG state —
+    /// identical for any thread count — and start nodes are concatenated
+    /// in graph order just like the sequential loop did.
     pub fn generate(graph: &BipartiteGraph, cfg: WalkConfig, rng: &mut impl RngExt) -> Self {
+        let starts: Vec<NodeId> = graph.nodes().collect();
+        let base: u64 = rng.random();
+        let per_start: Vec<Vec<(NodeId, NodeId)>> =
+            gem_par::par_map_indexed(&starts, |i, &start| {
+                let mut rng = child_rng(base, i as u64);
+                let mut pairs = Vec::with_capacity(cfg.walks_per_node * cfg.walk_length.saturating_sub(1));
+                walk_from(graph, start, cfg, &mut rng, &mut pairs);
+                pairs
+            });
         let mut pairs =
             Vec::with_capacity(graph.n_nodes() * cfg.walks_per_node * cfg.walk_length.saturating_sub(1));
-        for start in graph.nodes() {
-            for _ in 0..cfg.walks_per_node {
-                let mut cur = start;
-                for _ in 1..cfg.walk_length {
-                    match graph.walk_step(cur, rng) {
-                        Some(next) => {
-                            pairs.push((cur, next));
-                            cur = next;
-                        }
-                        None => break,
-                    }
-                }
-            }
+        for p in per_start {
+            pairs.extend(p);
         }
         WalkPairs { pairs }
     }
@@ -70,18 +76,7 @@ impl WalkPairs {
     ) -> Self {
         let mut pairs = Vec::new();
         for &start in starts {
-            for _ in 0..cfg.walks_per_node {
-                let mut cur = start;
-                for _ in 1..cfg.walk_length {
-                    match graph.walk_step(cur, rng) {
-                        Some(next) => {
-                            pairs.push((cur, next));
-                            cur = next;
-                        }
-                        None => break,
-                    }
-                }
-            }
+            walk_from(graph, start, cfg, rng, &mut pairs);
         }
         WalkPairs { pairs }
     }
@@ -103,6 +98,29 @@ impl WalkPairs {
         for i in (1..self.pairs.len()).rev() {
             let j = rng.random_range(0..=i);
             self.pairs.swap(i, j);
+        }
+    }
+}
+
+/// Runs all configured walks from one start node, appending the harvested
+/// consecutive pairs to `pairs`.
+fn walk_from(
+    graph: &BipartiteGraph,
+    start: NodeId,
+    cfg: WalkConfig,
+    rng: &mut impl RngExt,
+    pairs: &mut Vec<(NodeId, NodeId)>,
+) {
+    for _ in 0..cfg.walks_per_node {
+        let mut cur = start;
+        for _ in 1..cfg.walk_length {
+            match graph.walk_step(cur, rng) {
+                Some(next) => {
+                    pairs.push((cur, next));
+                    cur = next;
+                }
+                None => break,
+            }
         }
     }
 }

@@ -28,5 +28,5 @@ pub mod tape;
 pub mod tensor;
 
 pub use optim::{Adam, Optimizer, Sgd};
-pub use tape::{Activation, Graph, ParamId, ParamStore, Var};
+pub use tape::{Activation, GradStore, Graph, ParamId, ParamStore, Var};
 pub use tensor::Tensor;

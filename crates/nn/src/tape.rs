@@ -9,6 +9,8 @@
 //! the autoencoder baseline need — and every op's gradient is validated
 //! against central finite differences in this module's tests.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::tensor::Tensor;
@@ -110,6 +112,82 @@ impl ParamStore {
             }
         }
     }
+
+    /// Accumulates `alpha ×` the sink's gradients into this store's
+    /// accumulators — the fixed-order reduction step of data-parallel
+    /// training (reduce every worker sink in chunk order, then step).
+    pub fn apply_grads(&mut self, sink: &GradStore, alpha: f32) {
+        assert_eq!(sink.grads.len(), self.params.len(), "sink shaped for a different store");
+        for (p, g) in self.params.iter_mut().zip(&sink.grads) {
+            p.grad.axpy(alpha, g);
+        }
+    }
+}
+
+/// Parameter gradients decoupled from the [`ParamStore`] that owns the
+/// values. Data-parallel workers each run [`Graph::backward_into`] against
+/// a private sink while sharing one read-only store; the reducer then
+/// folds the sinks back with [`ParamStore::apply_grads`] in a fixed order,
+/// which keeps training results independent of the thread count.
+#[derive(Clone, Debug, Default)]
+pub struct GradStore {
+    grads: Vec<Tensor>,
+}
+
+impl GradStore {
+    /// An empty sink (re-arm with [`GradStore::ensure_like`] before use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zero gradients shaped like every parameter of `store`.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        let mut sink = Self::default();
+        sink.ensure_like(store);
+        sink
+    }
+
+    /// Re-shapes the sink to match `store` and zeroes everything,
+    /// reusing allocations whose shapes already agree — the cheap
+    /// per-chunk re-arm for a thread-local sink.
+    pub fn ensure_like(&mut self, store: &ParamStore) {
+        self.grads.resize_with(store.params.len(), || Tensor::zeros(0, 0));
+        for (g, p) in self.grads.iter_mut().zip(&store.params) {
+            if g.shape() == p.value.shape() {
+                g.fill_zero();
+            } else {
+                *g = Tensor::zeros(p.value.rows(), p.value.cols());
+            }
+        }
+    }
+
+    /// Borrow the accumulated gradient for a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutably borrow the accumulated gradient for a parameter.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+}
+
+/// Destination of parameter gradients during the reverse pass: either the
+/// store itself (single-threaded path) or a detached [`GradStore`].
+trait GradSink {
+    fn sink_grad_mut(&mut self, id: ParamId) -> &mut Tensor;
+}
+
+impl GradSink for ParamStore {
+    fn sink_grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.grad_mut(id)
+    }
+}
+
+impl GradSink for GradStore {
+    fn sink_grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.grad_mut(id)
+    }
 }
 
 /// Nonlinearities supported by [`Graph::activation`].
@@ -200,7 +278,7 @@ enum Op {
     /// Per-segment weighted sum of input rows: output row `s` is
     /// `Σ_{j ∈ seg s} weights[j] · input_row[j]`. This is the paper's
     /// weighted aggregator over sampled neighborhoods.
-    SegmentWeightedSum { input: Var, offsets: Vec<u32>, weights: Vec<f32> },
+    SegmentWeightedSum { input: Var, offsets: Arc<Vec<u32>>, weights: Arc<Vec<f32>> },
     /// Copies selected rows of another node's value (slicing, repeating).
     SelectRows { input: Var, indices: Vec<u32> },
     /// Row-wise dot product of two same-shape matrices → `(m × 1)`.
@@ -375,7 +453,18 @@ impl Graph {
     /// (plus a final end sentinel); `weights` has one entry per input row.
     /// Callers normalize weights per segment to implement the paper's
     /// weighted-mean aggregator.
-    pub fn segment_weighted_sum(&mut self, input: Var, offsets: Vec<u32>, weights: Vec<f32>) -> Var {
+    ///
+    /// The buffers are taken as (convertible-to) `Arc`s so a caller that
+    /// reuses one neighborhood tree across several ops shares the
+    /// allocations instead of cloning them per forward pass.
+    pub fn segment_weighted_sum(
+        &mut self,
+        input: Var,
+        offsets: impl Into<Arc<Vec<u32>>>,
+        weights: impl Into<Arc<Vec<f32>>>,
+    ) -> Var {
+        let offsets = offsets.into();
+        let weights = weights.into();
         let inp = self.value(input);
         assert_eq!(weights.len(), inp.rows(), "one weight per input row");
         assert!(!offsets.is_empty(), "offsets needs an end sentinel");
@@ -531,6 +620,18 @@ impl Graph {
     /// processed, so `backward` can only run once per graph. Node values
     /// and gradients remain readable afterwards.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_impl(loss, store);
+    }
+
+    /// [`Graph::backward`] writing into a detached [`GradStore`] instead
+    /// of the parameter store. The store is never touched, so workers on
+    /// other threads can backprop concurrently against one shared
+    /// `&ParamStore` snapshot, each into its own sink.
+    pub fn backward_into(&mut self, loss: Var, sink: &mut GradStore) {
+        self.backward_impl(loss, sink);
+    }
+
+    fn backward_impl<S: GradSink>(&mut self, loss: Var, store: &mut S) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
 
@@ -545,10 +646,10 @@ impl Graph {
             match op {
                 Op::Constant => {}
                 Op::Param(id) => {
-                    store.grad_mut(id).axpy(1.0, &grad);
+                    store.sink_grad_mut(id).axpy(1.0, &grad);
                 }
                 Op::Gather { param, indices } => {
-                    let g = store.grad_mut(param);
+                    let g = store.sink_grad_mut(param);
                     for (i, &r) in indices.iter().enumerate() {
                         let dst = g.row_mut(r as usize);
                         for (d, &s) in dst.iter_mut().zip(grad.row(i)) {
@@ -1052,6 +1153,42 @@ mod tests {
         g.backward(loss, &mut store);
         store.clip_grad_norm(1.0);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bitwise() {
+        // The detached-sink path must be indistinguishable from the
+        // in-store path: same ops, same accumulation order, same bits.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let w = store.add("w", rand_tensor(&mut rng, 6, 4));
+        let table = store.add("table", rand_tensor(&mut rng, 5, 6));
+        let target = rand_tensor(&mut rng, 3, 4);
+        let build = |g: &mut Graph, s: &ParamStore| {
+            let rows = g.gather(s, table, &[0, 2, 4]);
+            let wv = g.param(s, w);
+            let y = g.matmul(rows, wv);
+            g.mse_mean(y, target.clone())
+        };
+
+        store.zero_grads();
+        let mut g1 = Graph::new();
+        let loss1 = build(&mut g1, &store);
+        g1.backward(loss1, &mut store);
+
+        let mut sink = GradStore::zeros_like(&store);
+        let mut g2 = Graph::new();
+        let loss2 = build(&mut g2, &store);
+        g2.backward_into(loss2, &mut sink);
+
+        assert_eq!(store.grad(w), sink.grad(w));
+        assert_eq!(store.grad(table), sink.grad(table));
+
+        // Reducing the sink into a zeroed store reproduces the direct
+        // gradients exactly (x + 0 = x in f32 for the values involved).
+        store.zero_grads();
+        store.apply_grads(&sink, 1.0);
+        assert_eq!(store.grad(w), sink.grad(w));
     }
 
     #[test]

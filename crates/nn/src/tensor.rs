@@ -5,6 +5,12 @@ use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
+/// Rows (matmul/tn) or columns (nt) handled per register tile.
+const MR: usize = 4;
+/// `k`-panel height: the slab of `rhs` rows kept hot in L1 while a block
+/// of output rows is updated.
+const K_PANEL: usize = 256;
+
 /// A dense row-major matrix of `f32` values.
 ///
 /// Vectors are `1 × n` or `n × 1` tensors. This is deliberately a plain
@@ -121,62 +127,162 @@ impl Tensor {
     }
 
     /// Matrix product `self · rhs`.
+    ///
+    /// Cache-blocked, register-tiled kernel: `rhs` is streamed through
+    /// k-panels that stay hot in L1 while four output rows are updated
+    /// per pass, so every loaded `rhs` row is reused from registers
+    /// instead of re-read per output row. Each output element is still
+    /// accumulated by a single chain of adds in ascending-`k` order, so
+    /// results are bit-identical to the textbook ikj kernel — the
+    /// exact-equality transpose tests and the training determinism
+    /// contract both rely on that.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?}x{:?}", self.shape(), rhs.shape());
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
-        // ikj loop order: stream through rhs rows for cache friendliness.
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        for k0 in (0..k).step_by(K_PANEL) {
+            let k1 = (k0 + K_PANEL).min(k);
+            let mut i = 0;
+            while i + MR <= m {
+                let a0 = &self.data[i * k..(i + 1) * k];
+                let a1 = &self.data[(i + 1) * k..(i + 2) * k];
+                let a2 = &self.data[(i + 2) * k..(i + 3) * k];
+                let a3 = &self.data[(i + 3) * k..(i + 4) * k];
+                let block = &mut out.data[i * n..(i + MR) * n];
+                let (o0, rest) = block.split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                for kk in k0..k1 {
+                    let b_row = &rhs.data[kk * n..kk * n + n];
+                    let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                    for ((((&bv, v0), v1), v2), v3) in b_row
+                        .iter()
+                        .zip(&mut *o0)
+                        .zip(&mut *o1)
+                        .zip(&mut *o2)
+                        .zip(&mut *o3)
+                    {
+                        *v0 += c0 * bv;
+                        *v1 += c1 * bv;
+                        *v2 += c2 * bv;
+                        *v3 += c3 * bv;
+                    }
                 }
-                let b_row = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                i += MR;
+            }
+            while i < m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (kk, &c) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    let b_row = &rhs.data[kk * n..kk * n + n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += c * bv;
+                    }
                 }
+                i += 1;
             }
         }
         out
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// Streams both inputs row-contiguously (one pass over `self` and
+    /// `rhs` each) while the small `m × n` output stays resident; four
+    /// output rows are updated per `b` row read. Ascending-`k`
+    /// single-accumulator order is preserved, keeping results bit-equal
+    /// to `self.transpose().matmul(rhs)`.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
         for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = rhs.row(kk);
-            for (i, &a) in a_row.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &rhs.data[kk * n..(kk + 1) * n];
+            let mut i = 0;
+            while i + MR <= m {
+                let block = &mut out.data[i * n..(i + MR) * n];
+                let (o0, rest) = block.split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                let (c0, c1, c2, c3) = (a_row[i], a_row[i + 1], a_row[i + 2], a_row[i + 3]);
+                for ((((&bv, v0), v1), v2), v3) in b_row
+                    .iter()
+                    .zip(&mut *o0)
+                    .zip(&mut *o1)
+                    .zip(&mut *o2)
+                    .zip(&mut *o3)
+                {
+                    *v0 += c0 * bv;
+                    *v1 += c1 * bv;
+                    *v2 += c2 * bv;
+                    *v3 += c3 * bv;
                 }
+                i += MR;
+            }
+            while i < m {
+                let c = a_row[i];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += c * bv;
                 }
+                i += 1;
             }
         }
         out
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// Dot-product kernel with a 4-wide column tile: each pass over an
+    /// `a` row feeds four independent accumulators, quadrupling the reuse
+    /// of the streamed row. Every accumulator is a single ascending-`k`
+    /// chain, so results stay bit-equal to `self.matmul(&rhs.transpose())`.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Tensor::zeros(m, n);
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
         for i in 0..m {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + MR <= n {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&av, &v0), &v1), &v2), &v3) in
+                    a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s0 += av * v0;
+                    s1 += av * v1;
+                    s2 += av * v2;
+                    s3 += av * v3;
                 }
-                out.data[i * n + j] = acc;
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += MR;
+            }
+            while j < n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out_row[j] = acc;
+                j += 1;
             }
         }
         out
@@ -297,6 +403,20 @@ mod tests {
         let fast = a.matmul_nt(&b);
         let slow = a.matmul(&b.transpose());
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_reference() {
+        // Shapes exercise both the 4-wide register tiles and the
+        // remainder paths (dimensions not multiples of the tile).
+        let a = Tensor::from_fn(7, 9, |i, j| ((i * 31 + j * 17) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(9, 6, |i, j| ((i * 7 + j * 3) % 11) as f32 - 5.0);
+        let naive = Tensor::from_fn(7, 6, |i, j| {
+            (0..9).map(|kk| a[(i, kk)] * b[(kk, j)]).sum()
+        });
+        assert_eq!(a.matmul(&b), naive);
+        assert_eq!(a.transpose().matmul_tn(&b), naive);
+        assert_eq!(a.matmul_nt(&b.transpose()), naive);
     }
 
     #[test]

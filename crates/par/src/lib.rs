@@ -1,0 +1,391 @@
+//! Deterministic data-parallel executor.
+//!
+//! A std-only fork-join pool with rayon-like ergonomics, built for GEM's
+//! determinism contract: **results must be identical for any thread
+//! count.** Every combinator here assigns work by *index*, never by
+//! arrival order, and writes each result into its own pre-assigned slot,
+//! so the output of `par_map` is exactly `items.map(f)` regardless of
+//! how the OS schedules workers.
+//!
+//! Design:
+//! - One lazily-created global pool (`GEM_NUM_THREADS` or
+//!   `available_parallelism`, minus the calling thread which also works).
+//! - Scoped execution: jobs may borrow from the caller's stack. A call
+//!   blocks until every job completes before returning, which makes the
+//!   lifetime erasure at the dispatch boundary sound.
+//! - Nested calls degrade to sequential execution on the calling worker
+//!   instead of deadlocking the pool.
+//! - Panics in jobs are captured and propagated to the caller after all
+//!   jobs finish (no poisoned pool, no detached unwinding workers).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+/// A type-erased unit of work with a stack lifetime that has been erased;
+/// soundness comes from `scope_run` blocking until all jobs finish.
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Pool {
+    injector: Sender<Job>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads; nested parallel calls run
+    /// sequentially instead of re-entering the (possibly saturated) pool.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = num_threads().saturating_sub(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = std::sync::Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("gem-par-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    loop {
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn gem-par worker");
+        }
+        Pool {
+            injector: tx,
+            workers,
+        }
+    })
+}
+
+/// Effective parallelism: `GEM_NUM_THREADS` if set and >= 1, else the
+/// machine's available parallelism.
+pub fn num_threads() -> usize {
+    match std::env::var("GEM_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// True when called from inside a pool worker (nested parallel region).
+pub fn in_parallel_region() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+// ---------------------------------------------------------------------------
+// Scoped fork-join core
+// ---------------------------------------------------------------------------
+
+struct Latch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self
+                .cond
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Run `tasks.len()` closures to completion, using pool workers plus the
+/// calling thread. Blocks until every task has finished. Propagates the
+/// first panic (by task index) after all tasks complete.
+///
+/// Tasks are `FnOnce` closures that may borrow the caller's stack: the
+/// blocking barrier is what makes the `'static` transmute sound.
+fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    let sequential = n == 1 || in_parallel_region() || pool().workers == 0;
+    if sequential {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+
+    let latch = Latch::new(n);
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+    {
+        let latch_ref = &latch;
+        let panics_ref = &panics;
+        let mut queue: Vec<Job> = Vec::with_capacity(n.saturating_sub(1));
+        let mut own_task: Option<Box<dyn FnOnce() + Send + '_>> = None;
+        for (idx, task) in tasks.into_iter().enumerate() {
+            if idx == 0 {
+                own_task = Some(task);
+                continue;
+            }
+            let wrapped = move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(task));
+                if let Err(payload) = result {
+                    panics_ref
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((idx, payload));
+                }
+                latch_ref.count_down();
+            };
+            // SAFETY: `wrapped` borrows `latch`, `panics`, and the
+            // caller's stack through `task`. We block on `latch.wait()`
+            // below before any of those borrows go out of scope, so the
+            // closure never outlives the data it references.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
+                    Box::new(wrapped),
+                )
+            };
+            queue.push(job);
+        }
+        for job in queue {
+            // If the pool is somehow gone, run the job inline rather than
+            // leaving the latch forever uncounted.
+            if let Err(failed) = pool().injector.send(job) {
+                (failed.0)();
+            }
+        }
+        // The calling thread runs task 0 itself (it would otherwise idle
+        // inside `wait`), then helps nothing else: remaining jobs are
+        // already with the workers.
+        if let Some(task) = own_task {
+            let result = panic::catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = result {
+                panics
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((0, payload));
+            }
+            latch.count_down();
+        }
+        latch.wait();
+    }
+
+    let mut collected = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !collected.is_empty() {
+        collected.sort_by_key(|(idx, _)| *idx);
+        let (_, payload) = collected.remove(0);
+        panic::resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public combinators
+// ---------------------------------------------------------------------------
+
+/// Parallel map preserving input order: `par_map(items, f)[i] == f(&items[i])`.
+///
+/// Work is split into contiguous chunks, one per available thread, so
+/// cache locality of sequential iteration is preserved within a chunk.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_indexed(items, |_idx, item| f(item))
+}
+
+/// Parallel indexed map preserving input order.
+pub fn par_map_indexed<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let chunk = chunk_size(n);
+        let f_ref = &f;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (slot_chunk, (start, item_chunk)) in out
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk).enumerate().map(|(ci, c)| (ci * chunk, c)))
+        {
+            tasks.push(Box::new(move || {
+                for (offset, (slot, item)) in
+                    slot_chunk.iter_mut().zip(item_chunk.iter()).enumerate()
+                {
+                    *slot = Some(f_ref(start + offset, item));
+                }
+            }));
+        }
+        scope_run(tasks);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("gem-par: missing result slot"))
+        .collect()
+}
+
+/// Parallel for-each over mutable chunks of `data`, passing each task its
+/// chunk index and the chunk. Chunk boundaries depend only on
+/// `chunk_len`, so the decomposition is thread-count independent.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let f_ref = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(idx, chunk)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || f_ref(idx, chunk));
+            task
+        })
+        .collect();
+    scope_run(tasks);
+}
+
+/// Run independent closures in parallel, returning their results in
+/// argument order.
+pub fn par_join<A: Send, B: Send>(
+    a: impl FnOnce() -> A + Send,
+    b: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    let mut ra: Option<A> = None;
+    let mut rb: Option<B> = None;
+    {
+        let task_a: Box<dyn FnOnce() + Send + '_> = Box::new(|| ra = Some(a()));
+        let task_b: Box<dyn FnOnce() + Send + '_> = Box::new(|| rb = Some(b()));
+        scope_run(vec![task_a, task_b]);
+    }
+    (
+        ra.expect("gem-par: join arm a missing"),
+        rb.expect("gem-par: join arm b missing"),
+    )
+}
+
+/// Chunk size that gives every thread about two chunks (bounded below to
+/// amortize dispatch overhead on tiny inputs).
+fn chunk_size(n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let threads = num_threads().max(1);
+    n.div_ceil(threads * 2).clamp(16.min(n), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let got = par_map(&items, |x| x * x + 1);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_indexed_sees_true_indices() {
+        let items: Vec<u32> = (0..5000).collect();
+        let got = par_map_indexed(&items, |i, &x| (i as u32, x));
+        for (i, &(idx, x)) in got.iter().enumerate() {
+            assert_eq!(idx as usize, i);
+            assert_eq!(x as usize, i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_everything_once() {
+        let mut data = vec![0u32; 4097];
+        par_chunks_mut(&mut data, 64, |_idx, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = par_join(|| 21 * 2, || "right".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let outer: Vec<usize> = (0..64).collect();
+        let result = par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..32).collect();
+            par_map(&inner, |&j| i * 100 + j).iter().sum::<usize>()
+        });
+        assert_eq!(result.len(), 64);
+        let expect: usize = (0..32).sum();
+        assert_eq!(result[0], expect);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..1000).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                if x == 567 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err());
+        // Pool must still be usable afterwards.
+        let ok = par_map(&items, |&x| x + 1);
+        assert_eq!(ok[999], 1000);
+    }
+
+    #[test]
+    fn borrows_from_stack() {
+        let base = vec![10u64; 256];
+        let items: Vec<usize> = (0..256).collect();
+        let got = par_map(&items, |&i| base[i] + i as u64);
+        assert_eq!(got[255], 265);
+    }
+}

@@ -153,13 +153,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let pts = waypoint_roam(&regions, 0.8, 1.5, 200, &mut rng);
         assert_eq!(pts.len(), 200);
+        // Transit between regions happens on straight lines, so every
+        // sample stays inside the bounding box of the region union.
+        let hull = Rect::new(0.0, 0.0, 12.0, 5.0);
         for p in &pts {
-            let inside_any = regions
-                .iter()
-                .any(|(r, _)| r.contains(p.point))
-                // transit between regions allowed on straight lines
-                || true;
-            assert!(inside_any);
+            assert!(hull.contains(p.point), "sample {:?} escaped the region hull", p.point);
         }
         // Both floors eventually visited.
         assert!(pts.iter().any(|p| p.floor == 0));

@@ -32,14 +32,18 @@ impl Supervisor {
         let worker = thread::spawn(move || {
             let mut monitor = monitor;
             while let Ok(record) = scan_rx.recv() {
-                for event in monitor.process(&record) {
+                let events = monitor.process(&record);
+                // Publish the stats snapshot before emitting events: a
+                // consumer that reacts to an event must already see the
+                // stats that produced it.
+                *stats_worker.lock() = monitor.stats();
+                for event in events {
                     // Receiver gone → stop quietly; the join still
                     // returns the model.
                     if event_tx.send(event).is_err() {
                         return monitor;
                     }
                 }
-                *stats_worker.lock() = monitor.stats();
             }
             monitor
         });

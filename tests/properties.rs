@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 
-use gem::core::{EnhancedDetector, HistogramModel};
+use gem::core::{BiSage, BiSageConfig, EnhancedDetector, HistogramModel};
 use gem::graph::{BipartiteGraph, NegativeTable, WalkConfig, WalkPairs, WeightFn};
 use gem::nn::Tensor;
+use gem::rfsim::{Scenario, ScenarioConfig};
 use gem::signal::{MacAddr, RecordSet, SignalRecord};
 
 /// Strategy: a record with 1–8 readings over a small MAC space.
@@ -116,5 +117,58 @@ proptest! {
             let n_padded = m.row(i).iter().filter(|&&v| v == -120.0).count();
             prop_assert!(n_padded >= m.cols() - rec.len());
         }
+    }
+}
+
+// Training a model per proptest case is costly, so the data-parallel
+// determinism contract gets its own small-case block.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For a fixed seed, `fit()` on the worker pool and `fit()` forced
+    /// sequential (`num_threads = 1`) must produce bit-identical
+    /// aggregation matrices and epoch losses: every chunk derives its RNG
+    /// from `(seed, epoch, chunk_idx)` and chunk gradients are reduced in
+    /// fixed chunk order, so thread count never touches the arithmetic.
+    #[test]
+    fn parallel_and_sequential_training_bit_identical(
+        user in 1u32..=3,
+        seed in 0u64..1000,
+        grad_accum in 1usize..=4,
+    ) {
+        let mut scen = ScenarioConfig::user(user);
+        scen.train_duration_s = 45.0;
+        scen.n_test_in = 0;
+        scen.n_test_out = 0;
+        let ds = Scenario::build(scen).generate();
+        let g = BipartiteGraph::from_records(WeightFn::default(), ds.train.iter());
+
+        let fit_with = |threads: usize| {
+            let cfg = BiSageConfig {
+                dim: 8,
+                sample_sizes: vec![4, 2],
+                epochs: 2,
+                batch_size: 32,
+                num_threads: threads,
+                grad_accum,
+                seed,
+                ..BiSageConfig::default()
+            };
+            let mut model = BiSage::new(cfg);
+            let report = model.fit(&g);
+            (model, report)
+        };
+        let (seq_model, seq_report) = fit_with(1);
+        let (par_model, par_report) = fit_with(0);
+
+        prop_assert_eq!(&seq_report.epoch_losses, &par_report.epoch_losses);
+        let (seq_wh, seq_wl) = seq_model.aggregation_weights();
+        let (par_wh, par_wl) = par_model.aggregation_weights();
+        prop_assert_eq!(seq_wh, par_wh, "W_h must be bit-identical across thread counts");
+        prop_assert_eq!(seq_wl, par_wl, "W_l must be bit-identical across thread counts");
+        prop_assert_eq!(
+            seq_model.embed_all_records(&g),
+            par_model.embed_all_records(&g)
+        );
     }
 }

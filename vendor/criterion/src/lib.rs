@@ -1,0 +1,245 @@
+//! Minimal offline `criterion` replacement: a wall-clock benchmark
+//! harness with the same macro/builder surface the workspace benches
+//! use, but a much simpler measurement model.
+//!
+//! Measurement: each benchmark is calibrated to pick an iteration count
+//! whose batch runtime is ~`target_batch` (default 25 ms), then
+//! `sample_size` batches are timed and the median per-iteration time is
+//! reported. A wall-clock cap bounds runaway benchmarks.
+//!
+//! Environment knobs:
+//! - `CRITERION_SAMPLES`  — override every group's sample size
+//! - `CRITERION_MAX_SECS` — per-benchmark wall-clock cap (default 10 s)
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    pub group: String,
+    pub name: String,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<BenchReport>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
+    }
+
+    /// Print a summary of every recorded benchmark. Called by
+    /// `criterion_main!` after all groups run.
+    pub fn final_summary(&self) {
+        for r in &self.reports {
+            let label = if r.group.is_empty() {
+                r.name.clone()
+            } else {
+                format!("{}/{}", r.group, r.name)
+            };
+            println!(
+                "{label:<48} time: [{} {} {}]  ({} samples x {} iters)",
+                fmt_ns(r.min_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.max_ns),
+                r.samples,
+                r.iters_per_sample
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(2);
+        let max_secs: f64 = std::env::var("CRITERION_MAX_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10.0);
+
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibration: grow the iteration count until one batch takes
+        // at least ~target_batch, or a single iteration already exceeds it.
+        let target_batch = Duration::from_millis(25);
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= target_batch || bencher.iters >= 1 << 20 {
+                break;
+            }
+            let grow = if bencher.elapsed.is_zero() {
+                16
+            } else {
+                let ratio = target_batch.as_secs_f64() / bencher.elapsed.as_secs_f64();
+                ratio.clamp(1.5, 16.0) as u64 + 1
+            };
+            bencher.iters = (bencher.iters * grow).min(1 << 20);
+        }
+
+        let iters = bencher.iters;
+        let started = Instant::now();
+        let mut per_iter_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_secs_f64() * 1e9 / iters as f64);
+            if started.elapsed().as_secs_f64() > max_secs {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let report = BenchReport {
+            group: self.group.clone(),
+            name: id.to_string(),
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().unwrap(),
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+        };
+        let label = if report.group.is_empty() {
+            report.name.clone()
+        } else {
+            format!("{}/{}", report.group, report.name)
+        };
+        println!(
+            "{label:<48} time: [{} {} {}]",
+            fmt_ns(report.min_ns),
+            fmt_ns(report.median_ns),
+            fmt_ns(report.max_ns)
+        );
+        self.criterion.reports.push(report);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut body: F,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(body(input));
+            total += start.elapsed();
+        }
+        self.elapsed += total;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1u64; 256], |v| v.iter().sum::<u64>());
+        });
+        g.finish();
+        std::env::remove_var("CRITERION_SAMPLES");
+        assert_eq!(c.reports().len(), 2);
+        assert!(c.reports().iter().all(|r| r.median_ns > 0.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal offline `rand` replacement.
+//!
+//! Implements exactly the surface this workspace uses: a xoshiro256++
+//! `StdRng` seeded via SplitMix64 (`SeedableRng::seed_from_u64`), and the
+//! `RngExt` extension trait with `random`, `random_range`, and
+//! `random_bool`. Uniform sampling only — no distributions module.
+//!
+//! Determinism is part of the contract: for a fixed seed, every method
+//! here produces an identical stream on every platform and build. Do not
+//! change sampling algorithms without a migration plan for persisted
+//! artifacts and golden tests.
+
+pub mod rngs;
+mod uniform;
+
+pub use rngs::StdRng;
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Construction from a `u64` seed. The only seeding path supported.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly over their "standard" domain:
+/// floats in `[0, 1)`, integers over the full range, `bool` fair coin.
+pub trait StandardUniform: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardUniform for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl StandardUniform for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl StandardUniform for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardUniform for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardUniform for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every `RngCore`.
+pub trait RngExt: RngCore {
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "random_bool p out of [0,1]: {p}");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_sampling_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u = rng.random_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn full_range_integers_hit_both_halves() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let vals: Vec<i64> = (0..256).map(|_| rng.random()).collect();
+        assert!(vals.iter().any(|&v| v < 0) && vals.iter().any(|&v| v > 0));
+    }
+}

@@ -1,0 +1,172 @@
+//! Uniform sampling over ranges: `rng.random_range(lo..hi)` and
+//! `rng.random_range(lo..=hi)` for the integer and float types the
+//! workspace uses.
+//!
+//! Integers use Lemire-style widening multiply with rejection, so every
+//! value in the span is exactly equally likely. Floats use an affine map
+//! of a 53-bit (f64) / 24-bit (f32) unit sample.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Sample a u64 uniformly in `[0, span)`, `span >= 1`.
+#[inline]
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    if span == 1 {
+        return 0;
+    }
+    // Widening-multiply rejection sampling (unbiased).
+    let zone = span.wrapping_neg() % span; // number of biased low results
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types samplable over a user-provided range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample uniformly from `[lo, hi)` if `inclusive` is false, else
+    /// `[lo, hi]`. Callers guarantee the range is non-empty.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as u64;
+                let hi_w = hi as u64;
+                if inclusive && lo_w == 0 && hi_w == <$t>::MAX as u64 && <$t>::MAX as u128 == u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                lo + sample_span(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Shift to unsigned offset arithmetic to avoid overflow.
+                let lo_w = (lo as i64).wrapping_sub(<$t>::MIN as i64) as u64;
+                let hi_w = (hi as i64).wrapping_sub(<$t>::MIN as i64) as u64;
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                if span == 0 {
+                    // Full u64-sized span (i64::MIN..=i64::MAX only).
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_span(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty => $unit:expr),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u: $t = $unit(rng);
+                let v = lo + u * (hi - lo);
+                // Guard against rounding up to the open upper bound.
+                if v >= hi { <$t>::max(lo, hi - (hi - lo) * <$t>::EPSILON) } else { v }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(
+    f64 => |rng: &mut R| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64),
+    f32 => |rng: &mut R| (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+);
+
+/// Range forms accepted by `random_range`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "random_range: empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range {lo:?}..={hi:?}");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RngExt, SeedableRng, StdRng};
+
+    #[test]
+    fn integer_uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn negative_ranges() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10_000 {
+            let v: i64 = rng.random_range(-1_000_000..-999_990);
+            assert!((-1_000_000..-999_990).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_never_hits_open_bound() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..100_000 {
+            let v: f32 = rng.random_range(0.0..1.0e-30);
+            assert!(v < 1.0e-30);
+        }
+    }
+}

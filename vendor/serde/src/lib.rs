@@ -1,0 +1,122 @@
+//! Minimal offline `serde` replacement.
+//!
+//! Instead of serde's visitor architecture, this uses a concrete
+//! [`Value`] tree as the interchange type: `Serialize` renders a value
+//! into a `Value`, `Deserialize` reads one back. `serde_json` (vendored)
+//! converts `Value` to and from JSON text. The only compatibility goal is
+//! self-consistency — anything this workspace serializes must round-trip
+//! bit-exactly — not wire compatibility with upstream serde.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::fmt;
+
+/// Serialization/deserialization error. A message string is all the
+/// workspace ever inspects (via `Display`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field in an object body. Used by derived impls.
+pub fn get_field<'v>(
+    fields: &'v [(String, Value)],
+    ty: &str,
+    name: &str,
+) -> Result<&'v Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::missing_field(ty, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        fn rt<T: Serialize + Deserialize + PartialEq + fmt::Debug>(v: T) {
+            let val = v.serialize();
+            assert_eq!(T::deserialize(&val).unwrap(), v);
+        }
+        rt(0u8);
+        rt(255u8);
+        rt(u64::MAX);
+        rt(i64::MIN);
+        rt(-1i32);
+        rt(3.5f32);
+        rt(std::f64::consts::PI);
+        rt(true);
+        rt(String::from("héllo \"quoted\"\n"));
+        rt(Some(42u32));
+        rt(Option::<u32>::None);
+        rt(vec![1u64, 2, 3]);
+        rt((1u32, -2i64, 0.5f64));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = HashMap::new();
+        m.insert(7u64, vec![1.0f32, 2.0]);
+        m.insert(9u64, vec![]);
+        let val = m.serialize();
+        let back: HashMap<u64, Vec<f32>> = Deserialize::deserialize(&val).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn float_precision_preserved() {
+        let x = 0.1f32 + 0.2f32;
+        let v = x.serialize();
+        assert_eq!(f32::deserialize(&v).unwrap().to_bits(), x.to_bits());
+        let y = 0.1f64 + 0.2f64;
+        let v = y.serialize();
+        assert_eq!(f64::deserialize(&v).unwrap().to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn missing_field_error_mentions_name() {
+        let obj = Value::Object(vec![]);
+        let fields = match &obj {
+            Value::Object(f) => f,
+            _ => unreachable!(),
+        };
+        let err = get_field(fields, "Foo", "bar").unwrap_err();
+        assert!(err.to_string().contains("bar"));
+    }
+}

@@ -1,0 +1,489 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-based serde. No `syn`/`quote`: the input item is parsed
+//! with a small recursive-descent walker over `proc_macro::TokenTree`s
+//! and the impl is emitted as a source string.
+//!
+//! Supported item shapes (everything this workspace derives on):
+//! - structs with named fields
+//! - tuple structs (newtype semantics for a single field)
+//! - unit structs
+//! - enums with unit, tuple, and named-field variants
+//!
+//! Not supported (compile error, by design): generic items and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_serialize(&item))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_deserialize(&item))
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip outer attributes. `#[serde(...)]` is rejected loudly rather
+    /// than silently ignored.
+    fn skip_attrs(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        panic!(
+                            "vendored serde_derive does not support #[serde(...)] attributes"
+                        );
+                    }
+                }
+            } else {
+                panic!("malformed attribute");
+            }
+        }
+    }
+
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a type (after `:` in a field), stopping at a `,` outside
+    /// any `<...>` nesting. Groups are single tokens, so parens/brackets
+    /// never confuse the comma scan.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic items ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => parse_struct_body(&mut cur, &name),
+        "enum" => parse_enum_body(&mut cur, &name),
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_body(cur: &mut Cursor, name: &str) -> ItemKind {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+        other => panic!("unexpected token after `struct {name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        let field = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("expected `:` after field `{field}`");
+        }
+        cur.skip_type();
+        fields.push(field);
+        if !cur.eat_punct(',') {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut count = 0usize;
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        cur.skip_type();
+        count += 1;
+        if !cur.eat_punct(',') {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_enum_body(cur: &mut Cursor, name: &str) -> ItemKind {
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("unexpected token after `enum {name}`: {other:?}"),
+    };
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let vname = cur.expect_ident("variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                cur.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                cur.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.eat_punct('=') {
+            // Explicit discriminant on a unit variant: skip the expression.
+            cur.skip_type();
+        }
+        variants.push(Variant { name: vname, kind });
+        if !cur.eat_punct(',') {
+            break;
+        }
+    }
+    ItemKind::Enum(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn wrap_impl(body: String) -> String {
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         #[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         {body}\n\
+         }};"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         _serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("_serde::Value::Object(::std::vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "_serde::Serialize::serialize(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("_serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!("_serde::Value::Array(::std::vec![{entries}])")
+        }
+        ItemKind::UnitStruct => "_serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| gen_variant_ser(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    wrap_impl(format!(
+        "impl _serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> _serde::Value {{ {body} }}\n\
+         }}"
+    ))
+}
+
+fn gen_variant_ser(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => \
+             _serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "_serde::Serialize::serialize(__f0)".to_string()
+            } else {
+                let items: String = binds
+                    .iter()
+                    .map(|b| format!("_serde::Serialize::serialize({b}),"))
+                    .collect();
+                format!("_serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "{name}::{vname}({}) => _serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         _serde::Serialize::serialize({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => _serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 _serde::Value::Object(::std::vec![{entries}]))]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: _serde::Deserialize::deserialize(\
+                         _serde::get_field(__fields, \"{name}\", \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = __value.as_object().ok_or_else(|| \
+                 _serde::Error::type_mismatch(\"struct {name}\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(_serde::Deserialize::deserialize(__value)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("_serde::Deserialize::deserialize(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 _serde::Error::type_mismatch(\"tuple struct {name}\", __value))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(_serde::Error::custom(\
+                 ::std::format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        ItemKind::UnitStruct => format!(
+            "match __value {{\n\
+             _serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(\
+             _serde::Error::type_mismatch(\"unit struct {name}\", __other)),\n\
+             }}"
+        ),
+        ItemKind::Enum(variants) => gen_enum_de(name, variants),
+    };
+    wrap_impl(format!(
+        "impl _serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &_serde::Value) -> \
+         ::std::result::Result<Self, _serde::Error> {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => return ::std::result::Result::Ok(\
+                     {name}::{vname}(_serde::Deserialize::deserialize(__inner)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|i| {
+                            format!("_serde::Deserialize::deserialize(&__items[{i}])?,")
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                         let __items = __inner.as_array().ok_or_else(|| \
+                         _serde::Error::type_mismatch(\"{name}::{vname} payload\", __inner))?;\n\
+                         if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(_serde::Error::custom(\
+                         \"wrong payload arity for {name}::{vname}\"));\n\
+                         }}\n\
+                         return ::std::result::Result::Ok({name}::{vname}({inits}));\n\
+                         }}"
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: _serde::Deserialize::deserialize(\
+                                 _serde::get_field(__vfields, \"{name}::{vname}\", \"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                         let __vfields = __inner.as_object().ok_or_else(|| \
+                         _serde::Error::type_mismatch(\"{name}::{vname} payload\", __inner))?;\n\
+                         return ::std::result::Result::Ok({name}::{vname} {{ {inits} }});\n\
+                         }}"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "if let _serde::Value::Str(__s) = __value {{\n\
+         match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+         }}\n\
+         if let _serde::Value::Object(__obj) = __value {{\n\
+         if __obj.len() == 1 {{\n\
+         let (__tag, __inner) = &__obj[0];\n\
+         match __tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+         }}\n\
+         }}\n\
+         ::std::result::Result::Err(_serde::Error::custom(\
+         ::std::format!(\"invalid value for enum {name}: {{}}\", __value.kind())))"
+    )
+}

@@ -1,0 +1,432 @@
+//! Minimal offline `serde_json`: JSON text <-> the vendored serde
+//! [`Value`] tree.
+//!
+//! Two deliberate extensions beyond strict JSON, so float round-trips
+//! never lose information: non-finite numbers serialize as the bare
+//! tokens `NaN`, `inf`, `-inf` and are accepted back by the parser.
+//! Floats print with Rust's shortest-round-trip formatting and always
+//! carry a `.`/exponent so they re-parse as floats, not integers.
+
+use serde::Value;
+pub use serde::Error;
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::deserialize(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn emit(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => emit_f64(*x, out),
+        Value::Str(s) => emit_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_string(key, out);
+                out.push(':');
+                emit(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn emit_f64(x: f64, out: &mut String) {
+    if x.is_nan() {
+        out.push_str("NaN");
+    } else if x.is_infinite() {
+        out.push_str(if x > 0.0 { "inf" } else { "-inf" });
+    } else {
+        // `{:?}` is Rust's shortest representation that round-trips
+        // exactly; it always includes a '.' or an exponent.
+        let s = format!("{x:?}");
+        out.push_str(&s);
+        debug_assert!(s.contains('.') || s.contains('e') || s.contains('E'));
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::F64(f64::NAN)),
+            Some(b'i') if self.eat_keyword("inf") => Ok(Value::F64(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-inf") => {
+                self.pos += 4;
+                Ok(Value::F64(f64::NEG_INFINITY))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::custom(format!(
+                "unexpected character '{}' at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::custom(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape {other:?} at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::custom("invalid utf-8 in string"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Called with `pos` on the `u`; consumes `uXXXX` (and a low
+    /// surrogate pair if needed), leaving `pos` after the escape.
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        self.pos += 1;
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if !self.bytes[self.pos..].starts_with(b"\\u") {
+                return Err(Error::custom("unpaired high surrogate"));
+            }
+            self.pos += 2;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(Error::custom("invalid low surrogate"));
+            }
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| Error::custom("invalid surrogate pair"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| Error::custom("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("bad hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number bytes"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error::custom(format!("bad float `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error::custom(format!("bad integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error::custom(format!("bad integer `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(text: &str) -> Value {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(rt("null"), Value::Null);
+        assert_eq!(rt("true"), Value::Bool(true));
+        assert_eq!(rt(" 42 "), Value::U64(42));
+        assert_eq!(rt("-17"), Value::I64(-17));
+        assert_eq!(rt("2.5"), Value::F64(2.5));
+        assert_eq!(rt("1e3"), Value::F64(1000.0));
+        assert_eq!(rt("\"a\\nb\""), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = rt(r#"{"a":[1,2,{"b":null}],"c":"x"}"#);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        assert_eq!(obj[0].0, "a");
+        assert_eq!(obj[0].1.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let v = Value::Object(vec![
+            ("f".into(), Value::F64(0.1 + 0.2)),
+            ("i".into(), Value::I64(-9_007_199_254_740_993)),
+            ("u".into(), Value::U64(u64::MAX)),
+            (
+                "s".into(),
+                Value::Str("quote\" slash\\ tab\t unicode é 中".into()),
+            ),
+            ("n".into(), Value::Null),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Bool(false), Value::F64(f64::INFINITY)]),
+            ),
+        ]);
+        let mut text = String::new();
+        emit(&v, &mut text);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats() {
+        let mut s = String::new();
+        emit(&Value::F64(f64::NAN), &mut s);
+        assert_eq!(s, "NaN");
+        assert!(matches!(rt("NaN"), Value::F64(x) if x.is_nan()));
+        assert_eq!(rt("-inf"), Value::F64(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn float_bits_survive_text_round_trip() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0] {
+            let mut s = String::new();
+            emit(&Value::F64(x), &mut s);
+            match parse(&s).unwrap() {
+                Value::F64(y) => assert_eq!(x.to_bits(), y.to_bits(), "{s}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn typed_round_trip_via_api() {
+        let v: Vec<Option<f32>> = vec![Some(1.5), None, Some(-0.25)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<Option<f32>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("'single'").is_err());
+    }
+}

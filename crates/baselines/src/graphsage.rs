@@ -319,8 +319,8 @@ impl GraphSage {
                 let zx_rep = g.select_rows(z, &x_rep);
                 let pos = g.rows_dot(zx, zy);
                 let neg = g.rows_dot(zx_rep, zz);
-                let lp = g.bce_with_logits_mean(pos, &vec![1.0; b]);
-                let ln = g.bce_with_logits_mean(neg, &vec![0.0; b * kn]);
+                let lp = g.bce_with_logits_mean(pos, vec![1.0; b]);
+                let ln = g.bce_with_logits_mean(neg, vec![0.0; b * kn]);
                 let loss = g.add(lp, ln);
                 g.backward(loss, &mut store);
                 store.clip_grad_norm(5.0);

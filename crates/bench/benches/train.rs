@@ -7,13 +7,23 @@
 //! `GEM_NUM_THREADS` to size the pool (the container may expose fewer
 //! cores than the pool has workers, in which case the recorded speedup is
 //! bounded by the hardware, not the implementation).
+//!
+//! With `--features count-allocs` the run also audits the allocation
+//! budget of the training loop: a counting global allocator is windowed
+//! around each optimizer step group (`BiSage::fit_instrumented`), and
+//! the JSON line gains `allocs_per_step_seq` / `allocs_per_step_pool`
+//! (median heap calls per post-warm-up step — the arena-tape sequential
+//! path targets exactly 0) plus `peak_bytes` for the sequential fit.
+//!
+//! `GEM_BENCH_QUICK=1` shrinks criterion sampling for CI smoke runs.
 
 use std::hint::black_box;
 use std::io::Write;
 
 use criterion::Criterion;
 
-use gem_core::{BiSage, BiSageConfig};
+use gem_bench::allocs;
+use gem_core::{BiSage, BiSageConfig, StepEvent};
 use gem_graph::{BipartiteGraph, WeightFn};
 use gem_nn::init;
 use gem_signal::rng::child_rng;
@@ -94,6 +104,36 @@ fn bench_fit(c: &mut Criterion) {
     group.finish();
 }
 
+/// Allocation audit of one instrumented fit: heap calls are windowed
+/// between `GroupStart` and `GroupEnd` (one optimizer step each); the
+/// first [`ALLOC_WARMUP_GROUPS`] windows warm the arenas, free-lists and
+/// scratch buffers and are discarded, the rest are summarized by their
+/// median. Returns `None` unless built with `--features count-allocs`.
+fn measure_allocs(graph: &BipartiteGraph, num_threads: usize) -> Option<(u64, u64)> {
+    const ALLOC_WARMUP_GROUPS: usize = 3;
+    if !allocs::ENABLED {
+        return None;
+    }
+    let mut model = BiSage::new(fit_cfg(num_threads));
+    let mut mark = 0u64;
+    let mut per_group: Vec<u64> = Vec::new();
+    allocs::reset();
+    model.fit_instrumented(graph, &mut |ev| match ev {
+        StepEvent::GroupStart => mark = allocs::stats().allocs,
+        StepEvent::GroupEnd => per_group.push(allocs::stats().allocs - mark),
+    });
+    let peak = allocs::stats().peak_bytes;
+    let mut steady = per_group.split_off(ALLOC_WARMUP_GROUPS.min(per_group.len()));
+    steady.sort_unstable();
+    let median = steady.get(steady.len() / 2).copied().unwrap_or(0);
+    let label = if num_threads == 1 { "seq" } else { "pool" };
+    println!(
+        "allocs/step ({label}): median {median} over {} steady groups, peak {peak} bytes",
+        steady.len(),
+    );
+    Some((median, peak))
+}
+
 #[derive(serde::Serialize)]
 struct KernelLine {
     name: String,
@@ -107,31 +147,46 @@ struct TrainBenchLine {
     pool_threads: usize,
     pairs_per_fit: usize,
     seq_median_ns: f64,
+    seq_min_ns: f64,
     pool_median_ns: f64,
+    pool_min_ns: f64,
     seq_pairs_per_sec: f64,
     pool_pairs_per_sec: f64,
     speedup: f64,
+    /// Median heap calls per post-warm-up optimizer step, sequential
+    /// fit; `null` unless built with `--features count-allocs`.
+    allocs_per_step_seq: Option<u64>,
+    /// Same audit with the worker pool (job dispatch boxes closures, so
+    /// this one is small-but-nonzero by design).
+    allocs_per_step_pool: Option<u64>,
+    /// High-water mark of live heap bytes across the sequential fit.
+    peak_bytes: Option<u64>,
     kernels: Vec<KernelLine>,
 }
 
-fn append_results(c: &Criterion, pairs: usize) {
+fn append_results(c: &Criterion, pairs: usize, seq_audit: Option<(u64, u64)>, pool_audit: Option<(u64, u64)>) {
     let find = |name: &str| {
         c.reports()
             .iter()
             .find(|r| r.name == name)
             .unwrap_or_else(|| panic!("missing bench report {name}"))
     };
-    let seq = find("fit_200_records_seq").median_ns;
-    let pool = find("fit_200_records_pool").median_ns;
+    let seq = find("fit_200_records_seq");
+    let pool = find("fit_200_records_pool");
     let line = TrainBenchLine {
         bench: "train",
         pool_threads: gem_par::num_threads(),
         pairs_per_fit: pairs,
-        seq_median_ns: seq,
-        pool_median_ns: pool,
-        seq_pairs_per_sec: pairs as f64 / (seq * 1e-9),
-        pool_pairs_per_sec: pairs as f64 / (pool * 1e-9),
-        speedup: seq / pool,
+        seq_median_ns: seq.median_ns,
+        seq_min_ns: seq.min_ns,
+        pool_median_ns: pool.median_ns,
+        pool_min_ns: pool.min_ns,
+        seq_pairs_per_sec: pairs as f64 / (seq.median_ns * 1e-9),
+        pool_pairs_per_sec: pairs as f64 / (pool.median_ns * 1e-9),
+        speedup: seq.median_ns / pool.median_ns,
+        allocs_per_step_seq: seq_audit.map(|(a, _)| a),
+        allocs_per_step_pool: pool_audit.map(|(a, _)| a),
+        peak_bytes: seq_audit.map(|(_, p)| p),
         kernels: c
             .reports()
             .iter()
@@ -155,11 +210,23 @@ fn append_results(c: &Criterion, pairs: usize) {
 }
 
 fn main() {
+    // CI smoke mode: enough sampling to exercise every code path and the
+    // JSON plumbing, without paying for statistically stable numbers.
+    if std::env::var("GEM_BENCH_QUICK").as_deref() == Ok("1") {
+        if std::env::var("CRITERION_SAMPLES").is_err() {
+            std::env::set_var("CRITERION_SAMPLES", "2");
+        }
+        if std::env::var("CRITERION_MAX_SECS").is_err() {
+            std::env::set_var("CRITERION_MAX_SECS", "2");
+        }
+    }
     let mut c = Criterion::default();
     bench_kernels(&mut c);
     let graph = cluster_graph(200);
     let pairs = pairs_per_fit(&graph);
     bench_fit(&mut c);
+    let seq_audit = measure_allocs(&graph, 1);
+    let pool_audit = measure_allocs(&graph, 0);
     c.final_summary();
-    append_results(&c, pairs);
+    append_results(&c, pairs, seq_audit, pool_audit);
 }

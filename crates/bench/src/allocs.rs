@@ -1,0 +1,126 @@
+//! Optional counting global allocator for allocation-budget benchmarks.
+//!
+//! Compiled with `--features count-allocs`, the whole benchmark process
+//! routes heap traffic through [`CountingAllocator`], which wraps the
+//! system allocator with four relaxed atomics: allocation count, bytes
+//! requested, live bytes, and the high-water mark of live bytes. The
+//! training benchmark windows the counters around optimizer step groups
+//! (via `BiSage::fit_instrumented`) to report `allocs_per_step`, and
+//! reads the high-water mark for `peak_bytes`.
+//!
+//! Without the feature this module still compiles — [`ENABLED`] is
+//! `false` and the counters simply never move — so the bench harness
+//! needs no `cfg` at its call sites.
+//!
+//! Counting uses `Relaxed` ordering throughout: the counters are
+//! monotonic diagnostics sampled between steps on the same thread that
+//! drives training, not a synchronization mechanism, and anything
+//! stronger would tax the very allocations being counted.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// True when the crate was built with the `count-allocs` feature and the
+/// counters below actually record traffic.
+pub const ENABLED: bool = cfg!(feature = "count-allocs");
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System-allocator wrapper that counts every allocation.
+///
+/// `dealloc` only shrinks the live-bytes gauge; `realloc` counts as one
+/// allocation of the new size (the grow path of `Vec` et al.), matching
+/// how a steady-state "zero allocations" claim should be audited: any
+/// call that could touch the heap is counted.
+pub struct CountingAllocator;
+
+fn on_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Relaxed);
+    BYTES.fetch_add(size as u64, Relaxed);
+    let live = LIVE.fetch_add(size, Relaxed) + size;
+    PEAK.fetch_max(live, Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_alloc(new_size);
+            LIVE.fetch_sub(layout.size(), Relaxed);
+        }
+        p
+    }
+}
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Snapshot of the counters since the last [`reset`].
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct AllocStats {
+    /// Heap calls (alloc + alloc_zeroed + realloc) observed.
+    pub allocs: u64,
+    /// Bytes those calls requested (cumulative, not live).
+    pub bytes: u64,
+    /// High-water mark of live heap bytes.
+    pub peak_bytes: u64,
+}
+
+/// Zero the counters and re-seed the peak from the current live bytes,
+/// so `peak_bytes` after a reset reflects growth within the measured
+/// window, not history.
+pub fn reset() {
+    ALLOCS.store(0, Relaxed);
+    BYTES.store(0, Relaxed);
+    PEAK.store(LIVE.load(Relaxed), Relaxed);
+}
+
+/// Read the counters (cheap: three relaxed loads).
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Relaxed),
+        bytes: BYTES.load(Relaxed),
+        peak_bytes: PEAK.load(Relaxed) as u64,
+    }
+}
+
+#[cfg(all(test, feature = "count-allocs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_a_vec_allocation() {
+        reset();
+        let before = stats().allocs;
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        let after = stats().allocs;
+        assert!(after > before, "allocation not counted");
+        assert!(stats().peak_bytes >= 4096);
+        drop(v);
+    }
+}

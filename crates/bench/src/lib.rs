@@ -13,6 +13,7 @@
 //!   paper: 9).
 
 pub mod algos;
+pub mod allocs;
 pub mod harness;
 
 pub use algos::{run_algorithm, Algorithm};

@@ -18,6 +18,7 @@
 //! weighted random walks.
 
 use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -26,7 +27,7 @@ use serde::Serialize;
 
 use gem_graph::{BipartiteGraph, NegativeTable, NodeId, RecordId, WalkConfig, WalkPairs};
 use gem_nn::tape::{Activation, GradStore, Graph, ParamId, ParamStore, Var};
-use gem_nn::{init, Adam, Optimizer, Tensor};
+use gem_nn::{init, Adam, Optimizer, Tensor, TensorArena};
 use gem_signal::rng::child_rng;
 
 /// Neighborhood aggregator choice (paper: "e.g. MEAN(·) or MAX(·)"; GEM
@@ -98,6 +99,12 @@ pub struct BiSageConfig {
     /// parallelizable. `1` recovers strict per-chunk stepping (and
     /// serializes training).
     pub grad_accum: usize,
+    /// Update the base-embedding tables with the sparse Adam path: only
+    /// rows gathered by the current step group are touched, with the
+    /// deferred zero-gradient decay replayed lazily before rows are read.
+    /// Bit-identical to the dense update (a proptest enforces it) — this
+    /// flag only trades per-step cost `O(table)` for `O(touched rows)`.
+    pub sparse_adam: bool,
     /// Seed for all training/inference randomness.
     pub seed: u64,
 }
@@ -123,6 +130,7 @@ impl Default for BiSageConfig {
             min_mac_degree: usize::MAX,
             num_threads: 0,
             grad_accum: 2,
+            sparse_adam: true,
             seed: 42,
         }
     }
@@ -132,15 +140,31 @@ impl Default for BiSageConfig {
 ///
 /// `layers[0]` is the batch; `layers[d+1]` holds, for every node of
 /// `layers[d]`, its sampled neighbors (with replacement) in segment order.
+///
+/// All buffers are `Arc`-shared with the tape (handed over without
+/// copying, reused across aggregation rounds) and reusable across steps:
+/// [`BiSage::build_tree_into`] rebuilds a tree in place, reclaiming each
+/// `Arc` once the previous step's tape has released it.
+#[derive(Default)]
 struct Tree {
     layers: Vec<Vec<NodeId>>,
     /// Per depth `d`: segment offsets into `layers[d+1]` (+ end sentinel).
-    /// `Arc` so the forward pass can hand the buffers to the tape without
-    /// copying them once per aggregation round.
     offsets: Vec<Arc<Vec<u32>>>,
     /// Per depth `d`: aggregation weight of each `layers[d+1]` node,
     /// normalized within its segment.
     weights: Vec<Arc<Vec<f32>>>,
+    /// Per layer: base-table row of each node (the gather indices).
+    row_idx: Vec<Arc<Vec<u32>>>,
+}
+
+/// Unique access to an `Arc`-shared buffer for in-place reuse: reclaims
+/// the existing allocation when the previous consumer has dropped its
+/// clone, otherwise starts a fresh one. Never clears — callers do.
+fn arc_vec_mut<T>(arc: &mut Arc<Vec<T>>) -> &mut Vec<T> {
+    if Arc::get_mut(arc).is_none() {
+        *arc = Arc::new(Vec::new());
+    }
+    Arc::get_mut(arc).expect("freshly created Arc is unique")
 }
 
 /// Handles of the learnable parameters during a training run.
@@ -528,40 +552,59 @@ impl BiSage {
         &self,
         graph: &BipartiteGraph,
         targets: &[NodeId],
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
         trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> Tree {
+        let mut tree = Tree::default();
+        let mut scratch = Vec::new();
+        self.build_tree_into(graph, targets, rng, trusted, &mut tree, &mut scratch);
+        tree
+    }
+
+    /// [`BiSage::build_tree`] into a reusable tree: every layer, offset,
+    /// weight, and row-index buffer is rebuilt in place (allocation-free
+    /// once warm), and `scratch` holds one node's sampled neighborhood at
+    /// a time on the training path. The RNG stream consumed is identical
+    /// to the allocating variant's.
+    fn build_tree_into(
+        &self,
+        graph: &BipartiteGraph,
+        targets: &[NodeId],
+        mut rng: Option<&mut StdRng>,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
+        tree: &mut Tree,
+        scratch: &mut Vec<(NodeId, f32)>,
+    ) {
         /// Below this many frontier nodes, fan-out overhead beats the win.
         const PAR_THRESHOLD: usize = 32;
-        let mut layers = vec![targets.to_vec()];
-        let mut offsets = Vec::with_capacity(self.cfg.rounds);
-        let mut weights = Vec::with_capacity(self.cfg.rounds);
-        for depth in 0..self.cfg.rounds {
+        let rounds = self.cfg.rounds;
+        tree.layers.resize_with(rounds + 1, Vec::new);
+        tree.offsets.resize_with(rounds, || Arc::new(Vec::new()));
+        tree.weights.resize_with(rounds, || Arc::new(Vec::new()));
+        tree.row_idx.resize_with(rounds + 1, || Arc::new(Vec::new()));
+        tree.layers[0].clear();
+        tree.layers[0].extend_from_slice(targets);
+        for depth in 0..rounds {
             let s = self.cfg.sample_sizes[depth];
-            let cur = &layers[depth];
-            // The deterministic (inference) expansion has no RNG stream to
-            // preserve, so the per-node neighborhood collection — the
-            // expensive part: filtering, weighting, top-cap sorting — can
-            // fan out; segment assembly stays sequential either way.
-            let sampled: Vec<Vec<(NodeId, f32)>> =
-                if rng.is_none() && self.cfg.num_threads != 1 && cur.len() >= PAR_THRESHOLD {
-                    gem_par::par_map(cur, |&node| self.neighborhood(graph, node, s, None, trusted))
-                } else {
-                    cur.iter()
-                        .map(|&node| self.neighborhood(graph, node, s, rng.as_deref_mut(), trusted))
-                        .collect()
-                };
-            let mut next = Vec::with_capacity(cur.len() * s);
-            let mut offs = Vec::with_capacity(cur.len() + 1);
-            let mut wts = Vec::with_capacity(cur.len() * s);
+            let (done, rest) = tree.layers.split_at_mut(depth + 1);
+            let cur = &done[depth];
+            let next = &mut rest[0];
+            let offs = arc_vec_mut(&mut tree.offsets[depth]);
+            let wts = arc_vec_mut(&mut tree.weights[depth]);
+            next.clear();
+            offs.clear();
+            wts.clear();
             offs.push(0u32);
-            for sampled in &sampled {
+            let append_segment = |sampled: &[(NodeId, f32)],
+                                      next: &mut Vec<NodeId>,
+                                      offs: &mut Vec<u32>,
+                                      wts: &mut Vec<f32>| {
                 let w_total: f32 = match self.cfg.aggregator {
                     Aggregator::WeightedMean => sampled.iter().map(|&(_, w)| w).sum(),
                     Aggregator::Mean => sampled.len() as f32,
                 };
-                for (nbr, w) in sampled {
-                    next.push(*nbr);
+                for &(nbr, w) in sampled {
+                    next.push(nbr);
                     let norm_w = match self.cfg.aggregator {
                         Aggregator::WeightedMean => w / w_total.max(1e-12),
                         Aggregator::Mean => 1.0 / w_total.max(1e-12),
@@ -569,12 +612,49 @@ impl BiSage {
                     wts.push(norm_w);
                 }
                 offs.push(next.len() as u32);
+            };
+            match &mut rng {
+                // Training: sample each node's neighborhood into the
+                // shared scratch and assemble its segment immediately
+                // (assembly consumes no randomness, so the RNG stream
+                // matches the collect-then-assemble order exactly).
+                Some(rng) => {
+                    for &node in cur.iter() {
+                        scratch.clear();
+                        if self.cfg.uniform_sampling {
+                            graph.sample_neighbors_uniform_into(node, s, rng, scratch);
+                        } else {
+                            graph.sample_neighbors_into(node, s, rng, scratch);
+                        }
+                        append_segment(scratch, next, offs, wts);
+                    }
+                }
+                // Inference: no RNG stream to preserve, so the per-node
+                // neighborhood collection — the expensive part:
+                // filtering, weighting, top-cap sorting — can fan out;
+                // segment assembly stays sequential either way.
+                None => {
+                    let sampled: Vec<Vec<(NodeId, f32)>> =
+                        if self.cfg.num_threads != 1 && cur.len() >= PAR_THRESHOLD {
+                            gem_par::par_map(cur, |&node| {
+                                self.neighborhood(graph, node, s, None, trusted)
+                            })
+                        } else {
+                            cur.iter()
+                                .map(|&node| self.neighborhood(graph, node, s, None, trusted))
+                                .collect()
+                        };
+                    for sampled in &sampled {
+                        append_segment(sampled, next, offs, wts);
+                    }
+                }
             }
-            layers.push(next);
-            offsets.push(Arc::new(offs));
-            weights.push(Arc::new(wts));
         }
-        Tree { layers, offsets, weights }
+        for (layer, idx) in tree.layers.iter().zip(tree.row_idx.iter_mut()) {
+            let idx = arc_vec_mut(idx);
+            idx.clear();
+            idx.extend(layer.iter().map(|&n| node_row(n) as u32));
+        }
     }
 
     /// Shared forward pass over a neighborhood tree. When `params` is
@@ -586,16 +666,17 @@ impl BiSage {
         tree: &Tree,
         store: Option<&ParamStore>,
         params: Option<&TrainParams>,
+        fs: &mut ForwardScratch,
     ) -> (Var, Var) {
         let k_rounds = self.cfg.rounds;
-        let mut cur_h: Vec<Var> = Vec::with_capacity(k_rounds + 1);
-        let mut cur_l: Vec<Var> = Vec::with_capacity(k_rounds + 1);
-        for layer in &tree.layers {
-            let idx: Vec<u32> = layer.iter().map(|&n| node_row(n) as u32).collect();
+        fs.cur_h.clear();
+        fs.cur_l.clear();
+        for (layer, idx) in tree.layers.iter().zip(&tree.row_idx) {
             match (store, params.and_then(|p| p.base.as_ref())) {
                 (Some(s), Some(&(bh, bl))) => {
-                    cur_h.push(g.gather(s, bh, &idx));
-                    cur_l.push(g.gather(s, bl, &idx));
+                    // The tape shares the tree's row-index buffer (no copy).
+                    fs.cur_h.push(g.gather(s, bh, idx));
+                    fs.cur_l.push(g.gather(s, bl, idx));
                 }
                 _ => {
                     let mut h = Tensor::zeros(layer.len(), self.cfg.dim);
@@ -604,8 +685,8 @@ impl BiSage {
                         h.set_row(i, self.base_h.row(r as usize));
                         l.set_row(i, self.base_l.row(r as usize));
                     }
-                    cur_h.push(g.constant(h));
-                    cur_l.push(g.constant(l));
+                    fs.cur_h.push(g.constant(h));
+                    fs.cur_l.push(g.constant(l));
                 }
             }
         }
@@ -618,38 +699,51 @@ impl BiSage {
                 ),
             };
             let depths = k_rounds - k;
-            let mut new_h = Vec::with_capacity(depths + 1);
-            let mut new_l = Vec::with_capacity(depths + 1);
+            fs.next_h.clear();
+            fs.next_l.clear();
             for d in 0..=depths {
                 let agg_h = g.segment_weighted_sum(
-                    cur_l[d + 1],
+                    fs.cur_l[d + 1],
                     Arc::clone(&tree.offsets[d]),
                     Arc::clone(&tree.weights[d]),
                 );
-                let cat_h = g.concat_cols(cur_h[d], agg_h);
+                let cat_h = g.concat_cols(fs.cur_h[d], agg_h);
                 let lin_h = g.matmul(cat_h, w_h_var);
                 let act_h = g.activation(lin_h, self.cfg.activation);
-                new_h.push(g.row_l2_normalize(act_h));
+                fs.next_h.push(g.row_l2_normalize(act_h));
 
                 let agg_l = g.segment_weighted_sum(
-                    cur_h[d + 1],
+                    fs.cur_h[d + 1],
                     Arc::clone(&tree.offsets[d]),
                     Arc::clone(&tree.weights[d]),
                 );
-                let cat_l = g.concat_cols(cur_l[d], agg_l);
+                let cat_l = g.concat_cols(fs.cur_l[d], agg_l);
                 let lin_l = g.matmul(cat_l, w_l_var);
                 let act_l = g.activation(lin_l, self.cfg.activation);
-                new_l.push(g.row_l2_normalize(act_l));
+                fs.next_l.push(g.row_l2_normalize(act_l));
             }
-            cur_h = new_h;
-            cur_l = new_l;
+            std::mem::swap(&mut fs.cur_h, &mut fs.next_h);
+            std::mem::swap(&mut fs.cur_l, &mut fs.next_l);
         }
-        (cur_h[0], cur_l[0])
+        (fs.cur_h[0], fs.cur_l[0])
     }
 
     /// Trains the model on the current graph (paper's initial training).
     /// Re-fitting resets the aggregation matrices.
     pub fn fit(&mut self, graph: &BipartiteGraph) -> TrainReport {
+        self.fit_instrumented(graph, &mut |_| {})
+    }
+
+    /// [`BiSage::fit`] with an event callback fired around every optimizer
+    /// step group (see [`StepEvent`]). Benchmarks hook this to window
+    /// per-step measurements — allocation counts, timings — without
+    /// perturbing the hot loop; the events are invoked on the caller's
+    /// thread, outside all parallel regions.
+    pub fn fit_instrumented(
+        &mut self,
+        graph: &BipartiteGraph,
+        on_event: &mut dyn FnMut(StepEvent),
+    ) -> TrainReport {
         let mut rng = child_rng(self.cfg.seed, 0x7_1A14);
         self.ensure_rows(graph, &mut rng);
         let mut report = TrainReport::default();
@@ -688,6 +782,12 @@ impl BiSage {
             None
         };
         let params = TrainParams { w_h, w_l, base };
+        if self.cfg.sparse_adam {
+            if let Some((bh, bl)) = params.base {
+                store.mark_sparse(bh);
+                store.mark_sparse(bl);
+            }
+        }
         let mut opt = Adam::new(self.cfg.learning_rate);
 
         // Data-parallel epoch loop. The chunk decomposition is a pure
@@ -697,8 +797,21 @@ impl BiSage {
         // start of its group. The reducer then folds the group's gradient
         // sinks back in fixed chunk order, so the parameter trajectory is
         // bit-identical for any thread count.
+        //
+        // Each group runs in three phases: (1) *plan* — per-chunk RNG
+        // target assembly and tree sampling; (2) *catch-up* — sparse Adam
+        // brings every base row the group will gather up to the current
+        // step, since the forward pass is about to read it; (3) *compute*
+        // — forward/backward on thread-local arena tapes into per-chunk
+        // persistent sinks. Phases 1 and 3 fan out over chunks.
         let group_len = self.cfg.grad_accum.max(1);
         let parallel = self.cfg.num_threads != 1 && gem_par::num_threads() > 1;
+        // Per-chunk state persists across groups so warm steps reuse every
+        // buffer; `plans` only grows (a shorter final group borrows a
+        // prefix), so warmed buffers are never dropped early.
+        let mut plans: Vec<ChunkPlan> = Vec::new();
+        let mut row_seen: Vec<bool> = Vec::new();
+        let mut rows_union: Vec<u32> = Vec::new();
         for epoch in 0..self.cfg.epochs {
             let mut pairs = WalkPairs::generate(graph, self.cfg.walks, &mut rng);
             if pairs.is_empty() {
@@ -710,36 +823,94 @@ impl BiSage {
             let chunks: Vec<&[(NodeId, NodeId)]> =
                 pairs.pairs.chunks(self.cfg.batch_size).collect();
             for (group_idx, group) in chunks.chunks(group_len).enumerate() {
-                let grads_of = |i: usize, chunk: &&[(NodeId, NodeId)]| {
-                    self.chunk_grads(
-                        graph,
-                        &store,
-                        &params,
-                        chunk,
+                on_event(StepEvent::GroupStart);
+                if plans.len() < group.len() {
+                    plans.resize_with(group.len(), ChunkPlan::default);
+                }
+                let active = &mut plans[..group.len()];
+
+                // Phase 1 — plan. Writes only into the chunk's own plan.
+                let plan_one = |i: usize, plan: &mut ChunkPlan| {
+                    let mut rng = child_rng(
+                        self.cfg.seed,
+                        chunk_stream(epoch, group_idx * group_len + i),
+                    );
+                    let ChunkPlan { targets, tree, scratch, .. } = plan;
+                    self.plan_targets(
+                        group[i],
                         &negatives,
                         typed_tables.as_ref(),
-                        epoch,
-                        group_idx * group_len + i,
-                    )
+                        &mut rng,
+                        targets,
+                    );
+                    self.build_tree_into(graph, targets, Some(&mut rng), None, tree, scratch);
                 };
-                let results: Vec<(f32, GradStore)> = if parallel {
-                    gem_par::par_map_indexed(group, grads_of)
+                if parallel {
+                    gem_par::par_for_each_mut(active, plan_one);
                 } else {
-                    group.iter().enumerate().map(|(i, c)| grads_of(i, c)).collect()
+                    for (i, plan) in active.iter_mut().enumerate() {
+                        plan_one(i, plan);
+                    }
+                }
+
+                // Phase 2 — catch-up of the union of gathered base rows
+                // (deduplicated via a reusable bitmap; catch-up order is
+                // irrelevant because rows are independent).
+                if self.cfg.sparse_adam {
+                    if let Some((bh, bl)) = params.base {
+                        row_seen.resize(store.value(bh).rows(), false);
+                        rows_union.clear();
+                        for plan in active.iter() {
+                            for idx in &plan.tree.row_idx {
+                                for &r in idx.iter() {
+                                    if !row_seen[r as usize] {
+                                        row_seen[r as usize] = true;
+                                        rows_union.push(r);
+                                    }
+                                }
+                            }
+                        }
+                        opt.catch_up_rows(&mut store, bh, &rows_union);
+                        opt.catch_up_rows(&mut store, bl, &rows_union);
+                        for &r in &rows_union {
+                            row_seen[r as usize] = false;
+                        }
+                    }
+                }
+
+                // Phase 3 — compute, against the shared snapshot.
+                let compute_one = |i: usize, plan: &mut ChunkPlan| {
+                    let ChunkPlan { tree, sink, loss, .. } = plan;
+                    *loss =
+                        self.chunk_grads_planned(&store, &params, tree, group[i].len(), sink);
                 };
-                let alpha = 1.0 / results.len() as f32;
-                for (loss, sink) in &results {
-                    epoch_loss += *loss as f64;
-                    store.apply_grads(sink, alpha);
+                if parallel {
+                    gem_par::par_for_each_mut(active, compute_one);
+                } else {
+                    for (i, plan) in active.iter_mut().enumerate() {
+                        compute_one(i, plan);
+                    }
+                }
+
+                // Reduce in fixed chunk order (determinism contract).
+                let alpha = 1.0 / active.len() as f32;
+                for plan in active.iter() {
+                    epoch_loss += plan.loss as f64;
+                    store.apply_grads(&plan.sink, alpha);
                     steps += 1;
                 }
                 store.clip_grad_norm(5.0);
                 opt.step(&mut store);
                 store.zero_grads();
+                on_event(StepEvent::GroupEnd);
             }
             report.pairs_seen += pairs.len();
             report.epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
         }
+        // Sparse Adam leaves never-again-gathered rows behind; flush the
+        // deferred updates so the stored tables bitwise match the dense
+        // trajectory before anything reads them.
+        opt.finalize(&mut store);
 
         for k in 0..self.cfg.rounds {
             self.w_h[k] = store.value(params.w_h[k]).clone();
@@ -777,96 +948,110 @@ impl BiSage {
         report
     }
 
-    /// Forward + backward for one minibatch chunk against a read-only
-    /// parameter snapshot. The chunk's negative sampling and neighborhood
-    /// sampling run on an RNG derived from `(seed, epoch, chunk_idx)`, so
-    /// the result does not depend on which thread — or in what order —
-    /// the chunk is evaluated. Gradients land in a fresh [`GradStore`];
-    /// the caller folds them into the shared store in chunk order.
-    #[allow(clippy::too_many_arguments)]
-    fn chunk_grads(
+    /// Phase-1 target assembly for one chunk: the positive pairs'
+    /// endpoints followed by `negative_samples` negatives per pair, into
+    /// the chunk's reusable buffer. Consumes the chunk RNG exactly like
+    /// the pre-split training loop did (negatives first, tree second).
+    fn plan_targets(
         &self,
-        graph: &BipartiteGraph,
-        store: &ParamStore,
-        params: &TrainParams,
         pairs: &[(NodeId, NodeId)],
         negatives: &NegativeTable,
         typed_tables: Option<&(NegativeTable, NegativeTable)>,
-        epoch: usize,
-        chunk_idx: usize,
-    ) -> (f32, GradStore) {
-        let mut rng = child_rng(self.cfg.seed, chunk_stream(epoch, chunk_idx));
+        rng: &mut StdRng,
+        out: &mut Vec<NodeId>,
+    ) {
         let b = pairs.len();
+        let kn = self.cfg.negative_samples;
+        out.clear();
+        out.reserve(2 * b + b * kn);
+        out.extend(pairs.iter().map(|&(x, _)| x));
+        out.extend(pairs.iter().map(|&(_, y)| y));
+        for &(x, y) in pairs {
+            let table = match typed_tables {
+                // Negatives share y's type (the side opposite to x).
+                Some((recs, macs)) => {
+                    if y.is_record() {
+                        recs
+                    } else {
+                        macs
+                    }
+                }
+                None => negatives,
+            };
+            for _ in 0..kn {
+                out.push(table.sample_excluding(x, y, rng));
+            }
+        }
+    }
+
+    /// Phase-3 forward + backward for one planned chunk against a
+    /// read-only parameter snapshot, gradients into the chunk's
+    /// persistent sink. The sampling RNG was already consumed in phase 1,
+    /// so the result does not depend on which thread — or in what order —
+    /// the chunk is evaluated. Runs on a thread-local arena-backed tape:
+    /// after the first step of a given shape, the whole computation
+    /// performs no heap allocation.
+    fn chunk_grads_planned(
+        &self,
+        store: &ParamStore,
+        params: &TrainParams,
+        tree: &Tree,
+        b: usize,
+        sink: &mut GradStore,
+    ) -> f32 {
         let kn = self.cfg.negative_samples;
         STEP_BUFFERS.with(|buffers| {
             let buf = &mut *buffers.borrow_mut();
-            buf.targets.clear();
-            buf.targets.reserve(2 * b + b * kn);
-            buf.targets.extend(pairs.iter().map(|&(x, _)| x));
-            buf.targets.extend(pairs.iter().map(|&(_, y)| y));
-            for &(x, y) in pairs {
-                let table = match typed_tables {
-                    // Negatives share y's type (the side opposite to x).
-                    Some((recs, macs)) => {
-                        if y.is_record() {
-                            recs
-                        } else {
-                            macs
-                        }
-                    }
-                    None => negatives,
-                };
-                for _ in 0..kn {
-                    buf.targets.push(table.sample_excluding(x, y, &mut rng));
-                }
-            }
-            let tree = self.build_tree(graph, &buf.targets, Some(&mut rng), None);
-            let mut g = Graph::new();
-            let (h_all, l_all) = self.forward(&mut g, &tree, Some(store), Some(params));
+            let StepBuffers { graph: g, forward: fs, x_idx, y_idx, z_idx, x_rep, ones, zeros, index_shape } =
+                buf;
+            let (h_all, l_all) = self.forward(g, tree, Some(store), Some(params), fs);
 
-            // Selection index vectors depend only on `(b, kn)`; rebuild
-            // them (into retained capacity) only when the shape changes —
-            // the final short chunk of an epoch, typically.
-            if buf.index_shape != (b, kn) {
-                buf.x_idx.clear();
-                buf.x_idx.extend(0..b as u32);
-                buf.y_idx.clear();
-                buf.y_idx.extend(b as u32..2 * b as u32);
-                buf.z_idx.clear();
-                buf.z_idx.extend(2 * b as u32..(2 * b + b * kn) as u32);
-                buf.x_rep.clear();
-                buf.x_rep.extend((0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)));
-                buf.index_shape = (b, kn);
+            // Selection/target vectors depend only on `(b, kn)`; rebuild
+            // them only when the shape changes — the final short chunk of
+            // an epoch, typically. The previous tape has been reset, so
+            // the old Arcs are unreferenced and simply replaced.
+            if *index_shape != (b, kn) {
+                *x_idx = Arc::new((0..b as u32).collect());
+                *y_idx = Arc::new((b as u32..2 * b as u32).collect());
+                *z_idx = Arc::new((2 * b as u32..(2 * b + b * kn) as u32).collect());
+                *x_rep = Arc::new(
+                    (0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)).collect(),
+                );
+                *ones = Arc::new(vec![1.0f32; b]);
+                *zeros = Arc::new(vec![0.0f32; b * kn]);
+                *index_shape = (b, kn);
             }
 
-            let h_x = g.select_rows(h_all, &buf.x_idx);
-            let l_x = g.select_rows(l_all, &buf.x_idx);
-            let h_y = g.select_rows(h_all, &buf.y_idx);
-            let l_y = g.select_rows(l_all, &buf.y_idx);
-            let h_z = g.select_rows(h_all, &buf.z_idx);
-            let l_z = g.select_rows(l_all, &buf.z_idx);
-            let h_x_rep = g.select_rows(h_all, &buf.x_rep);
-            let l_x_rep = g.select_rows(l_all, &buf.x_rep);
+            let h_x = g.select_rows(h_all, &*x_idx);
+            let l_x = g.select_rows(l_all, &*x_idx);
+            let h_y = g.select_rows(h_all, &*y_idx);
+            let l_y = g.select_rows(l_all, &*y_idx);
+            let h_z = g.select_rows(h_all, &*z_idx);
+            let l_z = g.select_rows(l_all, &*z_idx);
+            let h_x_rep = g.select_rows(h_all, &*x_rep);
+            let l_x_rep = g.select_rows(l_all, &*x_rep);
 
             let pos1 = g.rows_dot(h_x, l_y);
             let pos2 = g.rows_dot(l_x, h_y);
             let neg1 = g.rows_dot(h_x_rep, l_z);
             let neg2 = g.rows_dot(l_x_rep, h_z);
 
-            let ones = vec![1.0f32; b];
-            let zeros = vec![0.0f32; b * kn];
-            let lp1 = g.bce_with_logits_mean(pos1, &ones);
-            let lp2 = g.bce_with_logits_mean(pos2, &ones);
-            let ln1 = g.bce_with_logits_mean(neg1, &zeros);
-            let ln2 = g.bce_with_logits_mean(neg2, &zeros);
+            let lp1 = g.bce_with_logits_mean(pos1, &*ones);
+            let lp2 = g.bce_with_logits_mean(pos2, &*ones);
+            let ln1 = g.bce_with_logits_mean(neg1, &*zeros);
+            let ln2 = g.bce_with_logits_mean(neg2, &*zeros);
             let pos_sum = g.add(lp1, lp2);
             let neg_sum = g.add(ln1, ln2);
             let loss = g.add(pos_sum, neg_sum);
             let loss_value = g.value(loss)[(0, 0)];
 
-            let mut sink = GradStore::zeros_like(store);
-            g.backward_into(loss, &mut sink);
-            (loss_value, sink)
+            sink.ensure_like(store);
+            g.backward_into(loss, sink);
+            // Recycle every tape buffer into the arena and release the
+            // tape's clones of the tree/index Arcs, so the next phase 1
+            // can rebuild the tree buffers in place.
+            g.reset();
+            loss_value
         })
     }
 
@@ -902,7 +1087,8 @@ impl BiSage {
     ) -> (Tensor, Tensor) {
         let tree = self.build_tree(graph, nodes, None, trusted);
         let mut g = Graph::new();
-        let (h, l) = self.forward(&mut g, &tree, None, None);
+        let mut fs = ForwardScratch::default();
+        let (h, l) = self.forward(&mut g, &tree, None, None, &mut fs);
         (g.value(h).clone(), g.value(l).clone())
     }
 
@@ -933,7 +1119,8 @@ impl BiSage {
         }
         let tree = self.build_tree(graph, &nodes, Some(rng), None);
         let mut g = Graph::new();
-        let (h, _) = self.forward(&mut g, &tree, None, None);
+        let mut fs = ForwardScratch::default();
+        let (h, _) = self.forward(&mut g, &tree, None, None, &mut fs);
         g.value(h).clone()
     }
 
@@ -979,19 +1166,71 @@ fn chunk_stream(epoch: usize, chunk_idx: usize) -> u64 {
     0x7C41_0000_0000_0000 ^ ((epoch as u64) << 32) ^ chunk_idx as u64
 }
 
-/// Per-thread scratch reused across training chunks so the hot loop stops
-/// reallocating its target/index vectors every step. Each pool worker (and
-/// the sequential path) keeps its own copy, so no synchronization is
-/// involved and reuse cannot change results.
+/// Callback events from [`BiSage::fit_instrumented`], fired on the
+/// caller's thread around each optimizer step group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepEvent {
+    /// About to process one gradient-accumulation group.
+    GroupStart,
+    /// Finished the group: optimizer step applied, gradients cleared.
+    GroupEnd,
+}
+
+/// Persistent per-chunk training state: phase 1 (plan) fills `targets`
+/// and `tree`, phase 2 reads the tree's row indices for optimizer
+/// catch-up, phase 3 (compute) writes `loss` and `sink`. Plans live for
+/// the whole fit so every buffer warms up once and is reused each group.
 #[derive(Default)]
-struct StepBuffers {
+struct ChunkPlan {
     targets: Vec<NodeId>,
-    x_idx: Vec<u32>,
-    y_idx: Vec<u32>,
-    z_idx: Vec<u32>,
-    x_rep: Vec<u32>,
-    /// `(batch, negatives)` shape the index vectors were built for.
+    tree: Tree,
+    /// One node's sampled neighborhood during tree building.
+    scratch: Vec<(NodeId, f32)>,
+    sink: GradStore,
+    loss: f32,
+}
+
+/// Var stacks reused by [`BiSage::forward`] across rounds and calls.
+#[derive(Default)]
+struct ForwardScratch {
+    cur_h: Vec<Var>,
+    cur_l: Vec<Var>,
+    next_h: Vec<Var>,
+    next_l: Vec<Var>,
+}
+
+/// Per-thread training scratch: the arena-backed tape, the forward-pass
+/// var stacks, and the `(b, kn)`-shaped selection/target buffers shared
+/// with the tape via `Arc`. Each pool worker (and the sequential path)
+/// keeps its own copy, so no synchronization is involved and reuse cannot
+/// change results.
+struct StepBuffers {
+    graph: Graph,
+    forward: ForwardScratch,
+    x_idx: Arc<Vec<u32>>,
+    y_idx: Arc<Vec<u32>>,
+    z_idx: Arc<Vec<u32>>,
+    x_rep: Arc<Vec<u32>>,
+    ones: Arc<Vec<f32>>,
+    zeros: Arc<Vec<f32>>,
+    /// `(batch, negatives)` shape the buffers were built for.
     index_shape: (usize, usize),
+}
+
+impl Default for StepBuffers {
+    fn default() -> Self {
+        StepBuffers {
+            graph: Graph::with_arena(Rc::new(TensorArena::new())),
+            forward: ForwardScratch::default(),
+            x_idx: Arc::new(Vec::new()),
+            y_idx: Arc::new(Vec::new()),
+            z_idx: Arc::new(Vec::new()),
+            x_rep: Arc::new(Vec::new()),
+            ones: Arc::new(Vec::new()),
+            zeros: Arc::new(Vec::new()),
+            index_shape: (usize::MAX, usize::MAX),
+        }
+    }
 }
 
 thread_local! {

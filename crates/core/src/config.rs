@@ -91,6 +91,10 @@ pub struct GemConfig {
     /// Minibatch chunks averaged into each optimizer step
     /// (see `BiSageConfig::grad_accum`).
     pub grad_accum: usize,
+    /// Sparse (touched-rows-only, lazily caught-up) Adam updates for the
+    /// base-embedding tables (see `BiSageConfig::sparse_adam`).
+    /// Bit-identical to the dense update, just faster.
+    pub sparse_adam: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -129,6 +133,7 @@ impl Default for GemConfig {
             contamination: 0.05,
             num_threads: 0,
             grad_accum: 2,
+            sparse_adam: true,
             seed: 42,
         }
     }
@@ -156,6 +161,7 @@ impl GemConfig {
             min_mac_degree: self.min_mac_degree,
             num_threads: self.num_threads,
             grad_accum: self.grad_accum,
+            sparse_adam: self.sparse_adam,
             seed: self.seed,
         }
     }

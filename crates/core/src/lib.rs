@@ -27,7 +27,7 @@ pub mod pca;
 pub mod persist;
 pub mod pipeline;
 
-pub use bisage::{Aggregator, BiSage, BiSageConfig};
+pub use bisage::{Aggregator, BiSage, BiSageConfig, StepEvent};
 pub use config::GemConfig;
 pub use detector::{BaselineHbos, Detection, EnhancedDetector};
 pub use gem::{Decision, Gem};

@@ -272,11 +272,25 @@ impl BipartiteGraph {
         k: usize,
         rng: &mut impl RngExt,
     ) -> Vec<(NodeId, f32)> {
+        let mut out = Vec::with_capacity(k);
+        self.sample_neighbors_into(node, k, rng, &mut out);
+        out
+    }
+
+    /// [`BipartiteGraph::sample_neighbors`], appending into a caller-owned
+    /// buffer (the training hot loop reuses one buffer across nodes).
+    /// Consumes exactly the same RNG stream as the allocating variant.
+    pub fn sample_neighbors_into(
+        &self,
+        node: NodeId,
+        k: usize,
+        rng: &mut impl RngExt,
+        out: &mut Vec<(NodeId, f32)>,
+    ) {
         let adj = match node {
             NodeId::Record(r) => &self.record_adj[r.0 as usize],
             NodeId::Mac(m) => &self.mac_adj[m.0 as usize],
         };
-        let mut out = Vec::with_capacity(k);
         for _ in 0..k {
             match adj.sample(rng) {
                 Some((t, w)) => out.push((
@@ -289,7 +303,6 @@ impl BipartiteGraph {
                 None => break,
             }
         }
-        out
     }
 
     /// Samples `k` neighbors *uniformly* with replacement (the GraphSAGE
@@ -300,25 +313,38 @@ impl BipartiteGraph {
         k: usize,
         rng: &mut impl RngExt,
     ) -> Vec<(NodeId, f32)> {
+        let mut out = Vec::with_capacity(k);
+        self.sample_neighbors_uniform_into(node, k, rng, &mut out);
+        out
+    }
+
+    /// [`BipartiteGraph::sample_neighbors_uniform`], appending into a
+    /// caller-owned buffer. Consumes exactly the same RNG stream as the
+    /// allocating variant.
+    pub fn sample_neighbors_uniform_into(
+        &self,
+        node: NodeId,
+        k: usize,
+        rng: &mut impl RngExt,
+        out: &mut Vec<(NodeId, f32)>,
+    ) {
         let adj = match node {
             NodeId::Record(r) => &self.record_adj[r.0 as usize],
             NodeId::Mac(m) => &self.mac_adj[m.0 as usize],
         };
         if adj.nbrs.is_empty() {
-            return Vec::new();
+            return;
         }
-        (0..k)
-            .map(|_| {
-                let (t, w) = adj.nbrs[rng.random_range(0..adj.nbrs.len())];
-                (
-                    match node {
-                        NodeId::Record(_) => NodeId::Mac(MacId(t)),
-                        NodeId::Mac(_) => NodeId::Record(RecordId(t)),
-                    },
-                    w,
-                )
-            })
-            .collect()
+        out.extend((0..k).map(|_| {
+            let (t, w) = adj.nbrs[rng.random_range(0..adj.nbrs.len())];
+            (
+                match node {
+                    NodeId::Record(_) => NodeId::Mac(MacId(t)),
+                    NodeId::Mac(_) => NodeId::Record(RecordId(t)),
+                },
+                w,
+            )
+        }));
     }
 
     /// One weighted random-walk transition from `node` (paper Section IV-B:

@@ -1,0 +1,206 @@
+//! Size-classed tensor arena for allocation-free training steps.
+//!
+//! A [`TensorArena`] recycles the `Vec<f32>` buffers behind [`Tensor`]s
+//! across tape lifetimes: every buffer a [`crate::tape::Graph`] allocates
+//! for a node value or gradient is drawn from the arena and returned to it
+//! when the tape is reset (or dropped). After the first training step has
+//! warmed the free lists, subsequent steps of the same shape perform zero
+//! heap allocations on the tape path.
+//!
+//! Buffers are binned by the floor-log2 of their *capacity*; an allocation
+//! request of `n` elements pops from the ceil-log2(`n`) bin, whose buffers
+//! are guaranteed to hold at least `n` elements. Fresh buffers are created
+//! with a power-of-two capacity so they land back in the bin they were
+//! served from, keeping reuse exact across steps.
+//!
+//! The arena is single-threaded by design (`RefCell`, shared via `Rc`):
+//! tapes are thread-local in the data-parallel trainer, so each worker owns
+//! one arena and no synchronization is needed on the hot path.
+
+use std::cell::{Cell, RefCell};
+
+use crate::tensor::Tensor;
+
+/// One bin per possible capacity class (`2^0 ..= 2^63`).
+const CLASSES: usize = 64;
+
+/// Upper bound on buffers retained per class — a backstop against
+/// pathological workloads hoarding memory; normal training steps keep a
+/// bounded live set far below this.
+const MAX_PER_CLASS: usize = 1024;
+
+/// Reuse statistics, readable via [`TensorArena::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Allocations served from a free list (no heap traffic).
+    pub reused: u64,
+    /// Allocations that had to create a fresh buffer.
+    pub fresh: u64,
+    /// Buffers returned to the free lists.
+    pub recycled: u64,
+}
+
+/// A pool of `f32` buffers binned by power-of-two capacity class.
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    classes: RefCell<Vec<Vec<Vec<f32>>>>,
+    reused: Cell<u64>,
+    fresh: Cell<u64>,
+    recycled: Cell<u64>,
+}
+
+/// Class index whose buffers are all large enough to hold `n` elements.
+#[inline]
+fn class_for_len(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Class index a buffer of this capacity is stored under.
+#[inline]
+fn class_for_capacity(cap: usize) -> usize {
+    debug_assert!(cap > 0);
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+impl TensorArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed `rows × cols` tensor, served from the free lists when a
+    /// large-enough buffer is available.
+    pub fn alloc(&self, rows: usize, cols: usize) -> Tensor {
+        let n = rows * cols;
+        if n == 0 {
+            return Tensor::zeros(rows, cols);
+        }
+        let class = class_for_len(n);
+        let mut buf = {
+            let mut classes = self.classes.borrow_mut();
+            if classes.len() <= class {
+                classes.resize_with(CLASSES, Vec::new);
+            }
+            classes[class].pop()
+        };
+        match &mut buf {
+            Some(v) => {
+                self.reused.set(self.reused.get() + 1);
+                v.clear();
+                v.resize(n, 0.0);
+            }
+            None => {
+                self.fresh.set(self.fresh.get() + 1);
+                let mut v = Vec::with_capacity(1usize << class);
+                v.resize(n, 0.0);
+                buf = Some(v);
+            }
+        }
+        Tensor::from_vec(rows, cols, buf.unwrap())
+    }
+
+    /// Like [`TensorArena::alloc`] but with the contents of `src`.
+    pub fn alloc_copy(&self, src: &Tensor) -> Tensor {
+        let mut t = self.alloc(src.rows(), src.cols());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// Returns a tensor's buffer to the free lists for reuse. Buffers the
+    /// arena did not create are accepted too (they are just `Vec<f32>`s)
+    /// and binned by their own capacity.
+    pub fn recycle(&self, t: Tensor) {
+        let v = t.into_raw();
+        let cap = v.capacity();
+        if cap == 0 {
+            return;
+        }
+        let class = class_for_capacity(cap);
+        let mut classes = self.classes.borrow_mut();
+        if classes.len() <= class {
+            classes.resize_with(CLASSES, Vec::new);
+        }
+        if classes[class].len() < MAX_PER_CLASS {
+            classes[class].push(v);
+            self.recycled.set(self.recycled.get() + 1);
+        }
+    }
+
+    /// Current reuse counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            reused: self.reused.get(),
+            fresh: self.fresh.get(),
+            recycled: self.recycled.get(),
+        }
+    }
+
+    /// Buffers currently parked in the free lists.
+    pub fn pooled_buffers(&self) -> usize {
+        self.classes.borrow().iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices() {
+        assert_eq!(class_for_len(1), 0);
+        assert_eq!(class_for_len(2), 1);
+        assert_eq!(class_for_len(3), 2);
+        assert_eq!(class_for_len(4), 2);
+        assert_eq!(class_for_len(5), 3);
+        assert_eq!(class_for_capacity(1), 0);
+        assert_eq!(class_for_capacity(4), 2);
+        assert_eq!(class_for_capacity(7), 2);
+        assert_eq!(class_for_capacity(8), 3);
+    }
+
+    #[test]
+    fn alloc_recycle_roundtrip_reuses_buffer() {
+        let arena = TensorArena::new();
+        let t = arena.alloc(3, 5);
+        assert_eq!(t.shape(), (3, 5));
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        arena.recycle(t);
+        assert_eq!(arena.pooled_buffers(), 1);
+        // Same class (16-element bucket) → served from the pool.
+        let t2 = arena.alloc(4, 4);
+        assert_eq!(arena.stats().reused, 1);
+        assert!(t2.data().iter().all(|&x| x == 0.0));
+        assert_eq!(arena.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn recycled_buffers_are_zeroed_on_realloc() {
+        let arena = TensorArena::new();
+        let mut t = arena.alloc(2, 2);
+        t.data_mut().fill(7.0);
+        arena.recycle(t);
+        let t2 = arena.alloc(2, 2);
+        assert!(t2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn foreign_buffers_are_accepted() {
+        let arena = TensorArena::new();
+        arena.recycle(Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        // Capacity 3 lands in class 1 (floor log2 3); a 2-element request
+        // (class 1) can reuse it.
+        let t = arena.alloc(1, 2);
+        assert_eq!(arena.stats().reused, 1);
+        assert_eq!(t.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_sized_allocs_are_fine() {
+        let arena = TensorArena::new();
+        let t = arena.alloc(0, 5);
+        assert_eq!(t.shape(), (0, 5));
+        arena.recycle(t);
+        assert_eq!(arena.stats(), ArenaStats { reused: 0, fresh: 0, recycled: 0 });
+    }
+}

@@ -20,6 +20,7 @@
 //! Every differentiable op is verified against central finite differences
 //! in the test suite.
 
+pub mod arena;
 pub mod init;
 pub mod layers;
 pub mod linalg;
@@ -27,6 +28,9 @@ pub mod optim;
 pub mod tape;
 pub mod tensor;
 
+pub use arena::{ArenaStats, TensorArena};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use tape::{Activation, GradStore, Graph, ParamId, ParamStore, Var};
+pub use tape::{
+    Activation, GradStore, Graph, ParamId, ParamStore, SparseGrad, Touched, Var,
+};
 pub use tensor::Tensor;

@@ -112,18 +112,26 @@ pub fn jacobi_eigen(mut a: SymMatrix, tol: f64, max_sweeps: usize) -> EigenDecom
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
-                // Rotate rows/columns p and q.
+                // Rotate columns p and q (strided pass), then rows p
+                // and q. The row pass walks two disjoint row slices
+                // linearly — same arithmetic and update order as the
+                // accessor-based version, minus the per-element index
+                // recomputation in the hot loop.
+                let d = &mut a.data;
                 for k in 0..n {
-                    let akp = a.get(k, p);
-                    let akq = a.get(k, q);
-                    a.set(k, p, c * akp - s * akq);
-                    a.set(k, q, s * akp + c * akq);
+                    let akp = d[k * n + p];
+                    let akq = d[k * n + q];
+                    d[k * n + p] = c * akp - s * akq;
+                    d[k * n + q] = s * akp + c * akq;
                 }
-                for k in 0..n {
-                    let apk = a.get(p, k);
-                    let aqk = a.get(q, k);
-                    a.set(p, k, c * apk - s * aqk);
-                    a.set(q, k, s * apk + c * aqk);
+                // p < q, so row p lies entirely before row q.
+                let (lo, hi) = d.split_at_mut(q * n);
+                let rp = &mut lo[p * n..p * n + n];
+                let rq = &mut hi[..n];
+                for (apk, aqk) in rp.iter_mut().zip(rq.iter_mut()) {
+                    let (x, y) = (*apk, *aqk);
+                    *apk = c * x - s * y;
+                    *aqk = s * x + c * y;
                 }
                 // Accumulate rotation into eigenvectors.
                 for k in 0..n {
@@ -165,14 +173,15 @@ pub fn double_center(n: usize, d2: &[f64]) -> SymMatrix {
         row_mean[i] /= n as f64;
     }
     let grand = total / (n * n) as f64;
-    let mut b = SymMatrix::zeros(n);
+    // Fill the buffer in one pass instead of zero-initializing and then
+    // overwriting every element through the accessor.
+    let mut data = Vec::with_capacity(n * n);
     for i in 0..n {
         for j in 0..n {
-            let v = -0.5 * (d2[i * n + j] - row_mean[i] - row_mean[j] + grand);
-            b.set(i, j, v);
+            data.push(-0.5 * (d2[i * n + j] - row_mean[i] - row_mean[j] + grand));
         }
     }
-    b
+    SymMatrix { n, data }
 }
 
 #[cfg(test)]

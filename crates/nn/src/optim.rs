@@ -1,6 +1,23 @@
 //! First-order optimizers over a [`ParamStore`].
+//!
+//! Both optimizers keep their warm paths allocation-free: per-parameter
+//! state tensors are created on first use and reused on every later step,
+//! and the update loops write through
+//! [`ParamStore::value_and_grad_mut`] without cloning gradients.
+//!
+//! [`Adam`] additionally supports a *sparse* path for parameters marked
+//! with [`ParamStore::mark_sparse`] (embedding tables updated through
+//! `gather`): each step updates only the rows touched by the current
+//! gradient, and the zero-gradient decay that dense Adam would have
+//! applied to every other row is replayed lazily — when the row is next
+//! touched, explicitly caught up via [`Adam::catch_up_rows`] before being
+//! read, or flushed at the end of training by [`Adam::finalize`]. The
+//! replay recomputes the exact dense per-step updates (including per-step
+//! bias corrections), so the sparse trajectory is bit-identical to the
+//! dense one. Hyper-parameters must stay fixed while rows are behind
+//! (call [`Adam::finalize`] before changing the learning rate).
 
-use crate::tape::{ParamId, ParamStore};
+use crate::tape::{ParamId, ParamStore, Touched};
 use crate::tensor::Tensor;
 
 /// A gradient-descent style optimizer.
@@ -15,6 +32,13 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (e.g. for decay schedules).
     fn set_learning_rate(&mut self, lr: f32);
+}
+
+fn slot(vec: &mut Vec<Option<Tensor>>, idx: usize, rows: usize, cols: usize) -> &mut Tensor {
+    if vec.len() <= idx {
+        vec.resize(idx + 1, None);
+    }
+    vec[idx].get_or_insert_with(|| Tensor::zeros(rows, cols))
 }
 
 /// Plain stochastic gradient descent with optional momentum.
@@ -35,29 +59,22 @@ impl Sgd {
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         Sgd { lr, momentum, velocity: Vec::new() }
     }
-
-    fn velocity_for(&mut self, id: ParamId, rows: usize, cols: usize) -> &mut Tensor {
-        if self.velocity.len() <= id.0 {
-            self.velocity.resize(id.0 + 1, None);
-        }
-        self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(rows, cols))
-    }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
-        for id in store.ids().collect::<Vec<_>>() {
-            let grad = store.grad(id).clone();
+        for i in 0..store.len() {
+            let id = ParamId(i);
             if self.momentum > 0.0 {
-                let momentum = self.momentum;
-                let (r, c) = grad.shape();
-                let v = self.velocity_for(id, r, c);
-                v.scale_in_place(momentum);
-                v.axpy(1.0, &grad);
-                let v = v.clone();
-                store.value_mut(id).axpy(-self.lr, &v);
+                let (r, c) = store.value(id).shape();
+                let v = slot(&mut self.velocity, i, r, c);
+                let (value, grad) = store.value_and_grad_mut(id);
+                v.scale_in_place(self.momentum);
+                v.axpy(1.0, grad);
+                value.axpy(-self.lr, v);
             } else {
-                store.value_mut(id).axpy(-self.lr, &grad);
+                let (value, grad) = store.value_and_grad_mut(id);
+                value.axpy(-self.lr, grad);
             }
         }
     }
@@ -71,7 +88,8 @@ impl Optimizer for Sgd {
     }
 }
 
-/// Adam (Kingma & Ba) with bias correction.
+/// Adam (Kingma & Ba) with bias correction, plus a lazy sparse-row path
+/// for embedding tables (see the module docs).
 #[derive(Clone, Debug)]
 pub struct Adam {
     lr: f32,
@@ -81,50 +99,267 @@ pub struct Adam {
     t: u64,
     m: Vec<Option<Tensor>>,
     v: Vec<Option<Tensor>>,
+    /// For sparse params: the step number each row was last brought up to.
+    /// Empty for dense params.
+    row_step: Vec<Vec<u64>>,
+    /// Scratch for touched-row collection (reused across steps).
+    rows_scratch: Vec<u32>,
+}
+
+/// One dense Adam element update. Interleaving m/v/p per element is
+/// bit-identical to the staged m-then-v-then-p loops because no element
+/// reads another element's state.
+#[allow(clippy::too_many_arguments)] // flat scalar helper, meant to inline
+#[inline]
+fn update_elem(
+    m: &mut f32,
+    v: &mut f32,
+    p: &mut f32,
+    g: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    lr: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    *m = beta1 * *m + (1.0 - beta1) * g;
+    *v = beta2 * *v + (1.0 - beta2) * g * g;
+    let m_hat = *m / bc1;
+    let v_hat = *v / bc2;
+    *p -= lr * m_hat / (v_hat.sqrt() + eps);
+}
+
+/// Replays the zero-gradient updates dense Adam would have applied to one
+/// row over steps `from..=to`, reproducing the dense trajectory bit for
+/// bit (the per-step bias corrections are recomputed exactly).
+#[allow(clippy::too_many_arguments)]
+fn catch_up_row(
+    m: &mut [f32],
+    v: &mut [f32],
+    p: &mut [f32],
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    lr: f32,
+    from: u64,
+    to: u64,
+) {
+    // A row whose moments are exactly zero stays exactly zero under a
+    // zero gradient (β·0 + (1-β)·0 = +0.0), and the weight update is
+    // p -= lr·(0/bc1)/((0/bc2).sqrt()+eps) = p - 0.0 = p, an exact
+    // identity. Skipping the replay is therefore bit-preserving, which
+    // makes never-touched rows O(cols) instead of O(steps·cols).
+    if m.iter().all(|x| x.to_bits() == 0) && v.iter().all(|x| x.to_bits() == 0) {
+        return;
+    }
+    for s in from..=to {
+        let bc1 = 1.0 - beta1.powi(s as i32);
+        let bc2 = 1.0 - beta2.powi(s as i32);
+        for j in 0..m.len() {
+            update_elem(
+                &mut m[j], &mut v[j], &mut p[j], 0.0, beta1, beta2, eps, lr, bc1, bc2,
+            );
+        }
+    }
 }
 
 impl Adam {
     /// Adam with the customary β₁=0.9, β₂=0.999, ε=1e-8.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+            row_step: Vec::new(),
+            rows_scratch: Vec::new(),
+        }
     }
 
-    fn slot(vec: &mut Vec<Option<Tensor>>, id: ParamId, rows: usize, cols: usize) -> &mut Tensor {
-        if vec.len() <= id.0 {
-            vec.resize(id.0 + 1, None);
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn row_steps(row_step: &mut Vec<Vec<u64>>, idx: usize, rows: usize) -> &mut Vec<u64> {
+        if row_step.len() <= idx {
+            row_step.resize(idx + 1, Vec::new());
         }
-        vec[id.0].get_or_insert_with(|| Tensor::zeros(rows, cols))
+        let rs = &mut row_step[idx];
+        if rs.len() < rows {
+            rs.resize(rows, 0);
+        }
+        rs
+    }
+
+    /// Brings the given rows of a sparse parameter up to the current step
+    /// by replaying the deferred zero-gradient updates. Must be called
+    /// before *reading* those rows (e.g. gathering them in a forward
+    /// pass) for the sparse trajectory to match the dense one.
+    pub fn catch_up_rows(&mut self, store: &mut ParamStore, id: ParamId, rows: &[u32]) {
+        if self.t == 0 {
+            return;
+        }
+        let (r, c) = store.value(id).shape();
+        let m = slot(&mut self.m, id.0, r, c);
+        let v = slot(&mut self.v, id.0, r, c);
+        let rs = Self::row_steps(&mut self.row_step, id.0, r);
+        let value = store.value_mut(id);
+        for &row in rows {
+            let row = row as usize;
+            let last = rs[row];
+            if last < self.t {
+                catch_up_row(
+                    m.row_mut(row),
+                    v.row_mut(row),
+                    value.row_mut(row),
+                    self.beta1,
+                    self.beta2,
+                    self.eps,
+                    self.lr,
+                    last + 1,
+                    self.t,
+                );
+                rs[row] = self.t;
+            }
+        }
+    }
+
+    /// Catches every row of every sparse parameter up to the current
+    /// step. Call at the end of training (or before changing
+    /// hyper-parameters) so the stored weights bitwise match what dense
+    /// Adam would have produced.
+    pub fn finalize(&mut self, store: &mut ParamStore) {
+        if self.t == 0 {
+            return;
+        }
+        for i in 0..store.len() {
+            let id = ParamId(i);
+            if !store.is_sparse(id) {
+                continue;
+            }
+            let rows = store.value(id).rows();
+            self.rows_scratch.clear();
+            self.rows_scratch.extend(0..rows as u32);
+            let rows = std::mem::take(&mut self.rows_scratch);
+            self.catch_up_rows(store, id, &rows);
+            self.rows_scratch = rows;
+        }
+    }
+
+    /// Optimizer moments for a parameter (testing / diagnostics).
+    #[doc(hidden)]
+    pub fn moments(&self, id: ParamId) -> Option<(&Tensor, &Tensor)> {
+        match (self.m.get(id.0), self.v.get(id.0)) {
+            (Some(Some(m)), Some(Some(v))) => Some((m, v)),
+            _ => None,
+        }
+    }
+
+    /// Dense update of a whole parameter.
+    #[allow(clippy::too_many_arguments)]
+    fn dense_update(
+        m: &mut Tensor,
+        v: &mut Tensor,
+        value: &mut Tensor,
+        grad: &Tensor,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        lr: f32,
+        bc1: f32,
+        bc2: f32,
+    ) {
+        let (m, v) = (m.data_mut(), v.data_mut());
+        let (p, g) = (value.data_mut(), grad.data());
+        for j in 0..p.len() {
+            update_elem(&mut m[j], &mut v[j], &mut p[j], g[j], beta1, beta2, eps, lr, bc1, bc2);
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for id in store.ids().collect::<Vec<_>>() {
-            let grad = store.grad(id).clone();
-            let (r, c) = grad.shape();
-            let m = Self::slot(&mut self.m, id, r, c);
-            for (mi, &gi) in m.data_mut().iter_mut().zip(grad.data()) {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+        let t = self.t;
+        let (beta1, beta2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        for i in 0..store.len() {
+            let id = ParamId(i);
+            let (r, c) = store.value(id).shape();
+            let mut rows = std::mem::take(&mut self.rows_scratch);
+            rows.clear();
+            let touched = store.collect_touched_rows(id, &mut rows);
+            let m = slot(&mut self.m, i, r, c);
+            let v = slot(&mut self.v, i, r, c);
+            match touched {
+                Touched::Rows => {
+                    // Sparse path: bring each touched row up to t-1, then
+                    // apply the real gradient at step t.
+                    let rs = Self::row_steps(&mut self.row_step, i, r);
+                    let (value, grad) = store.value_and_grad_mut(id);
+                    for &row in &rows {
+                        let row = row as usize;
+                        let last = rs[row];
+                        if last + 1 < t {
+                            catch_up_row(
+                                m.row_mut(row),
+                                v.row_mut(row),
+                                value.row_mut(row),
+                                beta1,
+                                beta2,
+                                eps,
+                                lr,
+                                last + 1,
+                                t - 1,
+                            );
+                        }
+                        let (mr, vr) = (m.row_mut(row), v.row_mut(row));
+                        let (pr, gr) = (value.row_mut(row), grad.row(row));
+                        for j in 0..c {
+                            update_elem(
+                                &mut mr[j], &mut vr[j], &mut pr[j], gr[j], beta1, beta2, eps,
+                                lr, bc1, bc2,
+                            );
+                        }
+                        rs[row] = t;
+                    }
+                }
+                Touched::All => {
+                    // A sparse param that received a dense gradient this
+                    // step: catch all rows up, then update densely.
+                    let rs = Self::row_steps(&mut self.row_step, i, r);
+                    let (value, grad) = store.value_and_grad_mut(id);
+                    for (row, last_step) in rs.iter_mut().enumerate() {
+                        let last = *last_step;
+                        if last + 1 < t {
+                            catch_up_row(
+                                m.row_mut(row),
+                                v.row_mut(row),
+                                value.row_mut(row),
+                                beta1,
+                                beta2,
+                                eps,
+                                lr,
+                                last + 1,
+                                t - 1,
+                            );
+                        }
+                        *last_step = t;
+                    }
+                    Self::dense_update(m, v, value, grad, beta1, beta2, eps, lr, bc1, bc2);
+                }
+                Touched::Untracked => {
+                    let (value, grad) = store.value_and_grad_mut(id);
+                    Self::dense_update(m, v, value, grad, beta1, beta2, eps, lr, bc1, bc2);
+                }
             }
-            let m_snapshot = m.clone();
-            let v = Self::slot(&mut self.v, id, r, c);
-            for (vi, &gi) in v.data_mut().iter_mut().zip(grad.data()) {
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
-            }
-            let value = store.value_mut(id);
-            for ((pv, &mi), &vi) in value
-                .data_mut()
-                .iter_mut()
-                .zip(m_snapshot.data())
-                .zip(v.data())
-            {
-                let m_hat = mi / bc1;
-                let v_hat = vi / bc2;
-                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            self.rows_scratch = rows;
         }
     }
 
@@ -141,6 +376,8 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::tape::Graph;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
 
     /// Minimizes ||w - target||² and checks convergence.
     fn converges(opt: &mut dyn Optimizer) -> f32 {
@@ -191,5 +428,87 @@ mod tests {
         store.grad_mut(b)[(0, 0)] = 1.0;
         opt.step(&mut store); // must not panic on the new slot
         assert!(store.value(b)[(0, 0)] < 1.0);
+    }
+
+    /// Runs `steps` Adam iterations over a gathered embedding table, one
+    /// trajectory with dense gradients and one with sparse tracking +
+    /// lazy catch-up, and asserts bitwise-identical weights and moments.
+    fn sparse_dense_trajectories(seed: u64, steps: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = Tensor::from_fn(10, 4, |_, _| rng.random_range(-1.0..1.0f32));
+        let batches: Vec<Vec<u32>> = (0..steps)
+            .map(|_| (0..3).map(|_| rng.random_range(0..10u32)).collect())
+            .collect();
+        let targets: Vec<Tensor> = (0..steps)
+            .map(|_| Tensor::from_fn(3, 4, |_, _| rng.random_range(-1.0..1.0f32)))
+            .collect();
+
+        let run = |sparse: bool| -> (Tensor, Tensor, Tensor) {
+            let mut store = ParamStore::new();
+            let table = store.add("table", init.clone());
+            if sparse {
+                store.mark_sparse(table);
+            }
+            let mut opt = Adam::new(0.05);
+            for s in 0..steps {
+                if sparse {
+                    // Dense Adam has updated every row up to this point;
+                    // the forward pass reads gathered rows, so they must
+                    // be caught up first.
+                    opt.catch_up_rows(&mut store, table, &batches[s]);
+                }
+                store.zero_grads();
+                let mut g = Graph::new();
+                let rows = g.gather(&store, table, &batches[s]);
+                let loss = g.mse_mean(rows, targets[s].clone());
+                g.backward(loss, &mut store);
+                opt.step(&mut store);
+            }
+            opt.finalize(&mut store);
+            let (m, v) = opt.moments(table).expect("moments exist");
+            (store.value(table).clone(), m.clone(), v.clone())
+        };
+
+        let (dw, dm, dv) = run(false);
+        let (sw, sm, sv) = run(true);
+        assert_eq!(dw, sw, "weights diverged (seed {seed})");
+        assert_eq!(dm, sm, "first moments diverged (seed {seed})");
+        assert_eq!(dv, sv, "second moments diverged (seed {seed})");
+    }
+
+    #[test]
+    fn sparse_adam_matches_dense_bitwise() {
+        for seed in [1, 7, 42] {
+            sparse_dense_trajectories(seed, 9);
+        }
+    }
+
+    #[test]
+    fn sparse_adam_leaves_untouched_rows_alone() {
+        // Without finalize, rows never touched keep their exact initial
+        // bytes and zero moments.
+        let mut store = ParamStore::new();
+        let init = Tensor::from_fn(6, 2, |i, j| (i * 2 + j) as f32 + 0.5);
+        let table = store.add("table", init.clone());
+        store.mark_sparse(table);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..5 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let rows = g.gather(&store, table, &[1u32, 4]);
+            let loss = g.mse_mean(rows, Tensor::zeros(2, 2));
+            g.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let value = store.value(table);
+        for row in [0usize, 2, 3, 5] {
+            assert_eq!(value.row(row), init.row(row), "row {row} moved");
+        }
+        let (m, v) = opt.moments(table).unwrap();
+        for row in [0usize, 2, 3, 5] {
+            assert!(m.row(row).iter().all(|x| x.to_bits() == 0));
+            assert!(v.row(row).iter().all(|x| x.to_bits() == 0));
+        }
+        assert_ne!(value.row(1), init.row(1));
     }
 }

@@ -1,5 +1,6 @@
 //! Dense row-major `f32` matrices.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -102,6 +103,13 @@ impl Tensor {
         &self.data
     }
 
+    /// Consumes the tensor, returning its backing buffer (capacity
+    /// preserved — this is how the arena recycles tensor storage).
+    #[inline]
+    pub fn into_raw(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Mutable raw data, row-major.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
@@ -137,55 +145,19 @@ impl Tensor {
     /// exact-equality transpose tests and the training determinism
     /// contract both rely on that.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?}x{:?}", self.shape(), rhs.shape());
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        if m == 0 || n == 0 || k == 0 {
-            return out;
-        }
-        for k0 in (0..k).step_by(K_PANEL) {
-            let k1 = (k0 + K_PANEL).min(k);
-            let mut i = 0;
-            while i + MR <= m {
-                let a0 = &self.data[i * k..(i + 1) * k];
-                let a1 = &self.data[(i + 1) * k..(i + 2) * k];
-                let a2 = &self.data[(i + 2) * k..(i + 3) * k];
-                let a3 = &self.data[(i + 3) * k..(i + 4) * k];
-                let block = &mut out.data[i * n..(i + MR) * n];
-                let (o0, rest) = block.split_at_mut(n);
-                let (o1, rest) = rest.split_at_mut(n);
-                let (o2, o3) = rest.split_at_mut(n);
-                for kk in k0..k1 {
-                    let b_row = &rhs.data[kk * n..kk * n + n];
-                    let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-                    for ((((&bv, v0), v1), v2), v3) in b_row
-                        .iter()
-                        .zip(&mut *o0)
-                        .zip(&mut *o1)
-                        .zip(&mut *o2)
-                        .zip(&mut *o3)
-                    {
-                        *v0 += c0 * bv;
-                        *v1 += c1 * bv;
-                        *v2 += c2 * bv;
-                        *v3 += c3 * bv;
-                    }
-                }
-                i += MR;
-            }
-            while i < m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (kk, &c) in a_row.iter().enumerate().take(k1).skip(k0) {
-                    let b_row = &rhs.data[kk * n..kk * n + n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += c * bv;
-                    }
-                }
-                i += 1;
-            }
-        }
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
         out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided output tensor
+    /// (arena-allocated on the tape path). `out` must be `m × n`; its
+    /// contents are overwritten.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?}x{:?}", self.shape(), rhs.shape());
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul output shape mismatch");
+        out.fill_zero();
+        matmul_kernel(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols);
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
@@ -196,11 +168,20 @@ impl Tensor {
     /// single-accumulator order is preserved, keeping results bit-equal
     /// to `self.transpose().matmul(rhs)`.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into a caller-provided `m × n`
+    /// output tensor; its contents are overwritten.
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
+        out.fill_zero();
         if m == 0 || n == 0 || k == 0 {
-            return out;
+            return;
         }
         for kk in 0..k {
             let a_row = &self.data[kk * m..(kk + 1) * m];
@@ -235,57 +216,47 @@ impl Tensor {
                 i += 1;
             }
         }
-        out
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
     ///
-    /// Dot-product kernel with a 4-wide column tile: each pass over an
-    /// `a` row feeds four independent accumulators, quadrupling the reuse
-    /// of the streamed row. Every accumulator is a single ascending-`k`
-    /// chain, so results stay bit-equal to `self.matmul(&rhs.transpose())`.
+    /// Packs `rhsᵀ` into a thread-local reusable buffer, then runs the
+    /// same cache-blocked ikj kernel as [`Tensor::matmul`]. The pack is
+    /// `O(k·n)` against the kernel's `O(m·k·n)` and the buffer's capacity
+    /// persists across calls, so steady-state calls allocate nothing.
+    /// Every output element is still one ascending-`k` accumulation
+    /// chain, so results stay bit-equal to
+    /// `self.matmul(&rhs.transpose())` (and to the previous dot-product
+    /// kernel this replaces).
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into a caller-provided `m × n`
+    /// output tensor; its contents are overwritten.
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Tensor::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
+        out.fill_zero();
         if m == 0 || n == 0 || k == 0 {
-            return out;
+            return;
         }
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut j = 0;
-            while j + MR <= n {
-                let b0 = &rhs.data[j * k..(j + 1) * k];
-                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
-                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
-                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for ((((&av, &v0), &v1), &v2), &v3) in
-                    a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    s0 += av * v0;
-                    s1 += av * v1;
-                    s2 += av * v2;
-                    s3 += av * v3;
-                }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += MR;
+        NT_PACK.with(|p| {
+            let mut pack = p.borrow_mut();
+            if pack.len() < k * n {
+                pack.resize(k * n, 0.0);
             }
-            while j < n {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
+            let packed = &mut pack[..k * n];
+            for (j, b_row) in rhs.data.chunks_exact(k).enumerate() {
+                for (kk, &v) in b_row.iter().enumerate() {
+                    packed[kk * n + j] = v;
                 }
-                out_row[j] = acc;
-                j += 1;
             }
-        }
-        out
+            matmul_kernel(&self.data, packed, &mut out.data, m, k, n);
+        });
     }
 
     /// Transposed copy.
@@ -353,6 +324,66 @@ impl Tensor {
     pub fn row_dot(a: &Tensor, i: usize, b: &Tensor, j: usize) -> f32 {
         assert_eq!(a.cols, b.cols);
         a.row(i).iter().zip(b.row(j)).map(|(&x, &y)| x * y).sum()
+    }
+}
+
+thread_local! {
+    /// Reusable `rhsᵀ` packing buffer for [`Tensor::matmul_nt`].
+    static NT_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The cache-blocked, register-tiled ikj matmul core shared by
+/// [`Tensor::matmul`] and [`Tensor::matmul_nt`]: `out += a · b` with
+/// `a: m×k`, `b: k×n`, `out: m×n` (caller zeroes `out`). Each output
+/// element is accumulated by a single chain of adds in ascending-`k`
+/// order, so results are bit-identical to the textbook ikj kernel — the
+/// exact-equality transpose tests and the training determinism contract
+/// both rely on that.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for k0 in (0..k).step_by(K_PANEL) {
+        let k1 = (k0 + K_PANEL).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            let block = &mut out[i * n..(i + MR) * n];
+            let (o0, rest) = block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for kk in k0..k1 {
+                let b_row = &b[kk * n..kk * n + n];
+                let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for ((((&bv, v0), v1), v2), v3) in b_row
+                    .iter()
+                    .zip(&mut *o0)
+                    .zip(&mut *o1)
+                    .zip(&mut *o2)
+                    .zip(&mut *o3)
+                {
+                    *v0 += c0 * bv;
+                    *v1 += c1 * bv;
+                    *v2 += c2 * bv;
+                    *v3 += c3 * bv;
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &c) in a_row.iter().enumerate().take(k1).skip(k0) {
+                let b_row = &b[kk * n..kk * n + n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += c * bv;
+                }
+            }
+            i += 1;
+        }
     }
 }
 

@@ -283,6 +283,15 @@ pub fn par_chunks_mut<T: Send>(
     scope_run(tasks);
 }
 
+/// Parallel for-each over individual mutable items: runs `f(i, &mut
+/// items[i])` for every index, one task per item. Use when each item is a
+/// substantial unit of work (a training chunk, a tree build) that mutates
+/// in place; for fine-grained items prefer [`par_chunks_mut`] with a
+/// larger chunk so dispatch overhead amortizes.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    par_chunks_mut(items, 1, |idx, chunk| f(idx, &mut chunk[0]));
+}
+
 /// Run independent closures in parallel, returning their results in
 /// argument order.
 pub fn par_join<A: Send, B: Send>(
@@ -343,6 +352,19 @@ mod tests {
             }
         });
         assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn par_for_each_mut_runs_one_task_per_item() {
+        let mut data: Vec<(usize, u32)> = (0..97).map(|i| (usize::MAX, i as u32)).collect();
+        par_for_each_mut(&mut data, |idx, item| {
+            item.0 = idx;
+            item.1 *= 2;
+        });
+        for (i, &(idx, v)) in data.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(v as usize, 2 * i);
+        }
     }
 
     #[test]

@@ -130,11 +130,15 @@ proptest! {
     /// aggregation matrices and epoch losses: every chunk derives its RNG
     /// from `(seed, epoch, chunk_idx)` and chunk gradients are reduced in
     /// fixed chunk order, so thread count never touches the arithmetic.
+    /// Both fits run on arena-backed tapes (each worker reuses its
+    /// thread-local buffer pool), and the property is checked with the
+    /// sparse (lazy) and dense Adam table updates alike.
     #[test]
     fn parallel_and_sequential_training_bit_identical(
         user in 1u32..=3,
         seed in 0u64..1000,
         grad_accum in 1usize..=4,
+        sparse_sel in 0usize..2,
     ) {
         let mut scen = ScenarioConfig::user(user);
         scen.train_duration_s = 45.0;
@@ -151,6 +155,7 @@ proptest! {
                 batch_size: 32,
                 num_threads: threads,
                 grad_accum,
+                sparse_adam: sparse_sel == 1,
                 seed,
                 ..BiSageConfig::default()
             };

@@ -1,0 +1,268 @@
+//! Streaming-inference benchmarks: the tape-free engine against the
+//! tape-based reference on the single-record path, plus the fused batch
+//! path, with MAC-aggregate cache hit rates and a steady-state
+//! allocation audit.
+//!
+//! Run with `cargo bench -p gem-bench --bench infer`. Each run appends
+//! one JSON line to `BENCH_infer.json` at the repository root.
+//!
+//! With `--features count-allocs` the run additionally audits the warm
+//! single-record engine path and **fails** if it performs any heap
+//! allocation — this is the zero-alloc regression gate wired into CI's
+//! bench-smoke job. The engine must also be at least 3x faster than the
+//! tape path on the single-record benchmark; the run fails otherwise.
+//!
+//! `GEM_BENCH_QUICK=1` shrinks criterion sampling for CI smoke runs.
+
+use std::hint::black_box;
+use std::io::Write;
+
+use criterion::Criterion;
+
+use gem_bench::allocs;
+use gem_core::{BiSage, BiSageConfig, InferenceEngine};
+use gem_graph::{BipartiteGraph, NodeId, RecordId, WeightFn};
+use gem_signal::rng::child_rng;
+use gem_signal::{MacAddr, SignalRecord};
+
+const N_TRAIN: u64 = 300;
+const N_STREAMED: usize = 150;
+
+/// Training records in clusters of 20 sharing a 10-MAC block (same shape
+/// as the train bench). Cluster sizes keep every MAC neighborhood under
+/// the inference cap, so the capped-sort path never runs during the
+/// steady-state audit.
+fn cluster_graph(n: u64) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(WeightFn::default());
+    for i in 0..n {
+        g.add_record(&SignalRecord::from_pairs(
+            i as f64,
+            (0..10).map(|k| (MacAddr::from_raw((i / 20) * 10 + k), -50.0 - k as f32 * 3.0)),
+        ));
+    }
+    g
+}
+
+/// A streamed scan from one of the training clusters: 8 of its 10 MACs
+/// at perturbed signal strengths.
+fn streamed_record(i: usize) -> SignalRecord {
+    let cluster = (i as u64) % (N_TRAIN / 20);
+    SignalRecord::from_pairs(
+        (N_TRAIN as usize + i) as f64,
+        (0..8).map(|k| {
+            (MacAddr::from_raw(cluster * 10 + k), -52.0 - k as f32 * 3.0 - (i % 5) as f32)
+        }),
+    )
+}
+
+fn model_cfg() -> BiSageConfig {
+    BiSageConfig {
+        dim: 32,
+        epochs: 1,
+        batch_size: 128,
+        sample_sizes: vec![8, 4],
+        ..BiSageConfig::default()
+    }
+}
+
+struct Fixture {
+    model: BiSage,
+    graph: BipartiteGraph,
+    targets: Vec<RecordId>,
+    trusted: Vec<bool>,
+}
+
+/// Fits the model, streams `N_STREAMED` in-premises records into the
+/// graph and initializes their rows — the steady state a long-running
+/// monitor sits in.
+fn fixture() -> Fixture {
+    let mut graph = cluster_graph(N_TRAIN);
+    let mut model = BiSage::new(model_cfg());
+    model.fit(&graph);
+    let mut rng = child_rng(7, 0x1FE2);
+    let mut trusted = vec![true; graph.n_records()];
+    let mut targets = Vec::with_capacity(N_STREAMED);
+    for i in 0..N_STREAMED {
+        let rid = graph.add_record(&streamed_record(i));
+        trusted.push(true);
+        let bits: &[bool] = &trusted;
+        let filter = move |r: RecordId| bits[r.0 as usize];
+        model.ensure_rows_for_record(&graph, rid, &mut rng, Some(&filter));
+        targets.push(rid);
+    }
+    Fixture { model, graph, targets, trusted }
+}
+
+fn bench_paths(c: &mut Criterion, fx: &Fixture) {
+    let mut group = c.benchmark_group("streaming_inference");
+    group.sample_size(30);
+
+    // Tape-based reference: per-record graph build + forward.
+    {
+        let mut idx = 0usize;
+        group.bench_function("tape_single", |b| {
+            b.iter(|| {
+                let rid = fx.targets[idx % fx.targets.len()];
+                idx += 1;
+                let bits: &[bool] = &fx.trusted;
+                let wrapped = move |r: RecordId| r == rid || bits[r.0 as usize];
+                black_box(fx.model.embed_nodes_filtered(
+                    black_box(&fx.graph),
+                    &[NodeId::Record(rid)],
+                    Some(&wrapped),
+                ))
+            })
+        });
+    }
+
+    // Tape-free engine, persistent scratch + warm MAC-aggregate cache.
+    {
+        let mut engine = InferenceEngine::new();
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        group.bench_function("engine_single", |b| {
+            b.iter(|| {
+                let rid = fx.targets[idx % fx.targets.len()];
+                idx += 1;
+                engine.embed_record_into(
+                    black_box(&fx.model),
+                    black_box(&fx.graph),
+                    rid,
+                    Some(&fx.trusted),
+                    &mut out,
+                );
+                black_box(&out);
+            })
+        });
+    }
+
+    // Fused batch path over the whole streamed set.
+    {
+        let mut engine = InferenceEngine::new();
+        group.bench_function("engine_batch", |b| {
+            b.iter(|| {
+                black_box(engine.embed_records_batch(
+                    black_box(&fx.model),
+                    black_box(&fx.graph),
+                    &fx.targets,
+                    Some(&fx.trusted),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state audit of the warm single-record engine path: cache hit
+/// rate always; with `--features count-allocs` also the allocation
+/// count, which must be exactly zero.
+fn audit_steady_state(fx: &Fixture) -> (f64, Option<u64>) {
+    let mut engine = InferenceEngine::new();
+    let mut out = Vec::new();
+    // Warm pass: populates the cache and grows every scratch buffer.
+    for &rid in &fx.targets {
+        engine.embed_record_into(&fx.model, &fx.graph, rid, Some(&fx.trusted), &mut out);
+    }
+    let warm_stats = engine.cache_stats();
+    allocs::reset();
+    let n = 4 * fx.targets.len();
+    for i in 0..n {
+        let rid = fx.targets[i % fx.targets.len()];
+        engine.embed_record_into(&fx.model, &fx.graph, rid, Some(&fx.trusted), &mut out);
+    }
+    let steady = engine.cache_stats();
+    let hits = steady.hits - warm_stats.hits;
+    let misses = steady.misses - warm_stats.misses;
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let audit = allocs::ENABLED.then(|| {
+        let total = allocs::stats().allocs;
+        assert_eq!(
+            total, 0,
+            "steady-state single-record inference allocated {total} times over {n} records"
+        );
+        total
+    });
+    println!(
+        "steady-state cache: {hits} hits / {misses} misses (rate {hit_rate:.3}), allocs {audit:?}"
+    );
+    (hit_rate, audit)
+}
+
+#[derive(serde::Serialize)]
+struct InferBenchLine {
+    bench: &'static str,
+    pool_threads: usize,
+    n_streamed: usize,
+    dim: usize,
+    tape_single_median_ns: f64,
+    engine_single_median_ns: f64,
+    single_speedup: f64,
+    engine_single_records_per_sec: f64,
+    batch_median_ns: f64,
+    batch_records_per_sec: f64,
+    /// Steady-state MAC-aggregate cache hit rate on the warm engine.
+    cache_hit_rate: f64,
+    /// Heap allocations per warm single-record inference; `null` unless
+    /// built with `--features count-allocs`. Gated to exactly 0.
+    allocs_per_inference: Option<u64>,
+}
+
+fn append_results(c: &Criterion, hit_rate: f64, alloc_total: Option<u64>) {
+    let find = |name: &str| {
+        c.reports()
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing bench report {name}"))
+    };
+    let tape = find("tape_single");
+    let engine = find("engine_single");
+    let batch = find("engine_batch");
+    let speedup = tape.median_ns / engine.median_ns;
+    assert!(
+        speedup >= 3.0,
+        "engine single-record path must be >=3x the tape path, measured {speedup:.2}x"
+    );
+    let line = InferBenchLine {
+        bench: "infer",
+        pool_threads: gem_par::num_threads(),
+        n_streamed: N_STREAMED,
+        dim: model_cfg().dim,
+        tape_single_median_ns: tape.median_ns,
+        engine_single_median_ns: engine.median_ns,
+        single_speedup: speedup,
+        engine_single_records_per_sec: 1e9 / engine.median_ns,
+        batch_median_ns: batch.median_ns,
+        batch_records_per_sec: N_STREAMED as f64 / (batch.median_ns * 1e-9),
+        cache_hit_rate: hit_rate,
+        allocs_per_inference: alloc_total,
+    };
+    let json = serde_json::to_string(&line).expect("serialize bench line");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open BENCH_infer.json");
+    writeln!(f, "{json}").expect("append BENCH_infer.json");
+    println!("appended results to {path}");
+}
+
+fn main() {
+    // CI smoke mode: enough sampling to exercise every code path, the
+    // zero-alloc gate and the JSON plumbing, without paying for
+    // statistically stable numbers.
+    if std::env::var("GEM_BENCH_QUICK").as_deref() == Ok("1") {
+        if std::env::var("CRITERION_SAMPLES").is_err() {
+            std::env::set_var("CRITERION_SAMPLES", "2");
+        }
+        if std::env::var("CRITERION_MAX_SECS").is_err() {
+            std::env::set_var("CRITERION_MAX_SECS", "2");
+        }
+    }
+    let mut c = Criterion::default();
+    let fx = fixture();
+    bench_paths(&mut c, &fx);
+    let (hit_rate, alloc_total) = audit_steady_state(&fx);
+    c.final_summary();
+    append_results(&c, hit_rate, alloc_total);
+}

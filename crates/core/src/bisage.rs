@@ -146,15 +146,15 @@ impl Default for BiSageConfig {
 /// [`BiSage::build_tree_into`] rebuilds a tree in place, reclaiming each
 /// `Arc` once the previous step's tape has released it.
 #[derive(Default)]
-struct Tree {
-    layers: Vec<Vec<NodeId>>,
+pub(crate) struct Tree {
+    pub(crate) layers: Vec<Vec<NodeId>>,
     /// Per depth `d`: segment offsets into `layers[d+1]` (+ end sentinel).
-    offsets: Vec<Arc<Vec<u32>>>,
+    pub(crate) offsets: Vec<Arc<Vec<u32>>>,
     /// Per depth `d`: aggregation weight of each `layers[d+1]` node,
     /// normalized within its segment.
-    weights: Vec<Arc<Vec<f32>>>,
+    pub(crate) weights: Vec<Arc<Vec<f32>>>,
     /// Per layer: base-table row of each node (the gather indices).
-    row_idx: Vec<Arc<Vec<u32>>>,
+    pub(crate) row_idx: Vec<Arc<Vec<u32>>>,
 }
 
 /// Unique access to an `Arc`-shared buffer for in-place reuse: reclaims
@@ -191,14 +191,14 @@ pub struct BiSage {
     /// Hyperparameters.
     pub cfg: BiSageConfig,
     /// `W_h^k`, each `(2d × d)`.
-    w_h: Vec<Tensor>,
+    pub(crate) w_h: Vec<Tensor>,
     /// `W_l^k`, each `(2d × d)`.
-    w_l: Vec<Tensor>,
+    pub(crate) w_l: Vec<Tensor>,
     /// Unified base primary table: row `2·r` for record `r`, `2·m+1` for
     /// MAC `m`.
-    base_h: Tensor,
+    pub(crate) base_h: Tensor,
     /// Unified base auxiliary table (same indexing).
-    base_l: Tensor,
+    pub(crate) base_l: Tensor,
     /// Which unified rows have been initialized.
     initialized: Vec<bool>,
     /// Rows initialized before their node was *established* (enough
@@ -212,7 +212,7 @@ pub struct BiSage {
 }
 
 /// Unified row index of a node in the base tables.
-fn node_row(node: NodeId) -> usize {
+pub(crate) fn node_row(node: NodeId) -> usize {
     match node {
         NodeId::Record(r) => 2 * r.0 as usize,
         NodeId::Mac(m) => 2 * m.0 as usize + 1,
@@ -299,7 +299,6 @@ impl BiSage {
     ) {
         let needed = 2 * graph.n_records().max(graph.n_macs());
         self.grow_tables(needed);
-        let d = self.cfg.dim;
         // MAC nodes first so that brand-new records can average them.
         let macs: Vec<NodeId> = (0..graph.n_macs() as u32).map(|m| NodeId::Mac(gem_graph::MacId(m))).collect();
         let recs: Vec<NodeId> = (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
@@ -334,96 +333,144 @@ impl BiSage {
                     continue;
                 }
             }
-            let mut h_acc = vec![0.0f32; d];
-            let mut l_acc = vec![0.0f32; d];
-            let mut w_sum = 0.0f32;
-            if self.trained {
-                let established = |m: gem_graph::MacId| -> bool {
-                    if (m.0 as usize) < self.macs_at_fit {
-                        return true;
+            self.init_node_row(graph, node, rng, trusted);
+        }
+    }
+
+    /// Targeted [`BiSage::ensure_rows_filtered`] for one freshly streamed
+    /// record: initializes exactly the rows the full node scan would —
+    /// the record's newly interned MACs (interned in reading order, hence
+    /// ascending id, matching the scan's MAC-first order and RNG stream)
+    /// followed by the record itself — without walking the whole node
+    /// set. Only valid in session-quarantine mode
+    /// (`min_mac_degree == usize::MAX`), where the full scan never
+    /// re-derives provisional MAC bases; callers with a finite
+    /// establishment threshold must run the full scan.
+    /// Public (hidden) so the engine-parity proptests can check it
+    /// against the full scan bitwise, RNG stream included.
+    #[doc(hidden)]
+    pub fn ensure_rows_for_record(
+        &mut self,
+        graph: &BipartiteGraph,
+        record: RecordId,
+        rng: &mut impl RngExt,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
+    ) {
+        debug_assert_eq!(self.cfg.min_mac_degree, usize::MAX);
+        let needed = 2 * graph.n_records().max(graph.n_macs());
+        self.grow_tables(needed);
+        for m in graph.record_neighbors(record).map(|(m, _)| m) {
+            if !self.initialized[node_row(NodeId::Mac(m))] {
+                self.init_node_row(graph, NodeId::Mac(m), rng, trusted);
+            }
+        }
+        if !self.initialized[node_row(NodeId::Record(record))] {
+            self.init_node_row(graph, NodeId::Record(record), rng, trusted);
+        }
+    }
+
+    /// Derives and writes the base rows of one uninitialized node — the
+    /// shared body of the full [`BiSage::ensure_rows_filtered`] scan and
+    /// the targeted streaming path. Consumes the RNG only for the
+    /// isolated-node random fallback.
+    fn init_node_row(
+        &mut self,
+        graph: &BipartiteGraph,
+        node: NodeId,
+        rng: &mut impl RngExt,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
+    ) {
+        let d = self.cfg.dim;
+        let row = node_row(node);
+        let mut h_acc = vec![0.0f32; d];
+        let mut l_acc = vec![0.0f32; d];
+        let mut w_sum = 0.0f32;
+        if self.trained {
+            let established = |m: gem_graph::MacId| -> bool {
+                if (m.0 as usize) < self.macs_at_fit {
+                    return true;
+                }
+                if self.cfg.min_mac_degree == usize::MAX {
+                    return false;
+                }
+                let need = self.cfg.min_mac_degree;
+                match trusted {
+                    None => true,
+                    Some(f) => {
+                        graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
+                            >= need
                     }
-                    if self.cfg.min_mac_degree == usize::MAX {
-                        return false;
-                    }
-                    let need = self.cfg.min_mac_degree;
-                    match trusted {
-                        None => true,
-                        Some(f) => {
-                            graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
-                                >= need
-                        }
-                    }
-                };
-                let mut neighbors: Vec<(NodeId, f32)> = match node {
+                }
+            };
+            let mut neighbors: Vec<(NodeId, f32)> = match node {
+                NodeId::Record(r) => graph
+                    .record_neighbors(r)
+                    .filter(|&(m, _)| established(m))
+                    .map(|(m, w)| (NodeId::Mac(m), w))
+                    .collect(),
+                NodeId::Mac(m) => graph
+                    .mac_neighbors(m)
+                    .filter(|&(r, _)| trusted.is_none_or(|f| f(r)))
+                    .map(|(r, w)| (NodeId::Record(r), w))
+                    .collect(),
+            };
+            if neighbors.is_empty() {
+                neighbors = match node {
                     NodeId::Record(r) => graph
                         .record_neighbors(r)
-                        .filter(|&(m, _)| established(m))
                         .map(|(m, w)| (NodeId::Mac(m), w))
                         .collect(),
                     NodeId::Mac(m) => graph
                         .mac_neighbors(m)
-                        .filter(|&(r, _)| trusted.is_none_or(|f| f(r)))
                         .map(|(r, w)| (NodeId::Record(r), w))
                         .collect(),
                 };
-                if neighbors.is_empty() {
-                    neighbors = match node {
-                        NodeId::Record(r) => graph
-                            .record_neighbors(r)
-                            .map(|(m, w)| (NodeId::Mac(m), w))
-                            .collect(),
-                        NodeId::Mac(m) => graph
-                            .mac_neighbors(m)
-                            .map(|(r, w)| (NodeId::Record(r), w))
-                            .collect(),
-                    };
-                }
-                for (nbr, w) in neighbors {
-                    let nrow = node_row(nbr);
-                    if nrow < self.initialized.len() && self.initialized[nrow] {
-                        // Carrier semantics: my h aligns with neighbors' l.
-                        for (a, &v) in h_acc.iter_mut().zip(self.base_l.row(nrow)) {
-                            *a += w * v;
-                        }
-                        for (a, &v) in l_acc.iter_mut().zip(self.base_h.row(nrow)) {
-                            *a += w * v;
-                        }
-                        w_sum += w;
+            }
+            for (nbr, w) in neighbors {
+                let nrow = node_row(nbr);
+                if nrow < self.initialized.len() && self.initialized[nrow] {
+                    // Carrier semantics: my h aligns with neighbors' l.
+                    for (a, &v) in h_acc.iter_mut().zip(self.base_l.row(nrow)) {
+                        *a += w * v;
                     }
+                    for (a, &v) in l_acc.iter_mut().zip(self.base_h.row(nrow)) {
+                        *a += w * v;
+                    }
+                    w_sum += w;
                 }
             }
-            if w_sum > 0.0 {
-                normalize_into(&mut h_acc);
-                normalize_into(&mut l_acc);
-                self.base_h.set_row(row, &h_acc);
-                self.base_l.set_row(row, &l_acc);
-            } else {
-                let h = init::unit_rows(rng, 1, d);
-                let l = init::unit_rows(rng, 1, d);
-                self.base_h.set_row(row, h.row(0));
-                self.base_l.set_row(row, l.row(0));
-            }
-            self.initialized[row] = true;
-            // New MAC nodes seen by too few trusted records keep a
-            // provisional base until they are established.
-            if let NodeId::Mac(m) = node {
-                if self.trained {
-                    let need = self.cfg.min_mac_degree;
-                    let established = (m.0 as usize) < self.macs_at_fit
-                        || (need != usize::MAX
-                            && match trusted {
-                                None => true,
-                                Some(f) => {
-                                    graph
-                                        .mac_neighbors(m)
-                                        .filter(|&(r, _)| f(r))
-                                        .take(need)
-                                        .count()
-                                        >= need
-                                }
-                            });
-                    self.provisional[row] = !established;
-                }
+        }
+        if w_sum > 0.0 {
+            normalize_into(&mut h_acc);
+            normalize_into(&mut l_acc);
+            self.base_h.set_row(row, &h_acc);
+            self.base_l.set_row(row, &l_acc);
+        } else {
+            let h = init::unit_rows(rng, 1, d);
+            let l = init::unit_rows(rng, 1, d);
+            self.base_h.set_row(row, h.row(0));
+            self.base_l.set_row(row, l.row(0));
+        }
+        self.initialized[row] = true;
+        // New MAC nodes seen by too few trusted records keep a
+        // provisional base until they are established.
+        if let NodeId::Mac(m) = node {
+            if self.trained {
+                let need = self.cfg.min_mac_degree;
+                let established = (m.0 as usize) < self.macs_at_fit
+                    || (need != usize::MAX
+                        && match trusted {
+                            None => true,
+                            Some(f) => {
+                                graph
+                                    .mac_neighbors(m)
+                                    .filter(|&(r, _)| f(r))
+                                    .take(need)
+                                    .count()
+                                    >= need
+                            }
+                        });
+                self.provisional[row] = !established;
             }
         }
     }
@@ -491,60 +538,79 @@ impl BiSage {
                 }
             }
             None => {
-                // A MAC is "established" once enough *trusted* records
-                // have sighted it; until then it carries no reliable
-                // in/out evidence and is left out of record expansions.
-                let established = |m: gem_graph::MacId| -> bool {
-                    // MACs present at fit time are established by
-                    // definition; later arrivals must first gather
-                    // enough trusted sightings (usize::MAX = session
-                    // quarantine: never admitted before a re-fit).
-                    if (m.0 as usize) < self.macs_at_fit {
-                        return true;
-                    }
-                    let need = self.cfg.min_mac_degree;
-                    if need == usize::MAX {
-                        return false;
-                    }
-                    match trusted {
-                        None => true,
-                        Some(f) => {
-                            graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
-                                >= need
-                        }
-                    }
-                };
-                let mut all: Vec<(NodeId, f32)> = match node {
-                    NodeId::Record(r) => graph
-                        .record_neighbors(r)
-                        .filter(|&(m, _)| established(m))
-                        .map(|(m, w)| (NodeId::Mac(m), w))
-                        .collect(),
-                    NodeId::Mac(m) => graph
-                        .mac_neighbors(m)
-                        .filter(|&(r, _)| trusted.is_none_or(|f| f(r)))
-                        .map(|(r, w)| (NodeId::Record(r), w))
-                        .collect(),
-                };
-                // Freshly streamed nodes may have no established
-                // neighbors at all; fall back to the raw neighborhood
-                // rather than embedding from nothing.
-                if all.is_empty() {
-                    all = match node {
-                        NodeId::Record(r) => {
-                            graph.record_neighbors(r).map(|(m, w)| (NodeId::Mac(m), w)).collect()
-                        }
-                        NodeId::Mac(m) => {
-                            graph.mac_neighbors(m).map(|(r, w)| (NodeId::Record(r), w)).collect()
-                        }
-                    };
-                }
-                if all.len() > self.cfg.inference_cap {
-                    all.sort_by(|a, b| b.1.total_cmp(&a.1));
-                    all.truncate(self.cfg.inference_cap);
-                }
+                let mut all = Vec::new();
+                self.neighborhood_into(graph, node, trusted, &mut all);
                 all
             }
+        }
+    }
+
+    /// The deterministic (inference-time) branch of
+    /// [`BiSage::neighborhood`], writing into a caller-owned buffer so
+    /// the streaming engine can collect neighborhoods without
+    /// allocating. Semantics are identical to the allocating path:
+    /// established-MAC / trusted-record filtering, raw-neighborhood
+    /// fallback, top-`inference_cap` truncation.
+    pub(crate) fn neighborhood_into(
+        &self,
+        graph: &BipartiteGraph,
+        node: NodeId,
+        trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
+        out: &mut Vec<(NodeId, f32)>,
+    ) {
+        out.clear();
+        // A MAC is "established" once enough *trusted* records
+        // have sighted it; until then it carries no reliable
+        // in/out evidence and is left out of record expansions.
+        let established = |m: gem_graph::MacId| -> bool {
+            // MACs present at fit time are established by
+            // definition; later arrivals must first gather
+            // enough trusted sightings (usize::MAX = session
+            // quarantine: never admitted before a re-fit).
+            if (m.0 as usize) < self.macs_at_fit {
+                return true;
+            }
+            let need = self.cfg.min_mac_degree;
+            if need == usize::MAX {
+                return false;
+            }
+            match trusted {
+                None => true,
+                Some(f) => {
+                    graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count() >= need
+                }
+            }
+        };
+        match node {
+            NodeId::Record(r) => out.extend(
+                graph
+                    .record_neighbors(r)
+                    .filter(|&(m, _)| established(m))
+                    .map(|(m, w)| (NodeId::Mac(m), w)),
+            ),
+            NodeId::Mac(m) => out.extend(
+                graph
+                    .mac_neighbors(m)
+                    .filter(|&(r, _)| trusted.is_none_or(|f| f(r)))
+                    .map(|(r, w)| (NodeId::Record(r), w)),
+            ),
+        }
+        // Freshly streamed nodes may have no established
+        // neighbors at all; fall back to the raw neighborhood
+        // rather than embedding from nothing.
+        if out.is_empty() {
+            match node {
+                NodeId::Record(r) => {
+                    out.extend(graph.record_neighbors(r).map(|(m, w)| (NodeId::Mac(m), w)))
+                }
+                NodeId::Mac(m) => {
+                    out.extend(graph.mac_neighbors(m).map(|(r, w)| (NodeId::Record(r), w)))
+                }
+            }
+        }
+        if out.len() > self.cfg.inference_cap {
+            out.sort_by(|a, b| b.1.total_cmp(&a.1));
+            out.truncate(self.cfg.inference_cap);
         }
     }
 
@@ -566,7 +632,7 @@ impl BiSage {
     /// once warm), and `scratch` holds one node's sampled neighborhood at
     /// a time on the training path. The RNG stream consumed is identical
     /// to the allocating variant's.
-    fn build_tree_into(
+    pub(crate) fn build_tree_into(
         &self,
         graph: &BipartiteGraph,
         targets: &[NodeId],
@@ -1093,8 +1159,22 @@ impl BiSage {
     }
 
     /// Primary embeddings of every record node in the graph (training-set
-    /// feature matrix for the detector).
+    /// feature matrix for the detector). Runs on the tape-free
+    /// [`crate::InferenceEngine`] batch path; bitwise identical to the
+    /// tape reference ([`BiSage::embed_all_records_tape`]).
     pub fn embed_all_records(&self, graph: &BipartiteGraph) -> Tensor {
+        let records: Vec<RecordId> = (0..graph.n_records() as u32).map(RecordId).collect();
+        if records.is_empty() {
+            return Tensor::zeros(0, self.cfg.dim);
+        }
+        let mut engine = crate::InferenceEngine::new();
+        engine.embed_records_batch(self, graph, &records, None)
+    }
+
+    /// Tape-based reference for [`BiSage::embed_all_records`]; kept for
+    /// the engine-parity proptests.
+    #[doc(hidden)]
+    pub fn embed_all_records_tape(&self, graph: &BipartiteGraph) -> Tensor {
         let nodes: Vec<NodeId> =
             (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
         if nodes.is_empty() {
@@ -1106,8 +1186,27 @@ impl BiSage {
     /// Stochastic variant of [`BiSage::embed_all_records`]: neighborhoods
     /// are randomly sub-sampled (training-style), which simulates records
     /// observed with missing MACs. GEM fits its detector on several such
-    /// variants so the histograms cover the MAC-churn reality.
+    /// variants so the histograms cover the MAC-churn reality. The
+    /// sampled tree is evaluated tape-free on the engine; the RNG stream
+    /// consumed is identical to the tape reference's.
     pub fn embed_all_records_sampled(
+        &self,
+        graph: &BipartiteGraph,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let nodes: Vec<NodeId> =
+            (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        if nodes.is_empty() {
+            return Tensor::zeros(0, self.cfg.dim);
+        }
+        let mut engine = crate::InferenceEngine::new();
+        engine.embed_tree_sampled(self, graph, &nodes, rng)
+    }
+
+    /// Tape-based reference for [`BiSage::embed_all_records_sampled`];
+    /// kept for the engine-parity proptests.
+    #[doc(hidden)]
+    pub fn embed_all_records_sampled_tape(
         &self,
         graph: &BipartiteGraph,
         rng: &mut StdRng,
@@ -1237,7 +1336,7 @@ thread_local! {
     static STEP_BUFFERS: RefCell<StepBuffers> = RefCell::new(StepBuffers::default());
 }
 
-fn normalize_into(v: &mut [f32]) {
+pub(crate) fn normalize_into(v: &mut [f32]) {
     let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
     if norm > 1e-12 {
         for x in v {

@@ -166,12 +166,24 @@ impl EnhancedDetector {
     /// the detection; `confident_inlier` tells whether an update happened.
     pub fn detect_and_update(&mut self, sample: &[f32]) -> Detection {
         let det = self.detect(sample);
+        self.update_if_confident(sample, &det);
+        det
+    }
+
+    /// The update half of [`EnhancedDetector::detect_and_update`]:
+    /// absorbs the sample when `det` — a previously computed
+    /// [`EnhancedDetector::detect`] result for this same sample — marks
+    /// it highly confident, without re-scoring. Returns whether an
+    /// update happened.
+    pub fn update_if_confident(&mut self, sample: &[f32], det: &Detection) -> bool {
         if det.confident_inlier {
             self.hist.update(sample);
             self.n_updates += 1;
             self.reanchor();
+            true
+        } else {
+            false
         }
-        det
     }
 
     /// Total samples inside the histograms (initial + absorbed).

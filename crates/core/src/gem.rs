@@ -11,8 +11,43 @@ use gem_signal::{Label, RecordSet, SignalRecord};
 use crate::bisage::{BiSage, TrainReport};
 use crate::config::GemConfig;
 use crate::detector::{Detection, EnhancedDetector};
+use crate::infer::{CacheStats, InferenceEngine};
 use crate::pca::PcaRotation;
 use crate::pipeline::Embedder;
+
+/// Adds a streamed record to the graph and initializes exactly the base
+/// rows the addition introduced. `None` when the record is empty or
+/// shares no MAC with the graph (outlier by rule; not added).
+///
+/// Session-quarantine mode (`min_mac_degree == usize::MAX`, the default)
+/// takes the targeted per-record path, which matches the full scan
+/// bitwise — including the RNG stream of random-init fallbacks. A finite
+/// establishment threshold can re-derive provisional MAC bases anywhere
+/// in the graph, so that mode runs the full scan and drops the engine's
+/// MAC-aggregate cache.
+fn add_record_and_ensure(
+    graph: &mut BipartiteGraph,
+    bisage: &mut BiSage,
+    engine: &mut InferenceEngine,
+    trusted: &mut Vec<bool>,
+    rng: &mut StdRng,
+    record: &SignalRecord,
+) -> Option<RecordId> {
+    if record.is_empty() || !graph.has_known_mac(record) {
+        return None;
+    }
+    let rid = graph.add_record(record);
+    trusted.push(false);
+    let bits: &[bool] = trusted;
+    let filter = move |r: RecordId| bits[r.0 as usize];
+    if bisage.cfg.min_mac_degree == usize::MAX {
+        bisage.ensure_rows_for_record(graph, rid, rng, Some(&filter));
+    } else {
+        bisage.ensure_rows_filtered(graph, rng, Some(&filter));
+        engine.invalidate();
+    }
+    Some(rid)
+}
 
 /// One online in-out decision.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,6 +82,12 @@ pub struct Gem {
     last_added: Option<RecordId>,
     /// Optional principal-axis rotation applied before detection.
     pca: Option<PcaRotation>,
+    /// Tape-free streaming engine with the MAC-aggregate cache.
+    engine: InferenceEngine,
+    /// Persistent output buffer for the streaming embed path.
+    embed_buf: Vec<f32>,
+    /// Persistent scratch for the PCA rotation.
+    pca_buf: Vec<f32>,
 }
 
 impl Gem {
@@ -143,28 +184,99 @@ impl Gem {
             trusted,
             last_added: None,
             pca,
+            engine: InferenceEngine::new(),
+            embed_buf: Vec::new(),
+            pca_buf: Vec::new(),
         }
     }
 
     /// Full online inference for one streamed record: add to the graph,
-    /// embed, detect, and self-update on highly confident in-premises
-    /// samples.
+    /// embed through the streaming engine, detect, and self-update on
+    /// highly confident in-premises samples.
     pub fn infer(&mut self, record: &SignalRecord) -> Decision {
-        match self.add_and_embed(record) {
-            None => Decision { label: Label::Out, score: 1.0, updated: false, known_macs: false },
-            Some(h) => {
-                let det = self.detector.detect_and_update(&h);
-                if let Some(rid) = self.last_added.take() {
-                    self.trusted[rid.0 as usize] = !det.is_outlier;
-                }
-                Decision {
-                    label: if det.is_outlier { Label::Out } else { Label::In },
-                    score: det.score,
-                    updated: det.confident_inlier,
-                    known_macs: true,
+        if !self.add_and_embed_buffered(record) {
+            return Decision { label: Label::Out, score: 1.0, updated: false, known_macs: false };
+        }
+        let det = self.detector.detect_and_update(&self.embed_buf);
+        if let Some(rid) = self.last_added.take() {
+            self.set_trusted(rid, !det.is_outlier);
+        }
+        Decision {
+            label: if det.is_outlier { Label::Out } else { Label::In },
+            score: det.score,
+            updated: det.confident_inlier,
+            known_macs: true,
+        }
+    }
+
+    /// Batched online inference: adds every embeddable record, embeds
+    /// them through the engine's fused batch path, and scores them with
+    /// the batch detector. Results keep input order.
+    ///
+    /// A batch is one decision epoch, not a bitwise replay of
+    /// record-by-record streaming: every embedding is scored against the
+    /// batch-start detector state, the trust filter admits the whole
+    /// batch's targets during neighborhood expansion, and confident
+    /// updates plus trust bits are applied after scoring, in input order.
+    pub fn infer_batch(&mut self, records: &[SignalRecord]) -> Vec<Decision> {
+        self.last_added = None;
+        let mut rids: Vec<Option<RecordId>> = Vec::with_capacity(records.len());
+        for record in records {
+            rids.push(add_record_and_ensure(
+                &mut self.graph,
+                &mut self.bisage,
+                &mut self.engine,
+                &mut self.trusted,
+                &mut self.rng,
+                record,
+            ));
+        }
+        let targets: Vec<RecordId> = rids.iter().filter_map(|&r| r).collect();
+        let mut decisions = Vec::with_capacity(records.len());
+        if targets.is_empty() {
+            decisions.resize(
+                records.len(),
+                Decision { label: Label::Out, score: 1.0, updated: false, known_macs: false },
+            );
+            return decisions;
+        }
+        let hs = self.engine.embed_records_batch(
+            &self.bisage,
+            &self.graph,
+            &targets,
+            Some(&self.trusted),
+        );
+        let rows: Vec<Vec<f32>> = (0..hs.rows())
+            .map(|i| match &self.pca {
+                Some(rotation) => rotation.apply(hs.row(i)),
+                None => hs.row(i).to_vec(),
+            })
+            .collect();
+        let dets = self.detector.detect_batch(&rows);
+        let mut k = 0usize;
+        for rid in &rids {
+            match rid {
+                None => decisions.push(Decision {
+                    label: Label::Out,
+                    score: 1.0,
+                    updated: false,
+                    known_macs: false,
+                }),
+                Some(rid) => {
+                    let det = dets[k];
+                    let updated = self.detector.update_if_confident(&rows[k], &det);
+                    self.set_trusted(*rid, !det.is_outlier);
+                    decisions.push(Decision {
+                        label: if det.is_outlier { Label::Out } else { Label::In },
+                        score: det.score,
+                        updated,
+                        known_macs: true,
+                    });
+                    k += 1;
                 }
             }
         }
+        decisions
     }
 
     /// Stage 1 of inference (timed separately in Table III): adds the
@@ -172,19 +284,51 @@ impl Gem {
     /// `None` when the record shares no MAC with the graph — such records
     /// are outliers by rule and are *not* added.
     pub fn add_and_embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>> {
-        if record.is_empty() || !self.graph.has_known_mac(record) {
-            return None;
+        if self.add_and_embed_buffered(record) {
+            Some(self.embed_buf.clone())
+        } else {
+            None
         }
-        let rid = self.graph.add_record(record);
-        self.trusted.push(false);
+    }
+
+    /// Buffered stage 1: embeds into the persistent `embed_buf` through
+    /// the streaming engine — no steady-state allocations beyond graph
+    /// growth. Returns whether the record was embeddable.
+    fn add_and_embed_buffered(&mut self, record: &SignalRecord) -> bool {
+        let Some(rid) = add_record_and_ensure(
+            &mut self.graph,
+            &mut self.bisage,
+            &mut self.engine,
+            &mut self.trusted,
+            &mut self.rng,
+            record,
+        ) else {
+            return false;
+        };
         self.last_added = Some(rid);
-        let trusted = self.trusted.clone();
-        let filter = move |r: RecordId| trusted[r.0 as usize];
-        let h = self.bisage.embed_record_filtered(&self.graph, rid, &mut self.rng, Some(&filter));
-        Some(match &self.pca {
-            Some(rotation) => rotation.apply(&h),
-            None => h,
-        })
+        self.engine.embed_record_into(
+            &self.bisage,
+            &self.graph,
+            rid,
+            Some(&self.trusted),
+            &mut self.embed_buf,
+        );
+        if let Some(rotation) = &self.pca {
+            rotation.apply_into(&self.embed_buf, &mut self.pca_buf);
+            std::mem::swap(&mut self.embed_buf, &mut self.pca_buf);
+        }
+        true
+    }
+
+    /// Sets a record's pseudo-label trust bit, bumping the engine's
+    /// trust epoch only when the bit actually changes (an unchanged bit
+    /// cannot invalidate any cached aggregate).
+    fn set_trusted(&mut self, rid: RecordId, trusted: bool) {
+        let slot = &mut self.trusted[rid.0 as usize];
+        if *slot != trusted {
+            *slot = trusted;
+            self.engine.notify_trust_change();
+        }
     }
 
     /// Stage 2: score + classify an embedding without mutating the model.
@@ -199,18 +343,20 @@ impl Gem {
     }
 
     /// Stage 3: absorb a highly confident in-premises embedding into the
-    /// detector. Returns whether an update happened.
+    /// detector. Returns whether an update happened. The embedding is
+    /// scored exactly once; the update half reuses that Detection.
     pub fn update_with(&mut self, h: &[f32]) -> bool {
         let det = self.detector.detect(h);
         if let Some(rid) = self.last_added.take() {
-            self.trusted[rid.0 as usize] = !det.is_outlier;
+            self.set_trusted(rid, !det.is_outlier);
         }
-        if det.confident_inlier {
-            self.detector.detect_and_update(h);
-            true
-        } else {
-            false
-        }
+        self.detector.update_if_confident(h, &det)
+    }
+
+    /// Lifetime hit/miss counters of the streaming engine's MAC-aggregate
+    /// cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
     }
 
     /// The fitted detector.
@@ -274,6 +420,9 @@ impl Gem {
             trusted,
             last_added: None,
             pca,
+            engine: InferenceEngine::new(),
+            embed_buf: Vec::new(),
+            pca_buf: Vec::new(),
         }
     }
 }
@@ -286,6 +435,7 @@ pub struct GemEmbedder {
     rng: StdRng,
     trusted: Vec<bool>,
     last_added: Option<RecordId>,
+    engine: InferenceEngine,
 }
 
 impl GemEmbedder {
@@ -298,21 +448,32 @@ impl GemEmbedder {
         let rng = child_rng(cfg.seed, 0x6E12);
         let train_embeddings = bisage.embed_all_records(&graph);
         let trusted = vec![true; graph.n_records()];
-        (GemEmbedder { graph, bisage, rng, trusted, last_added: None }, train_embeddings)
+        (
+            GemEmbedder {
+                graph,
+                bisage,
+                rng,
+                trusted,
+                last_added: None,
+                engine: InferenceEngine::new(),
+            },
+            train_embeddings,
+        )
     }
 }
 
 impl Embedder for GemEmbedder {
     fn embed(&mut self, record: &SignalRecord) -> Option<Vec<f32>> {
-        if record.is_empty() || !self.graph.has_known_mac(record) {
-            return None;
-        }
-        let rid = self.graph.add_record(record);
-        self.trusted.push(false);
+        let rid = add_record_and_ensure(
+            &mut self.graph,
+            &mut self.bisage,
+            &mut self.engine,
+            &mut self.trusted,
+            &mut self.rng,
+            record,
+        )?;
         self.last_added = Some(rid);
-        let trusted = self.trusted.clone();
-        let filter = move |r: RecordId| trusted[r.0 as usize];
-        Some(self.bisage.embed_record_filtered(&self.graph, rid, &mut self.rng, Some(&filter)))
+        Some(self.engine.embed_record(&self.bisage, &self.graph, rid, Some(&self.trusted)))
     }
 
     fn dim(&self) -> usize {
@@ -321,7 +482,11 @@ impl Embedder for GemEmbedder {
 
     fn feedback(&mut self, outlier: bool) {
         if let Some(rid) = self.last_added.take() {
-            self.trusted[rid.0 as usize] = !outlier;
+            let slot = &mut self.trusted[rid.0 as usize];
+            if *slot == outlier {
+                *slot = !outlier;
+                self.engine.notify_trust_change();
+            }
         }
     }
 }

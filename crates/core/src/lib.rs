@@ -23,6 +23,7 @@ pub mod config;
 pub mod detector;
 pub mod gem;
 pub mod hbos;
+pub mod infer;
 pub mod pca;
 pub mod persist;
 pub mod pipeline;
@@ -32,6 +33,7 @@ pub use config::GemConfig;
 pub use detector::{BaselineHbos, Detection, EnhancedDetector};
 pub use gem::{Decision, Gem};
 pub use hbos::HistogramModel;
+pub use infer::{CacheStats, InferenceEngine};
 pub use pca::PcaRotation;
 pub use persist::{GemSnapshot, PersistError};
 pub use pipeline::{Embedder, OutlierModel, Pipeline};

@@ -77,6 +77,24 @@ impl PcaRotation {
         out
     }
 
+    /// Rotates one vector into `out`, reusing its capacity (the
+    /// allocation-free twin of [`PcaRotation::apply`]).
+    pub fn apply_into(&self, x: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        let d = x.len();
+        out.clear();
+        out.resize(d, 0.0);
+        for (k, slot) in out.iter_mut().enumerate() {
+            let axis = self.basis.row(k);
+            *slot = x
+                .iter()
+                .zip(&self.mean)
+                .zip(axis)
+                .map(|((&v, &m), &a)| (v - m) * a)
+                .sum();
+        }
+    }
+
     /// Rotates every row of a matrix.
     pub fn apply_matrix(&self, x: &Tensor) -> Tensor {
         let mut out = Tensor::zeros(x.rows(), x.cols());

@@ -47,11 +47,10 @@ impl OutlierModel for EnhancedDetector {
     }
 
     fn observe(&mut self, sample: &[f32], _predicted_outlier: bool) {
-        // detect_and_update re-checks confidence internally.
+        // Score once; the update half reuses the Detection instead of
+        // re-scoring the same sample through detect_and_update.
         let det = self.detect(sample);
-        if det.confident_inlier {
-            self.detect_and_update(sample);
-        }
+        self.update_if_confident(sample, &det);
     }
 }
 

@@ -643,8 +643,12 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// The element-wise nonlinearity itself. Public so forward-only
+    /// consumers (the tape-free inference engine) apply *exactly* the
+    /// arithmetic [`Graph::activation`] applies — bitwise-parity tests
+    /// between the two paths rely on this being the same code.
     #[inline]
-    fn forward(self, x: f32) -> f32 {
+    pub fn forward(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),
             Activation::LeakyRelu => {

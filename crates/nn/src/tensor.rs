@@ -134,6 +134,18 @@ impl Tensor {
         self.row_mut(i).copy_from_slice(src);
     }
 
+    /// Reshapes the tensor in place to `rows × cols`, zero-filling the
+    /// contents. The backing buffer's capacity is kept, so a tensor that
+    /// cycles through bounded shapes stops allocating once it has seen
+    /// its largest one — the reuse primitive of the inference engine's
+    /// persistent scratch.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self · rhs`.
     ///
     /// Cache-blocked, register-tiled kernel: `rhs` is streamed through

@@ -61,6 +61,10 @@ pub struct MonitorStats {
     pub alerts: usize,
     /// Model self-updates performed.
     pub model_updates: usize,
+    /// Streaming-engine MAC-aggregate cache hits.
+    pub cache_hits: u64,
+    /// Streaming-engine MAC-aggregate cache misses.
+    pub cache_misses: u64,
 }
 
 /// A monitoring session: a trained GEM model plus alert state.
@@ -127,7 +131,8 @@ impl Monitor {
 
     /// Session statistics so far.
     pub fn stats(&self) -> MonitorStats {
-        self.stats
+        let cache = self.gem.cache_stats();
+        MonitorStats { cache_hits: cache.hits, cache_misses: cache.misses, ..self.stats }
     }
 
     /// Borrow the underlying model (e.g. to snapshot it).

@@ -99,8 +99,10 @@ impl Autoencoder {
             Encoder::Dense { d1, to_code }
         };
         let hidden_dec = (width / 2).max(cfg.dim);
-        let decoder1 = Dense::new(&mut store, "dec.d1", cfg.dim, hidden_dec, Activation::Relu, &mut rng);
-        let decoder2 = Dense::new(&mut store, "dec.d2", hidden_dec, width, Activation::Identity, &mut rng);
+        let decoder1 =
+            Dense::new(&mut store, "dec.d1", cfg.dim, hidden_dec, Activation::Relu, &mut rng);
+        let decoder2 =
+            Dense::new(&mut store, "dec.d2", hidden_dec, width, Activation::Identity, &mut rng);
 
         let mut model = Autoencoder { cfg, universe, store, encoder, decoder1, decoder2 };
 
@@ -247,14 +249,19 @@ mod tests {
         let train = records(24, 40);
         let (mut model, _) = Autoencoder::fit(AutoencoderConfig::default(), &train);
         let a = model
-            .embed(&SignalRecord::from_pairs(0.0, (1..=24).map(|m| (mac(m), -40.0 - m as f32 * 2.0))))
+            .embed(&SignalRecord::from_pairs(
+                0.0,
+                (1..=24).map(|m| (mac(m), -40.0 - m as f32 * 2.0)),
+            ))
             .unwrap();
         let b = model
-            .embed(&SignalRecord::from_pairs(0.0, (1..=24).map(|m| (mac(m), -41.0 - m as f32 * 2.0))))
+            .embed(&SignalRecord::from_pairs(
+                0.0,
+                (1..=24).map(|m| (mac(m), -41.0 - m as f32 * 2.0)),
+            ))
             .unwrap();
-        let c = model
-            .embed(&SignalRecord::from_pairs(0.0, (1..=3).map(|m| (mac(m), -90.0))))
-            .unwrap();
+        let c =
+            model.embed(&SignalRecord::from_pairs(0.0, (1..=3).map(|m| (mac(m), -90.0)))).unwrap();
         let d2 = |x: &[f32], y: &[f32]| -> f32 {
             x.iter().zip(y).map(|(&p, &q)| (p - q) * (p - q)).sum()
         };

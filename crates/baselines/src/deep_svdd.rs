@@ -88,10 +88,7 @@ impl DeepSvdd {
     pub fn distance_sq(&self, record: &SignalRecord) -> f64 {
         let (row, _) = self.universe.project(record);
         let z = self.encode(&Self::normalize(&row));
-        z.iter()
-            .zip(self.center.row(0))
-            .map(|(&a, &b)| ((a - b) as f64).powi(2))
-            .sum()
+        z.iter().zip(self.center.row(0)).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum()
     }
 
     /// Fits the model on (one-class) training records.
@@ -177,10 +174,7 @@ impl OutlierModel for DeepSvdd {
     fn score(&self, sample: &[f32]) -> f64 {
         // When used on raw embeddings, interpret them as a projected row.
         let z = sample;
-        z.iter()
-            .zip(self.center.row(0))
-            .map(|(&a, &b)| ((a - b) as f64).powi(2))
-            .sum::<f64>()
+        z.iter().zip(self.center.row(0)).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>()
             / self.radius_sq
     }
 
@@ -223,10 +217,7 @@ mod tests {
     fn shifted_profiles_are_outside() {
         let model = DeepSvdd::fit(DeepSvddConfig::default(), &train());
         // Same MACs, inverted strengths.
-        let rec = SignalRecord::from_pairs(
-            0.0,
-            (1..=12).map(|m| (mac(m), -95.0 + m as f32 * 2.0)),
-        );
+        let rec = SignalRecord::from_pairs(0.0, (1..=12).map(|m| (mac(m), -95.0 + m as f32 * 2.0)));
         let (label, score) = model.infer(&rec);
         assert_eq!(label, Label::Out, "score {score}");
     }
@@ -246,9 +237,6 @@ mod tests {
         let mean_d = |m: &DeepSvdd| -> f64 {
             rs.iter().map(|r| m.distance_sq(r)).sum::<f64>() / rs.len() as f64
         };
-        assert!(
-            mean_d(&trained) < mean_d(&untrained),
-            "training must contract the sphere"
-        );
+        assert!(mean_d(&trained) < mean_d(&untrained), "training must contract the sphere");
     }
 }

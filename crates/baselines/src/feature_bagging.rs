@@ -32,13 +32,7 @@ fn project(features: &[usize], sample: &[f32]) -> Vec<f32> {
 
 impl FeatureBagging {
     /// Fits `n_members` LOF detectors on random feature subsets.
-    pub fn fit(
-        train: &Tensor,
-        n_members: usize,
-        k: usize,
-        contamination: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn fit(train: &Tensor, n_members: usize, k: usize, contamination: f64, seed: u64) -> Self {
         let d = train.cols();
         assert!(d >= 2, "feature bagging needs at least two features");
         let mut rng = child_rng(seed, 0xFBA6);
@@ -71,10 +65,7 @@ impl FeatureBagging {
 
     /// Cumulative-sum combination of member LOF scores.
     pub fn combined_score(&self, sample: &[f32]) -> f64 {
-        self.members
-            .iter()
-            .map(|m| m.lof.lof_score(&project(&m.features, sample)))
-            .sum()
+        self.members.iter().map(|m| m.lof.lof_score(&project(&m.features, sample))).sum()
     }
 }
 

@@ -115,11 +115,7 @@ impl IsolationForest {
     /// The standard iForest anomaly score `2^{-E[h(x)] / c(ψ)}` in
     /// `(0, 1)`; higher = more anomalous.
     pub fn anomaly_score(&self, point: &[f32]) -> f64 {
-        let mean_path: f64 = self
-            .trees
-            .iter()
-            .map(|t| path_length(t, point, 0.0))
-            .sum::<f64>()
+        let mean_path: f64 = self.trees.iter().map(|t| path_length(t, point, 0.0)).sum::<f64>()
             / self.trees.len() as f64;
         2f64.powf(-mean_path / c(self.subsample).max(1e-9))
     }

@@ -63,10 +63,7 @@ fn pair_points(record: &SignalRecord, scale: f32) -> Vec<PairPoint> {
     for i in 0..rs.len() {
         for j in (i + 1)..rs.len() {
             let (a, b) = if rs[i].mac < rs[j].mac { (i, j) } else { (j, i) };
-            out.push((
-                (rs[a].mac, rs[b].mac),
-                vec![rs[a].rssi * scale, rs[b].rssi * scale],
-            ));
+            out.push(((rs[a].mac, rs[b].mac), vec![rs[a].rssi * scale, rs[b].rssi * scale]));
         }
     }
     out
@@ -82,10 +79,8 @@ impl Inoa {
             }
         }
         type PairGroup = ((MacAddr, MacAddr), Vec<Vec<f32>>);
-        let mut eligible: Vec<PairGroup> = by_pair
-            .into_iter()
-            .filter(|(_, pts)| pts.len() >= cfg.min_support)
-            .collect();
+        let mut eligible: Vec<PairGroup> =
+            by_pair.into_iter().filter(|(_, pts)| pts.len() >= cfg.min_support).collect();
         // Keep the highest-support pairs (stable order for determinism).
         eligible.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
         eligible.truncate(cfg.max_pairs);
@@ -169,10 +164,8 @@ mod tests {
     #[test]
     fn accepts_training_like_records() {
         let inoa = Inoa::fit(InoaConfig::default(), &train());
-        let rec = SignalRecord::from_pairs(
-            0.0,
-            [(mac(1), -51.0), (mac(2), -59.0), (mac(3), -70.0)],
-        );
+        let rec =
+            SignalRecord::from_pairs(0.0, [(mac(1), -51.0), (mac(2), -59.0), (mac(3), -70.0)]);
         let (label, score) = inoa.infer(&rec);
         assert_eq!(label, Label::In);
         assert!(score < 0.5);
@@ -182,10 +175,8 @@ mod tests {
     fn rejects_shifted_rss_profiles() {
         let inoa = Inoa::fit(InoaConfig::default(), &train());
         // Same MACs, drastically different strengths (e.g. next door).
-        let rec = SignalRecord::from_pairs(
-            0.0,
-            [(mac(1), -90.0), (mac(2), -20.0), (mac(3), -95.0)],
-        );
+        let rec =
+            SignalRecord::from_pairs(0.0, [(mac(1), -90.0), (mac(2), -20.0), (mac(3), -95.0)]);
         let (label, _) = inoa.infer(&rec);
         assert_eq!(label, Label::Out);
     }

@@ -39,7 +39,7 @@ fn knn(points: &[Vec<f32>], q: &[f32], k: usize, skip: usize) -> Vec<(usize, f64
 impl Lof {
     /// Fits LOF with neighborhood size `k`; the threshold is the
     /// `1 − contamination` quantile of leave-one-out training LOF scores.
-    pub fn fit(train: &Tensor, k: usize, contamination: f64, ) -> Self {
+    pub fn fit(train: &Tensor, k: usize, contamination: f64) -> Self {
         let n = train.rows();
         assert!(n > k + 1, "LOF needs more than k+1 training points");
         let points: Vec<Vec<f32>> = (0..n).map(|i| train.row(i).to_vec()).collect();
@@ -52,20 +52,20 @@ impl Lof {
         // Local reachability densities.
         let lrd: Vec<f64> = (0..n)
             .map(|i| {
-                let sum: f64 = neighbors[i]
-                    .iter()
-                    .map(|&(j, d)| d.max(k_dist[j]))
-                    .sum();
+                let sum: f64 = neighbors[i].iter().map(|&(j, d)| d.max(k_dist[j])).sum();
                 neighbors[i].len() as f64 / sum.max(1e-12)
             })
             .collect();
 
         let mut model = Lof { points, k, lrd, k_dist, threshold: 1.5 };
-        let mut scores: Vec<f64> = (0..n).map(|i| {
-            let nb = &neighbors[i];
-            let mean_lrd: f64 = nb.iter().map(|&(j, _)| model.lrd[j]).sum::<f64>() / nb.len() as f64;
-            mean_lrd / model.lrd[i].max(1e-12)
-        }).collect();
+        let mut scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let nb = &neighbors[i];
+                let mean_lrd: f64 =
+                    nb.iter().map(|&(j, _)| model.lrd[j]).sum::<f64>() / nb.len() as f64;
+                mean_lrd / model.lrd[i].max(1e-12)
+            })
+            .collect();
         scores.sort_by(|a, b| a.total_cmp(b));
         let idx = (((n - 1) as f64) * (1.0 - contamination)) as usize;
         model.threshold = scores[idx];
@@ -127,9 +127,7 @@ mod tests {
         let lof = Lof::fit(&train, 10, 0.05);
         // Score each training point with itself present in the
         // reference; near-duplicates keep scores low.
-        let rejected = (0..train.rows())
-            .filter(|&i| lof.is_outlier(train.row(i)))
-            .count();
+        let rejected = (0..train.rows()).filter(|&i| lof.is_outlier(train.row(i))).count();
         assert!(rejected <= train.rows() / 8, "rejected {rejected}");
     }
 

@@ -87,11 +87,8 @@ impl SignatureHome {
             }
         }
         let min_wins = ((train.len() as f64) * cfg.association_fraction).ceil() as usize;
-        let association: HashSet<MacAddr> = wins
-            .into_iter()
-            .filter(|&(_, w)| w >= min_wins.max(1))
-            .map(|(m, _)| m)
-            .collect();
+        let association: HashSet<MacAddr> =
+            wins.into_iter().filter(|&(_, w)| w >= min_wins.max(1)).map(|(m, _)| m).collect();
 
         // Leave-one-out best similarities → threshold at a low quantile.
         let mut best: Vec<f64> = (0..signatures.len())
@@ -122,10 +119,7 @@ impl SignatureHome {
     pub fn best_similarity(&self, record: &SignalRecord) -> f64 {
         let (row, _) = self.universe.project(record);
         let shifted = shift(self.cfg.pad_dbm, &row);
-        self.signatures
-            .iter()
-            .map(|s| cosine(&shifted, s))
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.signatures.iter().map(|s| cosine(&shifted, s)).fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Classifies one scan; the score is `1 − best similarity`.
@@ -133,10 +127,8 @@ impl SignatureHome {
         if record.is_empty() {
             return (Label::Out, 1.0);
         }
-        let associated = record
-            .strongest()
-            .map(|r| self.association.contains(&r.mac))
-            .unwrap_or(false);
+        let associated =
+            record.strongest().map(|r| self.association.contains(&r.mac)).unwrap_or(false);
         let sim = self.best_similarity(record);
         let label = if associated && sim >= self.threshold { Label::In } else { Label::Out };
         (label, 1.0 - sim)
@@ -178,10 +170,8 @@ mod tests {
     #[test]
     fn accepts_home_like_scans() {
         let sh = SignatureHome::fit(SignatureHomeConfig::default(), &train());
-        let rec = SignalRecord::from_pairs(
-            0.0,
-            [(mac(1), -46.0), (mac(2), -61.0), (mac(3), -74.0)],
-        );
+        let rec =
+            SignalRecord::from_pairs(0.0, [(mac(1), -46.0), (mac(2), -61.0), (mac(3), -74.0)]);
         assert_eq!(sh.infer(&rec).0, Label::In);
     }
 
@@ -189,10 +179,8 @@ mod tests {
     fn rejects_when_strongest_is_foreign() {
         let sh = SignatureHome::fit(SignatureHomeConfig::default(), &train());
         // A neighbor AP dominates → not associated with home.
-        let rec = SignalRecord::from_pairs(
-            0.0,
-            [(mac(99), -30.0), (mac(1), -80.0), (mac(2), -85.0)],
-        );
+        let rec =
+            SignalRecord::from_pairs(0.0, [(mac(99), -30.0), (mac(1), -80.0), (mac(2), -85.0)]);
         assert_eq!(sh.infer(&rec).0, Label::Out);
     }
 

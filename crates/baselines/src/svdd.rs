@@ -135,9 +135,7 @@ mod tests {
     use super::*;
 
     fn cluster() -> Vec<Vec<f32>> {
-        (0..50)
-            .map(|i| vec![((i * 7) % 10) as f32 / 10.0, ((i * 3) % 10) as f32 / 10.0])
-            .collect()
+        (0..50).map(|i| vec![((i * 7) % 10) as f32 / 10.0, ((i * 3) % 10) as f32 / 10.0]).collect()
     }
 
     #[test]

@@ -29,11 +29,8 @@ fn bench_inference(c: &mut Criterion) {
     // In-out detection on a fixed embedding.
     {
         let mut gem = Gem::fit(GemConfig::default(), &ds.train);
-        let h = ds
-            .test
-            .iter()
-            .find_map(|t| gem.add_and_embed(&t.record))
-            .expect("embeddable record");
+        let h =
+            ds.test.iter().find_map(|t| gem.add_and_embed(&t.record)).expect("embeddable record");
         group.bench_function("in_out_detection", |b| {
             b.iter(|| black_box(gem.detect_only(black_box(&h))))
         });
@@ -42,11 +39,8 @@ fn bench_inference(c: &mut Criterion) {
     // Online model update (histogram absorption + re-anchoring).
     {
         let mut gem = Gem::fit(GemConfig::default(), &ds.train);
-        let h = ds
-            .test
-            .iter()
-            .find_map(|t| gem.add_and_embed(&t.record))
-            .expect("embeddable record");
+        let h =
+            ds.test.iter().find_map(|t| gem.add_and_embed(&t.record)).expect("embeddable record");
         group.bench_function("model_update", |b| {
             b.iter(|| black_box(gem.update_with(black_box(&h))))
         });

@@ -51,7 +51,12 @@ fn bench_models(c: &mut Criterion) {
 
     group.bench_function("bisage_fit_120_records", |b| {
         let graph = cluster_graph(120);
-        let cfg = BiSageConfig { epochs: 1, dim: 16, sample_sizes: vec![6, 3], ..BiSageConfig::default() };
+        let cfg = BiSageConfig {
+            epochs: 1,
+            dim: 16,
+            sample_sizes: vec![6, 3],
+            ..BiSageConfig::default()
+        };
         b.iter(|| {
             let mut model = BiSage::new(cfg.clone());
             black_box(model.fit(black_box(&graph)))
@@ -60,13 +65,16 @@ fn bench_models(c: &mut Criterion) {
 
     group.bench_function("bisage_embed_one_record", |b| {
         let graph = cluster_graph(200);
-        let cfg = BiSageConfig { epochs: 1, dim: 16, sample_sizes: vec![6, 3], ..BiSageConfig::default() };
+        let cfg = BiSageConfig {
+            epochs: 1,
+            dim: 16,
+            sample_sizes: vec![6, 3],
+            ..BiSageConfig::default()
+        };
         let mut model = BiSage::new(cfg);
         model.fit(&graph);
         let mut rng = child_rng(15, 16);
-        b.iter(|| {
-            black_box(model.embed_record(&graph, gem_graph::RecordId(100), &mut rng))
-        })
+        b.iter(|| black_box(model.embed_record(&graph, gem_graph::RecordId(100), &mut rng)))
     });
 
     group.bench_function("hbos_fit_300x32", |b| {

@@ -164,7 +164,12 @@ struct TrainBenchLine {
     kernels: Vec<KernelLine>,
 }
 
-fn append_results(c: &Criterion, pairs: usize, seq_audit: Option<(u64, u64)>, pool_audit: Option<(u64, u64)>) {
+fn append_results(
+    c: &Criterion,
+    pairs: usize,
+    seq_audit: Option<(u64, u64)>,
+    pool_audit: Option<(u64, u64)>,
+) {
     let find = |name: &str| {
         c.reports()
             .iter()
@@ -191,11 +196,7 @@ fn append_results(c: &Criterion, pairs: usize, seq_audit: Option<(u64, u64)>, po
             .reports()
             .iter()
             .filter(|r| r.group == "matmul_kernels")
-            .map(|r| KernelLine {
-                name: r.name.clone(),
-                median_ns: r.median_ns,
-                min_ns: r.min_ns,
-            })
+            .map(|r| KernelLine { name: r.name.clone(), median_ns: r.median_ns, min_ns: r.min_ns })
             .collect(),
     };
     let json = serde_json::to_string(&line).expect("serialize bench line");

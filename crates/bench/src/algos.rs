@@ -81,11 +81,7 @@ fn fit_od(cfg: &GemConfig, train_embeddings: &Tensor) -> EnhancedDetector {
     )
 }
 
-fn run_pipeline<E: Embedder, D: OutlierModel>(
-    embedder: E,
-    detector: D,
-    ds: &Dataset,
-) -> Confusion {
+fn run_pipeline<E: Embedder, D: OutlierModel>(embedder: E, detector: D, ds: &Dataset) -> Confusion {
     let mut pipeline = Pipeline::new(embedder, detector);
     eval_stream(&ds.test, |rec| pipeline.infer(rec).label)
 }
@@ -199,12 +195,7 @@ mod tests {
         for algo in [Algorithm::SignatureHome, Algorithm::Inoa] {
             let c = run_algorithm(algo, &GemConfig::default(), &ds);
             assert_eq!(c.total(), 80);
-            assert!(
-                c.accuracy() > 0.55,
-                "{} accuracy {}",
-                algo.name(),
-                c.accuracy()
-            );
+            assert!(c.accuracy() > 0.55, "{} accuracy {}", algo.name(), c.accuracy());
         }
     }
 }

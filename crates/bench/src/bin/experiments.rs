@@ -14,17 +14,19 @@
 use std::time::Instant;
 
 use gem_baselines::{Autoencoder, AutoencoderConfig, DeepSvdd, DeepSvddConfig};
-use gem_bench::{eval_dataset, eval_gem, evaluation_users, lab_scenario, run_algorithm, Algorithm, Harness};
 use gem_bench::harness::eval_stream;
+use gem_bench::{
+    eval_dataset, eval_gem, evaluation_users, lab_scenario, run_algorithm, Algorithm, Harness,
+};
 use gem_core::gem::GemEmbedder;
 use gem_core::pipeline::Embedder;
 use gem_core::{BaselineHbos, EnhancedDetector, Gem, GemConfig};
 use gem_eval::{auc, roc_curve, tsne, Confusion, Summary, Table, TsneConfig};
 use gem_graph::{NodeId, RecordId, WeightFn};
 use gem_nn::Tensor;
-use gem_rfsim::{prune_macs, MarkovOnOff, Scenario, TimeProfile};
 use gem_rfsim::dynamics::prune_macs_from_test;
 use gem_rfsim::propagation::BandKind;
+use gem_rfsim::{prune_macs, MarkovOnOff, Scenario, TimeProfile};
 use gem_signal::rng::child_rng;
 use gem_signal::{Dataset, Label, RecordSet};
 
@@ -56,8 +58,21 @@ fn main() {
             "extensions" => extensions(&harness),
             "all" => {
                 for id in [
-                    "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9",
-                    "fig10", "fig11", "fig13", "fig14", "fig15", "ablation", "attack",
+                    "table1",
+                    "table2",
+                    "table3",
+                    "table4",
+                    "fig6",
+                    "fig7",
+                    "fig8",
+                    "fig9",
+                    "fig10",
+                    "fig11",
+                    "fig13",
+                    "fig14",
+                    "fig15",
+                    "ablation",
+                    "attack",
                     "extensions",
                 ] {
                     let t = Instant::now();
@@ -288,10 +303,8 @@ fn fig6(h: &Harness) {
     data.extend((0..mac_h.rows()).map(|i| mac_h.row(i).to_vec()));
     let mut rng = child_rng(7, 0xF16);
     let points = tsne(&data, TsneConfig { iterations: 300, ..TsneConfig::default() }, &mut rng);
-    let mut table = Table::new(
-        "Fig 6 — t-SNE of learned primary embeddings",
-        &["node_type", "x", "y"],
-    );
+    let mut table =
+        Table::new("Fig 6 — t-SNE of learned primary embeddings", &["node_type", "x", "y"]);
     for (i, p) in points.iter().enumerate() {
         let kind = if i < rec_h.rows() { "record" } else { "mac" };
         table.row(vec![kind.to_string(), format!("{:.4}", p[0]), format!("{:.4}", p[1])]);
@@ -551,8 +564,7 @@ fn fig13(h: &Harness) {
         "Fig 13 — F-score under the AP ON-OFF two-state Markov model",
         &["p", "q", "F_in", "F_out"],
     );
-    let axis: Vec<f64> =
-        (0..h.grid).map(|i| 0.1 + 0.8 * i as f64 / (h.grid - 1) as f64).collect();
+    let axis: Vec<f64> = (0..h.grid).map(|i| 0.1 + 0.8 * i as f64 / (h.grid - 1) as f64).collect();
     for &p in &axis {
         for &q in &axis {
             let mut f_in = Vec::new();
@@ -585,7 +597,8 @@ fn fig14(h: &Harness) {
         [0usize, 4, 7].iter().map(|&i| eval_dataset(&evaluation_users()[i])).collect();
 
     // (a) embedding dimension.
-    let mut table = Table::new("Fig 14a — F-score vs embedding dimension d", &["d", "F_in", "F_out"]);
+    let mut table =
+        Table::new("Fig 14a — F-score vs embedding dimension d", &["d", "F_in", "F_out"]);
     for d in [8usize, 16, 32, 48, 64] {
         let cfg = GemConfig { embedding_dim: d, ..GemConfig::default() };
         let mut acc = MetricAccumulator::new();
@@ -657,7 +670,8 @@ fn fig14(h: &Harness) {
     table.emit(&h.out_dir, "fig14c").expect("write fig14c");
 
     // (d) edge-weight function.
-    let mut table = Table::new("Fig 14d — F-score vs edge-weight function", &["weight_fn", "F_in", "F_out"]);
+    let mut table =
+        Table::new("Fig 14d — F-score vs edge-weight function", &["weight_fn", "F_in", "F_out"]);
     for (name, wf) in [
         ("RSS + 120 (paper)", WeightFn::OffsetLinear { c: 120.0 }),
         ("10^(RSS/30)", WeightFn::Exponential { scale: 30.0 }),
@@ -756,15 +770,10 @@ fn ablation(h: &Harness) {
         ("frozen base embeddings", GemConfig { trainable_base: false, ..base.clone() }),
         ("typed negatives", GemConfig { typed_negatives: true, ..base.clone() }),
         ("fixed paper thresholds", GemConfig { calibrate_thresholds: false, ..base.clone() }),
-        (
-            "presence-only edge weights",
-            GemConfig { weight_fn: WeightFn::Unit, ..base.clone() },
-        ),
+        ("presence-only edge weights", GemConfig { weight_fn: WeightFn::Unit, ..base.clone() }),
     ];
-    let mut table = Table::new(
-        "Ablation — BiSAGE design choices (3 users)",
-        &["Variant", "F_in", "F_out"],
-    );
+    let mut table =
+        Table::new("Ablation — BiSAGE design choices (3 users)", &["Variant", "F_in", "F_out"]);
     for (name, cfg) in variants {
         let mut acc = MetricAccumulator::new();
         for ds in &users {
@@ -802,9 +811,7 @@ fn attack(h: &Harness) {
     // Clean performance before the attack, on a deep copy of the model
     // (snapshots double as a clone mechanism).
     let before = {
-        let mut clean = gem_core::GemSnapshot::capture(&gem)
-            .restore()
-            .expect("snapshot roundtrip");
+        let mut clean = gem_core::GemSnapshot::capture(&gem).restore().expect("snapshot roundtrip");
         eval_stream(&ds.test, |rec| clean.infer(rec).label)
     };
 
@@ -836,10 +843,7 @@ fn attack(h: &Harness) {
     // Clean performance after the attack (fresh copy of the test stream).
     let after = eval_stream(&ds.test, |rec| gem.infer(rec).label);
 
-    let mut table = Table::new(
-        "Section VII — boundary-attack resistance",
-        &["metric", "value"],
-    );
+    let mut table = Table::new("Section VII — boundary-attack resistance", &["metric", "value"]);
     table.row(vec!["attacker scans".into(), attack_scans.len().to_string()]);
     table.row(vec![
         "accepted as in-premises".into(),

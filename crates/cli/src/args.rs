@@ -43,10 +43,7 @@ impl Args {
 
     /// The value of a required option.
     pub fn require(&self, key: &str) -> Result<String, String> {
-        self.values
-            .get(key)
-            .cloned()
-            .ok_or_else(|| format!("missing required option --{key}"))
+        self.values.get(key).cloned().ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// An optional option parsed into `T`.
@@ -56,10 +53,9 @@ impl Args {
     {
         match self.values.get(key) {
             None => Ok(None),
-            Some(raw) => raw
-                .parse::<T>()
-                .map(Some)
-                .map_err(|e| format!("invalid value for --{key}: {e}")),
+            Some(raw) => {
+                raw.parse::<T>().map(Some).map_err(|e| format!("invalid value for --{key}: {e}"))
+            }
         }
     }
 

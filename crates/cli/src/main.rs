@@ -162,8 +162,7 @@ fn stream(args: &Args) -> Result<(), String> {
     let model_path = args.require("model")?;
     let gem = Gem::load(&model_path).map_err(|e| e.to_string())?;
     let alert_after = args.get_parsed::<usize>("alert-after")?.unwrap_or(3);
-    let mut monitor =
-        Monitor::new(gem, MonitorConfig { alert_after, ..MonitorConfig::default() });
+    let mut monitor = Monitor::new(gem, MonitorConfig { alert_after, ..MonitorConfig::default() });
     for t in &dataset.test {
         for event in monitor.process(&t.record) {
             match event {
@@ -180,7 +179,11 @@ fn stream(args: &Args) -> Result<(), String> {
     let stats = monitor.stats();
     say!(
         "processed {} scans: {} in / {} out, {} alerts, {} model updates",
-        stats.scans, stats.in_decisions, stats.out_decisions, stats.alerts, stats.model_updates
+        stats.scans,
+        stats.in_decisions,
+        stats.out_decisions,
+        stats.alerts,
+        stats.model_updates
     );
     if args.flag("save-back") {
         monitor.gem().save(&model_path).map_err(|e| e.to_string())?;
@@ -194,10 +197,17 @@ fn info(args: &Args) -> Result<(), String> {
     let snapshot = gem_core::GemSnapshot::load(&path).map_err(|e| e.to_string())?;
     say!("model: {path}");
     say!("embedding dim: {}", snapshot.cfg.embedding_dim);
-    say!("graph: {} records, {} MACs, {} edges",
-        snapshot.graph.n_records(), snapshot.graph.n_macs(), snapshot.graph.n_edges());
-    say!("detector samples: {} (+{} online updates)",
-        snapshot.detector.n_samples(), snapshot.detector.n_updates);
+    say!(
+        "graph: {} records, {} MACs, {} edges",
+        snapshot.graph.n_records(),
+        snapshot.graph.n_macs(),
+        snapshot.graph.n_edges()
+    );
+    say!(
+        "detector samples: {} (+{} online updates)",
+        snapshot.detector.n_samples(),
+        snapshot.detector.n_updates
+    );
     say!(
         "training loss: {:?}",
         snapshot

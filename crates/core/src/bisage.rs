@@ -300,8 +300,10 @@ impl BiSage {
         let needed = 2 * graph.n_records().max(graph.n_macs());
         self.grow_tables(needed);
         // MAC nodes first so that brand-new records can average them.
-        let macs: Vec<NodeId> = (0..graph.n_macs() as u32).map(|m| NodeId::Mac(gem_graph::MacId(m))).collect();
-        let recs: Vec<NodeId> = (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
+        let macs: Vec<NodeId> =
+            (0..graph.n_macs() as u32).map(|m| NodeId::Mac(gem_graph::MacId(m))).collect();
+        let recs: Vec<NodeId> =
+            (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
         for node in macs.into_iter().chain(recs) {
             let row = node_row(node);
             if self.initialized[row] {
@@ -397,8 +399,7 @@ impl BiSage {
                 match trusted {
                     None => true,
                     Some(f) => {
-                        graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
-                            >= need
+                        graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count() >= need
                     }
                 }
             };
@@ -416,14 +417,12 @@ impl BiSage {
             };
             if neighbors.is_empty() {
                 neighbors = match node {
-                    NodeId::Record(r) => graph
-                        .record_neighbors(r)
-                        .map(|(m, w)| (NodeId::Mac(m), w))
-                        .collect(),
-                    NodeId::Mac(m) => graph
-                        .mac_neighbors(m)
-                        .map(|(r, w)| (NodeId::Record(r), w))
-                        .collect(),
+                    NodeId::Record(r) => {
+                        graph.record_neighbors(r).map(|(m, w)| (NodeId::Mac(m), w)).collect()
+                    }
+                    NodeId::Mac(m) => {
+                        graph.mac_neighbors(m).map(|(r, w)| (NodeId::Record(r), w)).collect()
+                    }
                 };
             }
             for (nbr, w) in neighbors {
@@ -462,11 +461,7 @@ impl BiSage {
                         && match trusted {
                             None => true,
                             Some(f) => {
-                                graph
-                                    .mac_neighbors(m)
-                                    .filter(|&(r, _)| f(r))
-                                    .take(need)
-                                    .count()
+                                graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count()
                                     >= need
                             }
                         });
@@ -576,9 +571,7 @@ impl BiSage {
             }
             match trusted {
                 None => true,
-                Some(f) => {
-                    graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count() >= need
-                }
+                Some(f) => graph.mac_neighbors(m).filter(|&(r, _)| f(r)).take(need).count() >= need,
             }
         };
         match node {
@@ -662,9 +655,9 @@ impl BiSage {
             wts.clear();
             offs.push(0u32);
             let append_segment = |sampled: &[(NodeId, f32)],
-                                      next: &mut Vec<NodeId>,
-                                      offs: &mut Vec<u32>,
-                                      wts: &mut Vec<f32>| {
+                                  next: &mut Vec<NodeId>,
+                                  offs: &mut Vec<u32>,
+                                  wts: &mut Vec<f32>| {
                 let w_total: f32 = match self.cfg.aggregator {
                     Aggregator::WeightedMean => sampled.iter().map(|&(_, w)| w).sum(),
                     Aggregator::Mean => sampled.len() as f32,
@@ -759,10 +752,7 @@ impl BiSage {
         for k in 1..=k_rounds {
             let (w_h_var, w_l_var) = match (store, params) {
                 (Some(s), Some(p)) => (g.param(s, p.w_h[k - 1]), g.param(s, p.w_l[k - 1])),
-                _ => (
-                    g.constant(self.w_h[k - 1].clone()),
-                    g.constant(self.w_l[k - 1].clone()),
-                ),
+                _ => (g.constant(self.w_h[k - 1].clone()), g.constant(self.w_l[k - 1].clone())),
             };
             let depths = k_rounds - k;
             fs.next_h.clear();
@@ -820,8 +810,10 @@ impl BiSage {
             return report;
         };
         let typed_tables = if self.cfg.typed_negatives {
-            let recs = NegativeTable::build_filtered(graph, self.cfg.negative_power, |n| n.is_record());
-            let macs = NegativeTable::build_filtered(graph, self.cfg.negative_power, |n| !n.is_record());
+            let recs =
+                NegativeTable::build_filtered(graph, self.cfg.negative_power, |n| n.is_record());
+            let macs =
+                NegativeTable::build_filtered(graph, self.cfg.negative_power, |n| !n.is_record());
             recs.zip(macs)
         } else {
             None
@@ -897,10 +889,8 @@ impl BiSage {
 
                 // Phase 1 — plan. Writes only into the chunk's own plan.
                 let plan_one = |i: usize, plan: &mut ChunkPlan| {
-                    let mut rng = child_rng(
-                        self.cfg.seed,
-                        chunk_stream(epoch, group_idx * group_len + i),
-                    );
+                    let mut rng =
+                        child_rng(self.cfg.seed, chunk_stream(epoch, group_idx * group_len + i));
                     let ChunkPlan { targets, tree, scratch, .. } = plan;
                     self.plan_targets(
                         group[i],
@@ -947,8 +937,7 @@ impl BiSage {
                 // Phase 3 — compute, against the shared snapshot.
                 let compute_one = |i: usize, plan: &mut ChunkPlan| {
                     let ChunkPlan { tree, sink, loss, .. } = plan;
-                    *loss =
-                        self.chunk_grads_planned(&store, &params, tree, group[i].len(), sink);
+                    *loss = self.chunk_grads_planned(&store, &params, tree, group[i].len(), sink);
                 };
                 if parallel {
                     gem_par::par_for_each_mut(active, compute_one);
@@ -1068,8 +1057,17 @@ impl BiSage {
         let kn = self.cfg.negative_samples;
         STEP_BUFFERS.with(|buffers| {
             let buf = &mut *buffers.borrow_mut();
-            let StepBuffers { graph: g, forward: fs, x_idx, y_idx, z_idx, x_rep, ones, zeros, index_shape } =
-                buf;
+            let StepBuffers {
+                graph: g,
+                forward: fs,
+                x_idx,
+                y_idx,
+                z_idx,
+                x_rep,
+                ones,
+                zeros,
+                index_shape,
+            } = buf;
             let (h_all, l_all) = self.forward(g, tree, Some(store), Some(params), fs);
 
             // Selection/target vectors depend only on `(b, kn)`; rebuild
@@ -1080,9 +1078,7 @@ impl BiSage {
                 *x_idx = Arc::new((0..b as u32).collect());
                 *y_idx = Arc::new((b as u32..2 * b as u32).collect());
                 *z_idx = Arc::new((2 * b as u32..(2 * b + b * kn) as u32).collect());
-                *x_rep = Arc::new(
-                    (0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)).collect(),
-                );
+                *x_rep = Arc::new((0..b as u32).flat_map(|i| std::iter::repeat_n(i, kn)).collect());
                 *ones = Arc::new(vec![1.0f32; b]);
                 *zeros = Arc::new(vec![0.0f32; b * kn]);
                 *index_shape = (b, kn);
@@ -1189,11 +1185,7 @@ impl BiSage {
     /// variants so the histograms cover the MAC-churn reality. The
     /// sampled tree is evaluated tape-free on the engine; the RNG stream
     /// consumed is identical to the tape reference's.
-    pub fn embed_all_records_sampled(
-        &self,
-        graph: &BipartiteGraph,
-        rng: &mut StdRng,
-    ) -> Tensor {
+    pub fn embed_all_records_sampled(&self, graph: &BipartiteGraph, rng: &mut StdRng) -> Tensor {
         let nodes: Vec<NodeId> =
             (0..graph.n_records() as u32).map(|r| NodeId::Record(RecordId(r))).collect();
         if nodes.is_empty() {
@@ -1246,9 +1238,7 @@ impl BiSage {
         trusted: Option<&(dyn Fn(RecordId) -> bool + Sync)>,
     ) -> Vec<f32> {
         self.ensure_rows_filtered(graph, rng, trusted);
-        let wrapped = trusted.map(|f| {
-            move |r: RecordId| r == record || f(r)
-        });
+        let wrapped = trusted.map(|f| move |r: RecordId| r == record || f(r));
         let (h, _) = self.embed_nodes_filtered(
             graph,
             &[NodeId::Record(record)],

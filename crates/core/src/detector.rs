@@ -108,8 +108,7 @@ impl EnhancedDetector {
         assert!((0.0..=1.0).contains(&keep_in) && (0.0..=1.0).contains(&confident));
         assert!(confident < keep_in, "confidence band must be inside the in-band");
         let mut det = Self::fit(train, bins, temperature, tau_u_floor.max(1e-9), tau_l_floor);
-        let mut scores: Vec<f64> =
-            (0..train.rows()).map(|i| det.score(train.row(i))).collect();
+        let mut scores: Vec<f64> = (0..train.rows()).map(|i| det.score(train.row(i))).collect();
         scores.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| scores[((scores.len() - 1) as f64 * p) as usize];
         // Cap τ_u below S_T's saturation plateau: embeddings whose
@@ -142,11 +141,7 @@ impl EnhancedDetector {
     /// Classifies one sample (no model mutation).
     pub fn detect(&self, sample: &[f32]) -> Detection {
         let score = self.score(sample);
-        Detection {
-            score,
-            is_outlier: score > self.tau_u,
-            confident_inlier: score < self.tau_l,
-        }
+        Detection { score, is_outlier: score > self.tau_u, confident_inlier: score < self.tau_l }
     }
 
     /// Scores a batch of samples across the worker pool. Scoring is
@@ -192,7 +187,7 @@ impl EnhancedDetector {
     }
 }
 
-/// The original histogram-based algorithm (paper's description of [17]):
+/// The original histogram-based algorithm (paper's description of \[17\]):
 /// the threshold `τ` is the `γ`-quantile of the min-max-normalized
 /// training scores, and **normalization bounds and threshold are
 /// recomputed whenever data is absorbed**, making the operating point
@@ -302,8 +297,7 @@ mod tests {
     #[test]
     fn batch_scoring_matches_per_sample() {
         let det = EnhancedDetector::fit(&train_cluster(), 10, 0.06, 0.005, 0.001);
-        let samples: Vec<Vec<f32>> =
-            (0..100).map(|i| vec![0.3 + i as f32 / 50.0; 4]).collect();
+        let samples: Vec<Vec<f32>> = (0..100).map(|i| vec![0.3 + i as f32 / 50.0; 4]).collect();
         let batch = det.score_batch(&samples);
         for (s, &b) in samples.iter().zip(&batch) {
             assert_eq!(det.score(s), b, "batch score must be bit-identical");

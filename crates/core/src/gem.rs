@@ -118,8 +118,7 @@ impl Gem {
                     // Drop ~30% of the weaker readings; the strongest few
                     // anchor the scan's location and survive churn far
                     // more often in practice (the user's own APs).
-                    let mut by_strength: Vec<f32> =
-                        rec.readings.iter().map(|r| r.rssi).collect();
+                    let mut by_strength: Vec<f32> = rec.readings.iter().map(|r| r.rssi).collect();
                     by_strength.sort_by(|a, b| b.total_cmp(a));
                     let anchor = by_strength
                         .get(cfg.augment_anchors.saturating_sub(1))
@@ -540,10 +539,8 @@ mod tests {
     fn unknown_mac_record_is_outlier_by_rule() {
         let ds = small_scenario();
         let mut gem = Gem::fit(quick_cfg(), &ds.train);
-        let alien = SignalRecord::from_pairs(
-            0.0,
-            [(gem_signal::MacAddr::from_raw(0xDEAD_0001), -40.0)],
-        );
+        let alien =
+            SignalRecord::from_pairs(0.0, [(gem_signal::MacAddr::from_raw(0xDEAD_0001), -40.0)]);
         let n_nodes = gem.graph().n_records();
         let d = gem.infer(&alien);
         assert_eq!(d.label, Label::Out);

@@ -44,14 +44,8 @@ impl HistogramModel {
                 maxs[j] = maxs[j].max(v);
             }
         }
-        let mut model = HistogramModel {
-            dim,
-            bins,
-            mins,
-            maxs,
-            counts: vec![0.0; dim * bins],
-            n: 0,
-        };
+        let mut model =
+            HistogramModel { dim, bins, mins, maxs, counts: vec![0.0; dim * bins], n: 0 };
         for i in 0..embeddings.rows() {
             model.update(embeddings.row(i));
         }

@@ -196,8 +196,7 @@ impl InferenceEngine {
         self.call_id += 1;
         let d = model.cfg.dim;
         let aggr = model.cfg.aggregator;
-        let wrapped =
-            trusted.map(|bits| move |r: RecordId| r == record || trusted_bit(bits, r));
+        let wrapped = trusted.map(|bits| move |r: RecordId| r == record || trusted_bit(bits, r));
         let wref = wrapped.as_ref().map(|f| f as &(dyn Fn(RecordId) -> bool + Sync));
         if model.cfg.rounds != 2 {
             // No cacheable mid-level for other depths; evaluate the whole
@@ -384,9 +383,8 @@ impl InferenceEngine {
             return out;
         }
 
-        let parallel = model.cfg.num_threads != 1
-            && b >= PAR_THRESHOLD
-            && gem_par::num_threads() > 1;
+        let parallel =
+            model.cfg.num_threads != 1 && b >= PAR_THRESHOLD && gem_par::num_threads() > 1;
 
         // Stage A — per-target level-0 expansions (flattened for stage C)
         // and the batched target-chain round 1.
@@ -466,28 +464,22 @@ impl InferenceEngine {
         }
         let m_cnt = self.missing.len();
         if m_cnt > 0 {
-            let mac_nbhs: Vec<Vec<(NodeId, f32)>> =
-                if parallel && m_cnt >= PAR_THRESHOLD {
-                    gem_par::par_map(&self.missing, |&mid| {
+            let mac_nbhs: Vec<Vec<(NodeId, f32)>> = if parallel && m_cnt >= PAR_THRESHOLD {
+                gem_par::par_map(&self.missing, |&mid| {
+                    let mut v = Vec::new();
+                    model.neighborhood_into(graph, NodeId::Mac(MacId(mid)), wref, &mut v);
+                    v
+                })
+            } else {
+                self.missing
+                    .iter()
+                    .map(|&mid| {
                         let mut v = Vec::new();
                         model.neighborhood_into(graph, NodeId::Mac(MacId(mid)), wref, &mut v);
                         v
                     })
-                } else {
-                    self.missing
-                        .iter()
-                        .map(|&mid| {
-                            let mut v = Vec::new();
-                            model.neighborhood_into(
-                                graph,
-                                NodeId::Mac(MacId(mid)),
-                                wref,
-                                &mut v,
-                            );
-                            v
-                        })
-                        .collect()
-                };
+                    .collect()
+            };
             self.cat_b.reset_to(m_cnt, 2 * d);
             let mut volatile = vec![false; m_cnt];
             for (i, nbh) in mac_nbhs.iter().enumerate() {
@@ -496,9 +488,7 @@ impl InferenceEngine {
                 let row = self.cat_b.row_mut(i);
                 row[..d].copy_from_slice(model.base_l.row(mac_row(mid)));
                 for &(n, w) in nbh {
-                    let NodeId::Record(r) = n else {
-                        unreachable!("MAC neighbors are records")
-                    };
+                    let NodeId::Record(r) = n else { unreachable!("MAC neighbors are records") };
                     if filtered_now && !trusted_bit(trusted.unwrap(), r) {
                         volatile[i] = true;
                     }
@@ -615,11 +605,8 @@ impl InferenceEngine {
                         }
                     }
                 }
-                let weight = if dep % 2 == 0 {
-                    &model.w_h[round - 1]
-                } else {
-                    &model.w_l[round - 1]
-                };
+                let weight =
+                    if dep % 2 == 0 { &model.w_h[round - 1] } else { &model.w_l[round - 1] };
                 let outt = &mut self.next[dep];
                 outt.reset_to(n_seg, d);
                 self.cat.matmul_into(weight, outt);
@@ -713,13 +700,7 @@ fn store_entry(
             e.volatile_call = volatile_call;
         }
         _ => {
-            *slot = Some(MacEntry {
-                l1: l1.to_vec(),
-                trust_epoch,
-                degree,
-                filtered,
-                volatile_call,
-            })
+            *slot = Some(MacEntry { l1: l1.to_vec(), trust_epoch, degree, filtered, volatile_call })
         }
     }
 }

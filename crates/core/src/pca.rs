@@ -67,12 +67,7 @@ impl PcaRotation {
         let mut out = vec![0.0f32; d];
         for (k, slot) in out.iter_mut().enumerate() {
             let axis = self.basis.row(k);
-            *slot = x
-                .iter()
-                .zip(&self.mean)
-                .zip(axis)
-                .map(|((&v, &m), &a)| (v - m) * a)
-                .sum();
+            *slot = x.iter().zip(&self.mean).zip(axis).map(|((&v, &m), &a)| (v - m) * a).sum();
         }
         out
     }
@@ -86,12 +81,7 @@ impl PcaRotation {
         out.resize(d, 0.0);
         for (k, slot) in out.iter_mut().enumerate() {
             let axis = self.basis.row(k);
-            *slot = x
-                .iter()
-                .zip(&self.mean)
-                .zip(axis)
-                .map(|((&v, &m), &a)| (v - m) * a)
-                .sum();
+            *slot = x.iter().zip(&self.mean).zip(axis).map(|((&v, &m), &a)| (v - m) * a).sum();
         }
     }
 
@@ -148,8 +138,8 @@ mod tests {
         let pca = PcaRotation::fit(&cloud);
         let rotated = pca.apply_matrix(&cloud);
         for k in 0..3 {
-            let mean: f32 = (0..rotated.rows()).map(|i| rotated.row(i)[k]).sum::<f32>()
-                / rotated.rows() as f32;
+            let mean: f32 =
+                (0..rotated.rows()).map(|i| rotated.row(i)[k]).sum::<f32>() / rotated.rows() as f32;
             assert!(mean.abs() < 1e-4, "axis {k} mean {mean}");
         }
     }

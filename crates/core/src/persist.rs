@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn rejects_corrupted_snapshots() {
-        assert!(matches!(
-            GemSnapshot::from_json("not json"),
-            Err(PersistError::Format(_))
-        ));
+        assert!(matches!(GemSnapshot::from_json("not json"), Err(PersistError::Format(_))));
         let (gem, _) = trained_gem();
         let mut snap = GemSnapshot::capture(&gem);
         snap.version = 99;
@@ -250,11 +247,12 @@ mod tests {
     #[test]
     fn restored_system_keeps_learning() {
         let (gem, ds) = trained_gem();
-        let mut restored =
-            GemSnapshot::capture(&gem).to_json().and_then(|j| GemSnapshot::from_json(&j))
-                .unwrap()
-                .restore()
-                .unwrap();
+        let mut restored = GemSnapshot::capture(&gem)
+            .to_json()
+            .and_then(|j| GemSnapshot::from_json(&j))
+            .unwrap()
+            .restore()
+            .unwrap();
         let before = restored.graph().n_records();
         let mut saw_in = false;
         for t in &ds.test {

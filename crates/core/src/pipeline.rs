@@ -135,13 +135,17 @@ mod tests {
 
     fn train_cluster() -> Tensor {
         // Mass at -0.60/-0.61 with a thin tail at -0.70.
-        Tensor::from_fn(40, 2, |i, _| {
-            if i % 20 == 19 {
-                -0.70
-            } else {
-                -0.60 - (i % 2) as f32 / 100.0
-            }
-        })
+        Tensor::from_fn(
+            40,
+            2,
+            |i, _| {
+                if i % 20 == 19 {
+                    -0.70
+                } else {
+                    -0.60 - (i % 2) as f32 / 100.0
+                }
+            },
+        )
     }
 
     #[test]

@@ -59,8 +59,7 @@ mod tests {
 
     #[test]
     fn perfect_separation_has_auc_one() {
-        let samples: Vec<(f64, bool)> =
-            (0..10).map(|i| (i as f64, i >= 5)).collect();
+        let samples: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, i >= 5)).collect();
         let curve = roc_curve(&samples);
         assert!((auc(&curve) - 1.0).abs() < 1e-12);
         assert_eq!(curve.first().unwrap().tpr, 0.0);
@@ -70,16 +69,14 @@ mod tests {
 
     #[test]
     fn inverted_scores_have_auc_zero() {
-        let samples: Vec<(f64, bool)> =
-            (0..10).map(|i| (i as f64, i < 5)).collect();
+        let samples: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, i < 5)).collect();
         assert!(auc(&roc_curve(&samples)) < 1e-12);
     }
 
     #[test]
     fn random_scores_have_auc_half() {
         // Alternating labels over strictly increasing scores.
-        let samples: Vec<(f64, bool)> =
-            (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
+        let samples: Vec<(f64, bool)> = (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
         let a = auc(&roc_curve(&samples));
         assert!((a - 0.5).abs() < 0.01, "auc {a}");
     }

@@ -53,11 +53,8 @@ impl Table {
             let _ = writeln!(out, "## {}\n", self.title);
         }
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |", padded.join(" | "))
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
@@ -79,9 +76,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

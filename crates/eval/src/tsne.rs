@@ -39,11 +39,8 @@ fn pairwise_sq_dists(data: &[Vec<f32>]) -> Vec<f64> {
     let mut d2 = vec![0.0f64; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let dist: f64 = data[i]
-                .iter()
-                .zip(&data[j])
-                .map(|(&a, &b)| ((a - b) as f64).powi(2))
-                .sum();
+            let dist: f64 =
+                data[i].iter().zip(&data[j]).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
             d2[i * n + j] = dist;
             d2[j * n + i] = dist;
         }
@@ -119,9 +116,8 @@ pub fn tsne(data: &[Vec<f32>], cfg: TsneConfig, rng: &mut impl RngExt) -> Vec<[f
         p[i * n + i] = 0.0;
     }
 
-    let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| [normal(rng, 0.0, 1e-2), normal(rng, 0.0, 1e-2)])
-        .collect();
+    let mut y: Vec<[f64; 2]> =
+        (0..n).map(|_| [normal(rng, 0.0, 1e-2), normal(rng, 0.0, 1e-2)]).collect();
     let mut velocity = vec![[0.0f64; 2]; n];
     let exaggerate_until = cfg.iterations / 4;
 

@@ -231,19 +231,16 @@ impl BipartiteGraph {
     }
 
     /// Neighbors (MAC side) of a record node with edge weights.
-    pub fn record_neighbors(&self, r: RecordId) -> impl ExactSizeIterator<Item = (MacId, f32)> + '_ {
-        self.record_adj[r.0 as usize]
-            .nbrs
-            .iter()
-            .map(|&(t, w)| (MacId(t), w))
+    pub fn record_neighbors(
+        &self,
+        r: RecordId,
+    ) -> impl ExactSizeIterator<Item = (MacId, f32)> + '_ {
+        self.record_adj[r.0 as usize].nbrs.iter().map(|&(t, w)| (MacId(t), w))
     }
 
     /// Neighbors (record side) of a MAC node with edge weights.
     pub fn mac_neighbors(&self, m: MacId) -> impl ExactSizeIterator<Item = (RecordId, f32)> + '_ {
-        self.mac_adj[m.0 as usize]
-            .nbrs
-            .iter()
-            .map(|&(t, w)| (RecordId(t), w))
+        self.mac_adj[m.0 as usize].nbrs.iter().map(|&(t, w)| (RecordId(t), w))
     }
 
     /// Degree of a node.
@@ -446,10 +443,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let samples = g.sample_neighbors(NodeId::Record(r), 40_000, &mut rng);
         let m1 = g.mac_id(mac(1)).unwrap();
-        let c1 = samples
-            .iter()
-            .filter(|(n, _)| *n == NodeId::Mac(m1))
-            .count();
+        let c1 = samples.iter().filter(|(n, _)| *n == NodeId::Mac(m1)).count();
         let ratio = c1 as f64 / (samples.len() - c1) as f64;
         assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio}");
     }
@@ -461,10 +455,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let samples = g.sample_neighbors_uniform(NodeId::Record(r), 40_000, &mut rng);
         let m1 = g.mac_id(mac(1)).unwrap();
-        let c1 = samples
-            .iter()
-            .filter(|(n, _)| *n == NodeId::Mac(m1))
-            .count();
+        let c1 = samples.iter().filter(|(n, _)| *n == NodeId::Mac(m1)).count();
         let frac = c1 as f64 / samples.len() as f64;
         assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
     }
@@ -475,9 +466,7 @@ mod tests {
         let r = g.add_record(&rec(&[]));
         let mut rng = StdRng::seed_from_u64(1);
         assert!(g.sample_neighbors(NodeId::Record(r), 5, &mut rng).is_empty());
-        assert!(g
-            .sample_neighbors_uniform(NodeId::Record(r), 5, &mut rng)
-            .is_empty());
+        assert!(g.sample_neighbors_uniform(NodeId::Record(r), 5, &mut rng).is_empty());
         assert!(g.walk_step(NodeId::Record(r), &mut rng).is_none());
     }
 

@@ -65,9 +65,7 @@ pub fn graph_stats(graph: &BipartiteGraph) -> GraphStats {
                 NodeId::Record(r) => {
                     graph.record_neighbors(r).map(|(m, _)| NodeId::Mac(m)).collect()
                 }
-                NodeId::Mac(m) => {
-                    graph.mac_neighbors(m).map(|(r, _)| NodeId::Record(r)).collect()
-                }
+                NodeId::Mac(m) => graph.mac_neighbors(m).map(|(r, _)| NodeId::Record(r)).collect(),
             };
             for nbr in neighbors {
                 if !visited[index(nbr)] {

@@ -54,12 +54,14 @@ impl WalkPairs {
         let per_start: Vec<Vec<(NodeId, NodeId)>> =
             gem_par::par_map_indexed(&starts, |i, &start| {
                 let mut rng = child_rng(base, i as u64);
-                let mut pairs = Vec::with_capacity(cfg.walks_per_node * cfg.walk_length.saturating_sub(1));
+                let mut pairs =
+                    Vec::with_capacity(cfg.walks_per_node * cfg.walk_length.saturating_sub(1));
                 walk_from(graph, start, cfg, &mut rng, &mut pairs);
                 pairs
             });
-        let mut pairs =
-            Vec::with_capacity(graph.n_nodes() * cfg.walks_per_node * cfg.walk_length.saturating_sub(1));
+        let mut pairs = Vec::with_capacity(
+            graph.n_nodes() * cfg.walks_per_node * cfg.walk_length.saturating_sub(1),
+        );
         for p in per_start {
             pairs.extend(p);
         }
@@ -138,11 +140,19 @@ mod tests {
         let mut g = BipartiteGraph::new(WeightFn::OffsetLinear { c: 120.0 });
         g.add_record(&SignalRecord::from_pairs(
             0.0,
-            [(MacAddr::from_raw(1), -50.0), (MacAddr::from_raw(2), -60.0), (MacAddr::from_raw(3), -70.0)],
+            [
+                (MacAddr::from_raw(1), -50.0),
+                (MacAddr::from_raw(2), -60.0),
+                (MacAddr::from_raw(3), -70.0),
+            ],
         ));
         g.add_record(&SignalRecord::from_pairs(
             1.0,
-            [(MacAddr::from_raw(3), -55.0), (MacAddr::from_raw(4), -65.0), (MacAddr::from_raw(5), -75.0)],
+            [
+                (MacAddr::from_raw(3), -55.0),
+                (MacAddr::from_raw(4), -65.0),
+                (MacAddr::from_raw(5), -75.0),
+            ],
         ));
         g
     }
@@ -151,7 +161,8 @@ mod tests {
     fn pairs_alternate_types() {
         let g = chain_graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let pairs = WalkPairs::generate(&g, WalkConfig { walks_per_node: 3, walk_length: 5 }, &mut rng);
+        let pairs =
+            WalkPairs::generate(&g, WalkConfig { walks_per_node: 3, walk_length: 5 }, &mut rng);
         assert!(!pairs.is_empty());
         for &(x, y) in &pairs.pairs {
             assert_ne!(x.is_record(), y.is_record(), "bipartite walk must alternate");

@@ -8,22 +8,19 @@ use gem_signal::rng::child_rng;
 use gem_signal::{MacAddr, SignalRecord};
 
 fn records_strategy() -> impl Strategy<Value = Vec<SignalRecord>> {
-    prop::collection::vec(
-        prop::collection::vec((0u64..15, -100.0f32..-20.0), 1..6),
-        1..25,
-    )
-    .prop_map(|records| {
-        records
-            .into_iter()
-            .enumerate()
-            .map(|(i, pairs)| {
-                SignalRecord::from_pairs(
-                    i as f64,
-                    pairs.into_iter().map(|(m, r)| (MacAddr::from_raw(m), r)),
-                )
-            })
-            .collect()
-    })
+    prop::collection::vec(prop::collection::vec((0u64..15, -100.0f32..-20.0), 1..6), 1..25)
+        .prop_map(|records| {
+            records
+                .into_iter()
+                .enumerate()
+                .map(|(i, pairs)| {
+                    SignalRecord::from_pairs(
+                        i as f64,
+                        pairs.into_iter().map(|(m, r)| (MacAddr::from_raw(m), r)),
+                    )
+                })
+                .collect()
+        })
 }
 
 proptest! {

@@ -76,10 +76,8 @@ impl Conv1dLayer {
         act: Activation,
         rng: &mut impl RngExt,
     ) -> Self {
-        let kernel = store.add(
-            format!("{name}.kernel"),
-            init::xavier_uniform(rng, out_ch, in_ch * ksize),
-        );
+        let kernel =
+            store.add(format!("{name}.kernel"), init::xavier_uniform(rng, out_ch, in_ch * ksize));
         let bias = store.add(format!("{name}.bias"), crate::tensor::Tensor::zeros(1, out_ch));
         Conv1dLayer { kernel, bias, in_ch, out_ch, ksize, stride, act }
     }

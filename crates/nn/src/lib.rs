@@ -30,7 +30,5 @@ pub mod tensor;
 
 pub use arena::{ArenaStats, TensorArena};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use tape::{
-    Activation, GradStore, Graph, ParamId, ParamStore, SparseGrad, Touched, Var,
-};
+pub use tape::{Activation, GradStore, Graph, ParamId, ParamStore, SparseGrad, Touched, Var};
 pub use tensor::Tensor;

@@ -248,9 +248,8 @@ mod tests {
         let e = jacobi_eigen(a, 1e-14, 100);
         for k in 0..4 {
             for l in 0..4 {
-                let dot: f64 = (0..4)
-                    .map(|i| e.vector_component(k, i) * e.vector_component(l, i))
-                    .sum();
+                let dot: f64 =
+                    (0..4).map(|i| e.vector_component(k, i) * e.vector_component(l, i)).sum();
                 let expect = if k == l { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-8, "({k},{l}): {dot}");
             }
@@ -275,9 +274,8 @@ mod tests {
         assert!(e.values[0] > 1.0);
         assert!(e.values[1].abs() < 1e-9);
         // Embedded coordinates reproduce pairwise distances.
-        let coord: Vec<f64> = (0..n)
-            .map(|i| e.values[0].sqrt() * e.vector_component(0, i))
-            .collect();
+        let coord: Vec<f64> =
+            (0..n).map(|i| e.values[0].sqrt() * e.vector_component(0, i)).collect();
         for i in 0..n {
             for j in 0..n {
                 let d = (coord[i] - coord[j]).abs();

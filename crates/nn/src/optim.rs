@@ -157,9 +157,7 @@ fn catch_up_row(
         let bc1 = 1.0 - beta1.powi(s as i32);
         let bc2 = 1.0 - beta2.powi(s as i32);
         for j in 0..m.len() {
-            update_elem(
-                &mut m[j], &mut v[j], &mut p[j], 0.0, beta1, beta2, eps, lr, bc1, bc2,
-            );
+            update_elem(&mut m[j], &mut v[j], &mut p[j], 0.0, beta1, beta2, eps, lr, bc1, bc2);
         }
     }
 }
@@ -323,8 +321,8 @@ impl Optimizer for Adam {
                         let (pr, gr) = (value.row_mut(row), grad.row(row));
                         for j in 0..c {
                             update_elem(
-                                &mut mr[j], &mut vr[j], &mut pr[j], gr[j], beta1, beta2, eps,
-                                lr, bc1, bc2,
+                                &mut mr[j], &mut vr[j], &mut pr[j], gr[j], beta1, beta2, eps, lr,
+                                bc1, bc2,
                             );
                         }
                         rs[row] = t;
@@ -436,9 +434,8 @@ mod tests {
     fn sparse_dense_trajectories(seed: u64, steps: usize) {
         let mut rng = StdRng::seed_from_u64(seed);
         let init = Tensor::from_fn(10, 4, |_, _| rng.random_range(-1.0..1.0f32));
-        let batches: Vec<Vec<u32>> = (0..steps)
-            .map(|_| (0..3).map(|_| rng.random_range(0..10u32)).collect())
-            .collect();
+        let batches: Vec<Vec<u32>> =
+            (0..steps).map(|_| (0..3).map(|_| rng.random_range(0..10u32)).collect()).collect();
         let targets: Vec<Tensor> = (0..steps)
             .map(|_| Tensor::from_fn(3, 4, |_, _| rng.random_range(-1.0..1.0f32)))
             .collect();

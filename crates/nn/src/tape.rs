@@ -898,11 +898,8 @@ impl Graph {
     pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.value(a).shape(), self.value(b).shape());
         let mut value = self.alloc(self.value(a).rows(), self.value(a).cols());
-        for ((o, &x), &y) in value
-            .data_mut()
-            .iter_mut()
-            .zip(self.value(a).data())
-            .zip(self.value(b).data())
+        for ((o, &x), &y) in
+            value.data_mut().iter_mut().zip(self.value(a).data()).zip(self.value(b).data())
         {
             *o = x * y;
         }
@@ -1132,10 +1129,7 @@ impl Graph {
                 }
             }
         }
-        self.push(
-            Op::Conv1d { input, kernel, bias, in_ch, out_ch, ksize, stride, in_len },
-            value,
-        )
+        self.push(Op::Conv1d { input, kernel, bias, in_ch, out_ch, ksize, stride, in_len }, value)
     }
 
     /// Adds an owned `delta` into the gradient of `v`, recycling the
@@ -1291,9 +1285,7 @@ impl Graph {
                             let y_row = y.row(i);
                             let g_row = grad.row(i);
                             let ydotg: f32 = y_row.iter().zip(g_row).map(|(&a, &b)| a * b).sum();
-                            for ((d, &g), &yv) in
-                                da.row_mut(i).iter_mut().zip(g_row).zip(y_row)
-                            {
+                            for ((d, &g), &yv) in da.row_mut(i).iter_mut().zip(g_row).zip(y_row) {
                                 *d = (g - yv * ydotg) / norm;
                             }
                         }
@@ -1832,10 +1824,7 @@ mod tests {
         }
         let stats = arena.stats();
         // Steps 1 and 2 were served entirely from recycled buffers.
-        assert!(
-            stats.reused >= 2 * stats.fresh,
-            "expected warm steps to reuse buffers: {stats:?}"
-        );
+        assert!(stats.reused >= 2 * stats.fresh, "expected warm steps to reuse buffers: {stats:?}");
         drop(g);
         assert!(arena.pooled_buffers() > 0);
     }

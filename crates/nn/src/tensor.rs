@@ -166,7 +166,13 @@ impl Tensor {
     /// (arena-allocated on the tape path). `out` must be `m × n`; its
     /// contents are overwritten.
     pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?}x{:?}", self.shape(), rhs.shape());
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch {:?}x{:?}",
+            self.shape(),
+            rhs.shape()
+        );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul output shape mismatch");
         out.fill_zero();
         matmul_kernel(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols);
@@ -205,12 +211,8 @@ impl Tensor {
                 let (o1, rest) = rest.split_at_mut(n);
                 let (o2, o3) = rest.split_at_mut(n);
                 let (c0, c1, c2, c3) = (a_row[i], a_row[i + 1], a_row[i + 2], a_row[i + 3]);
-                for ((((&bv, v0), v1), v2), v3) in b_row
-                    .iter()
-                    .zip(&mut *o0)
-                    .zip(&mut *o1)
-                    .zip(&mut *o2)
-                    .zip(&mut *o3)
+                for ((((&bv, v0), v1), v2), v3) in
+                    b_row.iter().zip(&mut *o0).zip(&mut *o1).zip(&mut *o2).zip(&mut *o3)
                 {
                     *v0 += c0 * bv;
                     *v1 += c1 * bv;
@@ -284,11 +286,7 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// `self += alpha * other` (same shape).
@@ -324,12 +322,7 @@ impl Tensor {
     /// Euclidean distance between two rows of (possibly different) tensors.
     pub fn row_distance(a: &Tensor, i: usize, b: &Tensor, j: usize) -> f32 {
         assert_eq!(a.cols, b.cols);
-        a.row(i)
-            .iter()
-            .zip(b.row(j))
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum::<f32>()
-            .sqrt()
+        a.row(i).iter().zip(b.row(j)).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt()
     }
 
     /// Dot product between two rows.
@@ -370,12 +363,8 @@ fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
             for kk in k0..k1 {
                 let b_row = &b[kk * n..kk * n + n];
                 let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-                for ((((&bv, v0), v1), v2), v3) in b_row
-                    .iter()
-                    .zip(&mut *o0)
-                    .zip(&mut *o1)
-                    .zip(&mut *o2)
-                    .zip(&mut *o3)
+                for ((((&bv, v0), v1), v2), v3) in
+                    b_row.iter().zip(&mut *o0).zip(&mut *o1).zip(&mut *o2).zip(&mut *o3)
                 {
                     *v0 += c0 * bv;
                     *v1 += c1 * bv;
@@ -454,9 +443,7 @@ mod tests {
         // remainder paths (dimensions not multiples of the tile).
         let a = Tensor::from_fn(7, 9, |i, j| ((i * 31 + j * 17) % 13) as f32 - 6.0);
         let b = Tensor::from_fn(9, 6, |i, j| ((i * 7 + j * 3) % 11) as f32 - 5.0);
-        let naive = Tensor::from_fn(7, 6, |i, j| {
-            (0..9).map(|kk| a[(i, kk)] * b[(kk, j)]).sum()
-        });
+        let naive = Tensor::from_fn(7, 6, |i, j| (0..9).map(|kk| a[(i, kk)] * b[(kk, j)]).sum());
         assert_eq!(a.matmul(&b), naive);
         assert_eq!(a.transpose().matmul_tn(&b), naive);
         assert_eq!(a.matmul_nt(&b.transpose()), naive);

@@ -48,9 +48,8 @@ impl Strategy for ScheduleStrategy {
                 (0..b).map(|_| rng.random_range(0..rows as u32)).collect()
             })
             .collect();
-        let targets = (0..steps)
-            .map(|_| (0..6).map(|_| rng.random_range(-1.0..1.0f32)).collect())
-            .collect();
+        let targets =
+            (0..steps).map(|_| (0..6).map(|_| rng.random_range(-1.0..1.0f32)).collect()).collect();
         let lr = [0.001f32, 0.01, 0.1][rng.random_range(0..3usize)];
         Schedule { rows, cols, init, lr, batches, targets }
     }
@@ -88,8 +87,7 @@ fn run(s: &Schedule, sparse: bool) -> (Tensor, Tensor, Tensor) {
             g.backward(loss, &mut store);
         } else {
             let gathered = g.gather(&store, table, batch.as_slice());
-            let target =
-                Tensor::from_fn(batch.len(), s.cols, |i, _| tvals[i % tvals.len()]);
+            let target = Tensor::from_fn(batch.len(), s.cols, |i, _| tvals[i % tvals.len()]);
             let loss = g.mse_mean(gathered, target);
             g.backward(loss, &mut store);
         }

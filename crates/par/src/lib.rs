@@ -68,10 +68,7 @@ fn pool() -> &'static Pool {
                 })
                 .expect("spawn gem-par worker");
         }
-        Pool {
-            injector: tx,
-            workers,
-        }
+        Pool { injector: tx, workers }
     })
 }
 
@@ -88,9 +85,7 @@ pub fn num_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// True when called from inside a pool worker (nested parallel region).
@@ -110,11 +105,7 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Latch {
-            remaining: AtomicUsize::new(count),
-            mutex: Mutex::new(()),
-            cond: Condvar::new(),
-        }
+        Latch { remaining: AtomicUsize::new(count), mutex: Mutex::new(()), cond: Condvar::new() }
     }
 
     fn count_down(&self) {
@@ -127,10 +118,7 @@ impl Latch {
     fn wait(&self) {
         let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
         while self.remaining.load(Ordering::Acquire) != 0 {
-            guard = self
-                .cond
-                .wait(guard)
-                .unwrap_or_else(|e| e.into_inner());
+            guard = self.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -170,10 +158,7 @@ fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
             let wrapped = move || {
                 let result = panic::catch_unwind(AssertUnwindSafe(task));
                 if let Err(payload) = result {
-                    panics_ref
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push((idx, payload));
+                    panics_ref.lock().unwrap_or_else(|e| e.into_inner()).push((idx, payload));
                 }
                 latch_ref.count_down();
             };
@@ -201,10 +186,7 @@ fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         if let Some(task) = own_task {
             let result = panic::catch_unwind(AssertUnwindSafe(task));
             if let Err(payload) = result {
-                panics
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((0, payload));
+                panics.lock().unwrap_or_else(|e| e.into_inner()).push((0, payload));
             }
             latch.count_down();
         }
@@ -232,10 +214,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
 }
 
 /// Parallel indexed map preserving input order.
-pub fn par_map_indexed<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(usize, &T) -> R + Sync,
-) -> Vec<R> {
+pub fn par_map_indexed<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
@@ -257,9 +236,7 @@ pub fn par_map_indexed<T: Sync, R: Send>(
         }
         scope_run(tasks);
     }
-    out.into_iter()
-        .map(|slot| slot.expect("gem-par: missing result slot"))
-        .collect()
+    out.into_iter().map(|slot| slot.expect("gem-par: missing result slot")).collect()
 }
 
 /// Parallel for-each over mutable chunks of `data`, passing each task its
@@ -305,10 +282,7 @@ pub fn par_join<A: Send, B: Send>(
         let task_b: Box<dyn FnOnce() + Send + '_> = Box::new(|| rb = Some(b()));
         scope_run(vec![task_a, task_b]);
     }
-    (
-        ra.expect("gem-par: join arm a missing"),
-        rb.expect("gem-par: join arm b missing"),
-    )
+    (ra.expect("gem-par: join arm a missing"), rb.expect("gem-par: join arm b missing"))
 }
 
 /// Chunk size that gives every thread about two chunks (bounded below to

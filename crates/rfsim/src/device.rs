@@ -70,9 +70,7 @@ mod tests {
         let p = d.detection_probability(d.sensitivity_dbm);
         assert!((p - 0.5).abs() < 1e-9);
         let mut rng = StdRng::seed_from_u64(3);
-        let hits = (0..4000)
-            .filter(|_| d.sense(&mut rng, d.sensitivity_dbm).is_some())
-            .count();
+        let hits = (0..4000).filter(|_| d.sense(&mut rng, d.sensitivity_dbm).is_some()).count();
         let frac = hits as f64 / 4000.0;
         assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
     }

@@ -46,11 +46,8 @@ pub fn churn_macs(
     rng: &mut impl RngExt,
 ) -> usize {
     assert!((0.0..=1.0).contains(&fraction));
-    let mut universe: Vec<MacAddr> = test
-        .iter()
-        .flat_map(|t| t.record.macs())
-        .filter(|m| !protect.contains(m))
-        .collect();
+    let mut universe: Vec<MacAddr> =
+        test.iter().flat_map(|t| t.record.macs()).filter(|m| !protect.contains(m)).collect();
     universe.sort_unstable();
     universe.dedup();
     let n = test.len();

@@ -91,7 +91,12 @@ pub struct Floorplan {
 impl Floorplan {
     /// Creates an empty plan with standard vertical geometry.
     pub fn new() -> Self {
-        Floorplan { rooms: Vec::new(), walls: Vec::new(), floor_height_m: 3.0, slab_attenuation_db: 17.0 }
+        Floorplan {
+            rooms: Vec::new(),
+            walls: Vec::new(),
+            floor_height_m: 3.0,
+            slab_attenuation_db: 17.0,
+        }
     }
 
     /// Adds a room and surrounds it with walls of the given material
@@ -111,9 +116,7 @@ impl Floorplan {
 
     /// True when the position lies inside the premises.
     pub fn contains(&self, pos: Position) -> bool {
-        self.rooms
-            .iter()
-            .any(|r| r.floor == pos.floor && r.rect.contains(pos.point))
+        self.rooms.iter().any(|r| r.floor == pos.floor && r.rect.contains(pos.point))
     }
 
     /// Total premises floor area, m².

@@ -89,10 +89,7 @@ pub struct Rect {
 impl Rect {
     /// Builds a rectangle from corner coordinates (sorted automatically).
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
-        Rect {
-            min: Point::new(x0.min(x1), y0.min(y1)),
-            max: Point::new(x0.max(x1), y0.max(y1)),
-        }
+        Rect { min: Point::new(x0.min(x1), y0.min(y1)), max: Point::new(x0.max(x1), y0.max(y1)) }
     }
 
     /// Width in meters.
@@ -129,12 +126,7 @@ impl Rect {
 
     /// The four corners in counter-clockwise order starting at `min`.
     pub fn corners(self) -> [Point; 4] {
-        [
-            self.min,
-            Point::new(self.max.x, self.min.y),
-            self.max,
-            Point::new(self.min.x, self.max.y),
-        ]
+        [self.min, Point::new(self.max.x, self.min.y), self.max, Point::new(self.min.x, self.max.y)]
     }
 
     /// The four edges as segments, counter-clockwise.

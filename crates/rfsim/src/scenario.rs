@@ -245,7 +245,8 @@ impl World {
     /// Whether a transient AP exists during a session under a profile
     /// (deterministic per world seed, AP and profile).
     fn transient_exists(&self, ap_id: u32, profile: &TimeProfile) -> bool {
-        let tag = profile.name.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+        let tag =
+            profile.name.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
         hash01(self.noise.seed, ap_id as u64, tag) < profile.transient_active
     }
 
@@ -281,7 +282,8 @@ impl World {
                 } else {
                     0.0
                 };
-                let rss = ap.tx_power_dbm - model.path_loss_db(d) - walls - shadow - temporal - crowd;
+                let rss =
+                    ap.tx_power_dbm - model.path_loss_db(d) - walls - shadow - temporal - crowd;
                 if let Some(reported) = self.device.sense(rng, rss) {
                     record.push(ap.mac(band_idx), reported);
                 }
@@ -373,8 +375,7 @@ impl Scenario {
             .iter()
             .enumerate()
             .map(|(i, &p)| {
-                self.world
-                    .sense_at(p, start_t + i as f64 * self.cfg.sample_period_s, profile, rng)
+                self.world.sense_at(p, start_t + i as f64 * self.cfg.sample_period_s, profile, rng)
             })
             .collect()
     }
@@ -394,12 +395,8 @@ impl Scenario {
         let t0 = train_pos.len() as f64 * self.cfg.sample_period_s;
 
         // Roam slightly inside the rooms for positives.
-        let inside: Vec<(Rect, i32)> = self
-            .world
-            .inside_regions
-            .iter()
-            .map(|&(r, f)| (r.shrink(0.2), f))
-            .collect();
+        let inside: Vec<(Rect, i32)> =
+            self.world.inside_regions.iter().map(|&(r, f)| (r.shrink(0.2), f)).collect();
         let in_pos = waypoint_roam(
             &inside,
             self.cfg.speed_mps,
@@ -429,9 +426,15 @@ impl Scenario {
                 _ => false,
             };
             if take_in {
-                test.push(LabeledRecord { record: in_iter.next().expect("peeked"), label: Label::In });
+                test.push(LabeledRecord {
+                    record: in_iter.next().expect("peeked"),
+                    label: Label::In,
+                });
             } else {
-                test.push(LabeledRecord { record: out_iter.next().expect("peeked"), label: Label::Out });
+                test.push(LabeledRecord {
+                    record: out_iter.next().expect("peeked"),
+                    label: Label::Out,
+                });
             }
         }
         // Live radio environments churn: some ambient (non-home) MACs
@@ -558,27 +561,28 @@ fn build_geometry(layout: Layout) -> (Floorplan, Regions, Regions) {
 fn place_aps(cfg: &ScenarioConfig, plan: &Floorplan, outside: &[(Rect, i32)]) -> Vec<AccessPoint> {
     let mut aps = Vec::new();
     let mut next_id = 0u32;
-    let mut push_ap = |aps: &mut Vec<AccessPoint>, pos: Position, transient: bool, rng: &mut StdRng| {
-        let dual = rng.random::<f64>() < cfg.dual_band_prob;
-        let bands = if dual {
-            vec![BandKind::Ghz24, BandKind::Ghz5]
-        } else if rng.random::<f64>() < 0.25 {
-            vec![BandKind::Ghz5]
-        } else {
-            vec![BandKind::Ghz24]
+    let mut push_ap =
+        |aps: &mut Vec<AccessPoint>, pos: Position, transient: bool, rng: &mut StdRng| {
+            let dual = rng.random::<f64>() < cfg.dual_band_prob;
+            let bands = if dual {
+                vec![BandKind::Ghz24, BandKind::Ghz5]
+            } else if rng.random::<f64>() < 0.25 {
+                vec![BandKind::Ghz5]
+            } else {
+                vec![BandKind::Ghz24]
+            };
+            // Phone hotspots and portable devices transmit well below fixed
+            // infrastructure APs.
+            let base_power = if transient { 8.0 } else { 16.0 };
+            aps.push(AccessPoint {
+                id: next_id,
+                pos,
+                tx_power_dbm: base_power + normal(rng, 0.0, 1.5),
+                bands,
+                transient,
+            });
+            next_id += 1;
         };
-        // Phone hotspots and portable devices transmit well below fixed
-        // infrastructure APs.
-        let base_power = if transient { 8.0 } else { 16.0 };
-        aps.push(AccessPoint {
-            id: next_id,
-            pos,
-            tx_power_dbm: base_power + normal(rng, 0.0, 1.5),
-            bands,
-            transient,
-        });
-        next_id += 1;
-    };
 
     // Home APs: uniform inside rooms.
     let rooms: Vec<_> = plan.rooms.clone();
@@ -720,18 +724,10 @@ mod tests {
             }
             s / n.max(1) as f64
         };
-        let in_recs: Vec<&SignalRecord> = ds
-            .test
-            .iter()
-            .filter(|t| t.label == Label::In)
-            .map(|t| &t.record)
-            .collect();
-        let out_recs: Vec<&SignalRecord> = ds
-            .test
-            .iter()
-            .filter(|t| t.label == Label::Out)
-            .map(|t| &t.record)
-            .collect();
+        let in_recs: Vec<&SignalRecord> =
+            ds.test.iter().filter(|t| t.label == Label::In).map(|t| &t.record).collect();
+        let out_recs: Vec<&SignalRecord> =
+            ds.test.iter().filter(|t| t.label == Label::Out).map(|t| &t.record).collect();
         let gap = mean_rssi(&in_recs) - mean_rssi(&out_recs);
         assert!(gap > 8.0, "home APs must be markedly stronger inside (gap {gap:.1} dB)");
     }

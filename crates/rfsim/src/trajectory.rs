@@ -122,8 +122,10 @@ mod tests {
         for p in &pts {
             assert!(rect.contains(p.point));
             // Points lie on the inner ring's boundary.
-            let on_x = (p.point.x - inner.min.x).abs() < 1e-9 || (p.point.x - inner.max.x).abs() < 1e-9;
-            let on_y = (p.point.y - inner.min.y).abs() < 1e-9 || (p.point.y - inner.max.y).abs() < 1e-9;
+            let on_x =
+                (p.point.x - inner.min.x).abs() < 1e-9 || (p.point.x - inner.max.x).abs() < 1e-9;
+            let on_y =
+                (p.point.y - inner.min.y).abs() < 1e-9 || (p.point.y - inner.max.y).abs() < 1e-9;
             assert!(on_x || on_y, "{:?} not on ring", p.point);
         }
     }

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 
-use gem_rfsim::{Point, Position, Rect, Segment};
 use gem_rfsim::floorplan::{Floorplan, Material};
 use gem_rfsim::propagation::{BandKind, NoiseField, PathLossModel};
+use gem_rfsim::{Point, Position, Rect, Segment};
 
 fn point_strategy() -> impl Strategy<Value = Point> {
     (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))

@@ -81,7 +81,14 @@ impl Monitor {
     /// Wraps a trained model.
     pub fn new(gem: Gem, cfg: MonitorConfig) -> Self {
         assert!(cfg.alert_after >= 1 && cfg.clear_after >= 1);
-        Monitor { gem, cfg, consecutive_out: 0, consecutive_in: 0, alert_active: false, stats: MonitorStats::default() }
+        Monitor {
+            gem,
+            cfg,
+            consecutive_out: 0,
+            consecutive_in: 0,
+            alert_active: false,
+            stats: MonitorStats::default(),
+        }
     }
 
     /// Processes one scan; returns the decision event plus any alert

@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn stages_cover_stream_in_order() {
-        let ds = Dataset::new(
-            RecordSet::new(),
-            (0..7).map(|_| labeled(Label::In)).collect(),
-        );
+        let ds = Dataset::new(RecordSet::new(), (0..7).map(|_| labeled(Label::In)).collect());
         let stages = ds.test_stages(3);
         assert_eq!(stages.len(), 3);
         assert_eq!(stages.iter().map(|s| s.len()).sum::<usize>(), 7);

@@ -87,10 +87,7 @@ impl SignalRecord {
     /// The strongest reading, if any — used e.g. by the SignatureHome
     /// baseline as the "associated AP" proxy.
     pub fn strongest(&self) -> Option<Reading> {
-        self.readings
-            .iter()
-            .copied()
-            .max_by(|a, b| a.rssi.total_cmp(&b.rssi))
+        self.readings.iter().copied().max_by(|a, b| a.rssi.total_cmp(&b.rssi))
     }
 
     /// Removes readings for MACs not accepted by the predicate. Returns the
@@ -204,11 +201,7 @@ impl RecordSet {
 
     /// The sorted, deduplicated MAC universe observed across all records.
     pub fn mac_universe(&self) -> Vec<MacAddr> {
-        let mut macs: Vec<MacAddr> = self
-            .records
-            .iter()
-            .flat_map(|r| r.macs())
-            .collect();
+        let mut macs: Vec<MacAddr> = self.records.iter().flat_map(|r| r.macs()).collect();
         macs.sort_unstable();
         macs.dedup();
         macs
@@ -240,11 +233,8 @@ impl RecordSet {
             }
         }
         let mean = if n == 0 { 0.0 } else { sum / n as f64 };
-        let var = if n < 2 {
-            0.0
-        } else {
-            ((sum_sq - sum * sum / n as f64) / (n as f64 - 1.0)).max(0.0)
-        };
+        let var =
+            if n < 2 { 0.0 } else { ((sum_sq - sum * sum / n as f64) / (n as f64 - 1.0)).max(0.0) };
         RssStats {
             mean_dbm: mean,
             sd_dbm: var.sqrt(),
@@ -360,10 +350,7 @@ mod tests {
 
     #[test]
     fn matrix_pads_missing_entries() {
-        let rs = RecordSet::from_records(vec![
-            rec(0.0, &[(1, -50.0)]),
-            rec(1.0, &[(2, -60.0)]),
-        ]);
+        let rs = RecordSet::from_records(vec![rec(0.0, &[(1, -50.0)]), rec(1.0, &[(2, -60.0)])]);
         let m = rs.to_matrix(-120.0);
         assert_eq!(m.rows, 2);
         assert_eq!(m.cols(), 2);

@@ -33,11 +33,31 @@ fn main() {
     let street = vec![scenario.world.outside_regions[3]]; // street / neighbor lot
     let mut segments: Vec<(&str, Label, Vec<gem::rfsim::Position>)> = Vec::new();
     let mut seg_rng = scenario.rng(0xDA11);
-    segments.push(("morning indoors", Label::In, waypoint_roam(&inside, 0.6, 2.0, 120, &mut seg_rng)));
-    segments.push(("garden excursion", Label::Out, waypoint_roam(&garden, 0.8, 2.0, 40, &mut seg_rng)));
-    segments.push(("afternoon indoors", Label::In, waypoint_roam(&inside, 0.6, 2.0, 120, &mut seg_rng)));
-    segments.push(("street wandering", Label::Out, waypoint_roam(&street, 0.9, 2.0, 50, &mut seg_rng)));
-    segments.push(("evening indoors", Label::In, waypoint_roam(&inside, 0.5, 2.0, 100, &mut seg_rng)));
+    segments.push((
+        "morning indoors",
+        Label::In,
+        waypoint_roam(&inside, 0.6, 2.0, 120, &mut seg_rng),
+    ));
+    segments.push((
+        "garden excursion",
+        Label::Out,
+        waypoint_roam(&garden, 0.8, 2.0, 40, &mut seg_rng),
+    ));
+    segments.push((
+        "afternoon indoors",
+        Label::In,
+        waypoint_roam(&inside, 0.6, 2.0, 120, &mut seg_rng),
+    ));
+    segments.push((
+        "street wandering",
+        Label::Out,
+        waypoint_roam(&street, 0.9, 2.0, 50, &mut seg_rng),
+    ));
+    segments.push((
+        "evening indoors",
+        Label::In,
+        waypoint_roam(&inside, 0.5, 2.0, 100, &mut seg_rng),
+    ));
 
     let mut t = 0.0f64;
     let mut false_alerts = 0usize;
@@ -65,10 +85,7 @@ fn main() {
             }
             Label::In => {
                 false_alerts += alerts;
-                println!(
-                    "{name:>18}: {alerts}/{} scans alerted (false alerts)",
-                    records.len()
-                );
+                println!("{name:>18}: {alerts}/{} scans alerted (false alerts)", records.len());
             }
         }
     }

@@ -41,7 +41,9 @@ fn main() {
         match supervisor.events().recv() {
             Ok(Event::Decision { .. }) => decisions += 1,
             Ok(Event::AlertRaised { timestamp_s, consecutive_out }) => {
-                println!("t={timestamp_s:8.1}s  ALERT ({consecutive_out} consecutive outside scans)");
+                println!(
+                    "t={timestamp_s:8.1}s  ALERT ({consecutive_out} consecutive outside scans)"
+                );
             }
             Ok(Event::AlertCleared { timestamp_s }) => {
                 println!("t={timestamp_s:8.1}s  alert cleared");

@@ -51,7 +51,10 @@ fn main() {
     let out_m = confusion.out_metrics();
     println!("\nresults over {} scans:", confusion.total());
     println!("  in-premises  P {:.2}  R {:.2}  F {:.2}", in_m.precision, in_m.recall, in_m.f_score);
-    println!("  outside      P {:.2}  R {:.2}  F {:.2}", out_m.precision, out_m.recall, out_m.f_score);
+    println!(
+        "  outside      P {:.2}  R {:.2}  F {:.2}",
+        out_m.precision, out_m.recall, out_m.f_score
+    );
     println!("  online updates absorbed: {}", gem.detector().n_updates);
 
     // 4. A scan full of never-seen MACs is an outlier by rule.

@@ -3,8 +3,8 @@
 //! on an easy scenario.
 
 use gem::baselines::{
-    Autoencoder, AutoencoderConfig, GraphSage, GraphSageConfig, Inoa, InoaConfig,
-    IsolationForest, Lof, Mds, SignatureHome, SignatureHomeConfig,
+    Autoencoder, AutoencoderConfig, GraphSage, GraphSageConfig, Inoa, InoaConfig, IsolationForest,
+    Lof, Mds, SignatureHome, SignatureHomeConfig,
 };
 use gem::core::pipeline::{Embedder, Pipeline};
 use gem::core::{EnhancedDetector, Gem, GemConfig};

@@ -29,11 +29,7 @@ fn gem_beats_chance_across_housing_types() {
     for (uid, floor) in [(1u32, 0.75), (4, 0.75), (8, 0.75), (10, 0.62)] {
         let ds = small_dataset(uid);
         let c = run_gem(&ds);
-        assert!(
-            c.accuracy() > floor,
-            "user {uid}: accuracy {:.3} too low",
-            c.accuracy()
-        );
+        assert!(c.accuracy() > floor, "user {uid}: accuracy {:.3} too low", c.accuracy());
     }
 }
 

@@ -33,11 +33,7 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            group: name.into(),
-            sample_size: 100,
-        }
+        BenchmarkGroup { criterion: self, group: name.into(), sample_size: 100 }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
@@ -55,11 +51,8 @@ impl Criterion {
     /// `criterion_main!` after all groups run.
     pub fn final_summary(&self) {
         for r in &self.reports {
-            let label = if r.group.is_empty() {
-                r.name.clone()
-            } else {
-                format!("{}/{}", r.group, r.name)
-            };
+            let label =
+                if r.group.is_empty() { r.name.clone() } else { format!("{}/{}", r.group, r.name) };
             println!(
                 "{label:<48} time: [{} {} {}]  ({} samples x {} iters)",
                 fmt_ns(r.min_ns),
@@ -103,15 +96,10 @@ impl BenchmarkGroup<'_> {
             .and_then(|s| s.parse().ok())
             .unwrap_or(self.sample_size)
             .max(2);
-        let max_secs: f64 = std::env::var("CRITERION_MAX_SECS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(10.0);
+        let max_secs: f64 =
+            std::env::var("CRITERION_MAX_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(10.0);
 
-        let mut bencher = Bencher {
-            iters: 1,
-            elapsed: Duration::ZERO,
-        };
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
 
         // Calibration: grow the iteration count until one batch takes
         // at least ~target_batch, or a single iteration already exceeds it.

@@ -156,7 +156,7 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 }
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::RngExt;
     use std::ops::Range;
 
@@ -169,20 +169,14 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange {
-                lo: n,
-                hi_exclusive: n + 1,
-            }
+            SizeRange { lo: n, hi_exclusive: n + 1 }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange {
-                lo: r.start,
-                hi_exclusive: r.end,
-            }
+            SizeRange { lo: r.start, hi_exclusive: r.end }
         }
     }
 
@@ -192,10 +186,7 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy {
-            element,
-            size: size.into(),
-        }
+        VecStrategy { element, size: size.into() }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -209,7 +200,7 @@ pub mod collection {
 }
 
 pub mod array {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
 
     pub struct UniformArray<S, const N: usize>(S);
 
@@ -252,9 +243,7 @@ where
         let seed = h.wrapping_add(case as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         if let Err(msg) = body(&mut rng) {
-            panic!(
-                "proptest `{test_name}` failed at case {case}/{cases} (seed {seed:#x}):\n{msg}"
-            );
+            panic!("proptest `{test_name}` failed at case {case}/{cases} (seed {seed:#x}):\n{msg}");
         }
     }
 }
@@ -350,7 +339,11 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err(::std::format!(
                 "assertion failed: `{} != {}` ({}:{})\n  both: {:?}",
-                stringify!($left), stringify!($right), file!(), line!(), l
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
             ));
         }
     }};

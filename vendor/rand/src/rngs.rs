@@ -41,10 +41,7 @@ impl RngCore for StdRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -65,13 +62,8 @@ mod tests {
         // Reference sequence for xoshiro256++ with state {1, 2, 3, 4},
         // from the public reference implementation.
         let mut rng = StdRng { s: [1, 2, 3, 4] };
-        let expect: [u64; 5] = [
-            41943041,
-            58720359,
-            3588806011781223,
-            3591011842654386,
-            9228616714210784205,
-        ];
+        let expect: [u64; 5] =
+            [41943041, 58720359, 3588806011781223, 3591011842654386, 9228616714210784205];
         for e in expect {
             assert_eq!(rng.next_u64(), e);
         }
@@ -81,12 +73,8 @@ mod tests {
     fn seeding_is_splitmix() {
         let rng = StdRng::seed_from_u64(0);
         let mut sm = 0u64;
-        let want = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let want =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         assert_eq!(rng.s, want);
     }
 }

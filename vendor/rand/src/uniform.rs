@@ -31,8 +31,12 @@ fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
 pub trait SampleUniform: PartialOrd + Copy {
     /// Sample uniformly from `[lo, hi)` if `inclusive` is false, else
     /// `[lo, hi]`. Callers guarantee the range is non-empty.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_uint {

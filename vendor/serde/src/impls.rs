@@ -61,9 +61,7 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn deserialize(value: &Value) -> Result<Self, Error> {
-        value
-            .as_f64()
-            .ok_or_else(|| Error::type_mismatch("f64", value))
+        value.as_f64().ok_or_else(|| Error::type_mismatch("f64", value))
     }
 }
 
@@ -77,10 +75,7 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn deserialize(value: &Value) -> Result<Self, Error> {
-        value
-            .as_f64()
-            .map(|v| v as f32)
-            .ok_or_else(|| Error::type_mismatch("f32", value))
+        value.as_f64().map(|v| v as f32).ok_or_else(|| Error::type_mismatch("f32", value))
     }
 }
 
@@ -107,10 +102,7 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn deserialize(value: &Value) -> Result<Self, Error> {
-        value
-            .as_str()
-            .map(str::to_owned)
-            .ok_or_else(|| Error::type_mismatch("string", value))
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::type_mismatch("string", value))
     }
 }
 
@@ -128,9 +120,7 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn deserialize(value: &Value) -> Result<Self, Error> {
-        let s = value
-            .as_str()
-            .ok_or_else(|| Error::type_mismatch("char", value))?;
+        let s = value.as_str().ok_or_else(|| Error::type_mismatch("char", value))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -231,25 +221,17 @@ impl_tuple!(
 fn serialize_pairs<'a, K: Serialize + 'a, V: Serialize + 'a>(
     pairs: impl Iterator<Item = (&'a K, &'a V)>,
 ) -> Value {
-    Value::Array(
-        pairs
-            .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
-            .collect(),
-    )
+    Value::Array(pairs.map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()])).collect())
 }
 
-fn deserialize_pairs<K: Deserialize, V: Deserialize>(
-    value: &Value,
-) -> Result<Vec<(K, V)>, Error> {
-    let items = value
-        .as_array()
-        .ok_or_else(|| Error::type_mismatch("map (array of pairs)", value))?;
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(value: &Value) -> Result<Vec<(K, V)>, Error> {
+    let items =
+        value.as_array().ok_or_else(|| Error::type_mismatch("map (array of pairs)", value))?;
     items
         .iter()
         .map(|pair| {
-            let kv = pair
-                .as_array()
-                .ok_or_else(|| Error::type_mismatch("[key, value] pair", pair))?;
+            let kv =
+                pair.as_array().ok_or_else(|| Error::type_mismatch("[key, value] pair", pair))?;
             if kv.len() != 2 {
                 return Err(Error::custom("map entry must be a [key, value] pair"));
             }
@@ -265,10 +247,7 @@ impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
         let mut entries: Vec<(String, Value)> = self
             .iter()
             .map(|(k, v)| {
-                (
-                    format!("{:?}", k.serialize()),
-                    Value::Array(vec![k.serialize(), v.serialize()]),
-                )
+                (format!("{:?}", k.serialize()), Value::Array(vec![k.serialize(), v.serialize()]))
             })
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));

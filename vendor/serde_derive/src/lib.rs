@@ -27,8 +27,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 fn emit(code: String) -> TokenStream {
-    code.parse()
-        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+    code.parse().unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -69,10 +68,7 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor {
-            toks: ts.into_iter().collect(),
-            pos: 0,
-        }
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -100,9 +96,7 @@ impl Cursor {
                 let mut inner = g.stream().into_iter();
                 if let Some(TokenTree::Ident(id)) = inner.next() {
                     if id.to_string() == "serde" {
-                        panic!(
-                            "vendored serde_derive does not support #[serde(...)] attributes"
-                        );
+                        panic!("vendored serde_derive does not support #[serde(...)] attributes");
                     }
                 }
             } else {
@@ -298,9 +292,8 @@ fn gen_serialize(item: &Item) -> String {
         }
         ItemKind::TupleStruct(1) => "_serde::Serialize::serialize(&self.0)".to_string(),
         ItemKind::TupleStruct(n) => {
-            let entries: String = (0..*n)
-                .map(|i| format!("_serde::Serialize::serialize(&self.{i}),"))
-                .collect();
+            let entries: String =
+                (0..*n).map(|i| format!("_serde::Serialize::serialize(&self.{i}),")).collect();
             format!("_serde::Value::Array(::std::vec![{entries}])")
         }
         ItemKind::UnitStruct => "_serde::Value::Null".to_string(),
@@ -328,10 +321,8 @@ fn gen_variant_ser(name: &str, v: &Variant) -> String {
             let payload = if *n == 1 {
                 "_serde::Serialize::serialize(__f0)".to_string()
             } else {
-                let items: String = binds
-                    .iter()
-                    .map(|b| format!("_serde::Serialize::serialize({b}),"))
-                    .collect();
+                let items: String =
+                    binds.iter().map(|b| format!("_serde::Serialize::serialize({b}),")).collect();
                 format!("_serde::Value::Array(::std::vec![{items}])")
             };
             format!(
@@ -379,9 +370,9 @@ fn gen_deserialize(item: &Item) -> String {
                  ::std::result::Result::Ok({name} {{ {inits} }})"
             )
         }
-        ItemKind::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(_serde::Deserialize::deserialize(__value)?))"
-        ),
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(_serde::Deserialize::deserialize(__value)?))")
+        }
         ItemKind::TupleStruct(n) => {
             let inits: String = (0..*n)
                 .map(|i| format!("_serde::Deserialize::deserialize(&__items[{i}])?,"))
@@ -436,9 +427,7 @@ fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
                 )),
                 VariantKind::Tuple(n) => {
                     let inits: String = (0..*n)
-                        .map(|i| {
-                            format!("_serde::Deserialize::deserialize(&__items[{i}])?,")
-                        })
+                        .map(|i| format!("_serde::Deserialize::deserialize(&__items[{i}])?,"))
                         .collect();
                     Some(format!(
                         "\"{vname}\" => {{\n\

@@ -7,8 +7,8 @@
 //! Floats print with Rust's shortest-round-trip formatting and always
 //! carry a `.`/exponent so they re-parse as floats, not integers.
 
-use serde::Value;
 pub use serde::Error;
+use serde::Value;
 
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -101,17 +101,11 @@ struct Parser<'a> {
 }
 
 fn parse(text: &str) -> Result<Value, Error> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     let value = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(value)
 }
@@ -136,10 +130,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::custom(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::custom(format!("expected '{}' at byte {}", b as char, self.pos)))
         }
     }
 
@@ -198,7 +189,9 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                _ => return Err(Error::custom(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!("expected ',' or '}}' at byte {}", self.pos)))
+                }
             }
         }
     }
@@ -220,7 +213,9 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!("expected ',' or ']' at byte {}", self.pos)))
+                }
             }
         }
     }
@@ -298,9 +293,7 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, Error> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self
-                .peek()
-                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+            let b = self.peek().ok_or_else(|| Error::custom("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| Error::custom("bad hex digit in \\u escape"))?;
@@ -378,15 +371,9 @@ mod tests {
             ("f".into(), Value::F64(0.1 + 0.2)),
             ("i".into(), Value::I64(-9_007_199_254_740_993)),
             ("u".into(), Value::U64(u64::MAX)),
-            (
-                "s".into(),
-                Value::Str("quote\" slash\\ tab\t unicode é 中".into()),
-            ),
+            ("s".into(), Value::Str("quote\" slash\\ tab\t unicode é 中".into())),
             ("n".into(), Value::Null),
-            (
-                "arr".into(),
-                Value::Array(vec![Value::Bool(false), Value::F64(f64::INFINITY)]),
-            ),
+            ("arr".into(), Value::Array(vec![Value::Bool(false), Value::F64(f64::INFINITY)])),
         ]);
         let mut text = String::new();
         emit(&v, &mut text);

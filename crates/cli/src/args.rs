@@ -59,6 +59,14 @@ impl Args {
         }
     }
 
+    /// A comma-separated list option (`--models a.json,b.json`), split
+    /// into its items. Empty items are dropped.
+    pub fn values_list(&self, key: &str) -> Option<Vec<String>> {
+        self.values
+            .get(key)
+            .map(|raw| raw.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect())
+    }
+
     /// Whether a bare flag was given.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
@@ -103,6 +111,13 @@ mod tests {
         let a = Args::parse(&argv(&[])).unwrap();
         let err = a.require("model").unwrap_err();
         assert!(err.contains("--model"));
+    }
+
+    #[test]
+    fn splits_comma_lists() {
+        let a = Args::parse(&argv(&["--models", "a.json,b.json,"])).unwrap();
+        assert_eq!(a.values_list("models").unwrap(), vec!["a.json", "b.json"]);
+        assert_eq!(a.values_list("absent"), None);
     }
 
     #[test]

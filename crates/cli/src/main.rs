@@ -5,6 +5,7 @@
 //! gem train    --dataset dataset.json --model model.json
 //! gem eval     --dataset dataset.json --model model.json
 //! gem stream   --dataset dataset.json --model model.json --alert-after 3
+//! gem fleet    --models a.json,b.json --datasets a-ds.json,b-ds.json --shards 4
 //! gem info     --model model.json
 //! ```
 //!
@@ -52,6 +53,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "train" => train(&args),
         "eval" => eval(&args),
         "stream" => stream(&args),
+        "fleet" => fleet(&args),
         "info" => info(&args),
         "help" | "--help" | "-h" => {
             say!("{}", usage());
@@ -68,6 +70,8 @@ fn usage() -> String {
      \x20 train    --dataset FILE --model FILE [--dim D] [--epochs E] [--seed X]\n\
      \x20 eval     --dataset FILE --model FILE\n\
      \x20 stream   --dataset FILE --model FILE [--alert-after K] [--save-back]\n\
+     \x20 fleet    --models F1,F2,.. --datasets F1,F2,.. [--shards N] [--max-batch B]\n\
+     \x20          [--alert-after K] [--dir DIR] [--snapshot-secs S] [--recover]\n\
      \x20 info     --model FILE"
         .to_string()
 }
@@ -188,6 +192,130 @@ fn stream(args: &Args) -> Result<(), String> {
     if args.flag("save-back") {
         monitor.gem().save(&model_path).map_err(|e| e.to_string())?;
         say!("updated model saved back to {model_path}");
+    }
+    Ok(())
+}
+
+/// Multi-tenant streaming: one premises per `--models`/`--datasets`
+/// pair, sharded across worker threads, with optional durability
+/// (`--dir` enables the write-ahead journal plus snapshots on
+/// `--snapshot-secs` and at shutdown) and crash recovery (`--recover`
+/// replays the journal before streaming).
+fn fleet(args: &Args) -> Result<(), String> {
+    use gem_service::{Fleet, FleetConfig, FleetEvent};
+    use std::time::Duration;
+
+    let mut cfg = FleetConfig::default();
+    if let Some(shards) = args.get_parsed::<usize>("shards")? {
+        cfg.shards = shards;
+    }
+    if let Some(b) = args.get_parsed::<usize>("max-batch")? {
+        cfg.max_batch = b;
+    }
+    if let Some(q) = args.get_parsed::<usize>("queue")? {
+        cfg.queue_per_shard = q;
+    }
+    cfg.dir = args.get_parsed::<std::path::PathBuf>("dir")?;
+    if let Some(secs) = args.get_parsed::<f64>("snapshot-secs")? {
+        if cfg.dir.is_none() {
+            return Err("--snapshot-secs requires --dir".into());
+        }
+        cfg.snapshot_interval = Some(Duration::from_secs_f64(secs));
+    }
+    let alert_after = args.get_parsed::<usize>("alert-after")?.unwrap_or(3);
+
+    let datasets: Vec<Dataset> = match args.values_list("datasets") {
+        Some(paths) => paths
+            .iter()
+            .map(|p| {
+                let json = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+                serde_json::from_str(&json).map_err(|e| format!("parsing {p}: {e}"))
+            })
+            .collect::<Result<_, String>>()?,
+        None => Vec::new(),
+    };
+
+    let fleet = if args.flag("recover") {
+        if cfg.dir.is_none() {
+            return Err("--recover requires --dir".into());
+        }
+        let recovery = Fleet::recover(cfg).map_err(|e| e.to_string())?;
+        say!(
+            "recovered: {} journal epochs replayed, {} events regenerated",
+            recovery.replayed_epochs,
+            recovery.replayed.len()
+        );
+        recovery.fleet
+    } else {
+        let model_paths = args.values_list("models").ok_or("missing required option --models")?;
+        if model_paths.len() != datasets.len() {
+            return Err(format!(
+                "--models lists {} files but --datasets lists {}",
+                model_paths.len(),
+                datasets.len()
+            ));
+        }
+        let monitors = model_paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let gem = Gem::load(p).map_err(|e| format!("loading {p}: {e}"))?;
+                let monitor =
+                    Monitor::new(gem, MonitorConfig { alert_after, ..MonitorConfig::default() });
+                Ok((i as u64 + 1, monitor))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Fleet::spawn(monitors, cfg).map_err(|e| e.to_string())?
+    };
+
+    // Interleave the streams round-robin, as concurrent devices would,
+    // blocking briefly when admission sheds.
+    let mut sheds = 0u64;
+    let longest = datasets.iter().map(|d| d.test.len()).max().unwrap_or(0);
+    for k in 0..longest {
+        for (i, dataset) in datasets.iter().enumerate() {
+            let Some(t) = dataset.test.get(k) else { continue };
+            while !fleet.submit(i as u64 + 1, t.record.clone()).accepted() {
+                sheds += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    fleet.flush().map_err(|e| e.to_string())?;
+    while let Ok(FleetEvent { premises_id, event, .. }) = fleet.events().try_recv() {
+        match event {
+            Event::AlertRaised { timestamp_s, consecutive_out } => {
+                say!(
+                    "premises {premises_id}  t={timestamp_s:8.1}s  ALERT raised \
+                     ({consecutive_out} consecutive outside scans)"
+                );
+            }
+            Event::AlertCleared { timestamp_s } => {
+                say!("premises {premises_id}  t={timestamp_s:8.1}s  alert cleared");
+            }
+            Event::Decision { .. } => {}
+        }
+    }
+    for (premises_id, stats) in fleet.stats().map_err(|e| e.to_string())? {
+        say!(
+            "premises {premises_id} (shard {}): {} scans in {} epochs, {} in / {} out, \
+             {} alerts, {} model updates",
+            fleet.route(premises_id).unwrap_or(0),
+            stats.scans,
+            stats.epochs,
+            stats.in_decisions,
+            stats.out_decisions,
+            stats.alerts,
+            stats.model_updates
+        );
+    }
+    if sheds > 0 {
+        say!("admission shed {sheds} submissions (retried until accepted)");
+    }
+    let durable = fleet.snapshot_dir().map(|d| d.display().to_string());
+    fleet.shutdown().map_err(|e| e.to_string())?;
+    if let Some(dir) = durable {
+        say!("fleet state snapshotted to {dir}");
     }
     Ok(())
 }

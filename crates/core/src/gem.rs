@@ -2,6 +2,7 @@
 //! enhanced in-out detection, with online inference and self-enhancement.
 
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 use gem_graph::{BipartiteGraph, RecordId};
 use gem_nn::Tensor;
@@ -50,7 +51,7 @@ fn add_record_and_ensure(
 }
 
 /// One online in-out decision.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
     /// Predicted location class (`Out` triggers the geofencing alert).
     pub label: Label,
@@ -394,8 +395,19 @@ impl Gem {
         self.pca.as_ref()
     }
 
+    /// The online RNG's raw state. Snapshots persist it so a restored
+    /// system resumes the *exact* random stream (row-init fallbacks
+    /// during streaming draw from this generator; bitwise-identical
+    /// crash recovery needs the draws to line up).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
     /// Reassembles a system from persisted parts (see
-    /// [`crate::persist::GemSnapshot`]).
+    /// [`crate::persist::GemSnapshot`]). `rng_state` resumes the online
+    /// random stream mid-sequence; `None` (pre-v2 snapshots) restarts it
+    /// from the config seed, which is only equivalent for systems that
+    /// never consumed a draw since fit.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cfg: GemConfig,
@@ -406,8 +418,12 @@ impl Gem {
         train_embeddings: Tensor,
         trusted: Vec<bool>,
         pca: Option<PcaRotation>,
+        rng_state: Option<[u64; 4]>,
     ) -> Gem {
-        let rng = child_rng(cfg.seed, 0x6E11);
+        let rng = match rng_state {
+            Some(s) => StdRng::from_state(s),
+            None => child_rng(cfg.seed, 0x6E11),
+        };
         Gem {
             cfg,
             graph,

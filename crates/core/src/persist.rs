@@ -50,6 +50,12 @@ pub struct GemSnapshot {
     pub trusted: Vec<bool>,
     /// The fitted PCA rotation, when enabled.
     pub pca: Option<PcaRotation>,
+    /// Raw state of the online RNG at capture time. Restoring it resumes
+    /// the exact random stream, which bitwise crash recovery depends on.
+    /// Absent in snapshots written before this field existed; those
+    /// restore with a fresh seed-derived generator.
+    #[serde(default)]
+    pub rng: Option<[u64; 4]>,
 }
 
 /// Errors from snapshot I/O.
@@ -95,6 +101,7 @@ impl GemSnapshot {
             train_embeddings: gem.training_embeddings().clone(),
             trusted: gem.trusted_records().to_vec(),
             pca: gem.pca().cloned(),
+            rng: Some(gem.rng_state()),
         }
     }
 
@@ -131,6 +138,7 @@ impl GemSnapshot {
             self.train_embeddings,
             self.trusted,
             self.pca,
+            self.rng,
         ))
     }
 
@@ -165,6 +173,147 @@ impl Gem {
     /// Restores a system from a snapshot file.
     pub fn load(path: impl AsRef<Path>) -> Result<Gem, PersistError> {
         GemSnapshot::load(path)?.restore()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet manifest
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the workspace's checksum primitive for durability
+/// artifacts (manifest bodies, snapshot files, journal lines). Not
+/// cryptographic; it guards against truncation, bit rot and partial
+/// writes, which is what crash recovery needs to detect.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fnv1a64`] rendered as the canonical 16-digit lowercase hex string
+/// stored in manifests and journal lines.
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// Filename of the fleet manifest inside a durability directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+const MANIFEST_FORMAT: &str = "gem-fleet-manifest";
+const MANIFEST_VERSION: u32 = 1;
+
+/// One premises' durable state, as recorded in a [`FleetManifest`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PremisesEntry {
+    /// Tenant identifier (the fleet's routing key).
+    pub premises_id: u64,
+    /// Snapshot filename, relative to the manifest's directory.
+    pub snapshot_file: String,
+    /// [`fnv1a64_hex`] checksum of the snapshot file's bytes.
+    pub snapshot_checksum: String,
+    /// Decision epochs this premises had applied when the snapshot was
+    /// taken. Journal entries with a later epoch number must be replayed
+    /// on recovery; earlier ones are already folded into the snapshot.
+    pub epochs: u64,
+    /// Runtime-defined sidecar state stored verbatim (e.g. the service
+    /// layer's alert-policy counters), so layers above the model can
+    /// recover without `gem-core` knowing their types.
+    #[serde(default)]
+    pub sidecar: serde_json::Value,
+}
+
+/// Versioned, checksummed index of a fleet durability directory: which
+/// premises exist, where each one's snapshot lives, and the journal
+/// watermark (`epochs`) recovery must replay from.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct FleetManifest {
+    format: String,
+    version: u32,
+    /// Per-premises entries, sorted by premises id.
+    pub premises: Vec<PremisesEntry>,
+    /// [`fnv1a64_hex`] over the serialized `premises` array.
+    checksum: String,
+}
+
+impl FleetManifest {
+    /// Builds a manifest over the given entries (sorted by premises id;
+    /// the checksum is computed over the canonical serialized array).
+    pub fn new(mut premises: Vec<PremisesEntry>) -> FleetManifest {
+        premises.sort_by_key(|e| e.premises_id);
+        let body = serde_json::to_string(&premises).expect("serialize manifest entries");
+        FleetManifest {
+            format: MANIFEST_FORMAT.to_string(),
+            version: MANIFEST_VERSION,
+            checksum: fnv1a64_hex(body.as_bytes()),
+            premises,
+        }
+    }
+
+    /// The entry for one premises, when present.
+    pub fn entry(&self, premises_id: u64) -> Option<&PremisesEntry> {
+        self.premises.iter().find(|e| e.premises_id == premises_id)
+    }
+
+    /// Writes the manifest into `dir` atomically (temp file + rename), so
+    /// a crash mid-write can never leave a torn manifest behind.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+        let dir = dir.as_ref();
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| PersistError::Format(e.to_string()))?;
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        Ok(())
+    }
+
+    /// Loads and verifies the manifest from `dir`: format tag, version,
+    /// and body checksum must all match.
+    pub fn load(dir: impl AsRef<Path>) -> Result<FleetManifest, PersistError> {
+        let raw = fs::read_to_string(dir.as_ref().join(MANIFEST_FILE))?;
+        let manifest: FleetManifest =
+            serde_json::from_str(&raw).map_err(|e| PersistError::Format(e.to_string()))?;
+        if manifest.format != MANIFEST_FORMAT {
+            return Err(PersistError::Incompatible(format!(
+                "manifest format tag {:?}",
+                manifest.format
+            )));
+        }
+        if manifest.version != MANIFEST_VERSION {
+            return Err(PersistError::Incompatible(format!(
+                "manifest version {} (supported: {MANIFEST_VERSION})",
+                manifest.version
+            )));
+        }
+        let body = serde_json::to_string(&manifest.premises)
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        let expect = fnv1a64_hex(body.as_bytes());
+        if manifest.checksum != expect {
+            return Err(PersistError::Incompatible(format!(
+                "manifest checksum mismatch (stored {}, computed {expect})",
+                manifest.checksum
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Verifies that every referenced snapshot file exists in `dir` and
+    /// matches its recorded checksum.
+    pub fn verify_snapshots(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+        let dir = dir.as_ref();
+        for e in &self.premises {
+            let bytes = fs::read(dir.join(&e.snapshot_file))?;
+            let got = fnv1a64_hex(&bytes);
+            if got != e.snapshot_checksum {
+                return Err(PersistError::Incompatible(format!(
+                    "snapshot {} for premises {} is corrupt (stored {}, computed {got})",
+                    e.snapshot_file, e.premises_id, e.snapshot_checksum
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -261,5 +410,100 @@ mod tests {
         }
         assert!(restored.graph().n_records() > before);
         assert!(saw_in, "restored model should accept some in-premises scans");
+    }
+
+    #[test]
+    fn snapshot_resumes_rng_stream() {
+        let (mut gem, ds) = trained_gem();
+        // Advance the online stream so the RNG is mid-sequence.
+        for t in ds.test.iter().take(10) {
+            gem.infer(&t.record);
+        }
+        let state = gem.rng_state();
+        let restored = GemSnapshot::capture(&gem)
+            .to_json()
+            .and_then(|j| GemSnapshot::from_json(&j))
+            .unwrap()
+            .restore()
+            .unwrap();
+        assert_eq!(restored.rng_state(), state, "restore must resume the exact RNG state");
+        // A pre-rng snapshot (field absent) still restores, with a fresh
+        // seed-derived stream.
+        let mut snap = GemSnapshot::capture(&gem);
+        snap.rng = None;
+        assert!(snap.restore().is_ok());
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_verifies() {
+        let dir = std::env::temp_dir().join("gem_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("premises-7.json");
+        std::fs::write(&snap_path, b"{\"stub\":true}").unwrap();
+        let checksum = fnv1a64_hex(&std::fs::read(&snap_path).unwrap());
+        let manifest = FleetManifest::new(vec![
+            PremisesEntry {
+                premises_id: 9,
+                snapshot_file: "premises-9.json".into(),
+                snapshot_checksum: "0".repeat(16),
+                epochs: 3,
+                sidecar: serde_json::Value::Null,
+            },
+            PremisesEntry {
+                premises_id: 7,
+                snapshot_file: "premises-7.json".into(),
+                snapshot_checksum: checksum,
+                epochs: 12,
+                sidecar: serde_json::Value::Object(vec![(
+                    "alerts".to_string(),
+                    serde_json::Value::U64(2),
+                )]),
+            },
+        ]);
+        manifest.save(&dir).unwrap();
+        let loaded = FleetManifest::load(&dir).unwrap();
+        // Entries are sorted by premises id and survive the roundtrip.
+        assert_eq!(loaded.premises.len(), 2);
+        assert_eq!(loaded.premises[0].premises_id, 7);
+        assert_eq!(loaded.entry(7).unwrap().epochs, 12);
+        let sidecar = loaded.entry(7).unwrap().sidecar.as_object().unwrap();
+        assert_eq!(serde::get_field_opt(sidecar, "alerts").unwrap().as_u64(), Some(2));
+        // The referenced snapshot verifies; the missing one fails I/O.
+        assert!(matches!(loaded.verify_snapshots(&dir), Err(PersistError::Io(_))));
+        let only_seven = FleetManifest::new(vec![loaded.entry(7).unwrap().clone()]);
+        only_seven.save(&dir).unwrap();
+        FleetManifest::load(&dir).unwrap().verify_snapshots(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_rejects_tampering() {
+        let dir = std::env::temp_dir().join("gem_manifest_tamper_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = FleetManifest::new(vec![PremisesEntry {
+            premises_id: 1,
+            snapshot_file: "premises-1.json".into(),
+            snapshot_checksum: "0".repeat(16),
+            epochs: 5,
+            sidecar: serde_json::Value::Null,
+        }]);
+        manifest.save(&dir).unwrap();
+        // Flip the recorded epoch count in the file: the body checksum no
+        // longer matches and the load must fail.
+        let path = dir.join(MANIFEST_FILE);
+        let tampered =
+            std::fs::read_to_string(&path).unwrap().replace("\"epochs\": 5", "\"epochs\": 6");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(matches!(FleetManifest::load(&dir), Err(PersistError::Incompatible(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable() {
+        // Reference vectors for FNV-1a 64 (from the published parameters)
+        // — the on-disk format depends on these exact values.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64_hex(b"foobar"), "85944171f73967e8");
     }
 }

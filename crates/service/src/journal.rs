@@ -1,0 +1,199 @@
+//! Write-ahead journal for fleet decision epochs.
+//!
+//! Each shard appends one line per decision epoch *before* processing it:
+//! `<fnv1a64-hex> <compact-json>\n`. The JSON is a [`JournalEntry`] — the
+//! premises, the epoch number and the exact records in the batch. Replay
+//! after a crash re-runs `Monitor::process_batch` on the recorded
+//! batches, which reproduces the uninterrupted decision stream bit for
+//! bit (model updates and the RNG stream are resumed from the snapshot).
+//!
+//! The reader is truncation-tolerant: a torn or corrupt tail line (the
+//! crash case an append-only log actually produces) ends the scan
+//! instead of failing recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use gem_core::fnv1a64_hex;
+use gem_signal::SignalRecord;
+
+/// One journaled decision epoch: the replay unit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Tenant the batch belongs to.
+    pub premises_id: u64,
+    /// Epoch number, per premises, contiguous from 1. An entry is
+    /// replayed when its epoch exceeds the manifest watermark.
+    pub epoch: u64,
+    /// The records of the batch, in submission order.
+    pub records: Vec<SignalRecord>,
+}
+
+/// Journal filename for one shard.
+pub fn journal_file(shard: usize) -> String {
+    format!("journal-shard-{shard}.log")
+}
+
+/// Append-side handle, owned by a shard.
+pub struct JournalWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Opens (creating if needed) the journal in append mode.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<JournalWriter> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JournalWriter { path, file: BufWriter::new(file) })
+    }
+
+    /// Appends one epoch and flushes it to the OS. Must be called before
+    /// the epoch is processed (write-ahead), so a crash mid-epoch replays
+    /// it instead of losing it.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        let json = serde_json::to_string(entry).map_err(|e| io::Error::other(e.to_string()))?;
+        writeln!(self.file, "{} {}", fnv1a64_hex(json.as_bytes()), json)?;
+        self.file.flush()
+    }
+
+    /// Empties the journal. Only safe after every entry has been folded
+    /// into a committed manifest (the fleet truncates post-commit, with
+    /// the shard quiescent).
+    pub fn reset(&mut self) -> io::Result<()> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&self.path)?;
+        self.file = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+/// Reads one journal file. Lines with a checksum mismatch or malformed
+/// JSON end the scan (torn tail); everything before them is returned.
+pub fn read_journal(path: impl AsRef<Path>) -> io::Result<Vec<JournalEntry>> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some((checksum, json)) = line.split_once(' ') else { break };
+        if fnv1a64_hex(json.as_bytes()) != checksum {
+            break;
+        }
+        match serde_json::from_str::<JournalEntry>(json) {
+            Ok(entry) => entries.push(entry),
+            Err(_) => break,
+        }
+    }
+    Ok(entries)
+}
+
+/// Reads every `journal-shard-*.log` in a durability directory, in
+/// filename order. Shard counts may change between runs; per-premises
+/// epoch numbers, not file layout, define what replays.
+pub fn read_all_journals(dir: impl AsRef<Path>) -> io::Result<Vec<JournalEntry>> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("journal-shard-") && n.ends_with(".log"))
+        })
+        .collect();
+    files.sort();
+    let mut entries = Vec::new();
+    for f in files {
+        entries.extend(read_journal(f)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_signal::MacAddr;
+
+    fn entry(premises: u64, epoch: u64) -> JournalEntry {
+        JournalEntry {
+            premises_id: premises,
+            epoch,
+            records: vec![SignalRecord::from_pairs(
+                epoch as f64,
+                [(MacAddr::from_raw(0xA0), -50.0), (MacAddr::from_raw(0xA1), -60.0)],
+            )],
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = std::env::temp_dir().join("gem_journal_rt");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(journal_file(0));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&entry(7, 1)).unwrap();
+        w.append(&entry(9, 1)).unwrap();
+        w.append(&entry(7, 2)).unwrap();
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back, vec![entry(7, 1), entry(9, 1), entry(7, 2)]);
+        // Reopening appends after existing entries.
+        drop(w);
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&entry(9, 2)).unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let dir = std::env::temp_dir().join("gem_journal_torn");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(journal_file(0));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&entry(7, 1)).unwrap();
+        w.append(&entry(7, 2)).unwrap();
+        // Simulate a crash mid-write: chop bytes off the last line.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back, vec![entry(7, 1)], "torn tail line must be dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = std::env::temp_dir().join("gem_journal_reset");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(journal_file(3));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&entry(1, 1)).unwrap();
+        w.reset().unwrap();
+        assert!(read_journal(&path).unwrap().is_empty());
+        w.append(&entry(1, 2)).unwrap();
+        assert_eq!(read_journal(&path).unwrap(), vec![entry(1, 2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reads_all_shard_journals_and_ignores_missing() {
+        let dir = std::env::temp_dir().join("gem_journal_all");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert!(read_journal(dir.join(journal_file(0))).unwrap().is_empty());
+        let mut w0 = JournalWriter::open(dir.join(journal_file(0))).unwrap();
+        let mut w1 = JournalWriter::open(dir.join(journal_file(1))).unwrap();
+        w0.append(&entry(2, 1)).unwrap();
+        w1.append(&entry(3, 1)).unwrap();
+        fs::write(dir.join("manifest.json"), "{}").unwrap();
+        let all = read_all_journals(&dir).unwrap();
+        assert_eq!(all.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -9,10 +9,20 @@
 //!   for one-scan flukes) and an event/statistics log;
 //! * [`Supervisor`] — a thread-safe wrapper that feeds a monitor from a
 //!   crossbeam channel and publishes [`Event`]s on another, so device
-//!   ingest and alert handling can live on different threads.
+//!   ingest and alert handling can live on different threads;
+//! * [`Fleet`] — the multi-tenant runtime: premises are rendezvous-hashed
+//!   onto worker shards, ingress is coalesced into batched decision
+//!   epochs with explicit backpressure ([`Admission`]), and a write-ahead
+//!   journal plus checksummed snapshots give bitwise crash recovery.
 
+pub mod fleet;
+pub mod journal;
 pub mod monitor;
+mod shard;
 pub mod supervisor;
 
-pub use monitor::{Event, Monitor, MonitorConfig, MonitorStats};
-pub use supervisor::Supervisor;
+pub use fleet::{shard_for, Fleet, FleetConfig, FleetError, Recovery};
+pub use journal::{JournalEntry, JournalWriter};
+pub use monitor::{Event, Monitor, MonitorConfig, MonitorState, MonitorStats};
+pub use shard::FleetEvent;
+pub use supervisor::{Admission, ShedReason, Supervisor};

@@ -1,12 +1,12 @@
 //! Single-session monitoring with alert debouncing.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use gem_core::{Decision, Gem};
 use gem_signal::{Label, SignalRecord};
 
 /// Alert policy and bookkeeping knobs.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct MonitorConfig {
     /// Raise the alert only after this many *consecutive* outside
     /// decisions (debounces single-scan flukes; 1 = immediate).
@@ -49,7 +49,7 @@ pub enum Event {
 }
 
 /// Running statistics of a monitoring session.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct MonitorStats {
     /// Scans processed.
     pub scans: usize,
@@ -65,6 +65,32 @@ pub struct MonitorStats {
     pub cache_hits: u64,
     /// Streaming-engine MAC-aggregate cache misses.
     pub cache_misses: u64,
+    /// Decision epochs applied (batched [`Monitor::process_batch`] calls;
+    /// each is one model-consistent group, the fleet's replay unit).
+    #[serde(default)]
+    pub epochs: u64,
+    /// Scans refused at admission (queue full). Counted by the layer that
+    /// owns the queue — supervisor or fleet — never by the monitor itself.
+    #[serde(default)]
+    pub sheds: u64,
+}
+
+/// Serializable alert-policy state of a [`Monitor`] — everything above
+/// the model. Together with a [`gem_core::GemSnapshot`] this fully
+/// reconstructs a session; the fleet stores it as the manifest sidecar.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MonitorState {
+    /// Alert policy.
+    pub cfg: MonitorConfig,
+    /// Consecutive outside decisions at capture.
+    pub consecutive_out: usize,
+    /// Consecutive in-premises decisions at capture.
+    pub consecutive_in: usize,
+    /// Whether an alert was active at capture.
+    pub alert_active: bool,
+    /// Session statistics (without live cache counters, which restart
+    /// with the streaming engine).
+    pub stats: MonitorStats,
 }
 
 /// A monitoring session: a trained GEM model plus alert state.
@@ -95,15 +121,38 @@ impl Monitor {
     /// transitions it triggered.
     pub fn process(&mut self, record: &SignalRecord) -> Vec<Event> {
         let decision: Decision = self.gem.infer(record);
+        let mut events = Vec::with_capacity(2);
+        self.apply_decision(record.timestamp_s, &decision, &mut events);
+        events
+    }
+
+    /// Processes a batch of scans as *one decision epoch*: the model
+    /// scores all records against the state at the start of the batch
+    /// (see [`Gem::infer_batch`]), then the alert policy folds the
+    /// decisions in submission order. This is the unit the fleet
+    /// coalesces, journals and replays — identical batches always yield
+    /// identical events.
+    pub fn process_batch(&mut self, records: &[SignalRecord]) -> Vec<Event> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let decisions = self.gem.infer_batch(records);
+        self.stats.epochs += 1;
+        let mut events = Vec::with_capacity(records.len() + 2);
+        for (record, decision) in records.iter().zip(&decisions) {
+            self.apply_decision(record.timestamp_s, decision, &mut events);
+        }
+        events
+    }
+
+    /// Folds one decision into the statistics and the alert policy,
+    /// appending the resulting events.
+    fn apply_decision(&mut self, timestamp_s: f64, decision: &Decision, events: &mut Vec<Event>) {
         self.stats.scans += 1;
         if decision.updated {
             self.stats.model_updates += 1;
         }
-        let mut events = vec![Event::Decision {
-            timestamp_s: record.timestamp_s,
-            label: decision.label,
-            score: decision.score,
-        }];
+        events.push(Event::Decision { timestamp_s, label: decision.label, score: decision.score });
         match decision.label {
             Label::Out => {
                 self.stats.out_decisions += 1;
@@ -113,7 +162,7 @@ impl Monitor {
                     self.alert_active = true;
                     self.stats.alerts += 1;
                     events.push(Event::AlertRaised {
-                        timestamp_s: record.timestamp_s,
+                        timestamp_s,
                         consecutive_out: self.consecutive_out,
                     });
                 }
@@ -124,11 +173,10 @@ impl Monitor {
                 self.consecutive_out = 0;
                 if self.alert_active && self.consecutive_in >= self.cfg.clear_after {
                     self.alert_active = false;
-                    events.push(Event::AlertCleared { timestamp_s: record.timestamp_s });
+                    events.push(Event::AlertCleared { timestamp_s });
                 }
             }
         }
-        events
     }
 
     /// Whether an alert is currently active.
@@ -150,6 +198,32 @@ impl Monitor {
     /// Consumes the monitor and returns the model.
     pub fn into_gem(self) -> Gem {
         self.gem
+    }
+
+    /// Captures the serializable above-the-model state. Pair with a
+    /// model snapshot to persist the whole session.
+    pub fn state(&self) -> MonitorState {
+        MonitorState {
+            cfg: self.cfg,
+            consecutive_out: self.consecutive_out,
+            consecutive_in: self.consecutive_in,
+            alert_active: self.alert_active,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a session from a restored model and a captured
+    /// [`MonitorState`] — the recovery path.
+    pub fn from_state(gem: Gem, state: MonitorState) -> Monitor {
+        assert!(state.cfg.alert_after >= 1 && state.cfg.clear_after >= 1);
+        Monitor {
+            gem,
+            cfg: state.cfg,
+            consecutive_out: state.consecutive_out,
+            consecutive_in: state.consecutive_in,
+            alert_active: state.alert_active,
+            stats: state.stats,
+        }
     }
 }
 
@@ -233,6 +307,53 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.scans, ds.test.len());
         assert_eq!(s.in_decisions + s.out_decisions, s.scans);
+    }
+
+    #[test]
+    fn batch_epochs_are_deterministic() {
+        // Two identical monitors (fixed seeds) fed the same chunks must
+        // produce identical event streams — the property fleet replay
+        // relies on.
+        let (mut a, ds) = monitor();
+        let (mut b, _) = monitor();
+        let records: Vec<_> = ds.test.iter().map(|t| t.record.clone()).take(24).collect();
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        for chunk in records.chunks(5) {
+            ea.extend(a.process_batch(chunk));
+        }
+        for chunk in records.chunks(5) {
+            eb.extend(b.process_batch(chunk));
+        }
+        assert_eq!(ea, eb);
+        assert_eq!(a.stats().epochs, 5, "24 records in chunks of 5 = 5 epochs");
+        assert_eq!(a.stats().scans, 24);
+        assert!(a.process_batch(&[]).is_empty());
+        assert_eq!(a.stats().epochs, 5, "empty batches are not epochs");
+    }
+
+    #[test]
+    fn state_restores_alert_policy_mid_stream() {
+        let (mut m, ds) = monitor();
+        let alien = gem_signal::SignalRecord::from_pairs(
+            1.0,
+            [(gem_signal::MacAddr::from_raw(0xFFFF_0003), -40.0)],
+        );
+        m.process(&alien);
+        m.process(&alien);
+        // Two consecutive outs: one more would raise. Snapshot here.
+        let state = m.state();
+        let snap = gem_core::GemSnapshot::capture(m.gem());
+        let json = snap.to_json().unwrap();
+        let gem = gem_core::GemSnapshot::from_json(&json).unwrap().restore().unwrap();
+        let mut restored = Monitor::from_state(gem, state);
+        assert!(!restored.alert_active());
+        let events = restored.process(&alien);
+        assert!(
+            events.iter().any(|e| matches!(e, Event::AlertRaised { consecutive_out: 3, .. })),
+            "restored monitor must remember the 2-out streak: {events:?}"
+        );
+        let _ = ds;
     }
 
     #[test]

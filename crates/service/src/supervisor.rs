@@ -3,21 +3,74 @@
 //! notifier) usually live on different threads; the supervisor owns the
 //! monitor in between.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use serde::Serialize;
 
 use gem_signal::SignalRecord;
 
 use crate::monitor::{Event, Monitor, MonitorStats};
+
+/// Why a scan was refused at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ShedReason {
+    /// The ingress queue was full; the caller should retry or drop.
+    QueueFull,
+    /// The worker has shut down; no further scans will be accepted.
+    Shutdown,
+    /// The premises is not registered with the fleet.
+    UnknownPremises,
+}
+
+/// Outcome of submitting a scan — explicit backpressure instead of the
+/// old boolean, so callers can distinguish "processing" from "behind"
+/// from "dropped".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Admission {
+    /// Enqueued; the worker was idle or nearly so.
+    Accept,
+    /// Enqueued behind `depth - 1` earlier scans (including this one the
+    /// queue holds `depth`). A rising depth means ingest outpaces the
+    /// model — the precursor to shedding.
+    Queued {
+        /// Queue occupancy right after this scan was enqueued.
+        depth: usize,
+    },
+    /// Refused. The scan was *not* enqueued.
+    Shed(ShedReason),
+}
+
+impl Admission {
+    /// Whether the scan was enqueued (accepted or queued).
+    pub fn accepted(&self) -> bool {
+        !matches!(self, Admission::Shed(_))
+    }
+
+    /// Classifies an observed queue depth (occupancy *after* enqueue).
+    pub(crate) fn from_depth(depth: usize) -> Admission {
+        if depth <= 1 {
+            Admission::Accept
+        } else {
+            Admission::Queued { depth }
+        }
+    }
+}
 
 /// Handle to a running monitoring thread.
 pub struct Supervisor {
     scan_tx: Sender<SignalRecord>,
     event_rx: Receiver<Event>,
     stats: Arc<Mutex<MonitorStats>>,
+    /// Scans enqueued but not yet processed. Kept here because the
+    /// vendored channels expose no occupancy.
+    depth: Arc<AtomicUsize>,
+    /// Scans refused at admission. Owned by the submitting side — the
+    /// worker never sees shed scans, so its stats cannot count them.
+    sheds: AtomicU64,
     worker: Option<JoinHandle<Monitor>>,
 }
 
@@ -29,10 +82,13 @@ impl Supervisor {
         let (event_tx, event_rx) = bounded::<Event>(queue.max(16));
         let stats = Arc::new(Mutex::new(monitor.stats()));
         let stats_worker = Arc::clone(&stats);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let depth_worker = Arc::clone(&depth);
         let worker = thread::spawn(move || {
             let mut monitor = monitor;
             while let Ok(record) = scan_rx.recv() {
                 let events = monitor.process(&record);
+                depth_worker.fetch_sub(1, Ordering::AcqRel);
                 // Publish the stats snapshot before emitting events: a
                 // consumer that reacts to an event must already see the
                 // stats that produced it.
@@ -47,13 +103,45 @@ impl Supervisor {
             }
             monitor
         });
-        Supervisor { scan_tx, event_rx, stats, worker: Some(worker) }
+        Supervisor {
+            scan_tx,
+            event_rx,
+            stats,
+            depth,
+            sheds: AtomicU64::new(0),
+            worker: Some(worker),
+        }
     }
 
-    /// Submits a scan for processing (blocks when the queue is full).
-    /// Returns false when the worker has shut down.
-    pub fn submit(&self, record: SignalRecord) -> bool {
-        self.scan_tx.send(record).is_ok()
+    /// Submits a scan for processing without blocking. A full queue
+    /// sheds the scan (and counts it) instead of stalling the ingest
+    /// thread — the caller decides whether to retry.
+    pub fn submit(&self, record: SignalRecord) -> Admission {
+        match self.scan_tx.try_send(record) {
+            Ok(()) => {
+                let depth = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+                Admission::from_depth(depth)
+            }
+            Err(crossbeam::channel::TrySendError::Full(_)) => {
+                self.sheds.fetch_add(1, Ordering::Relaxed);
+                Admission::Shed(ShedReason::QueueFull)
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                Admission::Shed(ShedReason::Shutdown)
+            }
+        }
+    }
+
+    /// Submits a scan, blocking while the queue is full. Returns
+    /// `Shed(Shutdown)` only when the worker is gone.
+    pub fn submit_blocking(&self, record: SignalRecord) -> Admission {
+        match self.scan_tx.send(record) {
+            Ok(()) => {
+                let depth = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+                Admission::from_depth(depth)
+            }
+            Err(_) => Admission::Shed(ShedReason::Shutdown),
+        }
     }
 
     /// The event stream.
@@ -61,9 +149,12 @@ impl Supervisor {
         &self.event_rx
     }
 
-    /// Latest statistics snapshot.
+    /// Latest statistics snapshot, with admission-side shed counts
+    /// folded in.
     pub fn stats(&self) -> MonitorStats {
-        *self.stats.lock()
+        let mut stats = *self.stats.lock();
+        stats.sheds += self.sheds.load(Ordering::Relaxed);
+        stats
     }
 
     /// Stops the worker and returns the monitor (with its learned state).
@@ -112,10 +203,10 @@ mod tests {
     #[test]
     fn processes_scans_across_threads() {
         let (m, ds) = monitor();
-        let sup = Supervisor::spawn(m, 8);
+        let sup = Supervisor::spawn(m, 64);
         let n = 20;
         for t in ds.test.iter().take(n) {
-            assert!(sup.submit(t.record.clone()));
+            assert!(sup.submit(t.record.clone()).accepted());
         }
         let mut decisions = 0;
         while decisions < n {
@@ -129,12 +220,30 @@ mod tests {
     }
 
     #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let (m, ds) = monitor();
+        // Tiny queue, no draining: inference is far slower than submit,
+        // so hammering the queue must eventually shed.
+        let sup = Supervisor::spawn(m, 2);
+        let mut shed = 0;
+        for _ in 0..50 {
+            match sup.submit(ds.test[0].record.clone()) {
+                Admission::Shed(ShedReason::QueueFull) => shed += 1,
+                Admission::Shed(r) => panic!("unexpected shed reason {r:?}"),
+                _ => {}
+            }
+        }
+        assert!(shed > 0, "a 2-deep queue cannot absorb 50 instant submits");
+        assert_eq!(sup.stats().sheds, shed);
+    }
+
+    #[test]
     fn drop_with_pending_events_does_not_deadlock() {
         let (m, ds) = monitor();
         // Tiny queues: the worker will fill the event channel and block.
         let sup = Supervisor::spawn(m, 2);
         for t in ds.test.iter().take(12) {
-            sup.submit(t.record.clone());
+            sup.submit_blocking(t.record.clone());
         }
         // Give the worker time to wedge on the full event queue, then
         // drop without draining. A regression here hangs the test.
@@ -147,7 +256,7 @@ mod tests {
         let (m, ds) = monitor();
         let sup = Supervisor::spawn(m, 8);
         for t in ds.test.iter().take(5) {
-            sup.submit(t.record.clone());
+            assert!(sup.submit_blocking(t.record.clone()).accepted());
         }
         // Drain so the worker isn't blocked on a full event queue.
         let mut seen = 0;

@@ -1,0 +1,158 @@
+//! Property tests for fleet determinism: the sharded multi-tenant
+//! runtime must make exactly the decisions a standalone [`Monitor`]
+//! makes — bitwise, scores included — when both see the same records in
+//! the same epoch grouping, across 1, 2 and 4 shards.
+//!
+//! Epoch boundaries are the contract: the fleet coalesces each premises'
+//! backlog into `infer_batch` epochs of at most `max_batch` records.
+//! Submitting while paused and flushing reproduces that grouping
+//! deterministically, and the standalone reference applies the identical
+//! chunking via `process_batch`.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use gem_core::{Gem, GemConfig, GemSnapshot};
+use gem_rfsim::{Scenario, ScenarioConfig};
+use gem_service::{Event, Fleet, FleetConfig, Monitor, MonitorConfig};
+use gem_signal::SignalRecord;
+
+/// One trained tenant: a snapshot (cheap to restore per case, expensive
+/// to fit) plus its held-out record stream.
+struct Tenant {
+    snapshot_json: String,
+    stream: Vec<SignalRecord>,
+}
+
+/// Three fitted tenants, trained once for the whole test binary.
+fn tenants() -> &'static Vec<Tenant> {
+    static TENANTS: OnceLock<Vec<Tenant>> = OnceLock::new();
+    TENANTS.get_or_init(|| {
+        (1..=3u32)
+            .map(|user| {
+                let mut cfg = ScenarioConfig::user(user);
+                cfg.train_duration_s = 120.0;
+                cfg.n_test_in = 12;
+                cfg.n_test_out = 12;
+                let ds = Scenario::build(cfg).generate();
+                let gem = Gem::fit(GemConfig::default(), &ds.train);
+                Tenant {
+                    snapshot_json: GemSnapshot::capture(&gem).to_json().unwrap(),
+                    stream: ds.test.iter().map(|t| t.record.clone()).collect(),
+                }
+            })
+            .collect()
+    })
+}
+
+fn restore(tenant: &Tenant) -> Gem {
+    GemSnapshot::from_json(&tenant.snapshot_json).unwrap().restore().unwrap()
+}
+
+/// A randomized fleet run: shard count, tenant subset, coalescing cap
+/// and chunked submission schedule.
+#[derive(Debug, Clone)]
+struct Plan {
+    shards: usize,
+    n_premises: usize,
+    max_batch: usize,
+    /// Records submitted per premises in each pause/flush cycle.
+    chunk_sizes: Vec<usize>,
+}
+
+struct PlanStrategy;
+
+impl Strategy for PlanStrategy {
+    type Value = Plan;
+
+    fn sample(&self, rng: &mut StdRng) -> Plan {
+        let n_chunks = rng.random_range(1..4usize);
+        Plan {
+            shards: [1usize, 2, 4][rng.random_range(0..3usize)],
+            n_premises: rng.random_range(1..4usize),
+            max_batch: [1usize, 3, 32][rng.random_range(0..3usize)],
+            chunk_sizes: (0..n_chunks).map(|_| rng.random_range(1..7usize)).collect(),
+        }
+    }
+}
+
+/// Decision-bearing events for one premises, in order.
+fn fleet_events_of(events: &[gem_service::FleetEvent], premises: u64) -> Vec<Event> {
+    events.iter().filter(|e| e.premises_id == premises).map(|e| e.event.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sharded fleet decisions are bitwise-equal to a standalone monitor
+    /// fed the same records with the same epoch grouping.
+    #[test]
+    fn fleet_matches_standalone_bitwise(plan in PlanStrategy) {
+        let tenants = tenants();
+        let premises_ids: Vec<u64> = (0..plan.n_premises as u64).map(|i| i * 17 + 3).collect();
+
+        // The fleet side.
+        let monitors: Vec<(u64, Monitor)> = premises_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, Monitor::new(restore(&tenants[i]), MonitorConfig::default())))
+            .collect();
+        let fleet = Fleet::spawn(
+            monitors,
+            FleetConfig {
+                shards: plan.shards,
+                max_batch: plan.max_batch,
+                queue_per_shard: 256,
+                dir: None,
+                snapshot_interval: None,
+            },
+        )
+        .unwrap();
+        let mut fleet_events = Vec::new();
+        let mut cursors = vec![0usize; premises_ids.len()];
+        for &chunk in &plan.chunk_sizes {
+            fleet.pause();
+            for (i, &p) in premises_ids.iter().enumerate() {
+                let stream = &tenants[i].stream;
+                for k in 0..chunk {
+                    let record = stream[(cursors[i] + k) % stream.len()].clone();
+                    prop_assert!(fleet.submit(p, record).accepted());
+                }
+                cursors[i] += chunk;
+            }
+            fleet.flush().unwrap();
+            while let Ok(e) = fleet.events().try_recv() {
+                fleet_events.push(e);
+            }
+            fleet.resume();
+        }
+        fleet.shutdown().unwrap();
+
+        // The standalone reference: same records, same epoch chunking.
+        for (i, &p) in premises_ids.iter().enumerate() {
+            let mut reference = Monitor::new(restore(&tenants[i]), MonitorConfig::default());
+            let stream = &tenants[i].stream;
+            let mut expected = Vec::new();
+            let mut cursor = 0usize;
+            for &chunk in &plan.chunk_sizes {
+                let records: Vec<SignalRecord> =
+                    (0..chunk).map(|k| stream[(cursor + k) % stream.len()].clone()).collect();
+                cursor += chunk;
+                // A flushed backlog of `chunk` records drains as
+                // sequential epochs of at most `max_batch`.
+                for epoch in records.chunks(plan.max_batch) {
+                    expected.extend(reference.process_batch(epoch));
+                }
+            }
+            let got = fleet_events_of(&fleet_events, p);
+            prop_assert_eq!(
+                &got, &expected,
+                "premises {} diverged (shards={}, max_batch={})",
+                p, plan.shards, plan.max_batch
+            );
+        }
+    }
+}

@@ -37,6 +37,24 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state, for checkpointing a generator
+    /// mid-stream (snapshot/restore must resume the exact sequence).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`StdRng::state`].
+    /// The all-zero state is the generator's one forbidden fixed point
+    /// and is remapped the same way seeding does.
+    pub fn from_state(mut s: [u64; 4]) -> StdRng {
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {

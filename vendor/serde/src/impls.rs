@@ -277,3 +277,34 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
         Ok(deserialize_pairs::<K, V>(value)?.into_iter().collect())
     }
 }
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array().ok_or_else(|| Error::type_mismatch("array", value))?;
+        if items.len() != N {
+            return Err(Error::custom(format!("expected {N}-element array, got {}", items.len())));
+        }
+        let vec: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        vec.try_into().map_err(|_| Error::custom("array length changed during conversion"))
+    }
+}
+
+/// Identity impls so a [`Value`] can pass through derived structs
+/// untouched (schema-free sidecar fields).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -63,6 +63,12 @@ pub fn get_field<'v>(
         .ok_or_else(|| Error::missing_field(ty, name))
 }
 
+/// Optional field lookup for `#[serde(default)]` fields: absence is not
+/// an error, the derived impl substitutes `Default::default()`.
+pub fn get_field_opt<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,8 +3,9 @@
 //! and floats keep their exact bit patterns via shortest-round-trip
 //! formatting in `serde_json`.
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
+    #[default]
     Null,
     Bool(bool),
     U64(u64),

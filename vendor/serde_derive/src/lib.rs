@@ -10,17 +10,19 @@
 //! - enums with unit, tuple, and named-field variants
 //!
 //! Not supported (compile error, by design): generic items and
-//! `#[serde(...)]` attributes.
+//! `#[serde(...)]` attributes — with one exception: `#[serde(default)]`
+//! on a named field substitutes `Default::default()` when the field is
+//! absent from the serialized object (schema evolution for snapshots).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     emit(gen_serialize(&item))
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     emit(gen_deserialize(&item))
@@ -40,10 +42,17 @@ struct Item {
 }
 
 enum ItemKind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field plus its one recognized attribute.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when absent.
+    default: bool,
 }
 
 struct Variant {
@@ -54,7 +63,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 // ---------------------------------------------------------------------------
@@ -103,6 +112,38 @@ impl Cursor {
                 panic!("malformed attribute");
             }
         }
+    }
+
+    /// Skip field attributes, recognizing `#[serde(default)]`. Any other
+    /// `#[serde(...)]` content is rejected loudly. Returns whether the
+    /// field carries `default`.
+    fn take_field_attrs(&mut self) -> bool {
+        let mut default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("malformed attribute");
+            };
+            let mut inner = g.stream().into_iter();
+            let Some(TokenTree::Ident(id)) = inner.next() else { continue };
+            if id.to_string() != "serde" {
+                continue;
+            }
+            let Some(TokenTree::Group(args)) = inner.next() else {
+                panic!("malformed #[serde(...)] attribute");
+            };
+            for tok in args.stream() {
+                match &tok {
+                    TokenTree::Ident(id) if id.to_string() == "default" => default = true,
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "vendored serde_derive only supports #[serde(default)] \
+                         on fields, got {other}"
+                    ),
+                }
+            }
+        }
+        default
     }
 
     fn skip_vis(&mut self) {
@@ -182,11 +223,11 @@ fn parse_struct_body(cur: &mut Cursor, name: &str) -> ItemKind {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(body);
     let mut fields = Vec::new();
     loop {
-        cur.skip_attrs();
+        let default = cur.take_field_attrs();
         if cur.at_end() {
             break;
         }
@@ -196,7 +237,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             panic!("expected `:` after field `{field}`");
         }
         cur.skip_type();
-        fields.push(field);
+        fields.push(Field { name: field, default });
         if !cur.eat_punct(',') {
             break;
         }
@@ -282,6 +323,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          _serde::Serialize::serialize(&self.{f})),"
@@ -335,17 +377,19 @@ fn gen_variant_ser(name: &str, v: &Variant) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          _serde::Serialize::serialize({f})),"
                     )
                 })
                 .collect();
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
             format!(
                 "{name}::{vname} {{ {} }} => _serde::Value::Object(::std::vec![\
                  (::std::string::String::from(\"{vname}\"), \
                  _serde::Value::Object(::std::vec![{entries}]))]),",
-                fields.join(", ")
+                binds.join(", ")
             )
         }
     }
@@ -355,15 +399,8 @@ fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         ItemKind::NamedStruct(fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: _serde::Deserialize::deserialize(\
-                         _serde::get_field(__fields, \"{name}\", \"{f}\")?)?,"
-                    )
-                })
-                .collect();
+            let inits: String =
+                fields.iter().map(|f| gen_named_field_de(name, "__fields", f)).collect();
             format!(
                 "let __fields = __value.as_object().ok_or_else(|| \
                  _serde::Error::type_mismatch(\"struct {name}\", __value))?;\n\
@@ -402,6 +439,25 @@ fn gen_deserialize(item: &Item) -> String {
          ::std::result::Result<Self, _serde::Error> {{\n{body}\n}}\n\
          }}"
     ))
+}
+
+/// One `field: <expr>,` initializer for a named field. `#[serde(default)]`
+/// fields tolerate absence by substituting `Default::default()`.
+fn gen_named_field_de(ty: &str, fields_bind: &str, f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match _serde::get_field_opt({fields_bind}, \"{name}\") {{\n\
+             ::std::option::Option::Some(__v) => _serde::Deserialize::deserialize(__v)?,\n\
+             ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }},"
+        )
+    } else {
+        format!(
+            "{name}: _serde::Deserialize::deserialize(\
+             _serde::get_field({fields_bind}, \"{ty}\", \"{name}\")?)?,"
+        )
+    }
 }
 
 fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
@@ -444,12 +500,7 @@ fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
                 VariantKind::Named(fields) => {
                     let inits: String = fields
                         .iter()
-                        .map(|f| {
-                            format!(
-                                "{f}: _serde::Deserialize::deserialize(\
-                                 _serde::get_field(__vfields, \"{name}::{vname}\", \"{f}\")?)?,"
-                            )
-                        })
+                        .map(|f| gen_named_field_de(&format!("{name}::{vname}"), "__vfields", f))
                         .collect();
                     Some(format!(
                         "\"{vname}\" => {{\n\

@@ -8,11 +8,19 @@
 //! carry a `.`/exponent so they re-parse as floats, not integers.
 
 pub use serde::Error;
-use serde::Value;
+pub use serde::Value;
 
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     emit(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Two-space-indented rendering, for human-inspected files (manifests).
+/// Parses back identically to the compact form.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit_pretty(&value.serialize(), 0, &mut out);
     Ok(out)
 }
 
@@ -56,6 +64,41 @@ fn emit(value: &Value, out: &mut String) {
             }
             out.push('}');
         }
+    }
+}
+
+fn emit_pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                emit_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                emit_string(key, out);
+                out.push_str(": ");
+                emit_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push('}');
+        }
+        other => emit(other, out),
     }
 }
 

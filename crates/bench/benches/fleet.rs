@@ -87,6 +87,17 @@ fn run_fleet(tenants: &[Tenant], shards: usize, records_per_premises: usize) -> 
     let total = records_per_premises * tenants.len();
     let mut attempts = 0u64;
     let mut sheds = 0u64;
+    // Drain decisions while submitting: the event channel is bounded
+    // and shards drop (and count) overflow rather than block, so a
+    // submitter that never drains would lose latency samples.
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(total);
+    let drain = |latencies_ms: &mut Vec<f64>| {
+        while let Ok(FleetEvent { event, latency_s, .. }) = fleet.events().try_recv() {
+            if matches!(event, Event::Decision { .. }) {
+                latencies_ms.push(latency_s * 1e3);
+            }
+        }
+    };
     let start = Instant::now();
     for k in 0..records_per_premises {
         for (i, tenant) in tenants.iter().enumerate() {
@@ -97,18 +108,16 @@ fn run_fleet(tenants: &[Tenant], shards: usize, records_per_premises: usize) -> 
                     break;
                 }
                 sheds += 1;
+                drain(&mut latencies_ms);
                 std::thread::sleep(Duration::from_micros(50));
             }
+            drain(&mut latencies_ms);
         }
     }
     fleet.flush().unwrap();
     let elapsed = start.elapsed().as_secs_f64();
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(total);
-    while let Ok(FleetEvent { event, latency_s, .. }) = fleet.events().try_recv() {
-        if matches!(event, Event::Decision { .. }) {
-            latencies_ms.push(latency_s * 1e3);
-        }
-    }
+    drain(&mut latencies_ms);
+    assert_eq!(fleet.dropped_events(), 0, "benchmark consumer must keep up with the fleet");
     assert_eq!(latencies_ms.len(), total, "every admitted record must be decided");
     fleet.shutdown().unwrap();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));

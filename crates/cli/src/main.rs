@@ -269,20 +269,49 @@ fn fleet(args: &Args) -> Result<(), String> {
     };
 
     // Interleave the streams round-robin, as concurrent devices would,
-    // blocking briefly when admission sheds.
+    // backing off briefly when admission sheds. Events are drained
+    // *inside* the submit loop: the fleet's event channel is bounded,
+    // and a submitter that never drains would eventually stall the
+    // pipeline it is trying to fill.
+    use gem_service::{Admission, ShedReason};
     let mut sheds = 0u64;
+    let mut events: Vec<FleetEvent> = Vec::new();
+    let drain = |events: &mut Vec<FleetEvent>| {
+        while let Ok(e) = fleet.events().try_recv() {
+            events.push(e);
+        }
+    };
     let longest = datasets.iter().map(|d| d.test.len()).max().unwrap_or(0);
     for k in 0..longest {
         for (i, dataset) in datasets.iter().enumerate() {
             let Some(t) = dataset.test.get(k) else { continue };
-            while !fleet.submit(i as u64 + 1, t.record.clone()).accepted() {
-                sheds += 1;
-                std::thread::sleep(Duration::from_millis(1));
+            let premises_id = i as u64 + 1;
+            loop {
+                match fleet.submit(premises_id, t.record.clone()) {
+                    a if a.accepted() => break,
+                    Admission::Shed(ShedReason::QueueFull) => {
+                        // Transient: the shard is behind. Free the event
+                        // channel, give it a moment, retry.
+                        sheds += 1;
+                        drain(&mut events);
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Admission::Shed(reason) => {
+                        // UnknownPremises / Shutdown never clear up;
+                        // retrying would spin forever.
+                        return Err(format!(
+                            "premises {premises_id}: submission refused permanently ({reason:?})"
+                        ));
+                    }
+                    _ => unreachable!("non-shed admissions are accepted"),
+                }
             }
+            drain(&mut events);
         }
     }
     fleet.flush().map_err(|e| e.to_string())?;
-    while let Ok(FleetEvent { premises_id, event, .. }) = fleet.events().try_recv() {
+    drain(&mut events);
+    for FleetEvent { premises_id, event, .. } in events {
         match event {
             Event::AlertRaised { timestamp_s, consecutive_out } => {
                 say!(
@@ -311,6 +340,9 @@ fn fleet(args: &Args) -> Result<(), String> {
     }
     if sheds > 0 {
         say!("admission shed {sheds} submissions (retried until accepted)");
+    }
+    if fleet.dropped_events() > 0 {
+        say!("{} event notifications dropped (consumer fell behind)", fleet.dropped_events());
     }
     let durable = fleet.snapshot_dir().map(|d| d.display().to_string());
     fleet.shutdown().map_err(|e| e.to_string())?;

@@ -35,5 +35,7 @@ pub use gem::{Decision, Gem};
 pub use hbos::HistogramModel;
 pub use infer::{CacheStats, InferenceEngine};
 pub use pca::PcaRotation;
-pub use persist::{fnv1a64, fnv1a64_hex, FleetManifest, GemSnapshot, PersistError, PremisesEntry};
+pub use persist::{
+    fnv1a64, fnv1a64_hex, FleetManifest, GemSnapshot, PersistError, PremisesEntry, MANIFEST_FILE,
+};
 pub use pipeline::{Embedder, OutlierModel, Pipeline};

@@ -257,15 +257,29 @@ impl FleetManifest {
         self.premises.iter().find(|e| e.premises_id == premises_id)
     }
 
-    /// Writes the manifest into `dir` atomically (temp file + rename), so
-    /// a crash mid-write can never leave a torn manifest behind.
+    /// Writes the manifest into `dir` atomically and durably: the temp
+    /// file is synced before the rename (so the commit can never expose
+    /// a torn manifest) and the directory is synced after it (so the
+    /// rename itself — and the directory entries of any files written
+    /// alongside — survive power loss, not just process crashes).
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
         let dir = dir.as_ref();
         let json =
             serde_json::to_string_pretty(self).map_err(|e| PersistError::Format(e.to_string()))?;
         let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
-        fs::write(&tmp, json)?;
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_data()?;
+        }
         fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        // Opening a directory read-only for fsync is POSIX-only; on
+        // platforms where it fails, durability degrades to
+        // process-crash-only rather than erroring the commit.
+        if let Ok(d) = fs::File::open(dir) {
+            d.sync_all()?;
+        }
         Ok(())
     }
 

@@ -51,13 +51,16 @@ impl JournalWriter {
         Ok(JournalWriter { path, file: BufWriter::new(file) })
     }
 
-    /// Appends one epoch and flushes it to the OS. Must be called before
-    /// the epoch is processed (write-ahead), so a crash mid-epoch replays
-    /// it instead of losing it.
+    /// Appends one epoch and syncs it to stable storage. Must be called
+    /// before the epoch is processed (write-ahead), so a crash mid-epoch
+    /// replays it instead of losing it. The `sync_data` makes the
+    /// guarantee hold for power loss and kernel panics, not just process
+    /// crashes.
     pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
         let json = serde_json::to_string(entry).map_err(|e| io::Error::other(e.to_string()))?;
         writeln!(self.file, "{} {}", fnv1a64_hex(json.as_bytes()), json)?;
-        self.file.flush()
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
     }
 
     /// Empties the journal. Only safe after every entry has been folded
@@ -66,6 +69,34 @@ impl JournalWriter {
     pub fn reset(&mut self) -> io::Result<()> {
         let file = OpenOptions::new().create(true).write(true).truncate(true).open(&self.path)?;
         self.file = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Rewrites the journal keeping only the entries `keep` accepts —
+    /// the truncation primitive for snapshot commits: entries folded
+    /// into the committed manifest go, entries past its watermark stay.
+    ///
+    /// The rewrite is crash-safe: the retained entries are written to a
+    /// temp file, synced, and renamed over the journal, so a crash at
+    /// any point leaves either the old journal or the pruned one —
+    /// never a partial rewrite.
+    pub fn retain(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<()> {
+        self.file.flush()?;
+        let entries = read_journal(&self.path)?;
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let file = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+            let mut w = BufWriter::new(file);
+            for entry in entries.iter().filter(|e| keep(e)) {
+                let json =
+                    serde_json::to_string(entry).map_err(|e| io::Error::other(e.to_string()))?;
+                writeln!(w, "{} {}", fnv1a64_hex(json.as_bytes()), json)?;
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        self.file = BufWriter::new(OpenOptions::new().create(true).append(true).open(&self.path)?);
         Ok(())
     }
 }
@@ -178,6 +209,26 @@ mod tests {
         assert!(read_journal(&path).unwrap().is_empty());
         w.append(&entry(1, 2)).unwrap();
         assert_eq!(read_journal(&path).unwrap(), vec![entry(1, 2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retain_prunes_committed_entries_and_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("gem_journal_retain");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(journal_file(0));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&entry(7, 1)).unwrap();
+        w.append(&entry(9, 1)).unwrap();
+        w.append(&entry(7, 2)).unwrap();
+        // Commit watermark: premises 7 snapshotted at epoch 1, premises 9
+        // at epoch 1 — only 7's epoch 2 is past the manifest.
+        w.retain(|e| e.epoch > 1).unwrap();
+        assert_eq!(read_journal(&path).unwrap(), vec![entry(7, 2)]);
+        // The writer keeps appending after the retained entries.
+        w.append(&entry(9, 2)).unwrap();
+        assert_eq!(read_journal(&path).unwrap(), vec![entry(7, 2), entry(9, 2)]);
         let _ = fs::remove_dir_all(&dir);
     }
 

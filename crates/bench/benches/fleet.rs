@@ -13,14 +13,21 @@
 //! into fused `infer_batch` epochs must still keep the fleet at least
 //! at parity with the record-at-a-time baseline).
 //!
+//! Two observability gates ride along: the decision-latency histograms
+//! exported on the fleet registry must agree with the bench's own
+//! externally sorted percentiles (within one log2 bucket — the
+//! histogram's stated resolution), and running with metrics fully on
+//! must cost < 3% throughput versus metrics off.
+//!
 //! `GEM_BENCH_QUICK=1` shrinks the workload for CI smoke runs.
 
 use std::io::Write;
 use std::time::{Duration, Instant};
 
 use gem_core::{Gem, GemConfig, GemSnapshot};
+use gem_obs::{Histogram, MetricValue, Registry, HISTOGRAM_BUCKETS};
 use gem_rfsim::{Scenario, ScenarioConfig};
-use gem_service::{Event, Fleet, FleetConfig, FleetEvent, Monitor, MonitorConfig};
+use gem_service::{Event, Fleet, FleetConfig, FleetEvent, Monitor, MonitorConfig, ObsOptions};
 use gem_signal::SignalRecord;
 
 const N_PREMISES: usize = 4;
@@ -68,9 +75,48 @@ struct RunResult {
     p50_latency_ms: f64,
     p99_latency_ms: f64,
     shed_rate: f64,
+    /// Registry-side quantile estimates (bucket upper bounds) from the
+    /// merged per-shard decision-latency histograms. 0 with metrics off.
+    hist_p50_ms: f64,
+    hist_p99_ms: f64,
 }
 
-fn run_fleet(tenants: &[Tenant], shards: usize, records_per_premises: usize) -> RunResult {
+/// Merges the per-shard `gem_shard_decision_latency_seconds` histograms
+/// and estimates the `q`-quantile in nanoseconds, using the same rank
+/// rule as [`Histogram::quantile`] (`rank = floor(q * (n - 1))`, value =
+/// inclusive upper bound of the bucket holding that rank).
+fn merged_latency_quantile(registry: &Registry, q: f64) -> Option<u64> {
+    let mut merged = [0u64; HISTOGRAM_BUCKETS];
+    for (name, _, value) in registry.snapshot() {
+        if name == "gem_shard_decision_latency_seconds" {
+            if let MetricValue::Histogram(_, _, buckets) = value {
+                for (m, b) in merged.iter_mut().zip(buckets.iter()) {
+                    *m += *b;
+                }
+            }
+        }
+    }
+    let total: u64 = merged.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64).floor() as u64;
+    let mut cumulative = 0u64;
+    for (i, b) in merged.iter().enumerate() {
+        cumulative += b;
+        if cumulative > rank {
+            return Some(Histogram::bucket_upper(i));
+        }
+    }
+    None
+}
+
+fn run_fleet(
+    tenants: &[Tenant],
+    shards: usize,
+    records_per_premises: usize,
+    obs: bool,
+) -> RunResult {
     let monitors: Vec<(u64, Monitor)> =
         tenants.iter().enumerate().map(|(i, t)| (i as u64 + 1, restore_monitor(t))).collect();
     let fleet = Fleet::spawn(
@@ -81,6 +127,7 @@ fn run_fleet(tenants: &[Tenant], shards: usize, records_per_premises: usize) -> 
             max_batch: MAX_BATCH,
             dir: None,
             snapshot_interval: None,
+            obs: ObsOptions { enabled: obs, ..ObsOptions::default() },
         },
     )
     .unwrap();
@@ -119,14 +166,40 @@ fn run_fleet(tenants: &[Tenant], shards: usize, records_per_premises: usize) -> 
     drain(&mut latencies_ms);
     assert_eq!(fleet.dropped_events(), 0, "benchmark consumer must keep up with the fleet");
     assert_eq!(latencies_ms.len(), total, "every admitted record must be decided");
+    let registry = fleet.registry();
     fleet.shutdown().unwrap();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+    let (mut hist_p50_ms, mut hist_p99_ms) = (0.0, 0.0);
+    if obs {
+        // The histograms saw the same per-decision latencies the events
+        // carried (recorded in ns by the shard), so the registry-side
+        // quantile must land in the same log2 bucket as the externally
+        // sorted percentile — one bucket of slack for boundary values.
+        for (q, external_ms, out) in
+            [(0.50, pct(0.50), &mut hist_p50_ms), (0.99, pct(0.99), &mut hist_p99_ms)]
+        {
+            let estimate_ns =
+                merged_latency_quantile(&registry, q).expect("histograms must have samples");
+            *out = estimate_ns as f64 / 1e6;
+            let external_bucket = Histogram::bucket_index((external_ms * 1e6) as u64);
+            let estimate_bucket = Histogram::bucket_index(estimate_ns);
+            assert!(
+                external_bucket.abs_diff(estimate_bucket) <= 1,
+                "histogram p{} ({estimate_ns} ns, bucket {estimate_bucket}) must agree with \
+                 the external measurement ({external_ms} ms, bucket {external_bucket}) \
+                 within one bucket",
+                (q * 100.0) as u32,
+            );
+        }
+    }
     RunResult {
         records_per_sec: total as f64 / elapsed,
         p50_latency_ms: pct(0.50),
         p99_latency_ms: pct(0.99),
         shed_rate: sheds as f64 / attempts as f64,
+        hist_p50_ms,
+        hist_p99_ms,
     }
 }
 
@@ -146,6 +219,8 @@ struct ShardLine {
     records_per_sec: f64,
     p50_latency_ms: f64,
     p99_latency_ms: f64,
+    hist_p50_latency_ms: f64,
+    hist_p99_latency_ms: f64,
     shed_rate: f64,
     speedup_vs_baseline: f64,
 }
@@ -162,6 +237,9 @@ struct FleetBenchLine {
     shard_results: Vec<ShardLine>,
     required_speedup: f64,
     measured_speedup: f64,
+    metrics_on_records_per_sec: f64,
+    metrics_off_records_per_sec: f64,
+    metrics_overhead_pct: f64,
 }
 
 fn main() {
@@ -173,10 +251,16 @@ fn main() {
     println!("baseline single-monitor: {baseline:.1} records/s");
     let mut shard_results = Vec::new();
     for &shards in &[1usize, 2, 4] {
-        let r = run_fleet(&tenants, shards, records_per_premises);
+        let r = run_fleet(&tenants, shards, records_per_premises, true);
         println!(
-            "shards={shards}: {:.1} records/s, p50 {:.2} ms, p99 {:.2} ms, shed rate {:.4}",
-            r.records_per_sec, r.p50_latency_ms, r.p99_latency_ms, r.shed_rate
+            "shards={shards}: {:.1} records/s, p50 {:.2} ms (hist {:.2}), p99 {:.2} ms \
+             (hist {:.2}), shed rate {:.4}",
+            r.records_per_sec,
+            r.p50_latency_ms,
+            r.hist_p50_ms,
+            r.p99_latency_ms,
+            r.hist_p99_ms,
+            r.shed_rate
         );
         shard_results.push(ShardLine {
             shards,
@@ -184,6 +268,8 @@ fn main() {
             records_per_sec: r.records_per_sec,
             p50_latency_ms: r.p50_latency_ms,
             p99_latency_ms: r.p99_latency_ms,
+            hist_p50_latency_ms: r.hist_p50_ms,
+            hist_p99_latency_ms: r.hist_p99_ms,
             shed_rate: r.shed_rate,
         });
     }
@@ -198,6 +284,31 @@ fn main() {
         "fleet at 4 shards must be >={required:.2}x the single-monitor baseline \
          on {cores} cores, measured {measured:.2}x"
     );
+    // Metrics overhead gate: full observability (histograms + span
+    // timing + trace rings) versus metrics off. The true per-record
+    // cost is a handful of relaxed atomics against ~100 µs of
+    // inference, so the gate's enemy is scheduler noise, not metrics:
+    // measure on a floor-sized workload (a quick run is otherwise tens
+    // of milliseconds), interleave the modes, and take best-of-N.
+    let overhead_records = records_per_premises.max(240);
+    let pairs = if quick() { 3 } else { 4 };
+    let (mut best_off, mut best_on) = (0f64, 0f64);
+    for _ in 0..pairs {
+        let off = run_fleet(&tenants, 4, overhead_records, false);
+        let on = run_fleet(&tenants, 4, overhead_records, true);
+        best_off = best_off.max(off.records_per_sec);
+        best_on = best_on.max(on.records_per_sec);
+    }
+    let overhead_pct = (best_off - best_on) / best_off * 100.0;
+    println!(
+        "metrics overhead at 4 shards: off {best_off:.1} rec/s, on {best_on:.1} rec/s \
+         ({overhead_pct:+.2}%)"
+    );
+    assert!(
+        overhead_pct < 3.0,
+        "metrics-on throughput must be within 3% of metrics-off \
+         (off {best_off:.1} rec/s, on {best_on:.1} rec/s, overhead {overhead_pct:.2}%)"
+    );
     let line = FleetBenchLine {
         bench: "fleet",
         cores,
@@ -209,6 +320,9 @@ fn main() {
         shard_results,
         required_speedup: required,
         measured_speedup: measured,
+        metrics_on_records_per_sec: best_on,
+        metrics_off_records_per_sec: best_off,
+        metrics_overhead_pct: overhead_pct,
     };
     let json = serde_json::to_string(&line).expect("serialize bench line");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");

@@ -72,6 +72,7 @@ fn usage() -> String {
      \x20 stream   --dataset FILE --model FILE [--alert-after K] [--save-back]\n\
      \x20 fleet    --models F1,F2,.. --datasets F1,F2,.. [--shards N] [--max-batch B]\n\
      \x20          [--alert-after K] [--dir DIR] [--snapshot-secs S] [--recover]\n\
+     \x20          [--metrics-addr HOST:PORT] [--trace-dir DIR] [--no-metrics]\n\
      \x20 info     --model FILE"
         .to_string()
 }
@@ -200,12 +201,17 @@ fn stream(args: &Args) -> Result<(), String> {
 /// pair, sharded across worker threads, with optional durability
 /// (`--dir` enables the write-ahead journal plus snapshots on
 /// `--snapshot-secs` and at shutdown) and crash recovery (`--recover`
-/// replays the journal before streaming).
+/// replays the journal before streaming). `--metrics-addr` serves the
+/// fleet's registry as Prometheus text (`/metrics`) and JSON
+/// (`/metrics.json`) for the run's duration; `--trace-dir` dumps the
+/// per-shard decision-trace rings as JSONL at the end; `--no-metrics`
+/// turns histograms and tracing off (counters stay on).
 fn fleet(args: &Args) -> Result<(), String> {
     use gem_service::{Fleet, FleetConfig, FleetEvent};
     use std::time::Duration;
 
     let mut cfg = FleetConfig::default();
+    cfg.obs.enabled = !args.flag("no-metrics");
     if let Some(shards) = args.get_parsed::<usize>("shards")? {
         cfg.shards = shards;
     }
@@ -266,6 +272,18 @@ fn fleet(args: &Args) -> Result<(), String> {
             })
             .collect::<Result<Vec<_>, String>>()?;
         Fleet::spawn(monitors, cfg).map_err(|e| e.to_string())?
+    };
+
+    // The server lives until the end of this function: the final scrape
+    // a supervisor makes still sees the complete run.
+    let _metrics_server = match args.get_parsed::<String>("metrics-addr")? {
+        Some(addr) => {
+            let server = gem_obs::MetricsServer::bind(&addr, fleet.registry())
+                .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
+            say!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
     };
 
     // Interleave the streams round-robin, as concurrent devices would,
@@ -343,6 +361,12 @@ fn fleet(args: &Args) -> Result<(), String> {
     }
     if fleet.dropped_events() > 0 {
         say!("{} event notifications dropped (consumer fell behind)", fleet.dropped_events());
+    }
+    if let Some(trace_dir) = args.get_parsed::<std::path::PathBuf>("trace-dir")? {
+        let paths = fleet
+            .dump_traces(&trace_dir)
+            .map_err(|e| format!("writing traces to {}: {e}", trace_dir.display()))?;
+        say!("wrote {} trace files to {}", paths.len(), trace_dir.display());
     }
     let durable = fleet.snapshot_dir().map(|d| d.display().to_string());
     fleet.shutdown().map_err(|e| e.to_string())?;

@@ -76,6 +76,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// MAC-aggregate lookups that recomputed the entry.
     pub misses: u64,
+    /// Whole-cache invalidations (trust-epoch bumps from `invalidate`
+    /// or `notify_trust_change`).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -100,6 +103,7 @@ pub struct InferenceEngine {
     call_id: u64,
     hits: u64,
     misses: u64,
+    invalidations: u64,
     // Single-record scratch.
     nbrs: Vec<(NodeId, f32)>,
     /// Target's capped level-0 expansion: `(mac id, normalized weight)`.
@@ -139,6 +143,7 @@ impl InferenceEngine {
             call_id: 0,
             hits: 0,
             misses: 0,
+            invalidations: 0,
             nbrs: Vec::new(),
             macs0: Vec::new(),
             h1: Vec::new(),
@@ -165,6 +170,7 @@ impl InferenceEngine {
     /// changing a MAC's degree).
     pub fn invalidate(&mut self) {
         self.trust_epoch += 1;
+        self.invalidations += 1;
     }
 
     /// The trusted-record set changed (a `feedback` flip, or a streamed
@@ -172,11 +178,12 @@ impl InferenceEngine {
     /// trust assignment are no longer readable.
     pub fn notify_trust_change(&mut self) {
         self.trust_epoch += 1;
+        self.invalidations += 1;
     }
 
-    /// Lifetime cache hit/miss counters.
+    /// Lifetime cache hit/miss/invalidation counters.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits, misses: self.misses }
+        CacheStats { hits: self.hits, misses: self.misses, invalidations: self.invalidations }
     }
 
     /// Primary embedding of one record into a caller-owned buffer —

@@ -28,7 +28,7 @@ pub mod pca;
 pub mod persist;
 pub mod pipeline;
 
-pub use bisage::{Aggregator, BiSage, BiSageConfig, StepEvent};
+pub use bisage::{obs_step_recorder, Aggregator, BiSage, BiSageConfig, StepEvent};
 pub use config::GemConfig;
 pub use detector::{BaselineHbos, Detection, EnhancedDetector};
 pub use gem::{Decision, Gem};

@@ -1,0 +1,30 @@
+//! Observability substrate for the GEM serving stack.
+//!
+//! Everything here is `std`-only and allocation-free on the hot path:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars;
+//! * [`Histogram`] — fixed log2-bucket latency histogram (p50/p99/p999
+//!   derivable from the buckets, bounded error of one bucket, i.e. a
+//!   factor of two);
+//! * [`SpanTimer`] — RAII timer recording elapsed wall time into a
+//!   histogram;
+//! * [`Registry`] — named, labelled metric registry with two exposition
+//!   formats: Prometheus text and a JSON dump for tooling;
+//! * [`MetricsServer`] — a minimal `/metrics` HTTP endpoint on a
+//!   [`std::net::TcpListener`];
+//! * [`TraceRing`] — a bounded, overwrite-oldest structured event ring
+//!   drainable as JSONL for post-mortem decision traces.
+//!
+//! The crate deliberately has **no dependencies** (consistent with the
+//! workspace's vendored-deps policy) so any layer — core, service, cli,
+//! bench — can instrument itself without coupling.
+
+mod metrics;
+mod registry;
+mod server;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, SpanTimer, HISTOGRAM_BUCKETS};
+pub use registry::{MetricSample, MetricValue, Registry};
+pub use server::MetricsServer;
+pub use trace::{TraceEvent, TraceRing, TraceValue};

@@ -1,0 +1,258 @@
+//! Lock-free metric primitives: counter, gauge, log2-bucket histogram
+//! and the RAII span timer.
+//!
+//! All hot-path operations are single relaxed atomic RMWs and allocate
+//! nothing. Cross-metric consistency is deliberately not promised: a
+//! scrape may observe a count that is one ahead of a sum — the usual
+//! contract of relaxed telemetry.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing relaxed-atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A relaxed-atomic signed gauge (a value that goes up and down).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`].
+///
+/// Bucket 0 holds the value 0; bucket `k` (1 ≤ k ≤ 38) holds values in
+/// `[2^(k-1), 2^k)`; bucket 39 is the overflow bucket (`≥ 2^38`). For
+/// nanosecond latencies the covered range is 1 ns .. ~4.6 min, far wider
+/// than any decision path.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed log2-bucket histogram for latencies (recorded in integer
+/// units, by convention nanoseconds).
+///
+/// Recording is one relaxed `fetch_add` on the bucket plus two on the
+/// running sum/count — no locks, no allocation. Quantiles are derived
+/// from the bucket counts with a worst-case error of one bucket (a
+/// factor of two in value), which is exactly the resolution needed to
+/// answer "is p99 microseconds or milliseconds".
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket a value falls into.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of a bucket (`u64::MAX` for the overflow
+    /// bucket).
+    pub fn bucket_upper(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            k if k < HISTOGRAM_BUCKETS - 1 => (1u64 << k) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_lower(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            k => 1u64 << (k - 1),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), index-aligned with
+    /// [`Histogram::bucket_upper`].
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The bucket holding the `q`-quantile (by the zero-based rank
+    /// `floor(q · (n−1))`, matching index-based percentile estimators),
+    /// or `None` when the histogram is empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64).floor() as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative > rank {
+                return Some(i);
+            }
+        }
+        Some(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket
+    /// holding the rank (0 when empty). True value is within one bucket,
+    /// i.e. at most a factor of two below the estimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bucket(q).map(Self::bucket_upper).unwrap_or(0)
+    }
+
+    /// Starts an RAII timer that records elapsed nanoseconds into this
+    /// histogram when dropped.
+    pub fn start_timer(&self) -> SpanTimer<'_> {
+        SpanTimer { histogram: self, start: Instant::now(), armed: true }
+    }
+}
+
+/// RAII span timer: records the elapsed wall time (nanoseconds) into its
+/// histogram on drop. Obtain one with [`Histogram::start_timer`].
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer<'_> {
+    /// Stops the timer now, records the elapsed nanoseconds and returns
+    /// them (instead of recording at scope exit).
+    pub fn stop(mut self) -> u64 {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.histogram.record(nanos);
+        self.armed = false;
+        nanos
+    }
+
+    /// Abandons the timer without recording.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.histogram.record(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn span_timer_records_once() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        let t = h.start_timer();
+        let nanos = t.stop();
+        assert_eq!(h.count(), 2);
+        assert!(nanos > 0);
+        h.start_timer().cancel();
+        assert_eq!(h.count(), 2, "cancelled timers must not record");
+    }
+}

@@ -1,0 +1,139 @@
+//! A minimal, dependency-free `/metrics` HTTP endpoint.
+//!
+//! One accept-loop thread on a [`std::net::TcpListener`], one request
+//! per connection (`Connection: close`). This is a scrape target, not a
+//! web server: it understands exactly `GET /metrics` (Prometheus text)
+//! and `GET /metrics.json` (the registry's JSON dump) and answers 404
+//! to everything else.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// A background `/metrics` server. Dropping it shuts the accept loop
+/// down (a self-connect wakes the blocked `accept`).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9next"` or `"127.0.0.1:0"` for an
+    /// ephemeral port) and starts serving `registry` on a background
+    /// thread.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle =
+            std::thread::Builder::new().name("gem-obs-metrics".to_string()).spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    let Ok((stream, _)) = listener.accept() else { continue };
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // A stuck scraper must not wedge the loop.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = serve_one(stream, &registry);
+                }
+            })?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocked accept() so the thread observes `stop`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", registry.render_prometheus())
+            }
+            "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+            _ => ("404 Not Found", "text/plain", "try /metrics or /metrics.json\n".to_string()),
+        }
+    };
+    let mut stream = reader.into_inner();
+    stream.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_both_expositions_and_404s() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("gem_test_total", &[]).add(7);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("gem_test_total 7"), "{text}");
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("application/json"), "{json}");
+        assert!(json.contains("\"gem_test_total\""), "{json}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        drop(server); // must join cleanly, not hang
+    }
+}

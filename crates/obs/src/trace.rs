@@ -1,0 +1,269 @@
+//! Bounded structured event rings for post-mortem decision traces.
+//!
+//! A [`TraceRing`] keeps the last `capacity` events (overwrite-oldest:
+//! pushing to a full ring evicts the oldest event and bumps a drop
+//! counter — pushers never block and memory is bounded by
+//! construction). Events are small structured records — a kind plus a
+//! handful of typed fields — rendered as one JSON object per line
+//! (JSONL) on export, so a trace dump is greppable and `jq`-able
+//! without a parser for some bespoke format.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::registry::json_string;
+
+/// A typed field value on a [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized as JSON number; NaN/inf become null).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> TraceValue {
+        TraceValue::U64(v)
+    }
+}
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> TraceValue {
+        TraceValue::U64(v as u64)
+    }
+}
+impl From<i64> for TraceValue {
+    fn from(v: i64) -> TraceValue {
+        TraceValue::I64(v)
+    }
+}
+impl From<f64> for TraceValue {
+    fn from(v: f64) -> TraceValue {
+        TraceValue::F64(v)
+    }
+}
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> TraceValue {
+        TraceValue::Str(v.to_string())
+    }
+}
+impl From<String> for TraceValue {
+    fn from(v: String) -> TraceValue {
+        TraceValue::Str(v)
+    }
+}
+impl From<bool> for TraceValue {
+    fn from(v: bool) -> TraceValue {
+        TraceValue::Bool(v)
+    }
+}
+
+/// One structured trace event: a kind, a wall-clock timestamp, a ring
+/// sequence number and typed fields.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event kind, e.g. `"admission"`, `"epoch"`, `"journal_fsync"`.
+    pub kind: &'static str,
+    /// Milliseconds since the Unix epoch, stamped at push time.
+    pub ts_ms: u64,
+    /// Monotonic per-ring sequence number, assigned at push time.
+    pub seq: u64,
+    /// Typed payload fields, in insertion order.
+    pub fields: Vec<(&'static str, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// A new event of `kind` with no fields yet (`ts_ms`/`seq` are
+    /// assigned by [`TraceRing::push`]).
+    pub fn new(kind: &'static str) -> TraceEvent {
+        TraceEvent { kind, ts_ms: 0, seq: 0, fields: Vec::new() }
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, key: &'static str, value: impl Into<TraceValue>) -> TraceEvent {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"ts_ms\":{},\"kind\":{}",
+            self.seq,
+            self.ts_ms,
+            json_string(self.kind)
+        ));
+        for (k, v) in &self.fields {
+            out.push(',');
+            out.push_str(&json_string(k));
+            out.push(':');
+            match v {
+                TraceValue::U64(n) => out.push_str(&n.to_string()),
+                TraceValue::I64(n) => out.push_str(&n.to_string()),
+                TraceValue::F64(f) if f.is_finite() => out.push_str(&format!("{f}")),
+                TraceValue::F64(_) => out.push_str("null"),
+                TraceValue::Str(s) => out.push_str(&json_string(s)),
+                TraceValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct RingInner {
+    buf: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded overwrite-oldest ring of [`TraceEvent`]s.
+///
+/// `push` is a short mutex hold plus at most one eviction — fine for
+/// the per-epoch / per-batch cadence it is meant for (it is *not* a
+/// per-scan hot path). A capacity of 0 disables the ring entirely:
+/// pushes are counted as dropped and nothing is retained.
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// A ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity,
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Capacity the ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes an event, stamping `ts_ms` and `seq`; evicts the oldest
+    /// event when full. Returns the assigned sequence number.
+    pub fn push(&self, mut event: TraceEvent) -> u64 {
+        event.ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        event.seq = seq;
+        if self.capacity == 0 {
+            inner.dropped += 1;
+            return seq;
+        }
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+        seq
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted (or refused, for capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).dropped
+    }
+
+    /// Copies out the retained events, oldest first, without clearing.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// Removes and returns the retained events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.buf.drain(..).collect()
+    }
+
+    /// Renders the retained events as JSONL (one object per line,
+    /// trailing newline when non-empty) without clearing.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.snapshot();
+        let mut out = String::with_capacity(events.len() * 96);
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        for i in 0..5u64 {
+            ring.push(TraceEvent::new("e").with("i", i));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let events = ring.snapshot();
+        assert_eq!(events[0].fields, vec![("i", TraceValue::U64(3))]);
+        assert_eq!(events[1].fields, vec![("i", TraceValue::U64(4))]);
+        assert_eq!(events[1].seq, 4, "seq keeps counting across evictions");
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_inert() {
+        let ring = TraceRing::new(0);
+        ring.push(TraceEvent::new("e"));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let ring = TraceRing::new(8);
+        ring.push(
+            TraceEvent::new("admission")
+                .with("verdict", "shed")
+                .with("shard", 3u64)
+                .with("score", 0.25f64)
+                .with("known", true),
+        );
+        let jsonl = ring.to_jsonl();
+        let line = jsonl.lines().next().unwrap();
+        assert!(line.starts_with("{\"seq\":0,"), "{line}");
+        assert!(line.contains("\"kind\":\"admission\""), "{line}");
+        assert!(line.contains("\"verdict\":\"shed\""), "{line}");
+        assert!(line.contains("\"shard\":3"), "{line}");
+        assert!(line.contains("\"score\":0.25"), "{line}");
+        assert!(line.contains("\"known\":true"), "{line}");
+        assert!(jsonl.ends_with('}') || jsonl.ends_with('\n'));
+        // drain clears
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Pins the log2 histogram's bucket boundaries and the error bound of
+//! its bucket-derived quantile estimator. These are load-bearing for
+//! the fleet bench's "internal vs external quantile" agreement gate: if
+//! the boundaries drift, that gate's tolerance (one bucket) changes
+//! meaning silently.
+
+use gem_obs::{Histogram, HISTOGRAM_BUCKETS};
+
+#[test]
+fn bucket_boundaries_are_powers_of_two() {
+    // Bucket 0 is exactly the value 0.
+    assert_eq!(Histogram::bucket_index(0), 0);
+    assert_eq!(Histogram::bucket_lower(0), 0);
+    assert_eq!(Histogram::bucket_upper(0), 0);
+
+    // Bucket k (1..=38) covers [2^(k-1), 2^k - 1].
+    for k in 1..HISTOGRAM_BUCKETS - 1 {
+        let lo = 1u64 << (k - 1);
+        let hi = (1u64 << k) - 1;
+        assert_eq!(Histogram::bucket_lower(k), lo, "bucket {k} lower");
+        assert_eq!(Histogram::bucket_upper(k), hi, "bucket {k} upper");
+        assert_eq!(Histogram::bucket_index(lo), k, "lower edge of bucket {k}");
+        assert_eq!(Histogram::bucket_index(hi), k, "upper edge of bucket {k}");
+    }
+
+    // Spot-pin a few human-readable edges (nanosecond reading).
+    assert_eq!(Histogram::bucket_index(1), 1);
+    assert_eq!(Histogram::bucket_index(1_000), 10); // ~1 µs
+    assert_eq!(Histogram::bucket_index(1_000_000), 20); // ~1 ms
+    assert_eq!(Histogram::bucket_index(1_000_000_000), 30); // ~1 s
+
+    // Overflow bucket catches everything ≥ 2^38 (~4.6 min in ns).
+    let last = HISTOGRAM_BUCKETS - 1;
+    assert_eq!(Histogram::bucket_lower(last), 1u64 << (last - 1));
+    assert_eq!(Histogram::bucket_upper(last), u64::MAX);
+    assert_eq!(Histogram::bucket_index(1u64 << (last - 1)), last);
+    assert_eq!(Histogram::bucket_index(u64::MAX), last);
+}
+
+#[test]
+fn every_recorded_value_lands_in_its_bucket() {
+    let h = Histogram::new();
+    let values: Vec<u64> =
+        (0..64).map(|i| if i == 0 { 0 } else { (1u64 << (i % 40)).wrapping_add(i) }).collect();
+    for &v in &values {
+        h.record(v);
+    }
+    assert_eq!(h.count(), values.len() as u64);
+    assert_eq!(h.sum(), values.iter().copied().fold(0u64, u64::wrapping_add));
+    let counts = h.bucket_counts();
+    assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+    for (i, &c) in counts.iter().enumerate() {
+        let expected = values.iter().filter(|&&v| Histogram::bucket_index(v) == i).count() as u64;
+        assert_eq!(c, expected, "bucket {i}");
+    }
+}
+
+#[test]
+fn quantile_error_is_at_most_one_bucket() {
+    // A skewed latency-like population with exactly known order
+    // statistics: 900 fast (~1 µs), 90 medium (~100 µs), 10 slow
+    // (~10 ms).
+    let h = Histogram::new();
+    let mut values = Vec::new();
+    values.extend(std::iter::repeat_n(1_000u64, 900));
+    values.extend(std::iter::repeat_n(100_000u64, 90));
+    values.extend(std::iter::repeat_n(10_000_000u64, 10));
+    for &v in &values {
+        h.record(v);
+    }
+    values.sort_unstable();
+
+    for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        let rank = (q * (values.len() - 1) as f64).floor() as usize;
+        let exact = values[rank];
+        let estimate = h.quantile(q);
+        // The estimate is the inclusive upper bound of the true value's
+        // bucket: never below the exact value, never more than one
+        // power of two above it.
+        assert!(estimate >= exact, "q={q}: estimate {estimate} < exact {exact}");
+        assert!(
+            estimate < exact.max(1) * 2,
+            "q={q}: estimate {estimate} not within one bucket of {exact}"
+        );
+        assert_eq!(
+            h.quantile_bucket(q),
+            Some(Histogram::bucket_index(exact)),
+            "q={q}: estimator must land in the exact value's bucket"
+        );
+    }
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::new();
+    assert_eq!(h.quantile_bucket(0.5), None);
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.quantile(0.99), 0);
+}

@@ -30,12 +30,15 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
 
 use gem_core::{FleetManifest, GemSnapshot, PersistError, PremisesEntry};
+use gem_obs::{Registry, TraceEvent};
 use gem_signal::SignalRecord;
 
 use crate::journal::read_all_journals;
 use crate::monitor::{Monitor, MonitorState, MonitorStats};
+use crate::obs::{AdmissionObs, FleetStats, MonitorObs, ObsOptions, ShardObs, ShardStats};
 use crate::shard::{FleetEvent, ShardMsg, ShardWorker};
 use crate::supervisor::{Admission, ShedReason};
 
@@ -54,6 +57,9 @@ pub struct FleetConfig {
     pub dir: Option<PathBuf>,
     /// Auto-snapshot period. `None` snapshots only on `shutdown`.
     pub snapshot_interval: Option<Duration>,
+    /// Observability knobs (see [`ObsOptions`]). Counters are always
+    /// on; `enabled: false` skips histograms and trace rings.
+    pub obs: ObsOptions,
 }
 
 impl Default for FleetConfig {
@@ -64,6 +70,7 @@ impl Default for FleetConfig {
             max_batch: 32,
             dir: None,
             snapshot_interval: None,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -112,10 +119,105 @@ struct Gate {
     sheds: AtomicU64,
 }
 
-struct ShardHandle {
-    tx: Sender<ShardMsg>,
+/// Admission-side view of one shard.
+struct IngressShard {
+    /// The shard's ingress channel. Behind an `RwLock` so shutdown can
+    /// swap in a dead sender (closing the channel) while concurrent
+    /// [`FleetSubmitter`]s keep working — they then observe
+    /// `Shed(Shutdown)` instead of racing a use-after-close.
+    tx: RwLock<Sender<ShardMsg>>,
+    /// Ingress occupancy, shared with the shard worker.
     depth: Arc<AtomicUsize>,
-    worker: Option<JoinHandle<Vec<(u64, Monitor)>>>,
+}
+
+/// Everything the admission path needs, shared between the [`Fleet`]
+/// and its [`FleetSubmitter`] handles. `Sync`: submit from any thread.
+struct Ingress {
+    gates: HashMap<u64, Gate>,
+    shards: Vec<IngressShard>,
+    queue_per_shard: usize,
+    /// Per-premises quota derived from the shard queue bound.
+    quota: usize,
+    admission: AdmissionObs,
+    /// Per-shard trace rings (shed verdicts are traced; accepts are
+    /// only counted — tracing every accept would melt the ring mutex).
+    shard_obs: Vec<ShardObs>,
+}
+
+impl Ingress {
+    /// The admission decision (see [`Fleet::submit`] for the contract).
+    fn submit(&self, premises_id: u64, record: SignalRecord) -> Admission {
+        self.admission.submitted.inc();
+        let Some(gate) = self.gates.get(&premises_id) else {
+            self.admission.unknown_sheds.inc();
+            return Admission::Shed(ShedReason::UnknownPremises);
+        };
+        let shard = &self.shards[gate.shard];
+        // Optimistically reserve, back out on overflow: cheap, and the
+        // occasional transient over-count only sheds one scan early.
+        let depth = shard.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        if depth > self.queue_per_shard {
+            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            gate.sheds.fetch_add(1, Ordering::Relaxed);
+            self.shed(gate.shard, premises_id, "queue_full");
+            return Admission::Shed(ShedReason::QueueFull);
+        }
+        let inflight = gate.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        if inflight > self.quota {
+            gate.inflight.fetch_sub(1, Ordering::AcqRel);
+            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            gate.sheds.fetch_add(1, Ordering::Relaxed);
+            self.shed(gate.shard, premises_id, "quota");
+            return Admission::Shed(ShedReason::QueueFull);
+        }
+        let sent = shard.tx.read().send(ShardMsg::Record {
+            premises_id,
+            record,
+            enqueued: Instant::now(),
+        });
+        match sent {
+            Ok(()) => {
+                let admission = Admission::from_depth(depth);
+                match admission {
+                    Admission::Accept => self.admission.accepts.inc(),
+                    _ => self.admission.queued.inc(),
+                }
+                admission
+            }
+            Err(_) => {
+                gate.inflight.fetch_sub(1, Ordering::AcqRel);
+                shard.depth.fetch_sub(1, Ordering::AcqRel);
+                self.shed(gate.shard, premises_id, "shutdown");
+                Admission::Shed(ShedReason::Shutdown)
+            }
+        }
+    }
+
+    fn shed(&self, shard: usize, premises_id: u64, reason: &'static str) {
+        self.admission.sheds.inc();
+        self.shard_obs[shard].trace(
+            TraceEvent::new("admission")
+                .with("premises", premises_id)
+                .with("verdict", "shed")
+                .with("reason", reason),
+        );
+    }
+}
+
+/// A cloneable, thread-safe admission handle to a running [`Fleet`]
+/// (the fleet itself is not `Sync` — it owns the event receiver).
+/// Submitting through a handle is exactly [`Fleet::submit`]; once the
+/// fleet shuts down, handles observe `Shed(Shutdown)`.
+#[derive(Clone)]
+pub struct FleetSubmitter {
+    ingress: Arc<Ingress>,
+}
+
+impl FleetSubmitter {
+    /// Submits a scan for a premises. Never blocks.
+    pub fn submit(&self, premises_id: u64, record: SignalRecord) -> Admission {
+        self.ingress.submit(premises_id, record)
+    }
 }
 
 /// The result of [`Fleet::recover`].
@@ -129,18 +231,19 @@ pub struct Recovery {
     pub replayed_epochs: u64,
 }
 
+/// What a shard worker thread returns on join: the monitors it owned.
+type ShardYield = Vec<(u64, Monitor)>;
+
 /// A running multi-tenant fleet. See the module docs for the design.
 pub struct Fleet {
-    shards: Vec<ShardHandle>,
-    gates: HashMap<u64, Gate>,
+    /// Admission state, shared with every [`FleetSubmitter`].
+    ingress: Arc<Ingress>,
+    workers: Vec<Option<JoinHandle<ShardYield>>>,
+    /// Per-premises registry handles, for round-trip-free stats.
+    monitor_obs: HashMap<u64, MonitorObs>,
+    registry: Arc<Registry>,
     event_rx: Receiver<FleetEvent>,
     cfg: FleetConfig,
-    /// Scans for premises nobody registered.
-    unknown_sheds: AtomicU64,
-    /// Events dropped because the consumer let the event channel fill.
-    dropped_events: Arc<AtomicU64>,
-    /// Per-premises quota derived from the shard queue bound.
-    quota: usize,
     /// Serializes snapshot sequences: [`Fleet::snapshot`] and the
     /// periodic timer must never interleave their pause → commit →
     /// truncate windows.
@@ -187,7 +290,10 @@ impl Fleet {
         // loses an event. Shards never block on this channel; overflow
         // is dropped and counted (`dropped_events`).
         let (event_tx, event_rx) = bounded(2 * cfg.shards * cfg.queue_per_shard + 64);
-        let dropped_events = Arc::new(AtomicU64::new(0));
+        let registry = Arc::new(Registry::new());
+        let admission = AdmissionObs::register(&registry);
+        let shard_obs: Vec<ShardObs> =
+            (0..cfg.shards).map(|id| ShardObs::register(&registry, id, &cfg.obs)).collect();
         let mut by_shard: Vec<Vec<(u64, Monitor, u64)>> =
             (0..cfg.shards).map(|_| Vec::new()).collect();
         let mut gates = HashMap::with_capacity(premises.len());
@@ -204,12 +310,24 @@ impl Fleet {
         // the premises of the busiest shard, but never below 1.
         let max_on_shard = by_shard.iter().map(Vec::len).max().unwrap_or(1).max(1);
         let quota = (cfg.queue_per_shard / max_on_shard).max(1);
-        let mut shards = Vec::with_capacity(cfg.shards);
-        for (id, monitors) in by_shard.into_iter().enumerate() {
+        let mut monitor_obs = HashMap::with_capacity(gates.len());
+        let mut ingress_shards = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for (id, mut monitors) in by_shard.into_iter().enumerate() {
             let (tx, rx) = bounded(cfg.queue_per_shard * 2 + 64);
             let depth = Arc::new(AtomicUsize::new(0));
             let inflight: HashMap<u64, Arc<AtomicUsize>> =
                 monitors.iter().map(|(p, _, _)| (*p, Arc::clone(&gates[p].inflight))).collect();
+            for (p, monitor, _) in &mut monitors {
+                let obs = MonitorObs::register(
+                    &registry,
+                    *p,
+                    Arc::clone(&shard_obs[id].ring),
+                    cfg.obs.enabled,
+                );
+                monitor.set_obs(obs.clone());
+                monitor_obs.insert(*p, obs);
+            }
             let worker = ShardWorker::new(
                 id,
                 rx,
@@ -219,22 +337,30 @@ impl Fleet {
                 cfg.dir.as_ref(),
                 Arc::clone(&depth),
                 inflight,
-                Arc::clone(&dropped_events),
+                shard_obs[id].clone(),
             )?;
             let handle = thread::Builder::new()
                 .name(format!("gem-shard-{id}"))
                 .spawn(move || worker.run())
                 .map_err(|e| FleetError::Shard(e.to_string()))?;
-            shards.push(ShardHandle { tx, depth, worker: Some(handle) });
+            ingress_shards.push(IngressShard { tx: RwLock::new(tx), depth });
+            workers.push(Some(handle));
         }
-        let mut fleet = Fleet {
-            shards,
+        let ingress = Arc::new(Ingress {
             gates,
+            shards: ingress_shards,
+            queue_per_shard: cfg.queue_per_shard,
+            quota,
+            admission,
+            shard_obs,
+        });
+        let mut fleet = Fleet {
+            ingress,
+            workers,
+            monitor_obs,
+            registry,
             event_rx,
             cfg,
-            unknown_sheds: AtomicU64::new(0),
-            dropped_events,
-            quota,
             snapshot_lock: Arc::new(Mutex::new(())),
             snapshot_timer: None,
         };
@@ -258,7 +384,8 @@ impl Fleet {
         let (Some(dir), Some(interval)) = (self.cfg.dir.clone(), self.cfg.snapshot_interval) else {
             return;
         };
-        let txs: Vec<Sender<ShardMsg>> = self.shards.iter().map(|s| s.tx.clone()).collect();
+        let txs: Vec<Sender<ShardMsg>> =
+            self.ingress.shards.iter().map(|s| s.tx.read().clone()).collect();
         let lock = Arc::clone(&self.snapshot_lock);
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handle = thread::Builder::new()
@@ -286,34 +413,21 @@ impl Fleet {
     /// Submits a scan for a premises. Never blocks: a full shard queue or
     /// an exhausted per-premises quota sheds the scan.
     pub fn submit(&self, premises_id: u64, record: SignalRecord) -> Admission {
-        let Some(gate) = self.gates.get(&premises_id) else {
-            self.unknown_sheds.fetch_add(1, Ordering::Relaxed);
-            return Admission::Shed(ShedReason::UnknownPremises);
-        };
-        let shard = &self.shards[gate.shard];
-        // Optimistically reserve, back out on overflow: cheap, and the
-        // occasional transient over-count only sheds one scan early.
-        let depth = shard.depth.fetch_add(1, Ordering::AcqRel) + 1;
-        if depth > self.cfg.queue_per_shard {
-            shard.depth.fetch_sub(1, Ordering::AcqRel);
-            gate.sheds.fetch_add(1, Ordering::Relaxed);
-            return Admission::Shed(ShedReason::QueueFull);
-        }
-        let inflight = gate.inflight.fetch_add(1, Ordering::AcqRel) + 1;
-        if inflight > self.quota {
-            gate.inflight.fetch_sub(1, Ordering::AcqRel);
-            shard.depth.fetch_sub(1, Ordering::AcqRel);
-            gate.sheds.fetch_add(1, Ordering::Relaxed);
-            return Admission::Shed(ShedReason::QueueFull);
-        }
-        match shard.tx.send(ShardMsg::Record { premises_id, record, enqueued: Instant::now() }) {
-            Ok(()) => Admission::from_depth(depth),
-            Err(_) => {
-                gate.inflight.fetch_sub(1, Ordering::AcqRel);
-                shard.depth.fetch_sub(1, Ordering::AcqRel);
-                Admission::Shed(ShedReason::Shutdown)
-            }
-        }
+        self.ingress.submit(premises_id, record)
+    }
+
+    /// A cloneable, thread-safe admission handle: submit from any
+    /// thread without borrowing the fleet. After shutdown, handles
+    /// observe `Shed(Shutdown)`.
+    pub fn submitter(&self) -> FleetSubmitter {
+        FleetSubmitter { ingress: Arc::clone(&self.ingress) }
+    }
+
+    /// The metrics registry backing this fleet. Serve it over HTTP with
+    /// [`gem_obs::MetricsServer`], or render it directly
+    /// (`render_prometheus` / `render_json`).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// The merged event stream of all shards. Events of one premises
@@ -333,9 +447,38 @@ impl Fleet {
     /// Events dropped because the consumer let the event channel fill
     /// (see [`Fleet::events`]). Decisions themselves are never lost —
     /// the models updated and the epochs were journaled — only their
-    /// notifications.
+    /// notifications. The count is attributed per shard
+    /// (`gem_shard_dropped_events_total{shard}`); this sums them.
     pub fn dropped_events(&self) -> u64 {
-        self.dropped_events.load(Ordering::Relaxed)
+        self.ingress.shard_obs.iter().map(|s| s.dropped_events.get()).sum()
+    }
+
+    /// Fleet-wide admission statistics with a per-shard breakdown.
+    /// Every field is a relaxed atomic load — no locks, no shard
+    /// round-trip, safe to poll from a hot path.
+    pub fn fleet_stats(&self) -> FleetStats {
+        let a = &self.ingress.admission;
+        let shards: Vec<ShardStats> = self
+            .ingress
+            .shards
+            .iter()
+            .zip(&self.ingress.shard_obs)
+            .enumerate()
+            .map(|(i, (s, obs))| ShardStats {
+                shard: i,
+                dropped_events: obs.dropped_events.get(),
+                queue_depth: s.depth.load(Ordering::Relaxed),
+            })
+            .collect();
+        FleetStats {
+            submitted: a.submitted.get(),
+            accepts: a.accepts.get(),
+            queued: a.queued.get(),
+            sheds: a.sheds.get(),
+            unknown_sheds: a.unknown_sheds.get(),
+            dropped_events: shards.iter().map(|s| s.dropped_events).sum(),
+            shards,
+        }
     }
 
     /// Stops epoch processing on every shard (records keep queueing, up
@@ -353,11 +496,12 @@ impl Fleet {
     /// Drains every pending record into decision epochs (even while
     /// paused) and waits until all shards are done.
     pub fn flush(&self) -> Result<(), FleetError> {
-        let mut acks = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        let mut acks = Vec::with_capacity(self.ingress.shards.len());
+        for shard in &self.ingress.shards {
             let (ack_tx, ack_rx) = bounded(1);
             shard
                 .tx
+                .read()
                 .send(ShardMsg::Flush { ack: ack_tx })
                 .map_err(|_| FleetError::Shard("shard gone during flush".into()))?;
             acks.push(ack_rx);
@@ -376,19 +520,22 @@ impl Fleet {
             self.cfg.dir.as_ref().ok_or_else(|| {
                 FleetError::Shard("snapshot requires a durability directory".into())
             })?;
-        let txs: Vec<Sender<ShardMsg>> = self.shards.iter().map(|s| s.tx.clone()).collect();
+        let txs: Vec<Sender<ShardMsg>> =
+            self.ingress.shards.iter().map(|s| s.tx.read().clone()).collect();
         let _guard = self.snapshot_lock.lock().unwrap_or_else(|p| p.into_inner());
         snapshot_all(&txs, dir)
     }
 
     /// Per-premises statistics (sorted by premises id), with
-    /// admission-side shed counts folded in.
+    /// admission-side shed counts folded in. This round-trips through
+    /// every shard; for a lock-free read see [`Fleet::stats_snapshot`].
     pub fn stats(&self) -> Result<Vec<(u64, MonitorStats)>, FleetError> {
-        let mut acks = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        let mut acks = Vec::with_capacity(self.ingress.shards.len());
+        for shard in &self.ingress.shards {
             let (ack_tx, ack_rx) = bounded(1);
             shard
                 .tx
+                .read()
                 .send(ShardMsg::Stats { ack: ack_tx })
                 .map_err(|_| FleetError::Shard("shard gone during stats".into()))?;
             acks.push(ack_rx);
@@ -400,7 +547,7 @@ impl Fleet {
             all.extend(stats);
         }
         for (premises_id, stats) in &mut all {
-            if let Some(gate) = self.gates.get(premises_id) {
+            if let Some(gate) = self.ingress.gates.get(premises_id) {
                 stats.sheds += gate.sheds.load(Ordering::Relaxed);
             }
         }
@@ -408,14 +555,47 @@ impl Fleet {
         Ok(all)
     }
 
+    /// Per-premises statistics assembled purely from registry atomics —
+    /// no shard round-trip, no cache lock, no quiescing. Unlike
+    /// [`Fleet::stats`] this can lag in-flight epochs by a few counter
+    /// increments, but it never touches a shard thread.
+    pub fn stats_snapshot(&self) -> Vec<(u64, MonitorStats)> {
+        let mut all: Vec<(u64, MonitorStats)> = self
+            .monitor_obs
+            .iter()
+            .map(|(p, obs)| {
+                let sheds =
+                    self.ingress.gates.get(p).map(|g| g.sheds.load(Ordering::Relaxed)).unwrap_or(0);
+                (*p, obs.stats_snapshot(sheds))
+            })
+            .collect();
+        all.sort_by_key(|(p, _)| *p);
+        all
+    }
+
     /// Scans shed because their premises was never registered.
     pub fn unknown_sheds(&self) -> u64 {
-        self.unknown_sheds.load(Ordering::Relaxed)
+        self.ingress.admission.unknown_sheds.get()
     }
 
     /// The shard a premises routes to (diagnostics).
     pub fn route(&self, premises_id: u64) -> Option<usize> {
-        self.gates.get(&premises_id).map(|g| g.shard)
+        self.ingress.gates.get(&premises_id).map(|g| g.shard)
+    }
+
+    /// Writes each shard's structured trace ring to
+    /// `<dir>/trace-shard-<i>.jsonl` (one JSON object per line, oldest
+    /// first). Returns the paths written.
+    pub fn dump_traces(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.ingress.shard_obs.len());
+        for (i, obs) in self.ingress.shard_obs.iter().enumerate() {
+            let path = dir.join(format!("trace-shard-{i}.jsonl"));
+            std::fs::write(&path, obs.ring.to_jsonl())?;
+            paths.push(path);
+        }
+        Ok(paths)
     }
 
     /// The durability directory, when the fleet runs durable.
@@ -452,8 +632,8 @@ impl Fleet {
     }
 
     fn broadcast(&self, msg: impl Fn() -> ShardMsg) {
-        for shard in &self.shards {
-            let _ = shard.tx.send(msg());
+        for shard in &self.ingress.shards {
+            let _ = shard.tx.read().send(msg());
         }
     }
 
@@ -467,15 +647,20 @@ impl Fleet {
         let (_, dead_rx) = bounded::<FleetEvent>(1);
         self.event_rx = dead_rx;
         let mut monitors = Vec::new();
-        for shard in &mut self.shards {
-            if abort {
-                let _ = shard.tx.send(ShardMsg::Abort);
+        for (shard, worker) in self.ingress.shards.iter().zip(&mut self.workers) {
+            {
+                // Swap in a dead sender under the write lock so the
+                // channel closes (a non-abort worker finishes its
+                // backlog and exits) and concurrent submitters observe
+                // `Shed(Shutdown)` instead of racing a use-after-close.
+                let mut tx = shard.tx.write();
+                if abort {
+                    let _ = tx.send(ShardMsg::Abort);
+                }
+                let (dead_tx, _) = bounded::<ShardMsg>(1);
+                *tx = dead_tx;
             }
-            // Replace the sender so the channel closes and a non-abort
-            // worker finishes its backlog and exits.
-            let (dead_tx, _) = bounded::<ShardMsg>(1);
-            shard.tx = dead_tx;
-            if let Some(worker) = shard.worker.take() {
+            if let Some(worker) = worker.take() {
                 if let Ok(mut m) = worker.join() {
                     monitors.append(&mut m);
                 }
@@ -504,6 +689,7 @@ impl Fleet {
             pending.entry(entry.premises_id).or_default().push(entry);
         }
         let mut monitors = Vec::with_capacity(manifest.premises.len());
+        let mut recovered = Vec::with_capacity(manifest.premises.len());
         let mut replayed = Vec::new();
         let mut replayed_epochs = 0u64;
         for entry in &manifest.premises {
@@ -541,6 +727,7 @@ impl Fleet {
                 watermark = journal_entry.epoch;
                 replayed_epochs += 1;
             }
+            recovered.push((entry.premises_id, watermark - entry.epochs, watermark));
             monitors.push((entry.premises_id, monitor, watermark));
         }
         // Journal entries for premises absent from the manifest would
@@ -551,6 +738,17 @@ impl Fleet {
             )));
         }
         let fleet = Fleet::spawn_at(monitors, cfg)?;
+        // Recovery provenance lands in the trace rings: which premises
+        // replayed how far, visible to the first `dump_traces` call.
+        for (premises_id, epochs, watermark) in recovered {
+            let shard = shard_for(premises_id, fleet.cfg.shards);
+            fleet.ingress.shard_obs[shard].trace(
+                TraceEvent::new("recovery")
+                    .with("premises", premises_id)
+                    .with("replayed_epochs", epochs)
+                    .with("watermark", watermark),
+            );
+        }
         Ok(Recovery { fleet, replayed, replayed_epochs })
     }
 }
@@ -558,7 +756,7 @@ impl Fleet {
 impl Drop for Fleet {
     fn drop(&mut self) {
         self.stop_timer();
-        if self.shards.iter().any(|s| s.worker.is_some()) {
+        if self.workers.iter().any(Option::is_some) {
             self.join(true);
         }
     }

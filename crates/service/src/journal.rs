@@ -14,11 +14,14 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use gem_core::fnv1a64_hex;
 use gem_signal::SignalRecord;
+
+use crate::obs::JournalObs;
 
 /// One journaled decision epoch: the replay unit.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -41,6 +44,7 @@ pub fn journal_file(shard: usize) -> String {
 pub struct JournalWriter {
     path: PathBuf,
     file: BufWriter<File>,
+    obs: Option<JournalObs>,
 }
 
 impl JournalWriter {
@@ -48,19 +52,37 @@ impl JournalWriter {
     pub fn open(path: impl Into<PathBuf>) -> io::Result<JournalWriter> {
         let path = path.into();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(JournalWriter { path, file: BufWriter::new(file) })
+        Ok(JournalWriter { path, file: BufWriter::new(file), obs: None })
+    }
+
+    /// Attaches timing/volume instruments (see [`JournalObs`]).
+    pub fn set_obs(&mut self, obs: JournalObs) {
+        self.obs = Some(obs);
     }
 
     /// Appends one epoch and syncs it to stable storage. Must be called
     /// before the epoch is processed (write-ahead), so a crash mid-epoch
     /// replays it instead of losing it. The `sync_data` makes the
     /// guarantee hold for power loss and kernel panics, not just process
-    /// crashes.
-    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+    /// crashes. Returns the bytes appended.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<usize> {
+        let timed = self.obs.as_ref().filter(|o| o.enabled).map(|_| Instant::now());
         let json = serde_json::to_string(entry).map_err(|e| io::Error::other(e.to_string()))?;
+        // checksum (16 hex) + space + json + newline
+        let bytes = 16 + 1 + json.len() + 1;
         writeln!(self.file, "{} {}", fnv1a64_hex(json.as_bytes()), json)?;
         self.file.flush()?;
-        self.file.get_ref().sync_data()
+        let fsync_start = timed.map(|_| Instant::now());
+        self.file.get_ref().sync_data()?;
+        if let (Some(obs), Some(start), Some(fsync)) = (&self.obs, timed, fsync_start) {
+            obs.fsync_seconds.record(elapsed_ns(fsync));
+            obs.append_seconds.record(elapsed_ns(start));
+        }
+        if let Some(obs) = &self.obs {
+            obs.appends.inc();
+            obs.bytes.add(bytes as u64);
+        }
+        Ok(bytes)
     }
 
     /// Empties the journal. Only safe after every entry has been folded
@@ -81,6 +103,15 @@ impl JournalWriter {
     /// any point leaves either the old journal or the pruned one —
     /// never a partial rewrite.
     pub fn retain(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<()> {
+        let timed = self.obs.as_ref().filter(|o| o.enabled).map(|_| Instant::now());
+        self.retain_inner(keep)?;
+        if let (Some(obs), Some(start)) = (&self.obs, timed) {
+            obs.retain_seconds.record(elapsed_ns(start));
+        }
+        Ok(())
+    }
+
+    fn retain_inner(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<()> {
         self.file.flush()?;
         let entries = read_journal(&self.path)?;
         let tmp = self.path.with_extension("log.tmp");
@@ -99,6 +130,11 @@ impl JournalWriter {
         self.file = BufWriter::new(OpenOptions::new().create(true).append(true).open(&self.path)?);
         Ok(())
     }
+}
+
+/// Saturating nanoseconds since `start`.
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Reads one journal file. Lines with a checksum mismatch or malformed

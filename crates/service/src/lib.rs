@@ -13,16 +13,21 @@
 //! * [`Fleet`] — the multi-tenant runtime: premises are rendezvous-hashed
 //!   onto worker shards, ingress is coalesced into batched decision
 //!   epochs with explicit backpressure ([`Admission`]), and a write-ahead
-//!   journal plus checksummed snapshots give bitwise crash recovery.
+//!   journal plus checksummed snapshots give bitwise crash recovery;
+//! * [`obs`] — the observability wiring: every metric and trace event the
+//!   runtime emits is registered there on a `gem_obs::Registry`, exposed
+//!   via [`Fleet::registry`] for Prometheus/JSON scraping.
 
 pub mod fleet;
 pub mod journal;
 pub mod monitor;
+pub mod obs;
 mod shard;
 pub mod supervisor;
 
-pub use fleet::{shard_for, Fleet, FleetConfig, FleetError, Recovery};
+pub use fleet::{shard_for, Fleet, FleetConfig, FleetError, FleetSubmitter, Recovery};
 pub use journal::{JournalEntry, JournalWriter};
 pub use monitor::{Event, Monitor, MonitorConfig, MonitorState, MonitorStats};
+pub use obs::{FleetStats, JournalObs, MonitorObs, ObsOptions, ShardStats};
 pub use shard::FleetEvent;
 pub use supervisor::{Admission, ShedReason, Supervisor};

@@ -2,8 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use gem_core::{Decision, Gem};
+use gem_core::{CacheStats, Decision, Gem};
+use gem_obs::TraceEvent;
 use gem_signal::{Label, SignalRecord};
+
+use crate::obs::MonitorObs;
 
 /// Alert policy and bookkeeping knobs.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -101,12 +104,20 @@ pub struct Monitor {
     consecutive_in: usize,
     alert_active: bool,
     stats: MonitorStats,
+    /// Registry-backed instruments, attached by the fleet (optional for
+    /// standalone monitors).
+    obs: Option<MonitorObs>,
+    /// Engine cache counters as of the last processed scan/batch —
+    /// lets [`Monitor::stats_snapshot`] report cache figures without
+    /// touching the engine at read time.
+    cache_mirror: CacheStats,
 }
 
 impl Monitor {
     /// Wraps a trained model.
     pub fn new(gem: Gem, cfg: MonitorConfig) -> Self {
         assert!(cfg.alert_after >= 1 && cfg.clear_after >= 1);
+        let cache_mirror = gem.cache_stats();
         Monitor {
             gem,
             cfg,
@@ -114,7 +125,18 @@ impl Monitor {
             consecutive_in: 0,
             alert_active: false,
             stats: MonitorStats::default(),
+            obs: None,
+            cache_mirror,
         }
+    }
+
+    /// Attaches registry-backed instruments. Counters are seeded with
+    /// the session's existing statistics, so attaching to a recovered
+    /// monitor continues its series instead of zeroing them.
+    pub fn set_obs(&mut self, obs: MonitorObs) {
+        self.cache_mirror = self.gem.cache_stats();
+        obs.seed(&self.stats, self.cache_mirror);
+        self.obs = Some(obs);
     }
 
     /// Processes one scan; returns the decision event plus any alert
@@ -123,6 +145,7 @@ impl Monitor {
         let decision: Decision = self.gem.infer(record);
         let mut events = Vec::with_capacity(2);
         self.apply_decision(record.timestamp_s, &decision, &mut events);
+        self.mirror_cache();
         events
     }
 
@@ -138,11 +161,28 @@ impl Monitor {
         }
         let decisions = self.gem.infer_batch(records);
         self.stats.epochs += 1;
+        if let Some(obs) = &self.obs {
+            obs.epochs.inc();
+        }
         let mut events = Vec::with_capacity(records.len() + 2);
         for (record, decision) in records.iter().zip(&decisions) {
             self.apply_decision(record.timestamp_s, decision, &mut events);
         }
+        self.mirror_cache();
         events
+    }
+
+    /// Folds the engine's cache-counter movement since the last scan
+    /// into the registry counters and refreshes the mirror.
+    fn mirror_cache(&mut self) {
+        let cache = self.gem.cache_stats();
+        if let Some(obs) = &self.obs {
+            obs.cache_hits.add(cache.hits.saturating_sub(self.cache_mirror.hits));
+            obs.cache_misses.add(cache.misses.saturating_sub(self.cache_mirror.misses));
+            obs.cache_invalidations
+                .add(cache.invalidations.saturating_sub(self.cache_mirror.invalidations));
+        }
+        self.cache_mirror = cache;
     }
 
     /// Folds one decision into the statistics and the alert policy,
@@ -151,6 +191,15 @@ impl Monitor {
         self.stats.scans += 1;
         if decision.updated {
             self.stats.model_updates += 1;
+            if let Some(obs) = &self.obs {
+                obs.self_updates.inc();
+                obs.trace(
+                    TraceEvent::new("self_update")
+                        .with("premises", obs.premises_id)
+                        .with("ts", timestamp_s)
+                        .with("score", decision.score),
+                );
+            }
         }
         events.push(Event::Decision { timestamp_s, label: decision.label, score: decision.score });
         match decision.label {
@@ -158,9 +207,21 @@ impl Monitor {
                 self.stats.out_decisions += 1;
                 self.consecutive_out += 1;
                 self.consecutive_in = 0;
+                if let Some(obs) = &self.obs {
+                    obs.decisions_out.inc();
+                }
                 if !self.alert_active && self.consecutive_out >= self.cfg.alert_after {
                     self.alert_active = true;
                     self.stats.alerts += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.alerts.inc();
+                        obs.trace(
+                            TraceEvent::new("alert_raised")
+                                .with("premises", obs.premises_id)
+                                .with("ts", timestamp_s)
+                                .with("consecutive_out", self.consecutive_out),
+                        );
+                    }
                     events.push(Event::AlertRaised {
                         timestamp_s,
                         consecutive_out: self.consecutive_out,
@@ -171,8 +232,18 @@ impl Monitor {
                 self.stats.in_decisions += 1;
                 self.consecutive_in += 1;
                 self.consecutive_out = 0;
+                if let Some(obs) = &self.obs {
+                    obs.decisions_in.inc();
+                }
                 if self.alert_active && self.consecutive_in >= self.cfg.clear_after {
                     self.alert_active = false;
+                    if let Some(obs) = &self.obs {
+                        obs.trace(
+                            TraceEvent::new("alert_cleared")
+                                .with("premises", obs.premises_id)
+                                .with("ts", timestamp_s),
+                        );
+                    }
                     events.push(Event::AlertCleared { timestamp_s });
                 }
             }
@@ -184,10 +255,25 @@ impl Monitor {
         self.alert_active
     }
 
-    /// Session statistics so far.
+    /// Session statistics so far, with live engine cache counters
+    /// merged in (reads the engine on every call).
     pub fn stats(&self) -> MonitorStats {
         let cache = self.gem.cache_stats();
         MonitorStats { cache_hits: cache.hits, cache_misses: cache.misses, ..self.stats }
+    }
+
+    /// Snapshot-consistent statistics without touching the engine:
+    /// cache figures come from the mirror captured at the end of the
+    /// last scan/batch, everything else from the same running counters
+    /// as [`Monitor::stats`]. The mirror lags live engine counters by
+    /// at most the in-flight batch — the right trade for a read path
+    /// that must never contend with inference.
+    pub fn stats_snapshot(&self) -> MonitorStats {
+        MonitorStats {
+            cache_hits: self.cache_mirror.hits,
+            cache_misses: self.cache_mirror.misses,
+            ..self.stats
+        }
     }
 
     /// Borrow the underlying model (e.g. to snapshot it).
@@ -216,6 +302,7 @@ impl Monitor {
     /// [`MonitorState`] — the recovery path.
     pub fn from_state(gem: Gem, state: MonitorState) -> Monitor {
         assert!(state.cfg.alert_after >= 1 && state.cfg.clear_after >= 1);
+        let cache_mirror = gem.cache_stats();
         Monitor {
             gem,
             cfg: state.cfg,
@@ -223,6 +310,8 @@ impl Monitor {
             consecutive_in: state.consecutive_in,
             alert_active: state.alert_active,
             stats: state.stats,
+            obs: None,
+            cache_mirror,
         }
     }
 }

@@ -1,0 +1,249 @@
+//! Observability wiring for the fleet runtime.
+//!
+//! This module owns the *names*: every metric and trace-event kind the
+//! service layer emits is registered here, so the whole exposition
+//! surface is reviewable in one file. The naming scheme is
+//! `gem_<subsystem>_<noun>_<unit|total>`; labels are drawn from bounded
+//! sets only — `shard` (fixed at spawn), `premises` (registered
+//! tenants), `verdict`/`outcome` (fixed enums). See DESIGN.md
+//! ("Observability architecture") for the cardinality rules.
+//!
+//! Counters are always maintained (they replace the ad-hoc
+//! `AtomicU64`s the fleet already paid for); [`ObsOptions::enabled`]
+//! gates only the *extra* cost — latency histograms, span timing and
+//! trace-ring pushes — so the overhead of a metrics-off fleet matches
+//! the pre-observability runtime.
+
+use std::sync::Arc;
+
+use gem_obs::{Counter, Gauge, Histogram, Registry, TraceEvent, TraceRing};
+
+use crate::monitor::MonitorStats;
+
+/// Observability knobs of a fleet.
+#[derive(Clone, Debug)]
+pub struct ObsOptions {
+    /// When false, skip histograms, span timing and trace-ring pushes.
+    /// Counters (admission, drops, per-premises stats) stay on — they
+    /// back the existing accessors.
+    pub enabled: bool,
+    /// Per-shard trace-ring capacity (events retained; oldest are
+    /// overwritten). 0 disables the rings entirely.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions { enabled: true, ring_capacity: 512 }
+    }
+}
+
+/// Admission-path counters, one set per fleet.
+pub(crate) struct AdmissionObs {
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) accepts: Arc<Counter>,
+    pub(crate) queued: Arc<Counter>,
+    pub(crate) sheds: Arc<Counter>,
+    pub(crate) unknown_sheds: Arc<Counter>,
+}
+
+impl AdmissionObs {
+    pub(crate) fn register(registry: &Registry) -> AdmissionObs {
+        let verdict = |v| registry.counter("gem_fleet_admission_total", &[("verdict", v)]);
+        AdmissionObs {
+            submitted: registry.counter("gem_fleet_submitted_total", &[]),
+            accepts: verdict("accept"),
+            queued: verdict("queued"),
+            sheds: verdict("shed"),
+            unknown_sheds: verdict("unknown"),
+        }
+    }
+}
+
+/// Journal timing/volume instruments of one shard. Attach to a
+/// [`crate::journal::JournalWriter`] with `set_obs`.
+#[derive(Clone)]
+pub struct JournalObs {
+    pub(crate) enabled: bool,
+    pub(crate) append_seconds: Arc<Histogram>,
+    pub(crate) fsync_seconds: Arc<Histogram>,
+    pub(crate) retain_seconds: Arc<Histogram>,
+    pub(crate) appends: Arc<Counter>,
+    pub(crate) bytes: Arc<Counter>,
+}
+
+impl JournalObs {
+    /// Registers the journal metrics for one shard.
+    pub fn register(registry: &Registry, shard: usize, enabled: bool) -> JournalObs {
+        let s = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &s)];
+        JournalObs {
+            enabled,
+            append_seconds: registry.histogram("gem_journal_append_seconds", labels),
+            fsync_seconds: registry.histogram("gem_journal_fsync_seconds", labels),
+            retain_seconds: registry.histogram("gem_journal_retain_seconds", labels),
+            appends: registry.counter("gem_journal_appends_total", labels),
+            bytes: registry.counter("gem_journal_bytes_total", labels),
+        }
+    }
+}
+
+/// Instruments of one shard worker (all shared handles; cloning is
+/// cheap and the fleet keeps a clone for its own thin-read accessors).
+#[derive(Clone)]
+pub(crate) struct ShardObs {
+    pub(crate) enabled: bool,
+    pub(crate) epochs: Arc<Counter>,
+    pub(crate) epoch_seconds: Arc<Histogram>,
+    pub(crate) decision_latency_seconds: Arc<Histogram>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) dropped_events: Arc<Counter>,
+    pub(crate) snapshot_seconds: Arc<Histogram>,
+    pub(crate) journal: JournalObs,
+    pub(crate) ring: Arc<TraceRing>,
+}
+
+impl ShardObs {
+    pub(crate) fn register(registry: &Registry, shard: usize, opts: &ObsOptions) -> ShardObs {
+        let s = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &s)];
+        ShardObs {
+            enabled: opts.enabled,
+            epochs: registry.counter("gem_shard_epochs_total", labels),
+            epoch_seconds: registry.histogram("gem_shard_epoch_seconds", labels),
+            decision_latency_seconds: registry
+                .histogram("gem_shard_decision_latency_seconds", labels),
+            queue_depth: registry.gauge("gem_shard_queue_depth", labels),
+            dropped_events: registry.counter("gem_shard_dropped_events_total", labels),
+            snapshot_seconds: registry.histogram("gem_shard_snapshot_seconds", labels),
+            journal: JournalObs::register(registry, shard, opts.enabled),
+            ring: Arc::new(TraceRing::new(if opts.enabled { opts.ring_capacity } else { 0 })),
+        }
+    }
+
+    /// Pushes a trace event when tracing is on.
+    pub(crate) fn trace(&self, event: TraceEvent) {
+        if self.enabled {
+            self.ring.push(event);
+        }
+    }
+}
+
+/// Per-premises monitor instruments. The fleet attaches one of these to
+/// every [`crate::Monitor`] it owns; counters are seeded from the
+/// monitor's restored statistics so recovery does not zero the series.
+#[derive(Clone)]
+pub struct MonitorObs {
+    pub(crate) enabled: bool,
+    pub(crate) premises_id: u64,
+    pub(crate) decisions_in: Arc<Counter>,
+    pub(crate) decisions_out: Arc<Counter>,
+    pub(crate) alerts: Arc<Counter>,
+    pub(crate) self_updates: Arc<Counter>,
+    pub(crate) epochs: Arc<Counter>,
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) cache_invalidations: Arc<Counter>,
+    pub(crate) ring: Arc<TraceRing>,
+}
+
+impl MonitorObs {
+    /// Registers the per-premises series. `ring` is the trace ring of
+    /// the shard the premises routes to.
+    pub fn register(
+        registry: &Registry,
+        premises_id: u64,
+        ring: Arc<TraceRing>,
+        enabled: bool,
+    ) -> MonitorObs {
+        let p = premises_id.to_string();
+        let labels: &[(&str, &str)] = &[("premises", &p)];
+        let outcome = |name: &str, o: &str| {
+            registry.counter(name, &[("premises", p.as_str()), ("outcome", o)])
+        };
+        MonitorObs {
+            enabled,
+            premises_id,
+            decisions_in: outcome("gem_monitor_decisions_total", "in"),
+            decisions_out: outcome("gem_monitor_decisions_total", "out"),
+            alerts: registry.counter("gem_monitor_alerts_total", labels),
+            self_updates: registry.counter("gem_monitor_self_updates_total", labels),
+            epochs: registry.counter("gem_monitor_epochs_total", labels),
+            cache_hits: outcome("gem_infer_cache_events_total", "hit"),
+            cache_misses: outcome("gem_infer_cache_events_total", "miss"),
+            cache_invalidations: outcome("gem_infer_cache_events_total", "invalidation"),
+            ring,
+        }
+    }
+
+    /// Seeds the counters with pre-existing session statistics (the
+    /// recovery path: the registry is fresh but the monitor is not).
+    pub(crate) fn seed(&self, stats: &MonitorStats, cache: gem_core::CacheStats) {
+        self.decisions_in.add(stats.in_decisions as u64);
+        self.decisions_out.add(stats.out_decisions as u64);
+        self.alerts.add(stats.alerts as u64);
+        self.self_updates.add(stats.model_updates as u64);
+        self.epochs.add(stats.epochs);
+        self.cache_hits.add(cache.hits);
+        self.cache_misses.add(cache.misses);
+        self.cache_invalidations.add(cache.invalidations);
+    }
+
+    /// Assembles a [`MonitorStats`] purely from the registry atomics —
+    /// no shard round-trip, no engine access. `sheds` is supplied by
+    /// the admission side, which owns that count.
+    pub(crate) fn stats_snapshot(&self, sheds: u64) -> MonitorStats {
+        let in_decisions = self.decisions_in.get() as usize;
+        let out_decisions = self.decisions_out.get() as usize;
+        MonitorStats {
+            scans: in_decisions + out_decisions,
+            in_decisions,
+            out_decisions,
+            alerts: self.alerts.get() as usize,
+            model_updates: self.self_updates.get() as usize,
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            epochs: self.epochs.get(),
+            sheds,
+        }
+    }
+
+    /// Pushes a trace event when tracing is on.
+    pub(crate) fn trace(&self, event: TraceEvent) {
+        if self.enabled {
+            self.ring.push(event);
+        }
+    }
+}
+
+/// Point-in-time admission/ingress statistics of one shard.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Events this shard dropped because the fleet event channel was
+    /// full (satellite: attributable per shard, not just fleet-global).
+    pub dropped_events: u64,
+    /// Current ingress occupancy (admitted, not yet decided).
+    pub queue_depth: usize,
+}
+
+/// Fleet-wide admission statistics, readable without any shard
+/// round-trip: every field is a relaxed-atomic load.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FleetStats {
+    /// Scans submitted (accepted or not).
+    pub submitted: u64,
+    /// Scans admitted with an idle queue.
+    pub accepts: u64,
+    /// Scans admitted behind a backlog.
+    pub queued: u64,
+    /// Scans shed at admission (queue/quota/shutdown).
+    pub sheds: u64,
+    /// Scans shed because the premises is not registered.
+    pub unknown_sheds: u64,
+    /// Events dropped across all shards (sum of the per-shard counts).
+    pub dropped_events: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+}

@@ -108,6 +108,7 @@ proptest! {
                 queue_per_shard: 256,
                 dir: None,
                 snapshot_interval: None,
+                ..FleetConfig::default()
             },
         )
         .unwrap();

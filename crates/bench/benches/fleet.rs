@@ -25,7 +25,7 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 use gem_core::{Gem, GemConfig, GemSnapshot};
-use gem_obs::{Histogram, MetricValue, Registry, HISTOGRAM_BUCKETS};
+use gem_obs::{interpolate_quantile, Histogram, MetricValue, Registry, HISTOGRAM_BUCKETS};
 use gem_rfsim::{Scenario, ScenarioConfig};
 use gem_service::{Event, Fleet, FleetConfig, FleetEvent, Monitor, MonitorConfig, ObsOptions};
 use gem_signal::SignalRecord;
@@ -75,17 +75,18 @@ struct RunResult {
     p50_latency_ms: f64,
     p99_latency_ms: f64,
     shed_rate: f64,
-    /// Registry-side quantile estimates (bucket upper bounds) from the
-    /// merged per-shard decision-latency histograms. 0 with metrics off.
+    /// Registry-side interpolated quantile estimates from the merged
+    /// per-shard decision-latency histograms. 0 with metrics off.
     hist_p50_ms: f64,
     hist_p99_ms: f64,
 }
 
 /// Merges the per-shard `gem_shard_decision_latency_seconds` histograms
-/// and estimates the `q`-quantile in nanoseconds, using the same rank
-/// rule as [`Histogram::quantile`] (`rank = floor(q * (n - 1))`, value =
-/// inclusive upper bound of the bucket holding that rank).
-fn merged_latency_quantile(registry: &Registry, q: f64) -> Option<u64> {
+/// and estimates the `q`-quantile in nanoseconds with the registry's
+/// log-linear interpolated estimator. The estimate stays inside the
+/// rank's bucket, so the one-bucket agreement gate below is unaffected —
+/// but p50 and p99 no longer collapse onto the same bucket upper bound.
+fn merged_latency_quantile(registry: &Registry, q: f64) -> Option<f64> {
     let mut merged = [0u64; HISTOGRAM_BUCKETS];
     for (name, _, value) in registry.snapshot() {
         if name == "gem_shard_decision_latency_seconds" {
@@ -96,19 +97,7 @@ fn merged_latency_quantile(registry: &Registry, q: f64) -> Option<u64> {
             }
         }
     }
-    let total: u64 = merged.iter().sum();
-    if total == 0 {
-        return None;
-    }
-    let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64).floor() as u64;
-    let mut cumulative = 0u64;
-    for (i, b) in merged.iter().enumerate() {
-        cumulative += b;
-        if cumulative > rank {
-            return Some(Histogram::bucket_upper(i));
-        }
-    }
-    None
+    interpolate_quantile(&merged, q)
 }
 
 fn run_fleet(
@@ -181,12 +170,12 @@ fn run_fleet(
         {
             let estimate_ns =
                 merged_latency_quantile(&registry, q).expect("histograms must have samples");
-            *out = estimate_ns as f64 / 1e6;
+            *out = estimate_ns / 1e6;
             let external_bucket = Histogram::bucket_index((external_ms * 1e6) as u64);
-            let estimate_bucket = Histogram::bucket_index(estimate_ns);
+            let estimate_bucket = Histogram::bucket_index(estimate_ns.round() as u64);
             assert!(
                 external_bucket.abs_diff(estimate_bucket) <= 1,
-                "histogram p{} ({estimate_ns} ns, bucket {estimate_bucket}) must agree with \
+                "histogram p{} ({estimate_ns:.0} ns, bucket {estimate_bucket}) must agree with \
                  the external measurement ({external_ms} ms, bucket {external_bucket}) \
                  within one bucket",
                 (q * 100.0) as u32,
@@ -239,7 +228,14 @@ struct FleetBenchLine {
     measured_speedup: f64,
     metrics_on_records_per_sec: f64,
     metrics_off_records_per_sec: f64,
+    /// Best-of-N overhead, clamped at zero (negative raw overhead is
+    /// scheduler noise, not a real negative cost).
     metrics_overhead_pct: f64,
+    /// Unclamped best-of-N overhead, for honesty about the measurement.
+    metrics_overhead_raw_pct: f64,
+    /// Worst within-mode relative spread across the interleaved
+    /// best-of-N samples — the run's noise floor.
+    metrics_noise_floor_pct: f64,
 }
 
 fn main() {
@@ -289,20 +285,31 @@ fn main() {
     // cost is a handful of relaxed atomics against ~100 µs of
     // inference, so the gate's enemy is scheduler noise, not metrics:
     // measure on a floor-sized workload (a quick run is otherwise tens
-    // of milliseconds), interleave the modes, and take best-of-N.
+    // of milliseconds), run one shared discarded warmup so neither mode
+    // pays first-run cache/allocator warmup, interleave off/on pairs,
+    // and take best-of-N on both sides. The within-mode spread is
+    // reported as the noise floor, and the raw difference is clamped at
+    // zero — "metrics made it faster" is noise, not a negative cost.
     let overhead_records = records_per_premises.max(240);
     let pairs = if quick() { 3 } else { 4 };
-    let (mut best_off, mut best_on) = (0f64, 0f64);
+    run_fleet(&tenants, 4, overhead_records, true); // shared warmup, discarded
+    let (mut off_samples, mut on_samples) = (Vec::new(), Vec::new());
     for _ in 0..pairs {
-        let off = run_fleet(&tenants, 4, overhead_records, false);
-        let on = run_fleet(&tenants, 4, overhead_records, true);
-        best_off = best_off.max(off.records_per_sec);
-        best_on = best_on.max(on.records_per_sec);
+        off_samples.push(run_fleet(&tenants, 4, overhead_records, false).records_per_sec);
+        on_samples.push(run_fleet(&tenants, 4, overhead_records, true).records_per_sec);
     }
-    let overhead_pct = (best_off - best_on) / best_off * 100.0;
+    let best = |s: &[f64]| s.iter().copied().fold(0f64, f64::max);
+    let worst = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
+    let (best_off, best_on) = (best(&off_samples), best(&on_samples));
+    let noise_floor_pct = ((best_off - worst(&off_samples)) / best_off)
+        .max((best_on - worst(&on_samples)) / best_on)
+        * 100.0;
+    let overhead_raw_pct = (best_off - best_on) / best_off * 100.0;
+    let overhead_pct = overhead_raw_pct.max(0.0);
     println!(
         "metrics overhead at 4 shards: off {best_off:.1} rec/s, on {best_on:.1} rec/s \
-         ({overhead_pct:+.2}%)"
+         (raw {overhead_raw_pct:+.2}%, clamped {overhead_pct:.2}%, \
+         noise floor {noise_floor_pct:.2}%)"
     );
     assert!(
         overhead_pct < 3.0,
@@ -323,6 +330,8 @@ fn main() {
         metrics_on_records_per_sec: best_on,
         metrics_off_records_per_sec: best_off,
         metrics_overhead_pct: overhead_pct,
+        metrics_overhead_raw_pct: overhead_raw_pct,
+        metrics_noise_floor_pct: noise_floor_pct,
     };
     let json = serde_json::to_string(&line).expect("serialize bench line");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");

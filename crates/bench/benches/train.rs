@@ -25,7 +25,8 @@ use criterion::Criterion;
 use gem_bench::allocs;
 use gem_core::{BiSage, BiSageConfig, StepEvent};
 use gem_graph::{BipartiteGraph, WeightFn};
-use gem_nn::init;
+use gem_nn::kernels::{self, Precision};
+use gem_nn::{init, Backend};
 use gem_signal::rng::child_rng;
 use gem_signal::{MacAddr, SignalRecord};
 
@@ -74,6 +75,69 @@ fn bench_kernels(c: &mut Criterion) {
     });
     group.bench_function("matmul_nt_250x130x70", |bch| {
         bch.iter(|| black_box(black_box(&a).matmul_nt(black_box(&b_t))))
+    });
+    group.finish();
+
+    // Forced-scalar reference for the scalar-vs-SIMD speedup table,
+    // measured at the kernel layer with an explicit backend (the
+    // dispatcher is resolved once per process, so it cannot be flipped
+    // mid-run). `nt` replicates the dispatched path's rhsᵀ pack.
+    let mut group = c.benchmark_group("matmul_kernels_scalar");
+    group.sample_size(40);
+    let (mut out, mut packed) = (vec![0.0f32; m * n], vec![0.0f32; k * n]);
+    group.bench_function("scalar_matmul_250x130x70", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            kernels::matmul_with(
+                Backend::Scalar,
+                Precision::Strict,
+                black_box(a.data()),
+                black_box(b.data()),
+                &mut out,
+                m,
+                k,
+                n,
+            );
+            black_box(out[0])
+        })
+    });
+    group.bench_function("scalar_matmul_tn_250x130x70", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            kernels::matmul_tn_with(
+                Backend::Scalar,
+                Precision::Strict,
+                black_box(a_t.data()),
+                black_box(b.data()),
+                &mut out,
+                k,
+                m,
+                n,
+            );
+            black_box(out[0])
+        })
+    });
+    group.bench_function("scalar_matmul_nt_250x130x70", |bch| {
+        bch.iter(|| {
+            let bt = black_box(b_t.data());
+            for kk in 0..k {
+                for j in 0..n {
+                    packed[kk * n + j] = bt[j * k + kk];
+                }
+            }
+            out.fill(0.0);
+            kernels::matmul_with(
+                Backend::Scalar,
+                Precision::Strict,
+                black_box(a.data()),
+                &packed,
+                &mut out,
+                m,
+                k,
+                n,
+            );
+            black_box(out[0])
+        })
     });
     group.finish();
 }
@@ -142,6 +206,14 @@ struct KernelLine {
 }
 
 #[derive(serde::Serialize)]
+struct KernelSpeedup {
+    name: String,
+    dispatched_median_ns: f64,
+    scalar_median_ns: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
 struct TrainBenchLine {
     bench: &'static str,
     pool_threads: usize,
@@ -162,6 +234,11 @@ struct TrainBenchLine {
     /// High-water mark of live heap bytes across the sequential fit.
     peak_bytes: Option<u64>,
     kernels: Vec<KernelLine>,
+    /// Which kernel backend the dispatcher resolved for this run.
+    kernel_backend: &'static str,
+    /// Per-kernel dispatched-vs-forced-scalar A/B (speedup ≈ 1 when the
+    /// dispatcher itself resolved to scalar).
+    kernel_speedups: Vec<KernelSpeedup>,
 }
 
 fn append_results(
@@ -198,7 +275,29 @@ fn append_results(
             .filter(|r| r.group == "matmul_kernels")
             .map(|r| KernelLine { name: r.name.clone(), median_ns: r.median_ns, min_ns: r.min_ns })
             .collect(),
+        kernel_backend: kernels::backend_name(),
+        kernel_speedups: c
+            .reports()
+            .iter()
+            .filter(|r| r.group == "matmul_kernels")
+            .map(|r| {
+                let scalar = find(&format!("scalar_{}", r.name));
+                KernelSpeedup {
+                    name: r.name.clone(),
+                    dispatched_median_ns: r.median_ns,
+                    scalar_median_ns: scalar.median_ns,
+                    speedup: scalar.median_ns / r.median_ns,
+                }
+            })
+            .collect(),
     };
+    println!("kernel backend: {}", line.kernel_backend);
+    for s in &line.kernel_speedups {
+        println!(
+            "  {:<24} dispatched {:>9.0} ns  scalar {:>9.0} ns  speedup {:.2}x",
+            s.name, s.dispatched_median_ns, s.scalar_median_ns, s.speedup
+        );
+    }
     let json = serde_json::to_string(&line).expect("serialize bench line");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
     let mut f = std::fs::OpenOptions::new()

@@ -46,6 +46,7 @@ use rand::rngs::StdRng;
 use serde::Serialize;
 
 use gem_graph::{BipartiteGraph, MacId, NodeId, RecordId};
+use gem_nn::kernels;
 use gem_nn::tape::Activation;
 use gem_nn::Tensor;
 
@@ -54,9 +55,19 @@ use crate::bisage::{node_row, normalize_into, Aggregator, BiSage, Tree};
 /// Fan out batched neighborhood collection above this many items.
 const PAR_THRESHOLD: usize = 32;
 
-/// Cached round-1 carrier aggregate `l¹` of one MAC node.
+/// Cached round-1 carrier aggregate `l¹` of one MAC node. Exactly one
+/// of `l1` / `ql1` is populated, per the engine's cache mode: f32 rows
+/// by default, or int8 codes with a per-row scale and zero-point when
+/// [`InferenceEngine::set_quantized_cache`] is on (4x smaller, each
+/// element within `scale/2` of the f32 value).
 struct MacEntry {
     l1: Vec<f32>,
+    /// Int8 codes of the row (quantized mode only).
+    ql1: Vec<i8>,
+    /// Dequantization scale (`x ≈ scale·code + zero`).
+    scale: f32,
+    /// Dequantization zero-point (midpoint of the row's value range).
+    zero: f32,
     /// Trust epoch the entry was computed under.
     trust_epoch: u64,
     /// MAC degree at computation time; any new edge invalidates.
@@ -67,6 +78,21 @@ struct MacEntry {
     /// streamed targets themselves, or a raw-neighborhood fallback) —
     /// reusable only within the producing call.
     volatile_call: Option<u64>,
+}
+
+impl MacEntry {
+    /// `dst += w · l¹` in the entry's representation: the dispatched
+    /// axpy for f32 rows, or the dequantizing int8 kernel with the
+    /// weight folded into scale and zero-point (`w·(s·q + z) =
+    /// (w·s)·q + w·z`).
+    #[inline]
+    fn accumulate_into(&self, dst: &mut [f32], w: f32) {
+        if self.ql1.is_empty() {
+            kernels::axpy(dst, w, &self.l1);
+        } else {
+            kernels::axpy_dequant_i8(dst, w * self.scale, w * self.zero, &self.ql1);
+        }
+    }
 }
 
 /// Cache hit/miss counters of an [`InferenceEngine`].
@@ -99,6 +125,8 @@ impl CacheStats {
 pub struct InferenceEngine {
     /// Per-MAC cache, indexed by MAC id.
     entries: Vec<Option<MacEntry>>,
+    /// Store cached rows as int8 codes instead of f32 (opt-in).
+    quantized_cache: bool,
     trust_epoch: u64,
     call_id: u64,
     hits: u64,
@@ -139,6 +167,7 @@ impl InferenceEngine {
     pub fn new() -> Self {
         InferenceEngine {
             entries: Vec::new(),
+            quantized_cache: false,
             trust_epoch: 0,
             call_id: 0,
             hits: 0,
@@ -163,6 +192,24 @@ impl InferenceEngine {
             cur: Vec::new(),
             next: Vec::new(),
         }
+    }
+
+    /// Switches the per-MAC aggregate cache between f32 rows (default,
+    /// bitwise identical to the tape) and int8 rows with per-row scale
+    /// and zero-point (4x smaller; aggregates dequantize through the
+    /// SIMD `axpy_dequant_i8` kernel, each cached element within
+    /// `scale/2` of its f32 value). Toggling invalidates the cache so
+    /// the two representations never mix.
+    pub fn set_quantized_cache(&mut self, on: bool) {
+        if self.quantized_cache != on {
+            self.quantized_cache = on;
+            self.invalidate();
+        }
+    }
+
+    /// Whether the aggregate cache stores int8 rows.
+    pub fn quantized_cache(&self) -> bool {
+        self.quantized_cache
     }
 
     /// Invalidates every cache entry (model refit, provisional-base
@@ -237,10 +284,7 @@ impl InferenceEngine {
         self.cat.row_mut(0)[..d]
             .copy_from_slice(model.base_h.row(node_row(NodeId::Record(record))));
         for &(m, w) in &self.macs0 {
-            let src = model.base_l.row(mac_row(m));
-            for (o, &x) in self.cat.row_mut(0)[d..].iter_mut().zip(src) {
-                *o += w * x;
-            }
+            kernels::axpy(&mut self.cat.row_mut(0)[d..], w, model.base_l.row(mac_row(m)));
         }
         self.lin.reset_to(1, d);
         self.cat.matmul_into(&model.w_h[0], &mut self.lin);
@@ -285,9 +329,7 @@ impl InferenceEngine {
                 }
                 let nw = seg_norm(aggr, w, w_total);
                 let src = model.base_h.row(node_row(NodeId::Record(r)));
-                for (o, &x) in self.cat.row_mut(0)[d..].iter_mut().zip(src) {
-                    *o += nw * x;
-                }
+                kernels::axpy(&mut self.cat.row_mut(0)[d..], nw, src);
             }
             self.lin.reset_to(1, d);
             self.cat.matmul_into(&model.w_l[0], &mut self.lin);
@@ -296,6 +338,7 @@ impl InferenceEngine {
             store_entry(
                 &mut self.entries[mid as usize],
                 self.lin.row(0),
+                self.quantized_cache,
                 self.trust_epoch,
                 degree_now,
                 filtered_now,
@@ -308,9 +351,7 @@ impl InferenceEngine {
         self.agg.resize(d, 0.0);
         for &(mid, w) in &self.macs0 {
             let e = self.entries[mid as usize].as_ref().expect("entry ensured above");
-            for (o, &x) in self.agg.iter_mut().zip(&e.l1) {
-                *o += w * x;
-            }
+            e.accumulate_into(&mut self.agg, w);
         }
         self.cat.reset_to(1, 2 * d);
         self.cat.row_mut(0)[..d].copy_from_slice(&self.h1);
@@ -423,9 +464,7 @@ impl InferenceEngine {
                 let NodeId::Mac(m) = n else { unreachable!("record neighbors are MACs") };
                 let nw = seg_norm(aggr, w, w_total);
                 self.seg_macs.push((m.0, nw));
-                for (o, &x) in row[d..].iter_mut().zip(model.base_l.row(mac_row(m.0))) {
-                    *o += nw * x;
-                }
+                kernels::axpy(&mut row[d..], nw, model.base_l.row(mac_row(m.0)));
             }
             self.seg_offs.push(self.seg_macs.len() as u32);
         }
@@ -501,9 +540,7 @@ impl InferenceEngine {
                     }
                     let nw = seg_norm(aggr, w, w_total);
                     let src = model.base_h.row(node_row(NodeId::Record(r)));
-                    for (o, &x) in row[d..].iter_mut().zip(src) {
-                        *o += nw * x;
-                    }
+                    kernels::axpy(&mut row[d..], nw, src);
                 }
             }
             self.lin_b.reset_to(m_cnt, d);
@@ -517,6 +554,7 @@ impl InferenceEngine {
                 store_entry(
                     &mut self.entries[mid as usize],
                     self.lin_b.row(i),
+                    self.quantized_cache,
                     self.trust_epoch,
                     degree_now,
                     filtered_now,
@@ -534,9 +572,7 @@ impl InferenceEngine {
             let (lo, hi) = (self.seg_offs[i] as usize, self.seg_offs[i + 1] as usize);
             for &(mid, w) in &self.seg_macs[lo..hi] {
                 let e = self.entries[mid as usize].as_ref().expect("entry ensured in stage B");
-                for (o, &x) in row[d..].iter_mut().zip(&e.l1) {
-                    *o += w * x;
-                }
+                e.accumulate_into(&mut row[d..], w);
             }
         }
         self.cat_b.matmul_into(&model.w_h[1], &mut out);
@@ -605,10 +641,7 @@ impl InferenceEngine {
                         row[..d].copy_from_slice(state.row(s));
                         let (lo, hi) = (offs[s] as usize, offs[s + 1] as usize);
                         for j in lo..hi {
-                            let w = wts[j];
-                            for (o, &x) in row[d..].iter_mut().zip(inp.row(j)) {
-                                *o += w * x;
-                            }
+                            kernels::axpy(&mut row[d..], wts[j], inp.row(j));
                         }
                     }
                 }
@@ -659,12 +692,11 @@ fn mac_row(m: u32) -> usize {
     node_row(NodeId::Mac(MacId(m)))
 }
 
-/// Element-wise nonlinearity, identical to the tape's `activation` op.
+/// Element-wise nonlinearity, identical to the tape's `activation` op
+/// (same dispatched kernel, so tape/engine parity is preserved bitwise).
 #[inline]
 fn act_tensor(t: &mut Tensor, act: Activation) {
-    for x in t.data_mut() {
-        *x = act.forward(*x);
-    }
+    act.forward_slice(t.data_mut());
 }
 
 fn entry_valid(
@@ -689,25 +721,53 @@ fn entry_valid(
         }
 }
 
-/// Overwrites a cache slot in place (no allocation once the slot exists).
+/// Overwrites a cache slot in place (no allocation once the slot has
+/// seen the row length, in either representation).
 fn store_entry(
     slot: &mut Option<MacEntry>,
     l1: &[f32],
+    quantize: bool,
     trust_epoch: u64,
     degree: u32,
     filtered: bool,
     volatile_call: Option<u64>,
 ) {
-    match slot {
-        Some(e) if e.l1.len() == l1.len() => {
-            e.l1.copy_from_slice(l1);
-            e.trust_epoch = trust_epoch;
-            e.degree = degree;
-            e.filtered = filtered;
-            e.volatile_call = volatile_call;
+    let e = slot.get_or_insert_with(|| MacEntry {
+        l1: Vec::new(),
+        ql1: Vec::new(),
+        scale: 0.0,
+        zero: 0.0,
+        trust_epoch,
+        degree,
+        filtered,
+        volatile_call,
+    });
+    e.trust_epoch = trust_epoch;
+    e.degree = degree;
+    e.filtered = filtered;
+    e.volatile_call = volatile_call;
+    if quantize {
+        e.l1.clear();
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &x in l1 {
+            lo = lo.min(x);
+            hi = hi.max(x);
         }
-        _ => {
-            *slot = Some(MacEntry { l1: l1.to_vec(), trust_epoch, degree, filtered, volatile_call })
-        }
+        let zero = 0.5 * (lo + hi);
+        let scale = (hi - lo) / 254.0;
+        e.zero = zero;
+        e.scale = scale;
+        e.ql1.clear();
+        e.ql1.extend(l1.iter().map(|&x| {
+            if scale > 0.0 {
+                ((x - zero) / scale).round().clamp(-127.0, 127.0) as i8
+            } else {
+                0
+            }
+        }));
+    } else {
+        e.ql1.clear();
+        e.l1.clear();
+        e.l1.extend_from_slice(l1);
     }
 }

@@ -27,6 +27,7 @@ pub mod infer;
 pub mod pca;
 pub mod persist;
 pub mod pipeline;
+pub mod quant;
 
 pub use bisage::{obs_step_recorder, Aggregator, BiSage, BiSageConfig, StepEvent};
 pub use config::GemConfig;
@@ -39,3 +40,4 @@ pub use persist::{
     fnv1a64, fnv1a64_hex, FleetManifest, GemSnapshot, PersistError, PremisesEntry, MANIFEST_FILE,
 };
 pub use pipeline::{Embedder, OutlierModel, Pipeline};
+pub use quant::{QuantizedDetector, QuantizedScorer};

@@ -1,0 +1,337 @@
+//! Int8 quantized HBOS scoring — the serving-path fast lane.
+//!
+//! [`crate::HistogramModel::raw_score`] recomputes, per sample and per
+//! dimension, the bin-height normalization (a scan over all bins for the
+//! max count) and a `ln`. A [`QuantizedScorer`] snapshots that work once:
+//! every per-bin score contribution `ln(1/height)` is precomputed and
+//! quantized to an int8 code with a per-dimension (per-row) scale and
+//! zero-point, so scoring one sample is `dim` table lookups plus `dim`
+//! dequantizing multiply-adds — no scans, no transcendentals, and a
+//! table 8x smaller than the f64 scores it replaces.
+//!
+//! The decision boundary stays in f64: [`QuantizedDetector`] dequantizes
+//! the accumulated raw score and only then applies the frozen min-max
+//! normalization and the temperature softmax `S_T = σ((2H̄−1)/T)`, both
+//! in f64 — quantization error enters exactly once, through the codes.
+//! That error is *bounded and computable*: each code is off by at most
+//! `scale_j / 2`, so the raw-score error is at most `Σ_j scale_j / 2`
+//! ([`QuantizedScorer::max_raw_error`]) and the `S_T` error at most
+//! `1/(2T)` times the normalized raw error
+//! ([`QuantizedDetector::max_score_error`], via the logistic's Lipschitz
+//! constant). Tests assert both bounds against the f64 reference, and
+//! the infer bench gates the decision disagreement rate in CI.
+//!
+//! A snapshot is *frozen*: it does not follow online histogram updates.
+//! [`QuantizedDetector::is_stale`] compares absorbed-sample counts so a
+//! serving loop knows when to re-snapshot (cheap: one table rebuild).
+
+use serde::Serialize;
+
+use crate::detector::{Detection, EnhancedDetector};
+use crate::hbos::HistogramModel;
+
+/// Frozen int8 snapshot of a [`HistogramModel`]'s per-bin scores with
+/// per-dimension scale and zero-point. See the module docs for the
+/// quantization scheme and error bounds.
+#[derive(Clone, Debug, Serialize)]
+pub struct QuantizedScorer {
+    dim: usize,
+    bins: usize,
+    /// Per-dimension fitted lower range bounds (copied bit-for-bit from
+    /// the histogram so binning matches the reference exactly).
+    mins: Vec<f32>,
+    /// Per-dimension fitted upper range bounds.
+    maxs: Vec<f32>,
+    /// Row-major `dim × (bins + 1)` int8 codes; the final column of each
+    /// row is the out-of-distribution (empty-bin floor) score.
+    codes: Vec<i8>,
+    /// Per-dimension dequantization scale (`score ≈ scale·code + zero`).
+    scales: Vec<f64>,
+    /// Per-dimension dequantization zero-point.
+    zeros: Vec<f64>,
+    /// Samples absorbed by the source histogram at snapshot time.
+    n_samples: usize,
+}
+
+/// Codes span `[-QMAX, QMAX]` (symmetric, so zero-point stays exact).
+const QMAX: f64 = 127.0;
+
+impl QuantizedScorer {
+    /// Snapshots a histogram model: precomputes every per-bin score and
+    /// quantizes each dimension's row with its own scale and zero-point
+    /// (midpoint of the row's score range; scale sized so the extremes
+    /// map to ±127).
+    pub fn from_hist(hist: &HistogramModel) -> Self {
+        let (dim, bins) = (hist.dim(), hist.bins());
+        let (mins, maxs) = hist.ranges();
+        let table = hist.score_table();
+        let width = bins + 1;
+        let mut codes = vec![0i8; dim * width];
+        let mut scales = vec![0.0f64; dim];
+        let mut zeros = vec![0.0f64; dim];
+        for j in 0..dim {
+            let row = &table[j * width..(j + 1) * width];
+            let lo = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let zero = 0.5 * (lo + hi);
+            let scale = (hi - lo) / (2.0 * QMAX);
+            zeros[j] = zero;
+            scales[j] = scale;
+            for (slot, &s) in codes[j * width..(j + 1) * width].iter_mut().zip(row) {
+                let code = if scale > 0.0 { ((s - zero) / scale).round() } else { 0.0 };
+                *slot = code.clamp(-QMAX, QMAX) as i8;
+            }
+        }
+        QuantizedScorer {
+            dim,
+            bins,
+            mins: mins.to_vec(),
+            maxs: maxs.to_vec(),
+            codes,
+            scales,
+            zeros,
+            n_samples: hist.n_samples(),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Samples the source histogram had absorbed at snapshot time.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Bin lookup matching [`HistogramModel`]'s scoring convention
+    /// exactly (same clamp arithmetic, same out-of-distribution rule);
+    /// `bins` (the final column) encodes "out of distribution".
+    #[inline]
+    fn bin_scored(&self, j: usize, v: f32) -> usize {
+        let lo = self.mins[j];
+        let hi = self.maxs[j];
+        if hi <= lo {
+            let tol = lo.abs().max(1.0) * 1e-5;
+            return if (v - lo).abs() <= tol { 0 } else { self.bins };
+        }
+        let half_width = (hi - lo) / (2.0 * self.bins as f32);
+        if v < lo - half_width || v > hi + half_width {
+            return self.bins;
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((t * self.bins as f32) as usize).min(self.bins - 1)
+    }
+
+    /// Quantized raw HBOS score: `Σ_j scale_j·code_j + zero_j`,
+    /// accumulated and rescaled in f64. Within
+    /// [`QuantizedScorer::max_raw_error`] of
+    /// [`HistogramModel::raw_score`] on the snapshot's histogram state.
+    pub fn raw_score(&self, sample: &[f32]) -> f64 {
+        assert_eq!(sample.len(), self.dim, "sample dimensionality mismatch");
+        let width = self.bins + 1;
+        let mut acc = 0.0f64;
+        for (j, &v) in sample.iter().enumerate() {
+            let b = self.bin_scored(j, v);
+            let code = self.codes[j * width + b] as f64;
+            acc += self.scales[j] * code + self.zeros[j];
+        }
+        acc
+    }
+
+    /// Worst-case absolute error of [`QuantizedScorer::raw_score`]
+    /// against the f64 reference: `Σ_j scale_j / 2` (each code rounds to
+    /// the nearest representable level, so each dimension contributes at
+    /// most half a quantization step).
+    pub fn max_raw_error(&self) -> f64 {
+        self.scales.iter().map(|s| 0.5 * s).sum()
+    }
+}
+
+/// An [`EnhancedDetector`] serving twin that scores through a
+/// [`QuantizedScorer`] and makes its decisions from the f64-rescaled
+/// quantized raw score, with the detector's frozen normalization bounds,
+/// temperature and thresholds copied verbatim. Build with
+/// [`EnhancedDetector::quantized`].
+#[derive(Clone, Debug, Serialize)]
+pub struct QuantizedDetector {
+    scorer: QuantizedScorer,
+    score_min: f64,
+    score_max: f64,
+    temperature: f64,
+    tau_u: f64,
+    tau_l: f64,
+}
+
+impl QuantizedDetector {
+    pub(crate) fn new(
+        scorer: QuantizedScorer,
+        score_min: f64,
+        score_max: f64,
+        temperature: f64,
+        tau_u: f64,
+        tau_l: f64,
+    ) -> Self {
+        QuantizedDetector { scorer, score_min, score_max, temperature, tau_u, tau_l }
+    }
+
+    /// The underlying frozen scorer.
+    pub fn scorer(&self) -> &QuantizedScorer {
+        &self.scorer
+    }
+
+    /// `S_T(h)` from the quantized raw score — the min-max normalization
+    /// and logistic rescale run in f64 at the decision boundary.
+    pub fn score(&self, sample: &[f32]) -> f64 {
+        let raw = self.scorer.raw_score(sample);
+        let h = if self.score_max <= self.score_min {
+            0.5
+        } else {
+            ((raw - self.score_min) / (self.score_max - self.score_min)).clamp(0.0, 1.0)
+        };
+        1.0 / (1.0 + (-(2.0 * h - 1.0) / self.temperature).exp())
+    }
+
+    /// Classifies one sample with the detector's thresholds (no model
+    /// mutation; snapshots never learn).
+    pub fn detect(&self, sample: &[f32]) -> Detection {
+        let score = self.score(sample);
+        Detection { score, is_outlier: score > self.tau_u, confident_inlier: score < self.tau_l }
+    }
+
+    /// Classifies a batch across the worker pool; results keep input
+    /// order.
+    pub fn detect_batch<S: AsRef<[f32]> + Sync>(&self, samples: &[S]) -> Vec<Detection> {
+        gem_par::par_map(samples, |s| self.detect(s.as_ref()))
+    }
+
+    /// Worst-case `S_T` error against the f64 detector *at snapshot
+    /// time*: the raw error bound divided by the normalization span,
+    /// through the logistic's Lipschitz constant `1/(2T)`.
+    pub fn max_score_error(&self) -> f64 {
+        let span = self.score_max - self.score_min;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.scorer.max_raw_error() / span) / (2.0 * self.temperature)
+    }
+
+    /// Whether `det` has absorbed samples since this snapshot was taken
+    /// (decisions may then diverge beyond the error bound; re-snapshot
+    /// with [`EnhancedDetector::quantized`]).
+    pub fn is_stale(&self, det: &EnhancedDetector) -> bool {
+        det.n_samples() != self.scorer.n_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_nn::Tensor;
+
+    /// Clustered 8-D training set with varied per-dim spread.
+    fn train_set() -> Tensor {
+        Tensor::from_fn(120, 8, |i, j| {
+            let base = 0.4 + j as f32 * 0.05;
+            let jitter = ((i * 7 + j * 13) % 23) as f32 / 100.0;
+            if i % 17 == 16 {
+                base + 0.4 + jitter
+            } else {
+                base + jitter
+            }
+        })
+    }
+
+    fn probe_samples() -> Vec<Vec<f32>> {
+        let mut v = Vec::new();
+        for i in 0..400 {
+            let t = i as f32 / 400.0;
+            v.push((0..8).map(|j| 0.2 + t + j as f32 * 0.04).collect());
+        }
+        v
+    }
+
+    #[test]
+    fn raw_score_within_declared_bound() {
+        let hist = HistogramModel::fit(&train_set(), 12);
+        let q = QuantizedScorer::from_hist(&hist);
+        let bound = q.max_raw_error();
+        assert!(bound.is_finite() && bound >= 0.0);
+        for s in probe_samples() {
+            let reference = hist.raw_score(&s);
+            let quantized = q.raw_score(&s);
+            assert!(
+                (reference - quantized).abs() <= bound + 1e-12,
+                "raw error {} exceeds bound {bound}",
+                (reference - quantized).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn detector_score_within_declared_bound() {
+        let det = EnhancedDetector::fit(&train_set(), 12, 0.06, 0.005, 0.001);
+        let qdet = det.quantized();
+        let bound = qdet.max_score_error();
+        for s in probe_samples() {
+            let d = (det.score(&s) - qdet.score(&s)).abs();
+            assert!(d <= bound + 1e-12, "score error {d} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn decisions_agree_away_from_thresholds() {
+        let det = EnhancedDetector::fit(&train_set(), 12, 0.06, 0.005, 0.001);
+        let qdet = det.quantized();
+        let margin = qdet.max_score_error();
+        for s in probe_samples() {
+            let d_ref = det.detect(&s);
+            let d_q = qdet.detect(&s);
+            // Outside the quantization margin around τ_u the decision
+            // cannot flip; inside it either answer is admissible.
+            if (d_ref.score - det.tau_u).abs() > margin {
+                assert_eq!(d_ref.is_outlier, d_q.is_outlier);
+            }
+            if (d_ref.score - det.tau_l).abs() > margin {
+                assert_eq!(d_ref.confident_inlier, d_q.confident_inlier);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let det = EnhancedDetector::fit(&train_set(), 12, 0.06, 0.005, 0.001);
+        let qdet = det.quantized();
+        let samples = probe_samples();
+        let batch = qdet.detect_batch(&samples);
+        for (s, b) in samples.iter().zip(&batch) {
+            assert_eq!(qdet.detect(s).score, b.score);
+        }
+    }
+
+    #[test]
+    fn staleness_tracks_updates() {
+        let mut det = EnhancedDetector::fit(&train_set(), 12, 0.06, 0.005, 0.001);
+        let qdet = det.quantized();
+        assert!(!qdet.is_stale(&det));
+        // Absorb one confident inlier; the snapshot must report stale.
+        let inlier: Vec<f32> = (0..8).map(|j| 0.5 + j as f32 * 0.05).collect();
+        let d = det.detect(&inlier);
+        if det.update_if_confident(&inlier, &d) {
+            assert!(qdet.is_stale(&det));
+            // Re-snapshot clears staleness.
+            assert!(!det.quantized().is_stale(&det));
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension_is_safe() {
+        let train = Tensor::from_fn(20, 2, |i, j| if j == 0 { i as f32 } else { 3.0 });
+        let hist = HistogramModel::fit(&train, 5);
+        let q = QuantizedScorer::from_hist(&hist);
+        let bound = q.max_raw_error();
+        for s in [[10.0f32, 3.0], [10.0, 99.0], [-5.0, 3.0]] {
+            assert!((hist.raw_score(&s) - q.raw_score(&s)).abs() <= bound + 1e-12);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod arena;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod linalg;
 pub mod optim;
@@ -29,6 +30,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use arena::{ArenaStats, TensorArena};
+pub use kernels::{Backend, Precision};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use tape::{Activation, GradStore, Graph, ParamId, ParamStore, SparseGrad, Touched, Var};
 pub use tensor::Tensor;

@@ -124,15 +124,14 @@ pub fn jacobi_eigen(mut a: SymMatrix, tol: f64, max_sweeps: usize) -> EigenDecom
                     d[k * n + p] = c * akp - s * akq;
                     d[k * n + q] = s * akp + c * akq;
                 }
-                // p < q, so row p lies entirely before row q.
+                // p < q, so row p lies entirely before row q. The
+                // dispatched kernel applies the same per-element op
+                // sequence as the scalar pass (two muls, one sub/add),
+                // so the result is backend-independent bit for bit.
                 let (lo, hi) = d.split_at_mut(q * n);
                 let rp = &mut lo[p * n..p * n + n];
                 let rq = &mut hi[..n];
-                for (apk, aqk) in rp.iter_mut().zip(rq.iter_mut()) {
-                    let (x, y) = (*apk, *aqk);
-                    *apk = c * x - s * y;
-                    *aqk = s * x + c * y;
-                }
+                crate::kernels::rotate_rows_f64(rp, rq, c, s);
                 // Accumulate rotation into eigenvectors.
                 for k in 0..n {
                     let vkp = v[k * n + p];

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::arena::TensorArena;
+use crate::kernels::{self, Precision};
 use crate::tensor::Tensor;
 
 /// Handle to a learnable parameter inside a [`ParamStore`].
@@ -664,6 +665,24 @@ impl Activation {
         }
     }
 
+    /// Applies the nonlinearity across a slice in place. Semantically
+    /// `for x in xs { *x = self.forward(*x) }`, but element-independent
+    /// cases route through the dispatched SIMD kernels — with results
+    /// bit-identical to the scalar loop, so the tape/engine parity
+    /// contract extends unchanged.
+    #[inline]
+    pub fn forward_slice(self, xs: &mut [f32]) {
+        match self {
+            Activation::LeakyRelu => kernels::leaky_relu(xs, 0.01),
+            Activation::Identity => {}
+            _ => {
+                for x in xs {
+                    *x = self.forward(*x);
+                }
+            }
+        }
+    }
+
     /// Derivative given the input `x` and output `y`.
     #[inline]
     fn derivative(self, x: f32, y: f32) -> f32 {
@@ -758,6 +777,7 @@ struct Node {
 pub struct Graph {
     nodes: Vec<Node>,
     arena: Option<Rc<TensorArena>>,
+    precision: Precision,
 }
 
 impl Default for Graph {
@@ -775,17 +795,32 @@ impl Drop for Graph {
 impl Graph {
     /// Creates an empty tape (plain heap allocation, no arena).
     pub fn new() -> Self {
-        Graph { nodes: Vec::new(), arena: None }
+        Graph { nodes: Vec::new(), arena: None, precision: Precision::Strict }
     }
 
     /// Creates an empty tape whose node buffers come from `arena`.
     pub fn with_arena(arena: Rc<TensorArena>) -> Self {
-        Graph { nodes: Vec::new(), arena: Some(arena) }
+        Graph { nodes: Vec::new(), arena: Some(arena), precision: Precision::Strict }
     }
 
     /// The arena backing this tape, if any.
     pub fn arena(&self) -> Option<&Rc<TensorArena>> {
         self.arena.as_ref()
+    }
+
+    /// Sets the multiply-accumulate rounding policy for this tape's
+    /// matmul forward *and* backward kernels. `Strict` (the default)
+    /// keeps the historical separately rounded semantics; `Fused` is the
+    /// opt-in fused-FMA training path — still deterministic per backend,
+    /// but not bit-comparable with `Strict` results. Survives
+    /// [`Graph::reset`], so a thread-local step graph keeps its policy.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
+    /// The tape's current multiply-accumulate rounding policy.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Clears the tape for reuse, recycling every node value and gradient
@@ -876,7 +911,7 @@ impl Graph {
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let mut value = self.alloc(self.value(a).rows(), self.value(b).cols());
-        self.value(a).matmul_into(self.value(b), &mut value);
+        self.value(a).matmul_into_prec(self.value(b), &mut value, self.precision);
         self.push(Op::MatMul(a, b), value)
     }
 
@@ -936,10 +971,8 @@ impl Graph {
 
     /// Element-wise nonlinearity.
     pub fn activation(&mut self, a: Var, act: Activation) -> Var {
-        let mut value = self.alloc(self.value(a).rows(), self.value(a).cols());
-        for (o, &x) in value.data_mut().iter_mut().zip(self.value(a).data()) {
-            *o = act.forward(x);
-        }
+        let mut value = self.alloc_copy(self.value(a));
+        act.forward_slice(value.data_mut());
         self.push(Op::Act(a, act), value)
     }
 
@@ -986,11 +1019,9 @@ impl Graph {
             let inp = self.value(input);
             for s in 0..n_seg {
                 let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+                let dst = value.row_mut(s);
                 for (j, &w) in weights.iter().enumerate().take(hi).skip(lo) {
-                    let src = inp.row(j);
-                    for (o, &x) in value.row_mut(s).iter_mut().zip(src) {
-                        *o += w * x;
-                    }
+                    kernels::axpy(dst, w, inp.row(j));
                 }
             }
         }
@@ -1203,10 +1234,11 @@ impl Graph {
                     store.scatter_rows(param, &indices, &grad);
                 }
                 Op::MatMul(a, b) => {
+                    let prec = self.precision;
                     let mut da = self.alloc(grad.rows(), self.value(b).rows());
-                    grad.matmul_nt_into(self.value(b), &mut da);
+                    grad.matmul_nt_into_prec(self.value(b), &mut da, prec);
                     let mut db = self.alloc(self.value(a).cols(), grad.cols());
-                    self.value(a).matmul_tn_into(&grad, &mut db);
+                    self.value(a).matmul_tn_into_prec(&grad, &mut db, prec);
                     self.accumulate(a, da);
                     self.accumulate(b, db);
                 }
@@ -1299,9 +1331,7 @@ impl Graph {
                         let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
                         let g_row = grad.row(s);
                         for (j, &w) in weights.iter().enumerate().take(hi).skip(lo) {
-                            for (d, &g) in da.row_mut(j).iter_mut().zip(g_row) {
-                                *d += w * g;
-                            }
+                            kernels::axpy(da.row_mut(j), w, g_row);
                         }
                     }
                     self.accumulate(input, da);

@@ -6,11 +6,7 @@ use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
-/// Rows (matmul/tn) or columns (nt) handled per register tile.
-const MR: usize = 4;
-/// `k`-panel height: the slab of `rhs` rows kept hot in L1 while a block
-/// of output rows is updated.
-const K_PANEL: usize = 256;
+use crate::kernels::{self, Precision};
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -148,14 +144,13 @@ impl Tensor {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Cache-blocked, register-tiled kernel: `rhs` is streamed through
-    /// k-panels that stay hot in L1 while four output rows are updated
-    /// per pass, so every loaded `rhs` row is reused from registers
-    /// instead of re-read per output row. Each output element is still
-    /// accumulated by a single chain of adds in ascending-`k` order, so
-    /// results are bit-identical to the textbook ikj kernel — the
-    /// exact-equality transpose tests and the training determinism
-    /// contract both rely on that.
+    /// Runs the runtime-dispatched cache-blocked kernel from
+    /// [`crate::kernels`] (scalar reference or AVX2, chosen once at
+    /// startup). Each output element is accumulated by a single chain
+    /// of adds in ascending-`k` order on every backend, so results are
+    /// bit-identical to the textbook ikj kernel — the exact-equality
+    /// transpose tests and the training determinism contract both rely
+    /// on that.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         let mut out = Tensor::zeros(self.rows, rhs.cols);
         self.matmul_into(rhs, &mut out);
@@ -166,6 +161,12 @@ impl Tensor {
     /// (arena-allocated on the tape path). `out` must be `m × n`; its
     /// contents are overwritten.
     pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.matmul_into_prec(rhs, out, Precision::Strict);
+    }
+
+    /// [`Tensor::matmul_into`] with an explicit [`Precision`] (the
+    /// opt-in fused-FMA training path; `Strict` everywhere else).
+    pub fn matmul_into_prec(&self, rhs: &Tensor, out: &mut Tensor, prec: Precision) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -175,7 +176,16 @@ impl Tensor {
         );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul output shape mismatch");
         out.fill_zero();
-        matmul_kernel(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols);
+        kernels::matmul_with(
+            kernels::backend(),
+            prec,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
@@ -194,42 +204,25 @@ impl Tensor {
     /// [`Tensor::matmul_tn`] writing into a caller-provided `m × n`
     /// output tensor; its contents are overwritten.
     pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.matmul_tn_into_prec(rhs, out, Precision::Strict);
+    }
+
+    /// [`Tensor::matmul_tn_into`] with an explicit [`Precision`].
+    pub fn matmul_tn_into_prec(&self, rhs: &Tensor, out: &mut Tensor, prec: Precision) {
         assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         assert_eq!(out.shape(), (m, n), "matmul_tn output shape mismatch");
         out.fill_zero();
-        if m == 0 || n == 0 || k == 0 {
-            return;
-        }
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &rhs.data[kk * n..(kk + 1) * n];
-            let mut i = 0;
-            while i + MR <= m {
-                let block = &mut out.data[i * n..(i + MR) * n];
-                let (o0, rest) = block.split_at_mut(n);
-                let (o1, rest) = rest.split_at_mut(n);
-                let (o2, o3) = rest.split_at_mut(n);
-                let (c0, c1, c2, c3) = (a_row[i], a_row[i + 1], a_row[i + 2], a_row[i + 3]);
-                for ((((&bv, v0), v1), v2), v3) in
-                    b_row.iter().zip(&mut *o0).zip(&mut *o1).zip(&mut *o2).zip(&mut *o3)
-                {
-                    *v0 += c0 * bv;
-                    *v1 += c1 * bv;
-                    *v2 += c2 * bv;
-                    *v3 += c3 * bv;
-                }
-                i += MR;
-            }
-            while i < m {
-                let c = a_row[i];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += c * bv;
-                }
-                i += 1;
-            }
-        }
+        kernels::matmul_tn_with(
+            kernels::backend(),
+            prec,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            k,
+            m,
+            n,
+        );
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
@@ -251,6 +244,11 @@ impl Tensor {
     /// [`Tensor::matmul_nt`] writing into a caller-provided `m × n`
     /// output tensor; its contents are overwritten.
     pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.matmul_nt_into_prec(rhs, out, Precision::Strict);
+    }
+
+    /// [`Tensor::matmul_nt_into`] with an explicit [`Precision`].
+    pub fn matmul_nt_into_prec(&self, rhs: &Tensor, out: &mut Tensor, prec: Precision) {
         assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         assert_eq!(out.shape(), (m, n), "matmul_nt output shape mismatch");
@@ -269,7 +267,16 @@ impl Tensor {
                     packed[kk * n + j] = v;
                 }
             }
-            matmul_kernel(&self.data, packed, &mut out.data, m, k, n);
+            kernels::matmul_with(
+                kernels::backend(),
+                prec,
+                &self.data,
+                packed,
+                &mut out.data,
+                m,
+                k,
+                n,
+            );
         });
     }
 
@@ -289,12 +296,11 @@ impl Tensor {
         Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
-    /// `self += alpha * other` (same shape).
+    /// `self += alpha * other` (same shape), through the dispatched
+    /// [`kernels::axpy`].
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Scales every element in place.
@@ -335,57 +341,6 @@ impl Tensor {
 thread_local! {
     /// Reusable `rhsᵀ` packing buffer for [`Tensor::matmul_nt`].
     static NT_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
-}
-
-/// The cache-blocked, register-tiled ikj matmul core shared by
-/// [`Tensor::matmul`] and [`Tensor::matmul_nt`]: `out += a · b` with
-/// `a: m×k`, `b: k×n`, `out: m×n` (caller zeroes `out`). Each output
-/// element is accumulated by a single chain of adds in ascending-`k`
-/// order, so results are bit-identical to the textbook ikj kernel — the
-/// exact-equality transpose tests and the training determinism contract
-/// both rely on that.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    for k0 in (0..k).step_by(K_PANEL) {
-        let k1 = (k0 + K_PANEL).min(k);
-        let mut i = 0;
-        while i + MR <= m {
-            let a0 = &a[i * k..(i + 1) * k];
-            let a1 = &a[(i + 1) * k..(i + 2) * k];
-            let a2 = &a[(i + 2) * k..(i + 3) * k];
-            let a3 = &a[(i + 3) * k..(i + 4) * k];
-            let block = &mut out[i * n..(i + MR) * n];
-            let (o0, rest) = block.split_at_mut(n);
-            let (o1, rest) = rest.split_at_mut(n);
-            let (o2, o3) = rest.split_at_mut(n);
-            for kk in k0..k1 {
-                let b_row = &b[kk * n..kk * n + n];
-                let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-                for ((((&bv, v0), v1), v2), v3) in
-                    b_row.iter().zip(&mut *o0).zip(&mut *o1).zip(&mut *o2).zip(&mut *o3)
-                {
-                    *v0 += c0 * bv;
-                    *v1 += c1 * bv;
-                    *v2 += c2 * bv;
-                    *v3 += c3 * bv;
-                }
-            }
-            i += MR;
-        }
-        while i < m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &c) in a_row.iter().enumerate().take(k1).skip(k0) {
-                let b_row = &b[kk * n..kk * n + n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += c * bv;
-                }
-            }
-            i += 1;
-        }
-    }
 }
 
 impl Index<(usize, usize)> for Tensor {

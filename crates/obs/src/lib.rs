@@ -24,7 +24,7 @@ mod registry;
 mod server;
 mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, SpanTimer, HISTOGRAM_BUCKETS};
+pub use metrics::{interpolate_quantile, Counter, Gauge, Histogram, SpanTimer, HISTOGRAM_BUCKETS};
 pub use registry::{MetricSample, MetricValue, Registry};
 pub use server::MetricsServer;
 pub use trace::{TraceEvent, TraceRing, TraceValue};

@@ -178,11 +178,22 @@ impl Histogram {
         Some(HISTOGRAM_BUCKETS - 1)
     }
 
-    /// Quantile estimate: the inclusive upper bound of the bucket
-    /// holding the rank (0 when empty). True value is within one bucket,
-    /// i.e. at most a factor of two below the estimate.
+    /// Conservative quantile estimate: the inclusive upper bound of the
+    /// bucket holding the rank (0 when empty). True value is within one
+    /// bucket, i.e. at most a factor of two below the estimate.
     pub fn quantile(&self, q: f64) -> u64 {
         self.quantile_bucket(q).map(Self::bucket_upper).unwrap_or(0)
+    }
+
+    /// Log-linear interpolated quantile estimate (0 when empty): the
+    /// rank's position within its bucket's count is mapped onto the
+    /// bucket's log2 span, so nearby quantiles stop collapsing onto the
+    /// same bucket upper bound. Same bucket selection as
+    /// [`Histogram::quantile_bucket`], and the estimate is clamped into
+    /// that bucket — the documented ≤-one-bucket error bound is
+    /// unchanged (the true value shares the bucket).
+    pub fn quantile_interpolated(&self, q: f64) -> f64 {
+        interpolate_quantile(&self.bucket_counts(), q).unwrap_or(0.0)
     }
 
     /// Starts an RAII timer that records elapsed nanoseconds into this
@@ -190,6 +201,44 @@ impl Histogram {
     pub fn start_timer(&self) -> SpanTimer<'_> {
         SpanTimer { histogram: self, start: Instant::now(), armed: true }
     }
+}
+
+/// Log-linear interpolated quantile over a bucket-counts snapshot (the
+/// shared estimator behind [`Histogram::quantile_interpolated`], the
+/// registry's JSON quantiles, and merged cross-shard snapshots).
+/// `None` when the snapshot is empty.
+///
+/// Bucket selection matches [`Histogram::quantile_bucket`]
+/// (`rank = floor(q · (n−1))`); within bucket `k` (span
+/// `[2^(k−1), 2^k)`) the rank's fractional position among the bucket's
+/// samples interpolates the exponent: `v = 2^((k−1) + frac)`, clamped
+/// into the bucket. Bucket 0 is exactly 0, and the unbounded overflow
+/// bucket reports its lower bound.
+pub fn interpolate_quantile(counts: &[u64; HISTOGRAM_BUCKETS], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = q.clamp(0.0, 1.0) * (total - 1) as f64;
+    let rank_floor = rank.floor() as u64;
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if cumulative + c > rank_floor {
+            if i == 0 {
+                return Some(0.0);
+            }
+            let lower = Histogram::bucket_lower(i) as f64;
+            if i == HISTOGRAM_BUCKETS - 1 {
+                // No finite upper bound to interpolate toward.
+                return Some(lower);
+            }
+            let frac = ((rank - cumulative as f64) / c as f64).clamp(0.0, 1.0);
+            let v = ((i - 1) as f64 + frac).exp2();
+            return Some(v.clamp(lower, Histogram::bucket_upper(i) as f64));
+        }
+        cumulative += c;
+    }
+    Some(Histogram::bucket_lower(HISTOGRAM_BUCKETS - 1) as f64)
 }
 
 /// RAII span timer: records the elapsed wall time (nanoseconds) into its

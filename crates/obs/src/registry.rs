@@ -309,21 +309,9 @@ impl Registry {
 }
 
 /// Bucket-derived quantile of a counts snapshot (same estimator as
-/// [`Histogram::quantile`]).
+/// [`Histogram::quantile_interpolated`], rounded to whole nanoseconds).
 fn quantile_of(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64).floor() as u64;
-    let mut cumulative = 0u64;
-    for (i, &c) in buckets.iter().enumerate() {
-        cumulative += c;
-        if cumulative > rank {
-            return Histogram::bucket_upper(i);
-        }
-    }
-    Histogram::bucket_upper(HISTOGRAM_BUCKETS - 1)
+    crate::metrics::interpolate_quantile(buckets, q).map(|v| v.round() as u64).unwrap_or(0)
 }
 
 fn push_sep(s: &mut String) {
@@ -460,7 +448,17 @@ mod tests {
             h.record(1_000_000);
         }
         let json = r.render_json();
-        assert!(json.contains("\"p50_ns\":1023"), "{json}");
-        assert!(json.contains("\"p99_ns\":1048575"), "{json}");
+        // Interpolated quantiles must land strictly inside their buckets
+        // instead of both collapsing to the bucket upper bound.
+        let counts = h.bucket_counts();
+        let p50 = crate::metrics::interpolate_quantile(&counts, 0.50).unwrap().round() as u64;
+        let p99 = crate::metrics::interpolate_quantile(&counts, 0.99).unwrap().round() as u64;
+        assert!((512..1023).contains(&p50), "p50 {p50} not inside the 1_000 ns bucket");
+        assert!(
+            (524_288..1_048_575).contains(&p99),
+            "p99 {p99} not inside the 1_000_000 ns bucket"
+        );
+        assert!(json.contains(&format!("\"p50_ns\":{p50}")), "{json}");
+        assert!(json.contains(&format!("\"p99_ns\":{p99}")), "{json}");
     }
 }

@@ -4,7 +4,7 @@
 //! the boundaries drift, that gate's tolerance (one bucket) changes
 //! meaning silently.
 
-use gem_obs::{Histogram, HISTOGRAM_BUCKETS};
+use gem_obs::{interpolate_quantile, Histogram, HISTOGRAM_BUCKETS};
 
 #[test]
 fn bucket_boundaries_are_powers_of_two() {
@@ -91,9 +91,76 @@ fn quantile_error_is_at_most_one_bucket() {
 }
 
 #[test]
+fn interpolated_quantile_stays_in_the_exact_values_bucket() {
+    // Same skewed population as above: the interpolated estimate must
+    // keep the conservative estimator's ≤-one-bucket error bound by
+    // never leaving the bucket that holds the rank.
+    let h = Histogram::new();
+    let mut values = Vec::new();
+    values.extend(std::iter::repeat_n(1_000u64, 900));
+    values.extend(std::iter::repeat_n(100_000u64, 90));
+    values.extend(std::iter::repeat_n(10_000_000u64, 10));
+    for &v in &values {
+        h.record(v);
+    }
+    values.sort_unstable();
+
+    for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        let rank = (q * (values.len() - 1) as f64).floor() as usize;
+        let exact = values[rank];
+        let est = h.quantile_interpolated(q);
+        let bucket = Histogram::bucket_index(exact);
+        assert!(
+            est >= Histogram::bucket_lower(bucket) as f64
+                && est <= Histogram::bucket_upper(bucket) as f64,
+            "q={q}: interpolated estimate {est} left the exact value's bucket {bucket}"
+        );
+        assert!(
+            est <= h.quantile(q) as f64,
+            "q={q}: interpolated estimate {est} above the conservative upper bound"
+        );
+    }
+}
+
+#[test]
+fn interpolated_quantiles_separate_within_one_bucket() {
+    // 1000 samples all landing in bucket 10 ([512, 1023]): the
+    // conservative estimator collapses every quantile to 1023, the
+    // interpolated one must separate p50 from p99 monotonically.
+    let h = Histogram::new();
+    for _ in 0..1000 {
+        h.record(700);
+    }
+    assert_eq!(h.quantile(0.50), 1023);
+    assert_eq!(h.quantile(0.99), 1023);
+    let p50 = h.quantile_interpolated(0.50);
+    let p99 = h.quantile_interpolated(0.99);
+    assert!(p50 < p99, "p50 {p50} must separate below p99 {p99}");
+    assert!((512.0..=1023.0).contains(&p50), "p50 {p50} outside bucket 10");
+    assert!((512.0..=1023.0).contains(&p99), "p99 {p99} outside bucket 10");
+}
+
+#[test]
+fn interpolated_quantile_edge_buckets() {
+    // Bucket 0 is the exact value 0; the overflow bucket has no finite
+    // upper bound so the estimator reports its lower bound.
+    let h = Histogram::new();
+    h.record(0);
+    h.record(0);
+    assert_eq!(h.quantile_interpolated(0.5), 0.0);
+
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    let overflow_lower = Histogram::bucket_lower(HISTOGRAM_BUCKETS - 1) as f64;
+    assert_eq!(h.quantile_interpolated(0.99), overflow_lower);
+}
+
+#[test]
 fn empty_histogram_quantiles_are_zero() {
     let h = Histogram::new();
     assert_eq!(h.quantile_bucket(0.5), None);
     assert_eq!(h.quantile(0.5), 0);
     assert_eq!(h.quantile(0.99), 0);
+    assert_eq!(h.quantile_interpolated(0.5), 0.0);
+    assert_eq!(interpolate_quantile(&[0u64; HISTOGRAM_BUCKETS], 0.5), None);
 }

@@ -1,17 +1,28 @@
 //! Fleet scaling benchmark: aggregate decision throughput of the
 //! sharded multi-tenant runtime versus a standalone single-premises
 //! [`Monitor`], across shard counts, with queueing-latency percentiles
-//! and the admission shed rate.
+//! and the admission shed rate. Submission is concurrent — one
+//! [`gem_service::FleetSubmitter`] thread per premises — so the
+//! lock-free ingress path and the autonomous per-shard drain loops are
+//! what is actually measured, not a single ingest thread serializing
+//! everything in front of them.
 //!
 //! Run with `cargo bench -p gem-bench --bench fleet`. Each run appends
 //! one JSON line to `BENCH_fleet.json` at the repository root.
 //!
-//! The scaling gate is hardware-aware: shards are threads, so the
-//! strict 4x-at-4-shards requirement only applies when the machine has
-//! cores for all shards plus the ingest thread. On smaller machines the
-//! requirement degrades to what the core count can deliver (coalescing
-//! into fused `infer_batch` epochs must still keep the fleet at least
-//! at parity with the record-at-a-time baseline).
+//! The scaling gate is hardware-aware: shards are threads, so at `S`
+//! shards on `C` cores the fleet must deliver
+//! `speedup(S) >= 0.7 * min(S, C)` (70% parallel efficiency of the
+//! core-limited ideal) whenever the machine has at least 2 cores. On a
+//! single core the gate degrades to half of parity — there is nothing
+//! to scale with, but coalescing into fused `infer_batch` epochs must
+//! still keep the fleet in the same league as the record-at-a-time
+//! baseline. Per-shard busy/idle fractions (from the worker loops' own
+//! accounting) land in the JSON so a failed gate shows *where* the
+//! time went.
+//!
+//! `GEM_FLEET_SHARDS=1,2` restricts the swept shard counts (CI smoke);
+//! the gates then apply to the largest count actually run.
 //!
 //! Two observability gates ride along: the decision-latency histograms
 //! exported on the fleet registry must agree with the bench's own
@@ -25,7 +36,7 @@ use std::io::Write;
 use std::time::{Duration, Instant};
 
 use gem_core::{Gem, GemConfig, GemSnapshot};
-use gem_obs::{interpolate_quantile, Histogram, MetricValue, Registry, HISTOGRAM_BUCKETS};
+use gem_obs::{interpolate_quantile_seeded, Histogram, MetricValue, Registry, HISTOGRAM_BUCKETS};
 use gem_rfsim::{Scenario, ScenarioConfig};
 use gem_service::{Event, Fleet, FleetConfig, FleetEvent, Monitor, MonitorConfig, ObsOptions};
 use gem_signal::SignalRecord;
@@ -79,25 +90,40 @@ struct RunResult {
     /// per-shard decision-latency histograms. 0 with metrics off.
     hist_p50_ms: f64,
     hist_p99_ms: f64,
+    /// Per-shard `busy / (busy + idle)` from the worker loops' own
+    /// nanosecond accounting. All zero with metrics off.
+    busy_fractions: Vec<f64>,
+    idle_fractions: Vec<f64>,
 }
 
 /// Merges the per-shard `gem_shard_decision_latency_seconds` histograms
 /// and estimates the `q`-quantile in nanoseconds with the registry's
-/// log-linear interpolated estimator. The estimate stays inside the
-/// rank's bucket, so the one-bucket agreement gate below is unaffected —
-/// but p50 and p99 no longer collapse onto the same bucket upper bound.
+/// log-linear interpolated estimator, seeded with the min/max observed
+/// across shards so the estimate never leaves the measured range. The
+/// estimate stays inside the rank's bucket, so the one-bucket agreement
+/// gate below is unaffected — but p50 and p99 no longer collapse onto
+/// the same bucket upper bound.
 fn merged_latency_quantile(registry: &Registry, q: f64) -> Option<f64> {
     let mut merged = [0u64; HISTOGRAM_BUCKETS];
+    let (mut min, mut max): (Option<u64>, Option<u64>) = (None, None);
     for (name, _, value) in registry.snapshot() {
         if name == "gem_shard_decision_latency_seconds" {
-            if let MetricValue::Histogram(_, _, buckets) = value {
-                for (m, b) in merged.iter_mut().zip(buckets.iter()) {
+            if let MetricValue::Histogram(h) = value {
+                for (m, b) in merged.iter_mut().zip(h.buckets.iter()) {
                     *m += *b;
                 }
+                min = match (min, h.min) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                max = match (max, h.max) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
             }
         }
     }
-    interpolate_quantile(&merged, q)
+    interpolate_quantile_seeded(&merged, q, min, max)
 }
 
 fn run_fleet(
@@ -121,11 +147,37 @@ fn run_fleet(
     )
     .unwrap();
     let total = records_per_premises * tenants.len();
-    let mut attempts = 0u64;
-    let mut sheds = 0u64;
-    // Drain decisions while submitting: the event channel is bounded
-    // and shards drop (and count) overflow rather than block, so a
-    // submitter that never drains would lose latency samples.
+    // One submitter thread per premises: concurrent ingress is the
+    // contract the lock-free admission path is built for, and with a
+    // single submitting thread the fleet could never beat one core.
+    // Sheds retry with a tiny backoff so every record lands.
+    let start = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<(u64, u64)>> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            let submitter = fleet.submitter();
+            let stream = tenant.stream.clone();
+            std::thread::spawn(move || {
+                let (mut attempts, mut sheds) = (0u64, 0u64);
+                for k in 0..records_per_premises {
+                    let record = stream[k % stream.len()].clone();
+                    loop {
+                        attempts += 1;
+                        if submitter.submit(i as u64 + 1, record.clone()).accepted() {
+                            break;
+                        }
+                        sheds += 1;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+                (attempts, sheds)
+            })
+        })
+        .collect();
+    // Drain decisions while the submitters run: the event channel is
+    // bounded and shards drop (and count) overflow rather than block,
+    // so a consumer that never drains would lose latency samples.
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(total);
     let drain = |latencies_ms: &mut Vec<f64>| {
         while let Ok(FleetEvent { event, latency_s, .. }) = fleet.events().try_recv() {
@@ -134,27 +186,27 @@ fn run_fleet(
             }
         }
     };
-    let start = Instant::now();
-    for k in 0..records_per_premises {
-        for (i, tenant) in tenants.iter().enumerate() {
-            let record = tenant.stream[k % tenant.stream.len()].clone();
-            loop {
-                attempts += 1;
-                if fleet.submit(i as u64 + 1, record.clone()).accepted() {
-                    break;
-                }
-                sheds += 1;
-                drain(&mut latencies_ms);
-                std::thread::sleep(Duration::from_micros(50));
-            }
-            drain(&mut latencies_ms);
-        }
+    while handles.iter().any(|h| !h.is_finished()) {
+        drain(&mut latencies_ms);
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let (mut attempts, mut sheds) = (0u64, 0u64);
+    for h in handles {
+        let (a, s) = h.join().expect("submitter thread");
+        attempts += a;
+        sheds += s;
     }
     fleet.flush().unwrap();
     let elapsed = start.elapsed().as_secs_f64();
     drain(&mut latencies_ms);
     assert_eq!(fleet.dropped_events(), 0, "benchmark consumer must keep up with the fleet");
     assert_eq!(latencies_ms.len(), total, "every admitted record must be decided");
+    let stats = fleet.fleet_stats();
+    let fraction = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let busy_fractions: Vec<f64> =
+        stats.shards.iter().map(|s| fraction(s.busy_ns, s.busy_ns + s.idle_ns)).collect();
+    let idle_fractions: Vec<f64> =
+        stats.shards.iter().map(|s| fraction(s.idle_ns, s.busy_ns + s.idle_ns)).collect();
     let registry = fleet.registry();
     fleet.shutdown().unwrap();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
@@ -189,6 +241,8 @@ fn run_fleet(
         shed_rate: sheds as f64 / attempts as f64,
         hist_p50_ms,
         hist_p99_ms,
+        busy_fractions,
+        idle_fractions,
     }
 }
 
@@ -212,6 +266,11 @@ struct ShardLine {
     hist_p99_latency_ms: f64,
     shed_rate: f64,
     speedup_vs_baseline: f64,
+    /// Per-shard busy fraction `busy / (busy + idle)` from the worker
+    /// loops' own accounting — where a failed scaling gate lost its
+    /// time.
+    busy_fractions: Vec<f64>,
+    idle_fractions: Vec<f64>,
 }
 
 #[derive(serde::Serialize)]
@@ -226,6 +285,9 @@ struct FleetBenchLine {
     shard_results: Vec<ShardLine>,
     required_speedup: f64,
     measured_speedup: f64,
+    /// `measured_speedup / min(max_shards, cores)` — 1.0 is perfect
+    /// scaling against the core-limited ideal.
+    scaling_efficiency: f64,
     metrics_on_records_per_sec: f64,
     metrics_off_records_per_sec: f64,
     /// Best-of-N overhead, clamped at zero (negative raw overhead is
@@ -238,6 +300,22 @@ struct FleetBenchLine {
     metrics_noise_floor_pct: f64,
 }
 
+/// Swept shard counts: `GEM_FLEET_SHARDS=1,2` overrides the default
+/// `1,2,4` (CI smoke boxes run the small counts only).
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("GEM_FLEET_SHARDS") {
+        Ok(v) => {
+            let counts: Vec<usize> = v
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad GEM_FLEET_SHARDS: {v}")))
+                .collect();
+            assert!(!counts.is_empty(), "GEM_FLEET_SHARDS must name at least one count");
+            counts
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
 fn main() {
     let records_per_premises = if quick() { 48 } else { 240 };
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -245,18 +323,20 @@ fn main() {
     let tenants = tenants();
     let baseline = run_baseline(&tenants[0], records_per_premises);
     println!("baseline single-monitor: {baseline:.1} records/s");
+    let counts = shard_counts();
     let mut shard_results = Vec::new();
-    for &shards in &[1usize, 2, 4] {
+    for &shards in &counts {
         let r = run_fleet(&tenants, shards, records_per_premises, true);
         println!(
             "shards={shards}: {:.1} records/s, p50 {:.2} ms (hist {:.2}), p99 {:.2} ms \
-             (hist {:.2}), shed rate {:.4}",
+             (hist {:.2}), shed rate {:.4}, busy {:?}",
             r.records_per_sec,
             r.p50_latency_ms,
             r.hist_p50_ms,
             r.p99_latency_ms,
             r.hist_p99_ms,
-            r.shed_rate
+            r.shed_rate,
+            r.busy_fractions.iter().map(|b| (b * 100.0).round() / 100.0).collect::<Vec<f64>>(),
         );
         shard_results.push(ShardLine {
             shards,
@@ -267,17 +347,26 @@ fn main() {
             hist_p50_latency_ms: r.hist_p50_ms,
             hist_p99_latency_ms: r.hist_p99_ms,
             shed_rate: r.shed_rate,
+            busy_fractions: r.busy_fractions,
+            idle_fractions: r.idle_fractions,
         });
     }
+    let max_shards = *counts.iter().max().unwrap();
     let measured = shard_results.last().unwrap().speedup_vs_baseline;
-    // Hardware-aware gate: 4 shard threads + the ingest thread want 5
-    // cores for the full 4x; below that require half the core-limited
-    // ideal, leaving headroom for scheduler noise on loaded CI boxes.
-    let required = if cores > N_PREMISES { 4.0 } else { cores.min(N_PREMISES) as f64 * 0.5 };
-    println!("speedup at 4 shards: {measured:.2}x (required {required:.2}x on {cores} cores)");
+    // Hardware-aware gate: with at least 2 cores, S shards must deliver
+    // 70% parallel efficiency of the core-limited ideal min(S, cores).
+    // On a single core there is nothing to scale with; the fleet only
+    // has to stay in the same league as the record-at-a-time baseline.
+    let ideal = max_shards.min(cores) as f64;
+    let required = if cores >= 2 { 0.7 * ideal } else { 0.5 };
+    let efficiency = measured / ideal;
+    println!(
+        "speedup at {max_shards} shards: {measured:.2}x \
+         (required {required:.2}x on {cores} cores, efficiency {efficiency:.2})"
+    );
     assert!(
         measured >= required,
-        "fleet at 4 shards must be >={required:.2}x the single-monitor baseline \
+        "fleet at {max_shards} shards must be >={required:.2}x the single-monitor baseline \
          on {cores} cores, measured {measured:.2}x"
     );
     // Metrics overhead gate: full observability (histograms + span
@@ -292,11 +381,11 @@ fn main() {
     // zero — "metrics made it faster" is noise, not a negative cost.
     let overhead_records = records_per_premises.max(240);
     let pairs = if quick() { 3 } else { 4 };
-    run_fleet(&tenants, 4, overhead_records, true); // shared warmup, discarded
+    run_fleet(&tenants, max_shards, overhead_records, true); // shared warmup, discarded
     let (mut off_samples, mut on_samples) = (Vec::new(), Vec::new());
     for _ in 0..pairs {
-        off_samples.push(run_fleet(&tenants, 4, overhead_records, false).records_per_sec);
-        on_samples.push(run_fleet(&tenants, 4, overhead_records, true).records_per_sec);
+        off_samples.push(run_fleet(&tenants, max_shards, overhead_records, false).records_per_sec);
+        on_samples.push(run_fleet(&tenants, max_shards, overhead_records, true).records_per_sec);
     }
     let best = |s: &[f64]| s.iter().copied().fold(0f64, f64::max);
     let worst = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
@@ -307,7 +396,7 @@ fn main() {
     let overhead_raw_pct = (best_off - best_on) / best_off * 100.0;
     let overhead_pct = overhead_raw_pct.max(0.0);
     println!(
-        "metrics overhead at 4 shards: off {best_off:.1} rec/s, on {best_on:.1} rec/s \
+        "metrics overhead at {max_shards} shards: off {best_off:.1} rec/s, on {best_on:.1} rec/s \
          (raw {overhead_raw_pct:+.2}%, clamped {overhead_pct:.2}%, \
          noise floor {noise_floor_pct:.2}%)"
     );
@@ -327,6 +416,7 @@ fn main() {
         shard_results,
         required_speedup: required,
         measured_speedup: measured,
+        scaling_efficiency: efficiency,
         metrics_on_records_per_sec: best_on,
         metrics_off_records_per_sec: best_off,
         metrics_overhead_pct: overhead_pct,

@@ -4,9 +4,16 @@
 //!
 //! Run with `cargo bench -p gem-bench --bench train`. Each run appends one
 //! JSON line to `BENCH_train.json` at the repository root; set
-//! `GEM_NUM_THREADS` to size the pool (the container may expose fewer
-//! cores than the pool has workers, in which case the recorded speedup is
-//! bounded by the hardware, not the implementation).
+//! `GEM_NUM_THREADS` (or `GEM_PAR_THREADS`) to size the pool (the
+//! container may expose fewer cores than the pool has workers, in which
+//! case the recorded speedup is bounded by the hardware, not the
+//! implementation).
+//!
+//! Besides the seq-vs-pool pair, the run sweeps the pooled fit at 1, 2
+//! and 4 threads (capped through `gem_par::thread_cap`) and records the
+//! per-thread-count speedup table; on a machine with at least 4 cores
+//! the 4-thread fit must clear 1.8x over single-threaded — the gate the
+//! tree-reduced gradient merge is accountable to.
 //!
 //! With `--features count-allocs` the run also audits the allocation
 //! budget of the training loop: a counting global allocator is windowed
@@ -168,6 +175,43 @@ fn bench_fit(c: &mut Criterion) {
     group.finish();
 }
 
+#[derive(serde::Serialize)]
+struct ThreadSweepLine {
+    threads: usize,
+    median_ns: f64,
+    /// Speedup over the 1-thread fit of the same sweep.
+    speedup: f64,
+}
+
+/// Pooled fit wall time at fixed thread caps. `fit_cfg(t)` routes the
+/// cap through `BiSageConfig::num_threads`, which the trainer applies
+/// with `gem_par::thread_cap` — the same mechanism callers use, so the
+/// sweep measures the real code path. On a machine whose pool has
+/// fewer workers than the cap, the extra threads simply don't exist
+/// and the curve flattens (the recorded `speedup` says so honestly).
+fn sweep_threads(graph: &BipartiteGraph) -> Vec<ThreadSweepLine> {
+    let iters = if std::env::var("GEM_BENCH_QUICK").as_deref() == Ok("1") { 2 } else { 5 };
+    let mut lines: Vec<ThreadSweepLine> = Vec::new();
+    let mut base_ns = f64::NAN;
+    for &threads in &[1usize, 2, 4] {
+        let mut samples: Vec<f64> = (0..iters)
+            .map(|_| {
+                let mut model = BiSage::new(fit_cfg(threads));
+                let start = std::time::Instant::now();
+                black_box(model.fit(black_box(graph)));
+                start.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples[samples.len() / 2];
+        if threads == 1 {
+            base_ns = median_ns;
+        }
+        lines.push(ThreadSweepLine { threads, median_ns, speedup: base_ns / median_ns });
+    }
+    lines
+}
+
 /// Allocation audit of one instrumented fit: heap calls are windowed
 /// between `GroupStart` and `GroupEnd` (one optimizer step each); the
 /// first [`ALLOC_WARMUP_GROUPS`] windows warm the arenas, free-lists and
@@ -217,6 +261,7 @@ struct KernelSpeedup {
 struct TrainBenchLine {
     bench: &'static str,
     pool_threads: usize,
+    cores: usize,
     pairs_per_fit: usize,
     seq_median_ns: f64,
     seq_min_ns: f64,
@@ -225,6 +270,9 @@ struct TrainBenchLine {
     seq_pairs_per_sec: f64,
     pool_pairs_per_sec: f64,
     speedup: f64,
+    /// Pooled-fit wall time at fixed thread caps (1, 2, 4) with the
+    /// speedup of each over the 1-thread run.
+    thread_sweep: Vec<ThreadSweepLine>,
     /// Median heap calls per post-warm-up optimizer step, sequential
     /// fit; `null` unless built with `--features count-allocs`.
     allocs_per_step_seq: Option<u64>,
@@ -244,6 +292,7 @@ struct TrainBenchLine {
 fn append_results(
     c: &Criterion,
     pairs: usize,
+    sweep: Vec<ThreadSweepLine>,
     seq_audit: Option<(u64, u64)>,
     pool_audit: Option<(u64, u64)>,
 ) {
@@ -258,6 +307,7 @@ fn append_results(
     let line = TrainBenchLine {
         bench: "train",
         pool_threads: gem_par::num_threads(),
+        cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         pairs_per_fit: pairs,
         seq_median_ns: seq.median_ns,
         seq_min_ns: seq.min_ns,
@@ -266,6 +316,7 @@ fn append_results(
         seq_pairs_per_sec: pairs as f64 / (seq.median_ns * 1e-9),
         pool_pairs_per_sec: pairs as f64 / (pool.median_ns * 1e-9),
         speedup: seq.median_ns / pool.median_ns,
+        thread_sweep: sweep,
         allocs_per_step_seq: seq_audit.map(|(a, _)| a),
         allocs_per_step_pool: pool_audit.map(|(a, _)| a),
         peak_bytes: seq_audit.map(|(_, p)| p),
@@ -325,8 +376,27 @@ fn main() {
     let graph = cluster_graph(200);
     let pairs = pairs_per_fit(&graph);
     bench_fit(&mut c);
+    let sweep = sweep_threads(&graph);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("thread sweep ({cores} cores):");
+    for line in &sweep {
+        println!(
+            "  threads {:>2}  median {:>12.0} ns  speedup {:.2}x",
+            line.threads, line.median_ns, line.speedup
+        );
+    }
+    // Scaling gate: only meaningful when the hardware can actually run
+    // 4 workers; on smaller machines the sweep is recorded but not gated.
+    if cores >= 4 {
+        let s4 = sweep
+            .iter()
+            .find(|l| l.threads == 4)
+            .map(|l| l.speedup)
+            .expect("sweep covers 4 threads");
+        assert!(s4 >= 1.8, "4-thread fit speedup {s4:.2}x below the 1.8x scaling gate");
+    }
     let seq_audit = measure_allocs(&graph, 1);
     let pool_audit = measure_allocs(&graph, 0);
     c.final_summary();
-    append_results(&c, pairs, seq_audit, pool_audit);
+    append_results(&c, pairs, sweep, seq_audit, pool_audit);
 }

@@ -35,6 +35,8 @@ const REQUIRED_METRICS: &[&str] = &[
     "gem_shard_queue_depth",
     "gem_shard_dropped_events_total",
     "gem_shard_snapshot_seconds",
+    "gem_shard_busy_ns_total",
+    "gem_shard_idle_ns_total",
     "gem_journal_append_seconds",
     "gem_journal_fsync_seconds",
     "gem_journal_retain_seconds",
@@ -148,15 +150,16 @@ fn main() {
             "scrape is missing # TYPE line for {name}"
         );
     }
-    // Activity flowed through the pipeline, not just registration.
+    // Activity flowed through the pipeline, not just registration. The
+    // counter is per shard (plus a `shard="unknown"` series); the fleet
+    // total is the sum over the family.
     let submitted: f64 = body
         .lines()
-        .find(|l| l.starts_with("gem_fleet_submitted_total"))
-        .and_then(|l| l.rsplit_once(' '))
-        .and_then(|(_, v)| v.parse().ok())
-        .expect("submitted counter sample");
+        .filter(|l| l.starts_with("gem_fleet_submitted_total"))
+        .filter_map(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<f64>().ok()))
+        .sum();
     let total: usize = streams.iter().map(Vec::len).sum();
-    assert_eq!(submitted as usize, total, "submitted counter must match the workload");
+    assert_eq!(submitted as usize, total, "submitted counters must sum to the workload");
     println!("/metrics OK: {} samples, {submitted} submissions", body.lines().count());
 
     // --- /metrics.json: JSON dump ---

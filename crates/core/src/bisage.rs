@@ -86,12 +86,14 @@ pub struct BiSageConfig {
     /// "newly sensed MACs … improve the performance over time").
     pub min_mac_degree: usize,
     /// Worker threads for data-parallel training and batch inference:
-    /// `0` uses the process-global pool (all cores, or `GEM_NUM_THREADS`),
-    /// `1` forces the sequential path on the caller thread. The result is
-    /// bit-identical for every setting — each minibatch chunk derives its
-    /// own RNG from `(seed, epoch, chunk_idx)` and chunk gradients are
-    /// reduced in fixed chunk order, so thread count never touches the
-    /// arithmetic.
+    /// `0` uses the process-global pool (all cores, or `GEM_PAR_THREADS`
+    /// / `GEM_NUM_THREADS`), `1` forces the sequential path on the
+    /// caller thread, and any other value caps the pool to that many
+    /// threads via [`gem_par::thread_cap`]. The result is bit-identical
+    /// for every setting — each minibatch chunk derives its own RNG from
+    /// `(seed, epoch, chunk_idx)` and chunk gradients are reduced with a
+    /// fixed merge tree over chunk indices, so thread count never
+    /// touches the arithmetic.
     pub num_threads: usize,
     /// Minibatch chunks whose gradients are averaged into one optimizer
     /// step. Every chunk of a group is computed against the same
@@ -705,6 +707,8 @@ impl BiSage {
                 None => {
                     let sampled: Vec<Vec<(NodeId, f32)>> =
                         if self.cfg.num_threads != 1 && cur.len() >= PAR_THRESHOLD {
+                            let _cap = (self.cfg.num_threads > 1)
+                                .then(|| gem_par::thread_cap(self.cfg.num_threads));
                             gem_par::par_map(cur, |&node| {
                                 self.neighborhood(graph, node, s, None, trusted)
                             })
@@ -873,7 +877,10 @@ impl BiSage {
         // — forward/backward on thread-local arena tapes into per-chunk
         // persistent sinks. Phases 1 and 3 fan out over chunks.
         let group_len = self.cfg.grad_accum.max(1);
-        let parallel = self.cfg.num_threads != 1 && gem_par::num_threads() > 1;
+        // `num_threads > 1` caps the pool for the duration of this fit;
+        // the guard composes with any cap the caller already holds.
+        let _cap = (self.cfg.num_threads > 1).then(|| gem_par::thread_cap(self.cfg.num_threads));
+        let parallel = self.cfg.num_threads != 1 && gem_par::effective_threads() > 1;
         // Per-chunk state persists across groups so warm steps reuse every
         // buffer; `plans` only grows (a shorter final group borrows a
         // prefix), so warmed buffers are never dropped early.
@@ -957,13 +964,37 @@ impl BiSage {
                     }
                 }
 
-                // Reduce in fixed chunk order (determinism contract).
+                // Reduce with a fixed pairwise tree over chunk indices
+                // (stride doubling): the merge topology depends only on
+                // the group length, never on the thread count, so the
+                // summed gradient — and the whole trajectory — stays
+                // bit-identical for any parallelism (determinism
+                // contract). Pairs at one level are disjoint, so the
+                // merges themselves fan out; the store is written once
+                // at the root instead of once per chunk.
                 let alpha = 1.0 / active.len() as f32;
                 for plan in active.iter() {
                     epoch_loss += plan.loss as f64;
-                    store.apply_grads(&plan.sink, alpha);
                     steps += 1;
                 }
+                let mut stride = 1;
+                while stride < active.len() {
+                    let merge_pair = |_i: usize, pair: &mut [ChunkPlan]| {
+                        if pair.len() > stride {
+                            let (dst, src) = pair.split_at_mut(stride);
+                            dst[0].sink.merge_from(&src[0].sink);
+                        }
+                    };
+                    if parallel && active.len() > 2 * stride {
+                        gem_par::par_chunks_mut(active, 2 * stride, merge_pair);
+                    } else {
+                        for pair in active.chunks_mut(2 * stride) {
+                            merge_pair(0, pair);
+                        }
+                    }
+                    stride *= 2;
+                }
+                store.apply_grads(&active[0].sink, alpha);
                 store.clip_grad_norm(5.0);
                 opt.step(&mut store);
                 store.zero_grads();

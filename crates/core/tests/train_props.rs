@@ -140,4 +140,18 @@ proptest! {
         let pooled = fit_bits_fused(&s, true, 0, true);
         prop_assert_eq!(seq, pooled, "fused pooled fit diverged from fused sequential");
     }
+
+    /// Arbitrary intermediate thread counts (capped through
+    /// `gem_par::thread_cap`) must also match the sequential trajectory:
+    /// the gradient merge tree's topology is a function of the group
+    /// length alone, so 2, 3, or any other cap cannot change where in
+    /// the tree a chunk's sink lands.
+    #[test]
+    fn capped_thread_counts_are_bitwise_sequential(s in ScenarioStrategy) {
+        let seq = fit_bits(&s, true, 1);
+        for threads in [2usize, 3] {
+            let capped = fit_bits(&s, true, threads);
+            prop_assert_eq!(&seq, &capped, "fit with num_threads={} diverged", threads);
+        }
+    }
 }

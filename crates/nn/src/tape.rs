@@ -464,6 +464,48 @@ impl GradStore {
         }
     }
 
+    /// Folds `other`'s gradients into this sink — the associative
+    /// combine step of a gradient tree reduction. Sparse rows merge in
+    /// `other`'s first-touch order and dense entries add element-wise,
+    /// so the result depends only on the merge *topology* (which is
+    /// fixed by chunk index), never on which thread produced a sink:
+    /// a fixed tree gives bit-identical results for any thread count.
+    pub fn merge_from(&mut self, other: &GradStore) {
+        assert_eq!(other.entries.len(), self.entries.len(), "sinks shaped for different stores");
+        for i in 0..self.entries.len() {
+            match &other.entries[i] {
+                SinkEntry::Empty => {}
+                SinkEntry::Dense(g) => {
+                    self.dense_entry(ParamId(i)).axpy(1.0, g);
+                }
+                SinkEntry::Sparse(s) => match &mut self.entries[i] {
+                    SinkEntry::Empty => {
+                        self.entries[i] = SinkEntry::Sparse(s.clone());
+                    }
+                    SinkEntry::Sparse(dst) => {
+                        debug_assert!(dst.matches(s.slot_of.len(), s.cols));
+                        for (slot, &r) in s.rows.iter().enumerate() {
+                            let d = dst.slot_for(r);
+                            let dst_row = &mut dst.data[d * s.cols..(d + 1) * s.cols];
+                            let src_row = &s.data[slot * s.cols..(slot + 1) * s.cols];
+                            for (a, &b) in dst_row.iter_mut().zip(src_row) {
+                                *a += b;
+                            }
+                        }
+                    }
+                    SinkEntry::Dense(dst) => {
+                        for (slot, &r) in s.rows.iter().enumerate() {
+                            let src = &s.data[slot * s.cols..(slot + 1) * s.cols];
+                            for (a, &b) in dst.row_mut(r as usize).iter_mut().zip(src) {
+                                *a += b;
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+
     fn dense_entry(&mut self, id: ParamId) -> &mut Tensor {
         let (rows, cols) = self.shapes[id.0];
         match &self.entries[id.0] {

@@ -24,7 +24,10 @@ mod registry;
 mod server;
 mod trace;
 
-pub use metrics::{interpolate_quantile, Counter, Gauge, Histogram, SpanTimer, HISTOGRAM_BUCKETS};
-pub use registry::{MetricSample, MetricValue, Registry};
+pub use metrics::{
+    interpolate_quantile, interpolate_quantile_seeded, Counter, Gauge, Histogram, SpanTimer,
+    HISTOGRAM_BUCKETS,
+};
+pub use registry::{HistogramSnapshot, MetricSample, MetricValue, Registry};
 pub use server::MetricsServer;
 pub use trace::{TraceEvent, TraceRing, TraceValue};

@@ -88,6 +88,14 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Smallest recorded value (`u64::MAX` while empty). Seeds the
+    /// interpolated quantiles: an estimate can never be below the
+    /// smallest value actually observed.
+    min: AtomicU64,
+    /// Largest recorded value (0 while empty). Seeds the interpolated
+    /// quantiles: an estimate near the top of a wide log2 bucket is
+    /// clamped down to the largest value actually observed.
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -103,6 +111,8 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +150,8 @@ impl Histogram {
         self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Total recorded values.
@@ -150,6 +162,23 @@ impl Histogram {
     /// Sum of recorded values.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value, `None` while empty.
+    pub fn min(&self) -> Option<u64> {
+        match self.min.load(Ordering::Relaxed) {
+            u64::MAX if self.count() == 0 => None,
+            v => Some(v),
+        }
+    }
+
+    /// Largest recorded value, `None` while empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
     }
 
     /// Per-bucket counts (non-cumulative), index-aligned with
@@ -192,8 +221,15 @@ impl Histogram {
     /// [`Histogram::quantile_bucket`], and the estimate is clamped into
     /// that bucket — the documented ≤-one-bucket error bound is
     /// unchanged (the true value shares the bucket).
+    ///
+    /// The estimate is additionally seeded with the observed min/max:
+    /// no quantile can land below the smallest or above the largest
+    /// value actually recorded. Without this, a population whose top
+    /// values sit near the bottom of a wide log2 bucket over-reports its
+    /// p99 by up to 2x (the interpolation drifts toward the bucket's
+    /// upper bound the histogram never saw).
     pub fn quantile_interpolated(&self, q: f64) -> f64 {
-        interpolate_quantile(&self.bucket_counts(), q).unwrap_or(0.0)
+        interpolate_quantile_seeded(&self.bucket_counts(), q, self.min(), self.max()).unwrap_or(0.0)
     }
 
     /// Starts an RAII timer that records elapsed nanoseconds into this
@@ -239,6 +275,29 @@ pub fn interpolate_quantile(counts: &[u64; HISTOGRAM_BUCKETS], q: f64) -> Option
         cumulative += c;
     }
     Some(Histogram::bucket_lower(HISTOGRAM_BUCKETS - 1) as f64)
+}
+
+/// [`interpolate_quantile`] seeded with the histogram's observed
+/// min/max: the estimate is clamped into `[min, max]` after the
+/// in-bucket interpolation. Because the observed extremes live in the
+/// lowest/highest occupied buckets, the clamp can only *tighten* the
+/// estimate — it never moves it out of the rank's bucket, so the
+/// ≤-one-bucket error bound still holds, now with exact endpoints.
+///
+/// This is the estimator behind [`Histogram::quantile_interpolated`]
+/// and the registry exposition; use it directly when merging bucket
+/// snapshots across histograms (seed with the min-of-mins and
+/// max-of-maxes).
+pub fn interpolate_quantile_seeded(
+    counts: &[u64; HISTOGRAM_BUCKETS],
+    q: f64,
+    min: Option<u64>,
+    max: Option<u64>,
+) -> Option<f64> {
+    let v = interpolate_quantile(counts, q)?;
+    let lo = min.map(|m| m as f64).unwrap_or(f64::NEG_INFINITY);
+    let hi = max.map(|m| m as f64).unwrap_or(f64::INFINITY);
+    Some(v.clamp(lo, hi.max(lo)))
 }
 
 /// RAII span timer: records the elapsed wall time (nanoseconds) into its

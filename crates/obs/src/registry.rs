@@ -28,9 +28,25 @@ pub enum MetricValue {
     Counter(u64),
     /// Gauge value.
     Gauge(i64),
-    /// Histogram `(count, sum, per-bucket counts)`. The bucket array is
-    /// boxed so the enum stays small for the counter/gauge majority.
-    Histogram(u64, u64, Box<[u64; HISTOGRAM_BUCKETS]>),
+    /// Histogram snapshot. Boxed so the enum stays small for the
+    /// counter/gauge majority.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Point-in-time state of one histogram: counts plus the observed
+/// extremes that seed the interpolated quantile estimator.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`None` while empty).
+    pub min: Option<u64>,
+    /// Largest recorded value (`None` while empty).
+    pub max: Option<u64>,
+    /// Per-bucket counts, index-aligned with `Histogram::bucket_upper`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
 /// One [`Registry::snapshot`] row: `(name, sorted labels, value)`.
@@ -187,9 +203,13 @@ impl Registry {
                 let value = match &e.metric {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
-                    Metric::Histogram(h) => {
-                        MetricValue::Histogram(h.count(), h.sum(), Box::new(h.bucket_counts()))
-                    }
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
+                        buckets: h.bucket_counts(),
+                    })),
                 };
                 (e.name.clone(), e.labels.clone(), value)
             })
@@ -224,9 +244,9 @@ impl Registry {
                     write_series(&mut out, name, labels, &[]);
                     out.push_str(&format!(" {v}\n"));
                 }
-                MetricValue::Histogram(count, sum, buckets) => {
+                MetricValue::Histogram(h) => {
                     let mut cumulative = 0u64;
-                    for (i, &c) in buckets.iter().enumerate() {
+                    for (i, &c) in h.buckets.iter().enumerate() {
                         if c == 0 {
                             continue;
                         }
@@ -240,11 +260,11 @@ impl Registry {
                         out.push_str(&format!(" {cumulative}\n"));
                     }
                     write_series(&mut out, &format!("{name}_bucket"), labels, &[("le", "+Inf")]);
-                    out.push_str(&format!(" {count}\n"));
+                    out.push_str(&format!(" {}\n", h.count));
                     write_series(&mut out, &format!("{name}_sum"), labels, &[]);
-                    out.push_str(&format!(" {:e}\n", *sum as f64 / 1e9));
+                    out.push_str(&format!(" {:e}\n", h.sum as f64 / 1e9));
                     write_series(&mut out, &format!("{name}_count"), labels, &[]);
-                    out.push_str(&format!(" {count}\n"));
+                    out.push_str(&format!(" {}\n", h.count));
                 }
             }
         }
@@ -277,10 +297,10 @@ impl Registry {
                         json_labels(labels)
                     ));
                 }
-                MetricValue::Histogram(count, sum, buckets) => {
+                MetricValue::Histogram(h) => {
                     push_sep(&mut histograms);
                     let mut parts = String::new();
-                    for (i, &c) in buckets.iter().enumerate() {
+                    for (i, &c) in h.buckets.iter().enumerate() {
                         if c == 0 {
                             continue;
                         }
@@ -291,12 +311,17 @@ impl Registry {
                             Histogram::bucket_upper(i)
                         ));
                     }
-                    let q = |p: f64| quantile_of(buckets, p);
+                    let q = |p: f64| quantile_of(h, p);
                     histograms.push_str(&format!(
-                        "{{\"name\":{},\"labels\":{},\"count\":{count},\"sum_ns\":{sum},\
+                        "{{\"name\":{},\"labels\":{},\"count\":{},\"sum_ns\":{},\
+                         \"min_ns\":{},\"max_ns\":{},\
                          \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"buckets\":[{parts}]}}",
                         json_string(name),
                         json_labels(labels),
+                        h.count,
+                        h.sum,
+                        h.min.unwrap_or(0),
+                        h.max.unwrap_or(0),
                         q(0.50),
                         q(0.99),
                         q(0.999),
@@ -308,10 +333,13 @@ impl Registry {
     }
 }
 
-/// Bucket-derived quantile of a counts snapshot (same estimator as
+/// Bucket-derived quantile of a histogram snapshot, seeded with the
+/// observed min/max (same estimator as
 /// [`Histogram::quantile_interpolated`], rounded to whole nanoseconds).
-fn quantile_of(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
-    crate::metrics::interpolate_quantile(buckets, q).map(|v| v.round() as u64).unwrap_or(0)
+fn quantile_of(h: &HistogramSnapshot, q: f64) -> u64 {
+    crate::metrics::interpolate_quantile_seeded(&h.buckets, q, h.min, h.max)
+        .map(|v| v.round() as u64)
+        .unwrap_or(0)
 }
 
 fn push_sep(s: &mut String) {
@@ -448,17 +476,23 @@ mod tests {
             h.record(1_000_000);
         }
         let json = r.render_json();
-        // Interpolated quantiles must land strictly inside their buckets
-        // instead of both collapsing to the bucket upper bound.
+        // Interpolated quantiles must land inside their buckets, clamped
+        // to the observed extremes (min 1_000, max 1_000_000).
         let counts = h.bucket_counts();
-        let p50 = crate::metrics::interpolate_quantile(&counts, 0.50).unwrap().round() as u64;
-        let p99 = crate::metrics::interpolate_quantile(&counts, 0.99).unwrap().round() as u64;
-        assert!((512..1023).contains(&p50), "p50 {p50} not inside the 1_000 ns bucket");
+        let p50 = crate::metrics::interpolate_quantile_seeded(&counts, 0.50, h.min(), h.max())
+            .unwrap()
+            .round() as u64;
+        let p99 = crate::metrics::interpolate_quantile_seeded(&counts, 0.99, h.min(), h.max())
+            .unwrap()
+            .round() as u64;
+        assert!((1_000..=1_023).contains(&p50), "p50 {p50} outside [observed min, bucket hi]");
         assert!(
-            (524_288..1_048_575).contains(&p99),
-            "p99 {p99} not inside the 1_000_000 ns bucket"
+            (524_288..=1_000_000).contains(&p99),
+            "p99 {p99} outside [bucket lo, observed max]"
         );
         assert!(json.contains(&format!("\"p50_ns\":{p50}")), "{json}");
         assert!(json.contains(&format!("\"p99_ns\":{p99}")), "{json}");
+        assert!(json.contains("\"min_ns\":1000"), "{json}");
+        assert!(json.contains("\"max_ns\":1000000"), "{json}");
     }
 }

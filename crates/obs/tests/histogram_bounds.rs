@@ -124,35 +124,76 @@ fn interpolated_quantile_stays_in_the_exact_values_bucket() {
 
 #[test]
 fn interpolated_quantiles_separate_within_one_bucket() {
-    // 1000 samples all landing in bucket 10 ([512, 1023]): the
+    // 1000 samples spread across bucket 10 ([512, 1023]): the
     // conservative estimator collapses every quantile to 1023, the
     // interpolated one must separate p50 from p99 monotonically.
     let h = Histogram::new();
-    for _ in 0..1000 {
-        h.record(700);
+    for i in 0..1000u64 {
+        h.record(520 + i / 2);
     }
     assert_eq!(h.quantile(0.50), 1023);
     assert_eq!(h.quantile(0.99), 1023);
     let p50 = h.quantile_interpolated(0.50);
     let p99 = h.quantile_interpolated(0.99);
     assert!(p50 < p99, "p50 {p50} must separate below p99 {p99}");
-    assert!((512.0..=1023.0).contains(&p50), "p50 {p50} outside bucket 10");
-    assert!((512.0..=1023.0).contains(&p99), "p99 {p99} outside bucket 10");
+    assert!((520.0..=1019.0).contains(&p50), "p50 {p50} outside observed range");
+    assert!((520.0..=1019.0).contains(&p99), "p99 {p99} outside observed range");
+
+    // Identical samples collapse to the exact value: the min/max seed
+    // makes every quantile report 700 exactly.
+    let h = Histogram::new();
+    for _ in 0..1000 {
+        h.record(700);
+    }
+    assert_eq!(h.quantile_interpolated(0.50), 700.0);
+    assert_eq!(h.quantile_interpolated(0.99), 700.0);
 }
 
 #[test]
 fn interpolated_quantile_edge_buckets() {
-    // Bucket 0 is the exact value 0; the overflow bucket has no finite
-    // upper bound so the estimator reports its lower bound.
+    // Bucket 0 is the exact value 0.
     let h = Histogram::new();
     h.record(0);
     h.record(0);
     assert_eq!(h.quantile_interpolated(0.5), 0.0);
 
+    // The overflow bucket has no finite upper bound; the min/max seed
+    // pins the estimate to the observed value instead of the bucket's
+    // lower bound.
     let h = Histogram::new();
     h.record(u64::MAX);
+    assert_eq!(h.quantile_interpolated(0.99), u64::MAX as f64);
+
+    // Without the seed the raw interpolator still reports the overflow
+    // bucket's lower bound (no better information available).
     let overflow_lower = Histogram::bucket_lower(HISTOGRAM_BUCKETS - 1) as f64;
-    assert_eq!(h.quantile_interpolated(0.99), overflow_lower);
+    assert_eq!(interpolate_quantile(&h.bucket_counts(), 0.99), Some(overflow_lower));
+}
+
+#[test]
+fn seeded_quantiles_never_leave_the_observed_range() {
+    // Regression for the fleet bench's hist-vs-external p99 mismatch:
+    // latencies clustered near the top of a log2 bucket were
+    // over-reported by interpolation across the whole bucket. Seeding
+    // with the observed min/max tightens the one-bucket bound to the
+    // observed range.
+    let h = Histogram::new();
+    // All samples land in bucket [16_777_216, 33_554_431] but only span
+    // 16.9ms..18.9ms — the interpolated p99 used to report ~32ms.
+    let (lo, hi) = (16_900_000u64, 18_900_000u64);
+    for i in 0..1000u64 {
+        h.record(lo + (hi - lo) * i / 999);
+    }
+    for &q in &[0.0, 0.5, 0.99, 0.999, 1.0] {
+        let est = h.quantile_interpolated(q);
+        assert!(
+            (lo as f64..=hi as f64).contains(&est),
+            "q={q}: estimate {est} left observed range [{lo}, {hi}]"
+        );
+    }
+    // The seed must only ever tighten: still within the conservative
+    // estimator's bucket bound.
+    assert!(h.quantile_interpolated(0.99) <= h.quantile(0.99) as f64);
 }
 
 #[test]

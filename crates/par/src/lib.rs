@@ -8,20 +8,35 @@
 //! how the OS schedules workers.
 //!
 //! Design:
-//! - One lazily-created global pool (`GEM_NUM_THREADS` or
-//!   `available_parallelism`, minus the calling thread which also works).
+//! - One lazily-created global pool (`GEM_PAR_THREADS`, else
+//!   `GEM_NUM_THREADS`, else `available_parallelism`, minus the calling
+//!   thread which also works).
+//! - Batch-claim dispatch: a parallel region publishes **one** batch of
+//!   tasks to a shared queue; workers take the batch once and then claim
+//!   task indices with a lock-free cursor. One lock acquisition per
+//!   worker per region, instead of one per task — the per-job channel
+//!   handoff of the previous design serialized fine-grained regions.
 //! - Scoped execution: jobs may borrow from the caller's stack. A call
 //!   blocks until every job completes before returning, which makes the
 //!   lifetime erasure at the dispatch boundary sound.
 //! - Nested calls degrade to sequential execution on the calling worker
-//!   instead of deadlocking the pool.
+//!   instead of deadlocking the pool; [`thread_cap`] bounds the threads
+//!   a region may use without resizing the pool.
 //! - Panics in jobs are captured and propagated to the caller after all
 //!   jobs finish (no poisoned pool, no detached unwinding workers).
+//! - Optional tracing: [`set_trace_ring`] installs a [`TraceRing`] that
+//!   receives one `par_span` event per thread per region (who ran how
+//!   many tasks for how long), the raw material for per-thread chunk
+//!   timelines in the train bench.
 
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use gem_obs::{TraceEvent, TraceRing};
 
 // ---------------------------------------------------------------------------
 // Pool
@@ -31,8 +46,63 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// soundness comes from `scope_run` blocking until all jobs finish.
 type Job = Box<dyn FnOnce() + Send>;
 
+/// One published parallel region: a slab of claimable tasks.
+///
+/// Workers claim task indices through `cursor`; `fetch_add` hands out
+/// each index to exactly one thread, which is what justifies the
+/// `UnsafeCell` access in [`Batch::run_claimed`].
+struct Batch {
+    tasks: Vec<UnsafeCell<Option<Job>>>,
+    cursor: AtomicUsize,
+    /// Remaining worker seats: bounds how many pool workers may help
+    /// this batch (the caller always participates without a seat), so
+    /// [`thread_cap`] holds even when the pool is larger.
+    seats: AtomicUsize,
+}
+
+// SAFETY: each task cell is accessed only by the thread that claimed its
+// index through `cursor.fetch_add`, which hands out every index at most
+// once.
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.tasks.len()
+    }
+
+    fn has_work(&self) -> bool {
+        !self.exhausted() && self.seats.load(Ordering::Relaxed) > 0
+    }
+
+    fn take_seat(&self) -> bool {
+        self.seats.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1)).is_ok()
+    }
+
+    /// Claims and runs tasks until the cursor is exhausted. Returns the
+    /// number of tasks this thread executed.
+    fn run_claimed(&self) -> usize {
+        let mut ran = 0usize;
+        loop {
+            let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
+            if idx >= self.tasks.len() {
+                return ran;
+            }
+            // SAFETY: `fetch_add` handed `idx` to this thread exclusively.
+            if let Some(job) = unsafe { (*self.tasks[idx].get()).take() } {
+                job();
+                ran += 1;
+            }
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    available: Condvar,
+}
+
 struct Pool {
-    injector: Sender<Job>,
+    shared: Arc<Shared>,
     workers: usize,
 }
 
@@ -41,47 +111,72 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 thread_local! {
     /// True on pool worker threads; nested parallel calls run
     /// sequentially instead of re-entering the (possibly saturated) pool.
-    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread cap on region parallelism (including the caller);
+    /// `usize::MAX` means uncapped. See [`thread_cap`].
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Worker index for trace attribution; `-1` on non-pool threads.
+    static WORKER_ID: Cell<i64> = const { Cell::new(-1) };
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            'claim: loop {
+                // Drop finished batches from the front so the queue
+                // stays short-lived even under many publishers.
+                while q.front().is_some_and(|b| b.exhausted()) {
+                    q.pop_front();
+                }
+                for b in q.iter() {
+                    if b.has_work() && b.take_seat() {
+                        break 'claim Arc::clone(b);
+                    }
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let span = SpanStart::begin();
+        let ran = batch.run_claimed();
+        span.finish(ran);
+    }
 }
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let workers = num_threads().saturating_sub(1);
-        let (tx, rx) = mpsc::channel::<Job>();
-        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let shared =
+            Arc::new(Shared { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
         for i in 0..workers {
-            let rx = std::sync::Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("gem-par-{i}"))
                 .spawn(move || {
                     IN_WORKER.with(|f| f.set(true));
-                    loop {
-                        let job = {
-                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break,
-                        }
-                    }
+                    WORKER_ID.with(|w| w.set(i as i64));
+                    worker_loop(shared);
                 })
                 .expect("spawn gem-par worker");
         }
-        Pool { injector: tx, workers }
+        Pool { shared, workers }
     })
 }
 
-/// Effective parallelism: `GEM_NUM_THREADS` if set and >= 1, else the
+/// Effective parallelism: `GEM_PAR_THREADS` if set and >= 1 (the CI
+/// override, taking precedence), else `GEM_NUM_THREADS`, else the
 /// machine's available parallelism.
 pub fn num_threads() -> usize {
-    match std::env::var("GEM_NUM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_threads(),
-        },
-        Err(_) => default_threads(),
+    for key in ["GEM_PAR_THREADS", "GEM_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(key) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
     }
+    default_threads()
 }
 
 fn default_threads() -> usize {
@@ -91,6 +186,85 @@ fn default_threads() -> usize {
 /// True when called from inside a pool worker (nested parallel region).
 pub fn in_parallel_region() -> bool {
     IN_WORKER.with(|f| f.get())
+}
+
+// ---------------------------------------------------------------------------
+// Thread cap
+// ---------------------------------------------------------------------------
+
+/// RAII guard restoring the previous per-thread cap; see [`thread_cap`].
+pub struct ThreadCapGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadCapGuard {
+    fn drop(&mut self) {
+        THREAD_CAP.with(|c| c.set(self.prev));
+    }
+}
+
+/// Caps the parallelism (caller thread included) of every parallel
+/// region entered from this thread until the guard drops. Nested caps
+/// only tighten: `thread_cap(4)` inside `thread_cap(2)` stays at 2.
+///
+/// This is how callers ask for "exactly N threads" without resizing the
+/// global pool — the train bench's 1/2/4-thread sweep and
+/// `TrainConfig::num_threads` both use it.
+pub fn thread_cap(cap: usize) -> ThreadCapGuard {
+    let cap = cap.max(1);
+    let prev = THREAD_CAP.with(|c| {
+        let p = c.get();
+        c.set(cap.min(p));
+        p
+    });
+    ThreadCapGuard { prev }
+}
+
+/// Parallelism the next region on this thread will actually use:
+/// [`num_threads`] tightened by any active [`thread_cap`].
+pub fn effective_threads() -> usize {
+    THREAD_CAP.with(|c| c.get()).min(num_threads()).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+static TRACE: OnceLock<Arc<TraceRing>> = OnceLock::new();
+
+/// Installs a global trace ring receiving one `par_span` event per
+/// thread per parallel region (`worker` is the pool worker index or -1
+/// for the calling thread, `tasks` the number of tasks it ran, `busy_ns`
+/// the wall time it spent running them). Returns false if a ring was
+/// already installed (the first one wins).
+pub fn set_trace_ring(ring: Arc<TraceRing>) -> bool {
+    TRACE.set(ring).is_ok()
+}
+
+/// Start of a per-thread region span; inert unless a ring is installed.
+struct SpanStart(Option<Instant>);
+
+impl SpanStart {
+    fn begin() -> SpanStart {
+        SpanStart(TRACE.get().map(|_| Instant::now()))
+    }
+
+    fn finish(self, tasks_run: usize) {
+        if let (Some(t0), Some(ring)) = (self.0, TRACE.get()) {
+            if tasks_run > 0 {
+                ring.push(
+                    TraceEvent::new("par_span")
+                        .with("worker", WORKER_ID.with(|w| w.get()))
+                        .with("tasks", tasks_run)
+                        .with("busy_ns", elapsed_ns(t0)),
+                );
+            }
+        }
+    }
+}
+
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 // ---------------------------------------------------------------------------
@@ -134,11 +308,14 @@ fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     if n == 0 {
         return;
     }
-    let sequential = n == 1 || in_parallel_region() || pool().workers == 0;
+    let allowed = effective_threads();
+    let sequential = n == 1 || allowed == 1 || in_parallel_region() || pool().workers == 0;
     if sequential {
+        let span = SpanStart::begin();
         for task in tasks {
             task();
         }
+        span.finish(n);
         return;
     }
 
@@ -148,13 +325,8 @@ fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     {
         let latch_ref = &latch;
         let panics_ref = &panics;
-        let mut queue: Vec<Job> = Vec::with_capacity(n.saturating_sub(1));
-        let mut own_task: Option<Box<dyn FnOnce() + Send + '_>> = None;
+        let mut jobs: Vec<UnsafeCell<Option<Job>>> = Vec::with_capacity(n);
         for (idx, task) in tasks.into_iter().enumerate() {
-            if idx == 0 {
-                own_task = Some(task);
-                continue;
-            }
             let wrapped = move || {
                 let result = panic::catch_unwind(AssertUnwindSafe(task));
                 if let Err(payload) = result {
@@ -165,32 +337,41 @@ fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
             // SAFETY: `wrapped` borrows `latch`, `panics`, and the
             // caller's stack through `task`. We block on `latch.wait()`
             // below before any of those borrows go out of scope, so the
-            // closure never outlives the data it references.
+            // closure never outlives the data it references. By the time
+            // the latch opens every cell has been emptied, so the batch
+            // an unwoken worker may still hold a reference to contains
+            // no borrowed state.
             let job: Job = unsafe {
                 std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
                     Box::new(wrapped),
                 )
             };
-            queue.push(job);
+            jobs.push(UnsafeCell::new(Some(job)));
         }
-        for job in queue {
-            // If the pool is somehow gone, run the job inline rather than
-            // leaving the latch forever uncounted.
-            if let Err(failed) = pool().injector.send(job) {
-                (failed.0)();
-            }
+        let batch = Arc::new(Batch {
+            tasks: jobs,
+            cursor: AtomicUsize::new(0),
+            // The caller participates without a seat; workers take the
+            // rest, bounded by the active thread cap.
+            seats: AtomicUsize::new(allowed.saturating_sub(1).min(pool().workers)),
+        });
+        {
+            let mut q = pool().shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(Arc::clone(&batch));
         }
-        // The calling thread runs task 0 itself (it would otherwise idle
-        // inside `wait`), then helps nothing else: remaining jobs are
-        // already with the workers.
-        if let Some(task) = own_task {
-            let result = panic::catch_unwind(AssertUnwindSafe(task));
-            if let Err(payload) = result {
-                panics.lock().unwrap_or_else(|e| e.into_inner()).push((0, payload));
-            }
-            latch.count_down();
-        }
+        pool().shared.available.notify_all();
+
+        // The calling thread claims tasks from its own batch (it would
+        // otherwise idle inside `wait`).
+        let span = SpanStart::begin();
+        let ran = batch.run_claimed();
+        span.finish(ran);
         latch.wait();
+
+        // Every task has run; unlink the batch so the queue does not
+        // accumulate exhausted batches between publishes.
+        let mut q = pool().shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.retain(|b| !Arc::ptr_eq(b, &batch));
     }
 
     let mut collected = panics.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -285,14 +466,17 @@ pub fn par_join<A: Send, B: Send>(
     (ra.expect("gem-par: join arm a missing"), rb.expect("gem-par: join arm b missing"))
 }
 
-/// Chunk size that gives every thread about two chunks (bounded below to
-/// amortize dispatch overhead on tiny inputs).
+/// Chunk size that gives every thread one contiguous chunk (bounded
+/// below to amortize dispatch overhead on tiny inputs). Batch-claim
+/// dispatch makes finer splitting for load balance unnecessary: a
+/// straggler's chunk is the only one left, and everything else was
+/// claimed without extra locking anyway.
 fn chunk_size(n: usize) -> usize {
     if n == 0 {
         return 1;
     }
-    let threads = num_threads().max(1);
-    n.div_ceil(threads * 2).clamp(16.min(n), n)
+    let threads = effective_threads();
+    n.div_ceil(threads).clamp(64.min(n), n)
 }
 
 #[cfg(test)]
@@ -383,5 +567,74 @@ mod tests {
         let items: Vec<usize> = (0..256).collect();
         let got = par_map(&items, |&i| base[i] + i as u64);
         assert_eq!(got[255], 265);
+    }
+
+    #[test]
+    fn thread_cap_tightens_and_restores() {
+        let uncapped = effective_threads();
+        {
+            let _g = thread_cap(1);
+            assert_eq!(effective_threads(), 1);
+            {
+                // Nested caps only tighten, never widen.
+                let _g2 = thread_cap(8);
+                assert_eq!(effective_threads(), 1);
+            }
+            assert_eq!(effective_threads(), 1);
+        }
+        assert_eq!(effective_threads(), uncapped);
+    }
+
+    #[test]
+    fn thread_cap_one_still_computes_correctly() {
+        let _g = thread_cap(1);
+        let items: Vec<u64> = (0..4096).collect();
+        let got = par_map(&items, |x| x * 3);
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn concurrent_regions_from_multiple_threads() {
+        // Several non-pool threads each publish batches at once; every
+        // region must see exactly its own results.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for round in 0..8u64 {
+                        let items: Vec<u64> = (0..512).collect();
+                        let got = par_map(&items, |x| x * (t + 1) + round);
+                        for (i, &v) in got.iter().enumerate() {
+                            assert_eq!(v, i as u64 * (t + 1) + round);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_ring_records_region_spans() {
+        let ring = Arc::new(TraceRing::new(64));
+        // First set wins; either way a ring is installed for this test
+        // binary from here on.
+        set_trace_ring(Arc::clone(&ring));
+        let items: Vec<u64> = (0..1024).collect();
+        let _ = par_map(&items, |x| x + 1);
+        let events = ring.snapshot();
+        assert!(!events.is_empty(), "expected at least one par_span event");
+        let total_tasks: u64 = events
+            .iter()
+            .filter(|e| e.kind == "par_span")
+            .flat_map(|e| e.fields.iter())
+            .filter_map(|(k, v)| match (k, v) {
+                (&"tasks", gem_obs::TraceValue::U64(n)) => Some(*n),
+                _ => None,
+            })
+            .sum();
+        assert!(total_tasks >= 1, "spans must attribute the executed tasks");
     }
 }

@@ -24,13 +24,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::RwLock;
 
 use gem_core::{FleetManifest, GemSnapshot, PersistError, PremisesEntry};
 use gem_obs::{Registry, TraceEvent};
@@ -38,7 +37,9 @@ use gem_signal::SignalRecord;
 
 use crate::journal::read_all_journals;
 use crate::monitor::{Monitor, MonitorState, MonitorStats};
-use crate::obs::{AdmissionObs, FleetStats, MonitorObs, ObsOptions, ShardObs, ShardStats};
+use crate::obs::{
+    AdmissionObs, FleetStats, MonitorObs, ObsOptions, ShardAdmissionObs, ShardObs, ShardStats,
+};
 use crate::shard::{FleetEvent, ShardMsg, ShardWorker};
 use crate::supervisor::{Admission, ShedReason};
 
@@ -119,13 +120,20 @@ struct Gate {
     sheds: AtomicU64,
 }
 
-/// Admission-side view of one shard.
+/// Admission-side view of one shard. Everything on the submit path is
+/// a plain atomic or a lock-free channel send — no lock anywhere, so
+/// concurrent submitters to different shards share nothing but
+/// read-only routing state.
 struct IngressShard {
-    /// The shard's ingress channel. Behind an `RwLock` so shutdown can
-    /// swap in a dead sender (closing the channel) while concurrent
-    /// [`FleetSubmitter`]s keep working — they then observe
-    /// `Shed(Shutdown)` instead of racing a use-after-close.
-    tx: RwLock<Sender<ShardMsg>>,
+    /// The shard's ingress channel. Kept alive for the fleet's whole
+    /// life; shutdown is signalled by `closed`, not by dropping it.
+    tx: Sender<ShardMsg>,
+    /// Raised at shutdown *before* the `Close` message is sent. The
+    /// submit path reserves `depth` first and checks this second, so
+    /// `depth` doubles as an in-flight-submitter refcount the closing
+    /// worker can wait out: any submitter that saw `closed == false`
+    /// already has its reservation visible (both accesses are SeqCst).
+    closed: AtomicBool,
     /// Ingress occupancy, shared with the shard worker.
     depth: Arc<AtomicUsize>,
 }
@@ -138,7 +146,13 @@ struct Ingress {
     queue_per_shard: usize,
     /// Per-premises quota derived from the shard queue bound.
     quota: usize,
+    /// Fleet-wide counters for submissions with no shard (unknown
+    /// premises). Routable traffic is counted per shard.
     admission: AdmissionObs,
+    /// Per-shard admission counters: the hot path touches only the
+    /// destination shard's set, so submitters to different shards never
+    /// contend on one cache line. [`Fleet::fleet_stats`] sums lazily.
+    shard_admission: Vec<ShardAdmissionObs>,
     /// Per-shard trace rings (shed verdicts are traced; accepts are
     /// only counted — tracing every accept would melt the ring mutex).
     shard_obs: Vec<ShardObs>,
@@ -147,17 +161,26 @@ struct Ingress {
 impl Ingress {
     /// The admission decision (see [`Fleet::submit`] for the contract).
     fn submit(&self, premises_id: u64, record: SignalRecord) -> Admission {
-        self.admission.submitted.inc();
         let Some(gate) = self.gates.get(&premises_id) else {
+            self.admission.unknown_submitted.inc();
             self.admission.unknown_sheds.inc();
             return Admission::Shed(ShedReason::UnknownPremises);
         };
         let shard = &self.shards[gate.shard];
+        self.shard_admission[gate.shard].submitted.inc();
         // Optimistically reserve, back out on overflow: cheap, and the
         // occasional transient over-count only sheds one scan early.
-        let depth = shard.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        // SeqCst pairs with the shutdown protocol: reserve *before*
+        // checking `closed`, so a closing worker that still reads
+        // `depth > 0` knows a submitter may be mid-flight and waits.
+        let depth = shard.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        if shard.closed.load(Ordering::SeqCst) {
+            shard.depth.fetch_sub(1, Ordering::SeqCst);
+            self.shed(gate.shard, premises_id, "shutdown");
+            return Admission::Shed(ShedReason::Shutdown);
+        }
         if depth > self.queue_per_shard {
-            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            shard.depth.fetch_sub(1, Ordering::SeqCst);
             gate.sheds.fetch_add(1, Ordering::Relaxed);
             self.shed(gate.shard, premises_id, "queue_full");
             return Admission::Shed(ShedReason::QueueFull);
@@ -165,28 +188,27 @@ impl Ingress {
         let inflight = gate.inflight.fetch_add(1, Ordering::AcqRel) + 1;
         if inflight > self.quota {
             gate.inflight.fetch_sub(1, Ordering::AcqRel);
-            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            shard.depth.fetch_sub(1, Ordering::SeqCst);
             gate.sheds.fetch_add(1, Ordering::Relaxed);
             self.shed(gate.shard, premises_id, "quota");
             return Admission::Shed(ShedReason::QueueFull);
         }
-        let sent = shard.tx.read().send(ShardMsg::Record {
-            premises_id,
-            record,
-            enqueued: Instant::now(),
-        });
+        let sent =
+            shard.tx.send(ShardMsg::Record { premises_id, record, enqueued: Instant::now() });
         match sent {
             Ok(()) => {
                 let admission = Admission::from_depth(depth);
                 match admission {
-                    Admission::Accept => self.admission.accepts.inc(),
-                    _ => self.admission.queued.inc(),
+                    Admission::Accept => self.shard_admission[gate.shard].accepts.inc(),
+                    _ => self.shard_admission[gate.shard].queued.inc(),
                 }
                 admission
             }
+            // The worker is gone (aborted); the channel outlives it only
+            // on the fleet side.
             Err(_) => {
                 gate.inflight.fetch_sub(1, Ordering::AcqRel);
-                shard.depth.fetch_sub(1, Ordering::AcqRel);
+                shard.depth.fetch_sub(1, Ordering::SeqCst);
                 self.shed(gate.shard, premises_id, "shutdown");
                 Admission::Shed(ShedReason::Shutdown)
             }
@@ -194,7 +216,7 @@ impl Ingress {
     }
 
     fn shed(&self, shard: usize, premises_id: u64, reason: &'static str) {
-        self.admission.sheds.inc();
+        self.shard_admission[shard].sheds.inc();
         self.shard_obs[shard].trace(
             TraceEvent::new("admission")
                 .with("premises", premises_id)
@@ -292,6 +314,8 @@ impl Fleet {
         let (event_tx, event_rx) = bounded(2 * cfg.shards * cfg.queue_per_shard + 64);
         let registry = Arc::new(Registry::new());
         let admission = AdmissionObs::register(&registry);
+        let shard_admission: Vec<ShardAdmissionObs> =
+            (0..cfg.shards).map(|id| ShardAdmissionObs::register(&registry, id)).collect();
         let shard_obs: Vec<ShardObs> =
             (0..cfg.shards).map(|id| ShardObs::register(&registry, id, &cfg.obs)).collect();
         let mut by_shard: Vec<Vec<(u64, Monitor, u64)>> =
@@ -343,7 +367,7 @@ impl Fleet {
                 .name(format!("gem-shard-{id}"))
                 .spawn(move || worker.run())
                 .map_err(|e| FleetError::Shard(e.to_string()))?;
-            ingress_shards.push(IngressShard { tx: RwLock::new(tx), depth });
+            ingress_shards.push(IngressShard { tx, closed: AtomicBool::new(false), depth });
             workers.push(Some(handle));
         }
         let ingress = Arc::new(Ingress {
@@ -352,6 +376,7 @@ impl Fleet {
             queue_per_shard: cfg.queue_per_shard,
             quota,
             admission,
+            shard_admission,
             shard_obs,
         });
         let mut fleet = Fleet {
@@ -384,8 +409,7 @@ impl Fleet {
         let (Some(dir), Some(interval)) = (self.cfg.dir.clone(), self.cfg.snapshot_interval) else {
             return;
         };
-        let txs: Vec<Sender<ShardMsg>> =
-            self.ingress.shards.iter().map(|s| s.tx.read().clone()).collect();
+        let txs: Vec<Sender<ShardMsg>> = self.ingress.shards.iter().map(|s| s.tx.clone()).collect();
         let lock = Arc::clone(&self.snapshot_lock);
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handle = thread::Builder::new()
@@ -454,27 +478,35 @@ impl Fleet {
     }
 
     /// Fleet-wide admission statistics with a per-shard breakdown.
-    /// Every field is a relaxed atomic load — no locks, no shard
-    /// round-trip, safe to poll from a hot path.
+    /// Every field is an atomic load — no locks, no shard round-trip,
+    /// safe to poll from a hot path. The hot submit path maintains only
+    /// per-shard counters; the fleet totals are summed here, lazily, so
+    /// reads pay for aggregation instead of every submit paying for
+    /// shared cache lines.
     pub fn fleet_stats(&self) -> FleetStats {
         let a = &self.ingress.admission;
         let shards: Vec<ShardStats> = self
             .ingress
             .shards
             .iter()
-            .zip(&self.ingress.shard_obs)
+            .zip(self.ingress.shard_obs.iter().zip(&self.ingress.shard_admission))
             .enumerate()
-            .map(|(i, (s, obs))| ShardStats {
+            .map(|(i, (s, (obs, adm)))| ShardStats {
                 shard: i,
                 dropped_events: obs.dropped_events.get(),
                 queue_depth: s.depth.load(Ordering::Relaxed),
+                submitted: adm.submitted.get(),
+                busy_ns: obs.busy_ns.get(),
+                idle_ns: obs.idle_ns.get(),
             })
             .collect();
+        let adm = &self.ingress.shard_admission;
         FleetStats {
-            submitted: a.submitted.get(),
-            accepts: a.accepts.get(),
-            queued: a.queued.get(),
-            sheds: a.sheds.get(),
+            submitted: a.unknown_submitted.get()
+                + adm.iter().map(|s| s.submitted.get()).sum::<u64>(),
+            accepts: adm.iter().map(|s| s.accepts.get()).sum(),
+            queued: adm.iter().map(|s| s.queued.get()).sum(),
+            sheds: adm.iter().map(|s| s.sheds.get()).sum(),
             unknown_sheds: a.unknown_sheds.get(),
             dropped_events: shards.iter().map(|s| s.dropped_events).sum(),
             shards,
@@ -501,7 +533,6 @@ impl Fleet {
             let (ack_tx, ack_rx) = bounded(1);
             shard
                 .tx
-                .read()
                 .send(ShardMsg::Flush { ack: ack_tx })
                 .map_err(|_| FleetError::Shard("shard gone during flush".into()))?;
             acks.push(ack_rx);
@@ -520,8 +551,7 @@ impl Fleet {
             self.cfg.dir.as_ref().ok_or_else(|| {
                 FleetError::Shard("snapshot requires a durability directory".into())
             })?;
-        let txs: Vec<Sender<ShardMsg>> =
-            self.ingress.shards.iter().map(|s| s.tx.read().clone()).collect();
+        let txs: Vec<Sender<ShardMsg>> = self.ingress.shards.iter().map(|s| s.tx.clone()).collect();
         let _guard = self.snapshot_lock.lock().unwrap_or_else(|p| p.into_inner());
         snapshot_all(&txs, dir)
     }
@@ -535,7 +565,6 @@ impl Fleet {
             let (ack_tx, ack_rx) = bounded(1);
             shard
                 .tx
-                .read()
                 .send(ShardMsg::Stats { ack: ack_tx })
                 .map_err(|_| FleetError::Shard("shard gone during stats".into()))?;
             acks.push(ack_rx);
@@ -633,33 +662,30 @@ impl Fleet {
 
     fn broadcast(&self, msg: impl Fn() -> ShardMsg) {
         for shard in &self.ingress.shards {
-            let _ = shard.tx.read().send(msg());
+            let _ = shard.tx.send(msg());
         }
     }
 
     /// Joins all shard workers, collecting their monitors. `abort` makes
-    /// them exit immediately; otherwise the closed channel ends them
-    /// after the backlog.
+    /// them exit immediately; otherwise `Close` lets every shard finish
+    /// its backlog — all shards wind down concurrently because every
+    /// close is signalled before any join.
     fn join(&mut self, abort: bool) -> Vec<(u64, Monitor)> {
         // Disconnect the event channel so late notifications from the
         // closing shards are discarded (not mis-counted as consumer
         // overflow); shards use try_send, so they can't wedge on it.
         let (_, dead_rx) = bounded::<FleetEvent>(1);
         self.event_rx = dead_rx;
+        for shard in &self.ingress.shards {
+            // Raise `closed` first: a submitter that reserved depth
+            // before this store will either deliver its record (the
+            // worker waits out `depth`) or back out; one that reads the
+            // flag sheds with `Shutdown`. No lock, no sender swap.
+            shard.closed.store(true, Ordering::SeqCst);
+            let _ = shard.tx.send(if abort { ShardMsg::Abort } else { ShardMsg::Close });
+        }
         let mut monitors = Vec::new();
-        for (shard, worker) in self.ingress.shards.iter().zip(&mut self.workers) {
-            {
-                // Swap in a dead sender under the write lock so the
-                // channel closes (a non-abort worker finishes its
-                // backlog and exits) and concurrent submitters observe
-                // `Shed(Shutdown)` instead of racing a use-after-close.
-                let mut tx = shard.tx.write();
-                if abort {
-                    let _ = tx.send(ShardMsg::Abort);
-                }
-                let (dead_tx, _) = bounded::<ShardMsg>(1);
-                *tx = dead_tx;
-            }
+        for worker in &mut self.workers {
             if let Some(worker) = worker.take() {
                 if let Ok(mut m) = worker.join() {
                     monitors.append(&mut m);

@@ -66,16 +66,24 @@ impl JournalWriter {
     /// guarantee hold for power loss and kernel panics, not just process
     /// crashes. Returns the bytes appended.
     pub fn append(&mut self, entry: &JournalEntry) -> io::Result<usize> {
+        let bytes = self.append_nosync(entry)?;
+        self.commit()?;
+        Ok(bytes)
+    }
+
+    /// Appends one epoch *without* syncing. A shard draining several
+    /// premises in one pass journals every selected epoch with this and
+    /// then calls [`commit`](Self::commit) once, amortizing the fsync
+    /// across the pass. Write-ahead still holds for every entry: the
+    /// commit must complete before any of the pass's epochs is
+    /// processed. Returns the bytes appended.
+    pub fn append_nosync(&mut self, entry: &JournalEntry) -> io::Result<usize> {
         let timed = self.obs.as_ref().filter(|o| o.enabled).map(|_| Instant::now());
         let json = serde_json::to_string(entry).map_err(|e| io::Error::other(e.to_string()))?;
         // checksum (16 hex) + space + json + newline
         let bytes = 16 + 1 + json.len() + 1;
         writeln!(self.file, "{} {}", fnv1a64_hex(json.as_bytes()), json)?;
-        self.file.flush()?;
-        let fsync_start = timed.map(|_| Instant::now());
-        self.file.get_ref().sync_data()?;
-        if let (Some(obs), Some(start), Some(fsync)) = (&self.obs, timed, fsync_start) {
-            obs.fsync_seconds.record(elapsed_ns(fsync));
+        if let (Some(obs), Some(start)) = (&self.obs, timed) {
             obs.append_seconds.record(elapsed_ns(start));
         }
         if let Some(obs) = &self.obs {
@@ -83,6 +91,18 @@ impl JournalWriter {
             obs.bytes.add(bytes as u64);
         }
         Ok(bytes)
+    }
+
+    /// Flushes and syncs everything appended so far to stable storage.
+    /// The durability barrier for [`append_nosync`](Self::append_nosync).
+    pub fn commit(&mut self) -> io::Result<()> {
+        let timed = self.obs.as_ref().filter(|o| o.enabled).map(|_| Instant::now());
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        if let (Some(obs), Some(start)) = (&self.obs, timed) {
+            obs.fsync_seconds.record(elapsed_ns(start));
+        }
+        Ok(())
     }
 
     /// Empties the journal. Only safe after every entry has been folded

@@ -38,24 +38,46 @@ impl Default for ObsOptions {
     }
 }
 
-/// Admission-path counters, one set per fleet.
+/// Admission counters with no shard to attribute to: submissions for
+/// premises the fleet does not know. Everything routable is counted on
+/// the destination shard's [`ShardAdmissionObs`] instead, so concurrent
+/// submitters to different shards never contend on one cache line.
 pub(crate) struct AdmissionObs {
-    pub(crate) submitted: Arc<Counter>,
-    pub(crate) accepts: Arc<Counter>,
-    pub(crate) queued: Arc<Counter>,
-    pub(crate) sheds: Arc<Counter>,
+    pub(crate) unknown_submitted: Arc<Counter>,
     pub(crate) unknown_sheds: Arc<Counter>,
 }
 
 impl AdmissionObs {
     pub(crate) fn register(registry: &Registry) -> AdmissionObs {
-        let verdict = |v| registry.counter("gem_fleet_admission_total", &[("verdict", v)]);
         AdmissionObs {
-            submitted: registry.counter("gem_fleet_submitted_total", &[]),
+            unknown_submitted: registry
+                .counter("gem_fleet_submitted_total", &[("shard", "unknown")]),
+            unknown_sheds: registry.counter("gem_fleet_admission_total", &[("verdict", "unknown")]),
+        }
+    }
+}
+
+/// Admission-path counters of one shard. The total over shards (plus
+/// the fleet-wide unknown series) reproduces the old fleet-global
+/// counters; [`crate::FleetStats`] does that summation lazily.
+pub(crate) struct ShardAdmissionObs {
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) accepts: Arc<Counter>,
+    pub(crate) queued: Arc<Counter>,
+    pub(crate) sheds: Arc<Counter>,
+}
+
+impl ShardAdmissionObs {
+    pub(crate) fn register(registry: &Registry, shard: usize) -> ShardAdmissionObs {
+        let s = shard.to_string();
+        let verdict = |v| {
+            registry.counter("gem_fleet_admission_total", &[("shard", s.as_str()), ("verdict", v)])
+        };
+        ShardAdmissionObs {
+            submitted: registry.counter("gem_fleet_submitted_total", &[("shard", &s)]),
             accepts: verdict("accept"),
             queued: verdict("queued"),
             sheds: verdict("shed"),
-            unknown_sheds: verdict("unknown"),
         }
     }
 }
@@ -99,6 +121,10 @@ pub(crate) struct ShardObs {
     pub(crate) queue_depth: Arc<Gauge>,
     pub(crate) dropped_events: Arc<Counter>,
     pub(crate) snapshot_seconds: Arc<Histogram>,
+    /// Nanoseconds the worker spent deciding/journaling (drain passes).
+    pub(crate) busy_ns: Arc<Counter>,
+    /// Nanoseconds the worker spent parked waiting for ingress.
+    pub(crate) idle_ns: Arc<Counter>,
     pub(crate) journal: JournalObs,
     pub(crate) ring: Arc<TraceRing>,
 }
@@ -116,6 +142,8 @@ impl ShardObs {
             queue_depth: registry.gauge("gem_shard_queue_depth", labels),
             dropped_events: registry.counter("gem_shard_dropped_events_total", labels),
             snapshot_seconds: registry.histogram("gem_shard_snapshot_seconds", labels),
+            busy_ns: registry.counter("gem_shard_busy_ns_total", labels),
+            idle_ns: registry.counter("gem_shard_idle_ns_total", labels),
             journal: JournalObs::register(registry, shard, opts.enabled),
             ring: Arc::new(TraceRing::new(if opts.enabled { opts.ring_capacity } else { 0 })),
         }
@@ -226,10 +254,19 @@ pub struct ShardStats {
     pub dropped_events: u64,
     /// Current ingress occupancy (admitted, not yet decided).
     pub queue_depth: usize,
+    /// Scans submitted to this shard (accepted or not).
+    pub submitted: u64,
+    /// Nanoseconds the shard worker spent deciding/journaling. Zero
+    /// unless observability timing is enabled.
+    pub busy_ns: u64,
+    /// Nanoseconds the shard worker spent parked waiting for ingress.
+    /// Zero unless observability timing is enabled.
+    pub idle_ns: u64,
 }
 
 /// Fleet-wide admission statistics, readable without any shard
-/// round-trip: every field is a relaxed-atomic load.
+/// round-trip. The hot submit path only touches per-shard counters;
+/// the fleet totals here are summed lazily at read time.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct FleetStats {
     /// Scans submitted (accepted or not).

@@ -156,4 +156,77 @@ proptest! {
             );
         }
     }
+
+    /// Autonomous drain determinism: with `max_batch = 1` every record is
+    /// its own epoch, so per-premises decisions must be bitwise-equal to
+    /// the standalone monitor even when shards drain live (no pause) and
+    /// submissions race in from one thread per premises. Epoch *timing*
+    /// is up to each shard's own loop; decision *content and order* are
+    /// not.
+    #[test]
+    fn live_concurrent_drain_matches_standalone(plan in PlanStrategy) {
+        let tenants = tenants();
+        let premises_ids: Vec<u64> = (0..plan.n_premises as u64).map(|i| i * 17 + 3).collect();
+        let per_premises: usize = plan.chunk_sizes.iter().sum();
+
+        let monitors: Vec<(u64, Monitor)> = premises_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, Monitor::new(restore(&tenants[i]), MonitorConfig::default())))
+            .collect();
+        let fleet = Fleet::spawn(
+            monitors,
+            FleetConfig {
+                shards: plan.shards,
+                max_batch: 1,
+                queue_per_shard: 256,
+                dir: None,
+                snapshot_interval: None,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+
+        // One racing submitter thread per premises, against live shards.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = premises_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let submitter = fleet.submitter();
+                    let stream = &tenants[i].stream;
+                    scope.spawn(move || {
+                        for k in 0..per_premises {
+                            let record = stream[k % stream.len()].clone();
+                            assert!(submitter.submit(p, record).accepted());
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        fleet.flush().unwrap();
+        let mut fleet_events = Vec::new();
+        while let Ok(e) = fleet.events().try_recv() {
+            fleet_events.push(e);
+        }
+        fleet.shutdown().unwrap();
+
+        for (i, &p) in premises_ids.iter().enumerate() {
+            let mut reference = Monitor::new(restore(&tenants[i]), MonitorConfig::default());
+            let stream = &tenants[i].stream;
+            let mut expected = Vec::new();
+            for k in 0..per_premises {
+                expected.extend(reference.process_batch(&[stream[k % stream.len()].clone()]));
+            }
+            let got = fleet_events_of(&fleet_events, p);
+            prop_assert_eq!(
+                &got, &expected,
+                "premises {} diverged under live drain (shards={})",
+                p, plan.shards
+            );
+        }
+    }
 }

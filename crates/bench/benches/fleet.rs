@@ -142,6 +142,7 @@ fn run_fleet(
             max_batch: MAX_BATCH,
             dir: None,
             snapshot_interval: None,
+            hot_premises_per_shard: None,
             obs: ObsOptions { enabled: obs, ..ObsOptions::default() },
         },
     )

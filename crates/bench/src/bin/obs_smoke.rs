@@ -47,6 +47,12 @@ const REQUIRED_METRICS: &[&str] = &[
     "gem_monitor_self_updates_total",
     "gem_monitor_epochs_total",
     "gem_infer_cache_events_total",
+    "gem_shard_hot_premises",
+    "gem_shard_cold_premises",
+    "gem_shard_evictions_total",
+    "gem_shard_hydrations_total",
+    "gem_premises_hydrate_seconds",
+    "gem_fleet_snapshot_errors_total",
 ];
 
 fn quick() -> bool {
@@ -113,8 +119,16 @@ fn main() {
     println!("training 2 tenants...");
     let (monitors, streams) = tenants();
     let ids: Vec<u64> = monitors.iter().map(|(p, _)| *p).collect();
-    let cfg =
-        FleetConfig { shards: 2, max_batch: 4, dir: Some(dir.clone()), ..FleetConfig::default() };
+    // A hot cap of one resident premises per shard makes the tiering
+    // instruments (gauges, eviction/hydration counters, hydrate
+    // histogram) carry real churn whenever both tenants share a shard.
+    let cfg = FleetConfig {
+        shards: 2,
+        max_batch: 4,
+        dir: Some(dir.clone()),
+        hot_premises_per_shard: Some(1),
+        ..FleetConfig::default()
+    };
     let fleet = Fleet::spawn(monitors, cfg).unwrap();
     let server = MetricsServer::bind("127.0.0.1:0", fleet.registry()).expect("bind metrics");
     let addr = server.local_addr();
@@ -131,6 +145,24 @@ fn main() {
     fleet.flush().unwrap();
     fleet.snapshot().unwrap();
     while fleet.events().try_recv().is_ok() {}
+
+    // Tiering invariants: the hot gauges respect the cap, every tenant
+    // is accounted hot or cold, and co-located tenants really churned.
+    let stats = fleet.fleet_stats();
+    let mut accounted = 0i64;
+    for s in &stats.shards {
+        assert!(s.hot_premises <= 1, "hot tier must respect the cap: {s:?}");
+        accounted += s.hot_premises + s.cold_premises;
+    }
+    assert_eq!(accounted as usize, ids.len(), "every premises is hot or cold");
+    if stats.shards.iter().any(|s| s.hot_premises + s.cold_premises == 2) {
+        assert!(
+            stats.shards.iter().any(|s| s.evictions > 0 && s.hydrations > 0),
+            "two tenants over a cap of 1 must evict and hydrate: {:?}",
+            stats.shards
+        );
+    }
+    assert_eq!(stats.snapshot_errors, 0, "snapshot rounds must not error");
 
     // --- /metrics: Prometheus text exposition ---
     let (status, headers, body) = scrape(addr, "/metrics");

@@ -72,7 +72,7 @@ fn usage() -> String {
      \x20 stream   --dataset FILE --model FILE [--alert-after K] [--save-back]\n\
      \x20 fleet    --models F1,F2,.. --datasets F1,F2,.. [--shards N] [--max-batch B]\n\
      \x20          [--alert-after K] [--dir DIR] [--snapshot-secs S] [--recover]\n\
-     \x20          [--metrics-addr HOST:PORT] [--trace-dir DIR] [--no-metrics]\n\
+     \x20          [--hot-cap N] [--metrics-addr HOST:PORT] [--trace-dir DIR] [--no-metrics]\n\
      \x20 info     --model FILE"
         .to_string()
 }
@@ -201,7 +201,10 @@ fn stream(args: &Args) -> Result<(), String> {
 /// pair, sharded across worker threads, with optional durability
 /// (`--dir` enables the write-ahead journal plus snapshots on
 /// `--snapshot-secs` and at shutdown) and crash recovery (`--recover`
-/// replays the journal before streaming). `--metrics-addr` serves the
+/// replays the journal before streaming). `--hot-cap` bounds resident
+/// premises per shard: idle tenants spill to their snapshot files and
+/// hydrate back on their next record (requires `--dir`; 0 = unlimited).
+/// `--metrics-addr` serves the
 /// fleet's registry as Prometheus text (`/metrics`) and JSON
 /// (`/metrics.json`) for the run's duration; `--trace-dir` dumps the
 /// per-shard decision-trace rings as JSONL at the end; `--no-metrics`
@@ -227,6 +230,12 @@ fn fleet(args: &Args) -> Result<(), String> {
             return Err("--snapshot-secs requires --dir".into());
         }
         cfg.snapshot_interval = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(cap) = args.get_parsed::<usize>("hot-cap")? {
+        if cfg.dir.is_none() {
+            return Err("--hot-cap requires --dir (cold premises spill to snapshots)".into());
+        }
+        cfg.hot_premises_per_shard = if cap == 0 { None } else { Some(cap) };
     }
     let alert_after = args.get_parsed::<usize>("alert-after")?.unwrap_or(3);
 

@@ -317,9 +317,20 @@ impl FleetManifest {
     /// matches its recorded checksum.
     pub fn verify_snapshots(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
         let dir = dir.as_ref();
+        // Many entries may share one snapshot file (e.g. a common seed
+        // model fanned out to thousands of premises) — hash each
+        // distinct file once, not once per entry.
+        let mut cache: std::collections::HashMap<&str, String> = std::collections::HashMap::new();
         for e in &self.premises {
-            let bytes = fs::read(dir.join(&e.snapshot_file))?;
-            let got = fnv1a64_hex(&bytes);
+            let got = match cache.get(e.snapshot_file.as_str()) {
+                Some(h) => h.clone(),
+                None => {
+                    let bytes = fs::read(dir.join(&e.snapshot_file))?;
+                    let h = fnv1a64_hex(&bytes);
+                    cache.insert(e.snapshot_file.as_str(), h.clone());
+                    h
+                }
+            };
             if got != e.snapshot_checksum {
                 return Err(PersistError::Incompatible(format!(
                     "snapshot {} for premises {} is corrupt (stored {}, computed {got})",

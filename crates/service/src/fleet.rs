@@ -14,15 +14,24 @@
 //!   [`Fleet::dropped_events`]) instead of wedging the shards.
 //! * **Durability** — a durable fleet writes a base snapshot + manifest
 //!   at spawn, so the write-ahead journal is replayable from the very
-//!   first epoch. [`Fleet::snapshot`] quiesces the shards, writes one
-//!   model snapshot per premises plus a checksummed [`FleetManifest`],
-//!   prunes the journals up to the committed watermarks and sweeps
-//!   unreferenced snapshot files. A crashed fleet is rebuilt with
-//!   [`Fleet::recover`], which replays the journaled epochs past each
-//!   premises' manifest watermark and reproduces the uninterrupted
-//!   decision stream bit for bit.
+//!   first epoch. [`Fleet::snapshot`] is *incremental and pause-free*:
+//!   each shard, between its own drain passes, writes fresh files only
+//!   for premises dirty since their last stored image (and
+//!   group-commit-syncs any spill files), then the fleet commits a
+//!   checksummed [`FleetManifest`] via atomic rename, prunes the
+//!   journals up to the committed watermarks and sweeps superseded
+//!   snapshot files. Decisions keep flowing while a snapshot round runs.
+//!   A crashed fleet is rebuilt with [`Fleet::recover`], which replays
+//!   the journaled epochs past each premises' manifest watermark and
+//!   reproduces the uninterrupted decision stream bit for bit.
+//! * **Tiered residency** — with
+//!   [`FleetConfig::hot_premises_per_shard`] (env override
+//!   `GEM_FLEET_HOT_CAP`), each shard keeps only an LRU hot tier of
+//!   models resident; idle premises spill to their snapshot files and
+//!   hydrate bitwise on their next record. RSS then tracks the hot
+//!   tier, not the tenant count.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -32,7 +41,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use gem_core::{FleetManifest, GemSnapshot, PersistError, PremisesEntry};
-use gem_obs::{Registry, TraceEvent};
+use gem_obs::{Counter, Registry, TraceEvent};
 use gem_signal::SignalRecord;
 
 use crate::journal::read_all_journals;
@@ -40,7 +49,7 @@ use crate::monitor::{Monitor, MonitorState, MonitorStats};
 use crate::obs::{
     AdmissionObs, FleetStats, MonitorObs, ObsOptions, ShardAdmissionObs, ShardObs, ShardStats,
 };
-use crate::shard::{FleetEvent, ShardMsg, ShardWorker};
+use crate::shard::{FleetEvent, PremisesSeed, ShardMsg, ShardWorker, Stored};
 use crate::supervisor::{Admission, ShedReason};
 
 /// Fleet sizing and policy knobs.
@@ -58,6 +67,13 @@ pub struct FleetConfig {
     pub dir: Option<PathBuf>,
     /// Auto-snapshot period. `None` snapshots only on `shutdown`.
     pub snapshot_interval: Option<Duration>,
+    /// Hot-tier cap per shard: at most this many premises keep their
+    /// model resident; the least-recently-decided idle ones spill to
+    /// their snapshot files and hydrate back on their next record.
+    /// `None` keeps everything resident. Requires a durability `dir`
+    /// (there is nowhere to spill otherwise); the env var
+    /// `GEM_FLEET_HOT_CAP` overrides it (`0` = unlimited).
+    pub hot_premises_per_shard: Option<usize>,
     /// Observability knobs (see [`ObsOptions`]). Counters are always
     /// on; `enabled: false` skips histograms and trace rings.
     pub obs: ObsOptions,
@@ -71,6 +87,7 @@ impl Default for FleetConfig {
             max_batch: 32,
             dir: None,
             snapshot_interval: None,
+            hot_premises_per_shard: None,
             obs: ObsOptions::default(),
         }
     }
@@ -265,6 +282,8 @@ pub struct Fleet {
     monitor_obs: HashMap<u64, MonitorObs>,
     registry: Arc<Registry>,
     event_rx: Receiver<FleetEvent>,
+    /// Periodic-snapshot failures (also surfaced in [`FleetStats`]).
+    snapshot_errors: Arc<Counter>,
     cfg: FleetConfig,
     /// Serializes snapshot sequences: [`Fleet::snapshot`] and the
     /// periodic timer must never interleave their pause → commit →
@@ -295,17 +314,36 @@ impl Fleet {
     /// Spawns the shard workers around the given premises monitors.
     /// Premises ids must be unique.
     pub fn spawn(premises: Vec<(u64, Monitor)>, cfg: FleetConfig) -> Result<Fleet, FleetError> {
-        Self::spawn_at(premises.into_iter().map(|(p, m)| (p, m, 0)).collect(), cfg)
+        Self::spawn_at(
+            premises
+                .into_iter()
+                .map(|(p, m)| {
+                    (p, PremisesSeed::Hot { monitor: Box::new(m), epoch: 0, stored: None })
+                })
+                .collect(),
+            cfg,
+        )
     }
 
-    /// Like [`Fleet::spawn`] but with explicit starting epoch watermarks
-    /// (the recovery path).
-    fn spawn_at(premises: Vec<(u64, Monitor, u64)>, cfg: FleetConfig) -> Result<Fleet, FleetError> {
+    /// Like [`Fleet::spawn`] but seeding each premises either hot
+    /// (resident monitor) or cold (spilled to its snapshot file) — the
+    /// recovery path spawns clean premises cold so startup cost tracks
+    /// the journal backlog, not the tenant count.
+    fn spawn_at(premises: Vec<(u64, PremisesSeed)>, cfg: FleetConfig) -> Result<Fleet, FleetError> {
         assert!(cfg.shards >= 1, "a fleet needs at least one shard");
         assert!(cfg.max_batch >= 1, "decision epochs need at least one record");
         if let Some(dir) = &cfg.dir {
             std::fs::create_dir_all(dir)?;
         }
+        // Hot-tier cap: env override first, config second; 0 disables.
+        let hot_cap = match std::env::var("GEM_FLEET_HOT_CAP") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) => None,
+                Ok(n) => Some(n),
+                Err(_) => cfg.hot_premises_per_shard,
+            },
+            Err(_) => cfg.hot_premises_per_shard,
+        };
         // Sized for a full backlog: each admitted record yields at most
         // one decision plus one alert transition, so a consumer that
         // drains at least once per `queue_per_shard` admissions never
@@ -318,12 +356,13 @@ impl Fleet {
             (0..cfg.shards).map(|id| ShardAdmissionObs::register(&registry, id)).collect();
         let shard_obs: Vec<ShardObs> =
             (0..cfg.shards).map(|id| ShardObs::register(&registry, id, &cfg.obs)).collect();
-        let mut by_shard: Vec<Vec<(u64, Monitor, u64)>> =
+        let snapshot_errors = registry.counter("gem_fleet_snapshot_errors_total", &[]);
+        let mut by_shard: Vec<Vec<(u64, PremisesSeed)>> =
             (0..cfg.shards).map(|_| Vec::new()).collect();
         let mut gates = HashMap::with_capacity(premises.len());
-        for (premises_id, monitor, epoch) in premises {
+        for (premises_id, seed) in premises {
             let shard = shard_for(premises_id, cfg.shards);
-            by_shard[shard].push((premises_id, monitor, epoch));
+            by_shard[shard].push((premises_id, seed));
             let gate =
                 Gate { shard, inflight: Arc::new(AtomicUsize::new(0)), sheds: AtomicU64::new(0) };
             if gates.insert(premises_id, gate).is_some() {
@@ -337,31 +376,46 @@ impl Fleet {
         let mut monitor_obs = HashMap::with_capacity(gates.len());
         let mut ingress_shards = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
-        for (id, mut monitors) in by_shard.into_iter().enumerate() {
+        for (id, mut seeds) in by_shard.into_iter().enumerate() {
             let (tx, rx) = bounded(cfg.queue_per_shard * 2 + 64);
             let depth = Arc::new(AtomicUsize::new(0));
             let inflight: HashMap<u64, Arc<AtomicUsize>> =
-                monitors.iter().map(|(p, _, _)| (*p, Arc::clone(&gates[p].inflight))).collect();
-            for (p, monitor, _) in &mut monitors {
-                let obs = MonitorObs::register(
-                    &registry,
-                    *p,
-                    Arc::clone(&shard_obs[id].ring),
-                    cfg.obs.enabled,
-                );
-                monitor.set_obs(obs.clone());
-                monitor_obs.insert(*p, obs);
+                seeds.iter().map(|(p, _)| (*p, Arc::clone(&gates[p].inflight))).collect();
+            let mut shard_monitor_obs = HashMap::new();
+            if cfg.obs.per_premises {
+                for (p, seed) in &mut seeds {
+                    let obs = MonitorObs::register(
+                        &registry,
+                        *p,
+                        Arc::clone(&shard_obs[id].ring),
+                        cfg.obs.enabled,
+                    );
+                    // Hot monitors seed the registry series from their
+                    // session stats; cold premises seed from the stored
+                    // sidecar (hydration later re-attaches without
+                    // seeding — the series keep running while cold).
+                    match seed {
+                        PremisesSeed::Hot { monitor, .. } => monitor.set_obs(obs.clone()),
+                        PremisesSeed::Cold { stored, .. } => {
+                            obs.seed(&stored.state.stats, gem_core::CacheStats::default())
+                        }
+                    }
+                    shard_monitor_obs.insert(*p, obs.clone());
+                    monitor_obs.insert(*p, obs);
+                }
             }
             let worker = ShardWorker::new(
                 id,
                 rx,
                 event_tx.clone(),
-                monitors,
+                seeds,
                 cfg.max_batch,
                 cfg.dir.as_ref(),
+                hot_cap,
                 Arc::clone(&depth),
                 inflight,
                 shard_obs[id].clone(),
+                shard_monitor_obs,
             )?;
             let handle = thread::Builder::new()
                 .name(format!("gem-shard-{id}"))
@@ -385,6 +439,7 @@ impl Fleet {
             monitor_obs,
             registry,
             event_rx,
+            snapshot_errors,
             cfg,
             snapshot_lock: Arc::new(Mutex::new(())),
             snapshot_timer: None,
@@ -411,6 +466,8 @@ impl Fleet {
         };
         let txs: Vec<Sender<ShardMsg>> = self.ingress.shards.iter().map(|s| s.tx.clone()).collect();
         let lock = Arc::clone(&self.snapshot_lock);
+        let errors = Arc::clone(&self.snapshot_errors);
+        let trace_obs = self.ingress.shard_obs[0].clone();
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handle = thread::Builder::new()
             .name("gem-fleet-snapshots".into())
@@ -420,12 +477,20 @@ impl Fleet {
                     Ok(()) => return,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                        // Best-effort: a failed periodic snapshot leaves
-                        // the previous manifest + journal intact. The
-                        // lock keeps this window from interleaving with
-                        // a user-initiated `Fleet::snapshot`.
+                        // A failed periodic snapshot leaves the previous
+                        // manifest + journal intact — recoverable, so
+                        // not fatal — but never silent: counted
+                        // (`gem_fleet_snapshot_errors_total`, surfaced
+                        // in `FleetStats`) and traced on shard 0's ring.
+                        // The lock keeps this window from interleaving
+                        // with a user-initiated `Fleet::snapshot`.
                         let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
-                        let _ = snapshot_all(&txs, &dir);
+                        if let Err(e) = snapshot_all(&txs, &dir) {
+                            errors.inc();
+                            trace_obs.trace(
+                                TraceEvent::new("snapshot_error").with("error", e.to_string()),
+                            );
+                        }
                         drop(guard);
                     }
                 }
@@ -498,6 +563,10 @@ impl Fleet {
                 submitted: adm.submitted.get(),
                 busy_ns: obs.busy_ns.get(),
                 idle_ns: obs.idle_ns.get(),
+                hot_premises: obs.hot_premises.get(),
+                cold_premises: obs.cold_premises.get(),
+                evictions: obs.evictions.get(),
+                hydrations: obs.hydrations.get(),
             })
             .collect();
         let adm = &self.ingress.shard_admission;
@@ -509,6 +578,7 @@ impl Fleet {
             sheds: adm.iter().map(|s| s.sheds.get()).sum(),
             unknown_sheds: a.unknown_sheds.get(),
             dropped_events: shards.iter().map(|s| s.dropped_events).sum(),
+            snapshot_errors: self.snapshot_errors.get(),
             shards,
         }
     }
@@ -543,9 +613,13 @@ impl Fleet {
         Ok(())
     }
 
-    /// Takes a consistent durable snapshot: quiesce, flush, write one
-    /// snapshot per premises, commit the manifest atomically, truncate
-    /// the journals, resume. Requires a durability directory.
+    /// Takes an incremental durable snapshot without pausing anything:
+    /// each shard writes fresh files only for premises dirty since
+    /// their last stored image (between its own drain passes), the
+    /// manifest commits atomically, and the journals are pruned up to
+    /// the committed watermarks. Records admitted while the round runs
+    /// keep deciding; their epochs journal past the captured watermarks
+    /// and survive the pruning. Requires a durability directory.
     pub fn snapshot(&self) -> Result<(), FleetError> {
         let dir =
             self.cfg.dir.as_ref().ok_or_else(|| {
@@ -632,15 +706,18 @@ impl Fleet {
         self.cfg.dir.as_deref()
     }
 
-    /// Graceful shutdown: final snapshot (when durable), then drain and
-    /// join every shard. Returns the monitors with their learned state,
-    /// sorted by premises id.
+    /// Graceful shutdown: drain everything pending, take a final
+    /// snapshot (when durable), then join every shard. Returns the
+    /// monitors still resident with their learned state, sorted by
+    /// premises id — premises spilled by the hot cap stay in their
+    /// snapshot files and are not rehydrated just to be returned.
     pub fn shutdown(mut self) -> Result<Vec<(u64, Monitor)>, FleetError> {
         self.stop_timer();
+        // Incremental snapshots don't drain, so flush first: the final
+        // manifest should fold every record admitted before shutdown.
+        self.flush()?;
         if self.cfg.dir.is_some() {
             self.snapshot()?;
-        } else {
-            self.flush()?;
         }
         Ok(self.join(false))
     }
@@ -697,10 +774,13 @@ impl Fleet {
     }
 
     /// Rebuilds a fleet from a durability directory: verify the
-    /// manifest, restore every premises from its snapshot + sidecar,
-    /// replay the journaled epochs past each watermark, and spawn. The
-    /// replayed events are bitwise identical to what the crashed fleet
-    /// decided for those epochs.
+    /// manifest, replay the journaled epochs past each premises'
+    /// watermark, and spawn. Premises *with* journal backlog are
+    /// restored and replayed eagerly (the replayed events are bitwise
+    /// identical to what the crashed fleet decided for those epochs);
+    /// premises without backlog spawn cold — nothing is read or
+    /// deserialized until their next record — so recovery cost and RSS
+    /// track the backlog, not the tenant count.
     pub fn recover(cfg: FleetConfig) -> Result<Recovery, FleetError> {
         let dir = cfg
             .dir
@@ -714,12 +794,11 @@ impl Fleet {
         for entry in read_all_journals(&dir)? {
             pending.entry(entry.premises_id).or_default().push(entry);
         }
-        let mut monitors = Vec::with_capacity(manifest.premises.len());
-        let mut recovered = Vec::with_capacity(manifest.premises.len());
+        let mut seeds = Vec::with_capacity(manifest.premises.len());
+        let mut recovered = Vec::new();
         let mut replayed = Vec::new();
         let mut replayed_epochs = 0u64;
         for entry in &manifest.premises {
-            let gem = GemSnapshot::load(dir.join(&entry.snapshot_file))?.restore()?;
             let state: MonitorState =
                 serde::Deserialize::deserialize(&entry.sidecar).map_err(|e| {
                     FleetError::Corrupt(format!(
@@ -727,13 +806,25 @@ impl Fleet {
                         entry.premises_id
                     ))
                 })?;
-            let mut monitor = Monitor::from_state(gem, state);
+            let stored = Stored {
+                file: entry.snapshot_file.clone(),
+                checksum: entry.snapshot_checksum.clone(),
+                epochs: entry.epochs,
+                state,
+                synced: true,
+            };
             let mut epochs: Vec<_> = pending
                 .remove(&entry.premises_id)
                 .unwrap_or_default()
                 .into_iter()
                 .filter(|j| j.epoch > entry.epochs)
                 .collect();
+            if epochs.is_empty() {
+                seeds.push((entry.premises_id, PremisesSeed::Cold { epoch: entry.epochs, stored }));
+                continue;
+            }
+            let gem = GemSnapshot::load(dir.join(&entry.snapshot_file))?.restore()?;
+            let mut monitor = Monitor::from_state(gem, state);
             epochs.sort_by_key(|j| j.epoch);
             let mut watermark = entry.epochs;
             for journal_entry in epochs {
@@ -754,7 +845,14 @@ impl Fleet {
                 replayed_epochs += 1;
             }
             recovered.push((entry.premises_id, watermark - entry.epochs, watermark));
-            monitors.push((entry.premises_id, monitor, watermark));
+            seeds.push((
+                entry.premises_id,
+                PremisesSeed::Hot {
+                    monitor: Box::new(monitor),
+                    epoch: watermark,
+                    stored: Some(stored),
+                },
+            ));
         }
         // Journal entries for premises absent from the manifest would
         // mean a snapshot-less tenant — nothing to attach them to.
@@ -763,7 +861,7 @@ impl Fleet {
                 "journal mentions premises {premises_id} missing from the manifest"
             )));
         }
-        let fleet = Fleet::spawn_at(monitors, cfg)?;
+        let fleet = Fleet::spawn_at(seeds, cfg)?;
         // Recovery provenance lands in the trace rings: which premises
         // replayed how far, visible to the first `dump_traces` call.
         for (premises_id, epochs, watermark) in recovered {
@@ -788,61 +886,74 @@ impl Drop for Fleet {
     }
 }
 
-/// The quiesce → flush → snapshot → commit → truncate → resume sequence,
-/// shared by [`Fleet::snapshot`] and the periodic timer (serialized by
-/// the fleet's snapshot lock, so two sequences never interleave). Safe
-/// against a crash at any point: the manifest rename is the commit, and
-/// truncation prunes only epochs at or below the watermarks that
-/// snapshot captured — an epoch decided in the window between the
-/// snapshot ack and the truncation (a concurrent user `flush`, say)
-/// stays in the journal and replays on recovery.
+/// One incremental snapshot round — snapshot → commit → truncate →
+/// sweep — shared by [`Fleet::snapshot`] and the periodic timer
+/// (serialized by the fleet's snapshot lock, so two rounds never
+/// interleave). Nothing pauses: each shard handles its `Snapshot`
+/// message between its own drain passes, writing fresh files only for
+/// premises dirty since their stored image and group-commit-syncing any
+/// unsynced spill files. Safe against a crash at any point: the
+/// manifest rename is the commit, and truncation prunes only epochs at
+/// or below the watermarks the round captured — an epoch decided while
+/// the round runs journals past them and replays on recovery.
 fn snapshot_all(txs: &[Sender<ShardMsg>], dir: &PathBuf) -> Result<(), FleetError> {
     let gone = |_| FleetError::Shard("shard gone during snapshot".into());
+    let mut acks = Vec::with_capacity(txs.len());
     for tx in txs {
-        tx.send(ShardMsg::Pause).map_err(gone)?;
+        let (ack_tx, ack_rx) = bounded(1);
+        tx.send(ShardMsg::Snapshot { dir: dir.clone(), ack: ack_tx }).map_err(gone)?;
+        acks.push(ack_rx);
     }
-    let result = (|| {
-        let mut acks = Vec::with_capacity(txs.len());
-        for tx in txs {
-            let (ack_tx, ack_rx) = bounded(1);
-            tx.send(ShardMsg::Snapshot { dir: dir.clone(), ack: ack_tx }).map_err(gone)?;
-            acks.push(ack_rx);
-        }
-        let mut entries: Vec<PremisesEntry> = Vec::new();
-        for ack in acks {
-            let shard_entries = ack
-                .recv()
-                .map_err(|_| FleetError::Shard("shard died during snapshot".into()))?
-                .map_err(FleetError::Shard)?;
-            entries.extend(shard_entries);
-        }
-        let keep: HashSet<String> = entries.iter().map(|e| e.snapshot_file.clone()).collect();
-        FleetManifest::new(entries).save(dir)?;
-        // Commit done; journal entries folded into the manifest go.
-        for tx in txs {
-            tx.send(ShardMsg::TruncateJournal).map_err(gone)?;
-        }
-        gc_snapshots(dir, &keep);
-        Ok(())
-    })();
+    let mut entries: Vec<PremisesEntry> = Vec::new();
+    for ack in acks {
+        let shard_entries = ack
+            .recv()
+            .map_err(|_| FleetError::Shard("shard died during snapshot".into()))?
+            .map_err(FleetError::Shard)?;
+        entries.extend(shard_entries);
+    }
+    let manifest = FleetManifest::new(entries);
+    manifest.save(dir)?;
+    // Commit done; journal entries folded into the manifest go.
     for tx in txs {
-        let _ = tx.send(ShardMsg::Resume);
+        tx.send(ShardMsg::TruncateJournal).map_err(gone)?;
     }
-    result
+    gc_snapshots(dir, &manifest);
+    Ok(())
 }
 
-/// Deletes snapshot files the committed manifest no longer references —
-/// each snapshot writes fresh `premises-{id}-{epoch}.json` files, and
+/// Parses `premises-{id}-{epoch}.json` into `(id, epoch)`.
+fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
+    let stem = name.strip_prefix("premises-")?.strip_suffix(".json")?;
+    let (id, epoch) = stem.rsplit_once('-')?;
+    Some((id.parse().ok()?, epoch.parse().ok()?))
+}
+
+/// Deletes snapshot files the committed manifest has superseded — each
+/// spill/snapshot writes fresh `premises-{id}-{epoch}.json` files, and
 /// without this sweep a long-running fleet grows its durability
-/// directory without bound. Best-effort: a leftover file is only wasted
-/// space, never a correctness problem, and the rename commit guarantees
-/// nothing still referenced is ever deleted.
-fn gc_snapshots(dir: &PathBuf, keep: &HashSet<String>) {
+/// directory without bound. A file is removed only when the manifest
+/// holds a *newer* image of the same premises (parsed epoch below the
+/// committed watermark, name not the referenced file): spill files
+/// written concurrently by the shards carry epochs at or past the
+/// watermarks just committed and are left alone, as is anything that
+/// does not parse as a per-premises snapshot (e.g. a shared seed file).
+/// Best-effort: a leftover file is only wasted space, never a
+/// correctness problem, and the rename commit guarantees nothing still
+/// referenced is ever deleted.
+fn gc_snapshots(dir: &PathBuf, manifest: &FleetManifest) {
+    let index: HashMap<u64, (&str, u64)> = manifest
+        .premises
+        .iter()
+        .map(|e| (e.premises_id, (e.snapshot_file.as_str(), e.epochs)))
+        .collect();
     let Ok(read) = std::fs::read_dir(dir) else { return };
     for entry in read.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if name.starts_with("premises-") && name.ends_with(".json") && !keep.contains(name) {
+        let Some((premises_id, epoch)) = parse_snapshot_name(name) else { continue };
+        let Some(&(kept, watermark)) = index.get(&premises_id) else { continue };
+        if name != kept && epoch < watermark {
             let _ = std::fs::remove_file(entry.path());
         }
     }
@@ -1153,6 +1264,177 @@ mod tests {
             let expected: Vec<_> = decisions_of(&ref_events, *id);
             assert_eq!(decisions_of(&tail, *id), expected[12..16].to_vec());
         }
+        fleet.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epochs_decided_after_snapshot_capture_survive_truncation_and_recovery() {
+        let dir = std::env::temp_dir().join("gem_fleet_truncate_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (monitors, streams) = fleet_monitors(1);
+        let id = monitors[0].0;
+        let cfg = FleetConfig {
+            shards: 1,
+            max_batch: 1,
+            dir: Some(dir.clone()),
+            ..FleetConfig::default()
+        };
+
+        // Standalone reference: max_batch 1 makes every record its own
+        // epoch, so grouping is deterministic regardless of timing.
+        let (ref_monitors, _) = fleet_monitors(1);
+        let mut reference = ref_monitors.into_iter().next().unwrap().1;
+        let decisions = |events: &[Event]| -> Vec<Event> {
+            events.iter().filter(|e| matches!(e, Event::Decision { .. })).cloned().collect()
+        };
+        // Records 0..8 run pre-crash, 8..10 post-recovery.
+        let mut expected_precrash = Vec::new();
+        for record in streams[0].iter().take(8) {
+            expected_precrash.extend(reference.process_batch(std::slice::from_ref(record)));
+        }
+        let mut expected_tail = Vec::new();
+        for record in streams[0].iter().skip(8).take(2) {
+            expected_tail.extend(reference.process_batch(std::slice::from_ref(record)));
+        }
+
+        let journaled_epochs = |dir: &PathBuf| -> Vec<u64> {
+            let mut epochs: Vec<u64> = read_all_journals(dir)
+                .unwrap()
+                .into_iter()
+                .filter(|e| e.premises_id == id)
+                .map(|e| e.epoch)
+                .collect();
+            epochs.sort_unstable();
+            epochs
+        };
+
+        let fleet = Fleet::spawn(monitors, cfg.clone()).unwrap();
+        // Epochs 1-4, then a snapshot: watermark 4, journal pruned.
+        fleet.pause();
+        for record in streams[0].iter().take(4) {
+            assert!(fleet.submit(id, record.clone()).accepted());
+        }
+        fleet.flush().unwrap();
+        fleet.resume();
+        fleet.snapshot().unwrap();
+        // The truncation message is fire-and-forget; an acked flush on
+        // the same FIFO channel is the barrier that proves it landed.
+        fleet.flush().unwrap();
+        assert!(
+            journaled_epochs(&dir).is_empty(),
+            "truncation must prune everything at or below the watermark"
+        );
+
+        // Records 5-6 are pending in the shard when the next snapshot
+        // round runs: the capture sees epoch 4, and the truncation it
+        // triggers must not touch epochs the shard decides afterwards.
+        fleet.pause();
+        for record in streams[0].iter().skip(4).take(2) {
+            assert!(fleet.submit(id, record.clone()).accepted());
+        }
+        fleet.snapshot().unwrap();
+        fleet.flush().unwrap();
+        fleet.resume();
+        assert_eq!(
+            journaled_epochs(&dir),
+            vec![5, 6],
+            "epochs decided after the capture must survive its truncation"
+        );
+
+        // Two more journal-only epochs, then crash.
+        fleet.pause();
+        for record in streams[0].iter().skip(6).take(2) {
+            assert!(fleet.submit(id, record.clone()).accepted());
+        }
+        fleet.flush().unwrap();
+        let live: Vec<Event> = drain_events(&fleet).into_iter().map(|e| e.event).collect();
+        fleet.abort();
+
+        let live_decisions = decisions(&live);
+        assert_eq!(
+            live_decisions,
+            decisions(&expected_precrash),
+            "pre-crash decisions must match the standalone reference"
+        );
+
+        let recovery = Fleet::recover(cfg).unwrap();
+        assert_eq!(recovery.replayed_epochs, 4, "epochs 5-8 live only in the journal");
+        let replayed: Vec<Event> = recovery.replayed.iter().map(|e| e.event.clone()).collect();
+        let replayed_decisions = decisions(&replayed);
+        assert_eq!(
+            replayed_decisions,
+            live_decisions[live_decisions.len() - replayed_decisions.len()..].to_vec(),
+            "replay must reproduce the crashed fleet's post-watermark decisions"
+        );
+
+        // The recovered fleet continues the stream bitwise.
+        let fleet = recovery.fleet;
+        fleet.pause();
+        for record in streams[0].iter().skip(8).take(2) {
+            assert!(fleet.submit(id, record.clone()).accepted());
+        }
+        fleet.flush().unwrap();
+        let tail: Vec<Event> = drain_events(&fleet).into_iter().map(|e| e.event).collect();
+        assert_eq!(decisions(&tail), decisions(&expected_tail));
+        fleet.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_cap_churn_stays_bitwise_identical_to_unbounded_fleet() {
+        let dir = std::env::temp_dir().join("gem_fleet_hot_cap_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (monitors, streams) = fleet_monitors(2);
+        let ids: Vec<u64> = monitors.iter().map(|(p, _)| *p).collect();
+        let cfg = FleetConfig {
+            shards: 1,
+            max_batch: 4,
+            dir: Some(dir.clone()),
+            hot_premises_per_shard: Some(1),
+            ..FleetConfig::default()
+        };
+
+        // Unbounded, ephemeral reference fleet: same epoch grouping,
+        // everything stays resident.
+        let (ref_monitors, _) = fleet_monitors(2);
+        let ref_fleet = Fleet::spawn(
+            ref_monitors,
+            FleetConfig { shards: 1, max_batch: 4, ..FleetConfig::default() },
+        )
+        .unwrap();
+
+        // Both premises share the one shard, so a hot cap of 1 forces
+        // an evict/hydrate cycle on every chunk.
+        let fleet = Fleet::spawn(monitors, cfg).unwrap();
+        for chunk in 0..4 {
+            for f in [&fleet, &ref_fleet] {
+                f.pause();
+                for (id, stream) in ids.iter().zip(&streams) {
+                    for record in stream.iter().skip(chunk * 4).take(4) {
+                        assert!(f.submit(*id, record.clone()).accepted());
+                    }
+                }
+                f.flush().unwrap();
+                f.resume();
+            }
+        }
+        let events = drain_events(&fleet);
+        let ref_events = drain_events(&ref_fleet);
+        for id in &ids {
+            assert_eq!(
+                decisions_of(&events, *id),
+                decisions_of(&ref_events, *id),
+                "spill/hydrate churn must not change any decision"
+            );
+        }
+        let stats = fleet.fleet_stats();
+        let shard = &stats.shards[0];
+        assert!(shard.evictions > 0, "cap 1 with 2 tenants must evict: {shard:?}");
+        assert!(shard.hydrations > 0, "evicted tenants must hydrate on their next record");
+        assert!(shard.hot_premises <= 1, "hot tier must respect the cap: {shard:?}");
+        assert_eq!(shard.hot_premises + shard.cold_premises, 2);
+        ref_fleet.shutdown().unwrap();
         fleet.shutdown().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

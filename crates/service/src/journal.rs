@@ -60,6 +60,11 @@ impl JournalWriter {
         self.obs = Some(obs);
     }
 
+    /// The journal file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// Appends one epoch and syncs it to stable storage. Must be called
     /// before the epoch is processed (write-ahead), so a crash mid-epoch
     /// replays it instead of losing it. The `sync_data` makes the
@@ -122,19 +127,36 @@ impl JournalWriter {
     /// temp file, synced, and renamed over the journal, so a crash at
     /// any point leaves either the old journal or the pruned one —
     /// never a partial rewrite.
-    pub fn retain(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<()> {
+    /// Returns the number of entries pruned.
+    pub fn retain(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<usize> {
         let timed = self.obs.as_ref().filter(|o| o.enabled).map(|_| Instant::now());
-        self.retain_inner(keep)?;
+        let pruned = self.retain_inner(keep)?;
         if let (Some(obs), Some(start)) = (&self.obs, timed) {
             obs.retain_seconds.record(elapsed_ns(start));
         }
-        Ok(())
+        Ok(pruned)
     }
 
-    fn retain_inner(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<()> {
+    /// Incremental-snapshot-aware truncation: prunes entries at or below
+    /// each premises' committed watermark, keeping entries for premises
+    /// the map doesn't mention (they were never snapshotted, so every
+    /// journaled epoch is still the only durable copy). Runs on the
+    /// owning shard between drain passes — no fleet-wide lock is needed
+    /// because each shard only rewrites its own journal file, and the
+    /// watermarks passed in come from an already-committed manifest.
+    /// Returns the number of entries pruned.
+    pub fn retain_committed(
+        &mut self,
+        watermarks: &std::collections::HashMap<u64, u64>,
+    ) -> io::Result<usize> {
+        self.retain(|e| watermarks.get(&e.premises_id).is_none_or(|&w| e.epoch > w))
+    }
+
+    fn retain_inner(&mut self, keep: impl Fn(&JournalEntry) -> bool) -> io::Result<usize> {
         self.file.flush()?;
         let entries = read_journal(&self.path)?;
         let tmp = self.path.with_extension("log.tmp");
+        let mut kept = 0usize;
         {
             let file = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
             let mut w = BufWriter::new(file);
@@ -142,13 +164,14 @@ impl JournalWriter {
                 let json =
                     serde_json::to_string(entry).map_err(|e| io::Error::other(e.to_string()))?;
                 writeln!(w, "{} {}", fnv1a64_hex(json.as_bytes()), json)?;
+                kept += 1;
             }
             w.flush()?;
             w.get_ref().sync_data()?;
         }
         fs::rename(&tmp, &self.path)?;
         self.file = BufWriter::new(OpenOptions::new().create(true).append(true).open(&self.path)?);
-        Ok(())
+        Ok(entries.len() - kept)
     }
 }
 
@@ -285,6 +308,26 @@ mod tests {
         // The writer keeps appending after the retained entries.
         w.append(&entry(9, 2)).unwrap();
         assert_eq!(read_journal(&path).unwrap(), vec![entry(7, 2), entry(9, 2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retain_committed_prunes_per_premises_watermarks() {
+        let dir = std::env::temp_dir().join("gem_journal_retain_committed");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(journal_file(0));
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&entry(7, 1)).unwrap();
+        w.append(&entry(7, 2)).unwrap();
+        w.append(&entry(9, 1)).unwrap();
+        w.append(&entry(11, 1)).unwrap();
+        // 7 committed through epoch 1, 9 through epoch 1; 11 was never
+        // snapshotted so its entries must survive untouched.
+        let watermarks = std::collections::HashMap::from([(7u64, 1u64), (9, 1), (13, 5)]);
+        let pruned = w.retain_committed(&watermarks).unwrap();
+        assert_eq!(pruned, 2);
+        assert_eq!(read_journal(&path).unwrap(), vec![entry(7, 2), entry(11, 1)]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -139,6 +139,15 @@ impl Monitor {
         self.obs = Some(obs);
     }
 
+    /// Re-attaches registry-backed instruments without seeding them.
+    /// Used when a spilled premises is hydrated back into its shard:
+    /// the instruments kept running while the monitor was cold, so
+    /// seeding again would double-count everything up to the spill.
+    pub(crate) fn attach_obs(&mut self, obs: MonitorObs) {
+        self.cache_mirror = self.gem.cache_stats();
+        self.obs = Some(obs);
+    }
+
     /// Processes one scan; returns the decision event plus any alert
     /// transitions it triggered.
     pub fn process(&mut self, record: &SignalRecord) -> Vec<Event> {

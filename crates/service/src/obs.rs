@@ -30,11 +30,18 @@ pub struct ObsOptions {
     /// Per-shard trace-ring capacity (events retained; oldest are
     /// overwritten). 0 disables the rings entirely.
     pub ring_capacity: usize,
+    /// Register per-premises monitor series (`gem_monitor_*`,
+    /// `gem_infer_cache_*`). On by default; turn off for very large
+    /// fleets (100k+ tenants) where per-tenant label cardinality would
+    /// dominate RSS — shard- and fleet-level series stay on, and
+    /// [`crate::Fleet::stats`] still answers per-premises via the
+    /// shards.
+    pub per_premises: bool,
 }
 
 impl Default for ObsOptions {
     fn default() -> Self {
-        ObsOptions { enabled: true, ring_capacity: 512 }
+        ObsOptions { enabled: true, ring_capacity: 512, per_premises: true }
     }
 }
 
@@ -121,6 +128,16 @@ pub(crate) struct ShardObs {
     pub(crate) queue_depth: Arc<Gauge>,
     pub(crate) dropped_events: Arc<Counter>,
     pub(crate) snapshot_seconds: Arc<Histogram>,
+    /// Resident (hydrated) premises on this shard right now.
+    pub(crate) hot_premises: Arc<Gauge>,
+    /// Premises spilled to their snapshot files right now.
+    pub(crate) cold_premises: Arc<Gauge>,
+    /// Hot-tier evictions (monitor spilled to its snapshot file).
+    pub(crate) evictions: Arc<Counter>,
+    /// Cold-tier hydrations (snapshot load + journal replay).
+    pub(crate) hydrations: Arc<Counter>,
+    /// Wall time of one hydration, snapshot read through replay.
+    pub(crate) hydrate_seconds: Arc<Histogram>,
     /// Nanoseconds the worker spent deciding/journaling (drain passes).
     pub(crate) busy_ns: Arc<Counter>,
     /// Nanoseconds the worker spent parked waiting for ingress.
@@ -142,6 +159,11 @@ impl ShardObs {
             queue_depth: registry.gauge("gem_shard_queue_depth", labels),
             dropped_events: registry.counter("gem_shard_dropped_events_total", labels),
             snapshot_seconds: registry.histogram("gem_shard_snapshot_seconds", labels),
+            hot_premises: registry.gauge("gem_shard_hot_premises", labels),
+            cold_premises: registry.gauge("gem_shard_cold_premises", labels),
+            evictions: registry.counter("gem_shard_evictions_total", labels),
+            hydrations: registry.counter("gem_shard_hydrations_total", labels),
+            hydrate_seconds: registry.histogram("gem_premises_hydrate_seconds", labels),
             busy_ns: registry.counter("gem_shard_busy_ns_total", labels),
             idle_ns: registry.counter("gem_shard_idle_ns_total", labels),
             journal: JournalObs::register(registry, shard, opts.enabled),
@@ -262,6 +284,14 @@ pub struct ShardStats {
     /// Nanoseconds the shard worker spent parked waiting for ingress.
     /// Zero unless observability timing is enabled.
     pub idle_ns: u64,
+    /// Resident (hydrated) premises on this shard.
+    pub hot_premises: i64,
+    /// Premises spilled to their snapshot files.
+    pub cold_premises: i64,
+    /// Hot-tier evictions since spawn.
+    pub evictions: u64,
+    /// Cold-tier hydrations since spawn.
+    pub hydrations: u64,
 }
 
 /// Fleet-wide admission statistics, readable without any shard
@@ -281,6 +311,9 @@ pub struct FleetStats {
     pub unknown_sheds: u64,
     /// Events dropped across all shards (sum of the per-shard counts).
     pub dropped_events: u64,
+    /// Periodic-snapshot failures (satellite of the timer: failures are
+    /// counted and traced, never silently discarded).
+    pub snapshot_errors: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardStats>,
 }

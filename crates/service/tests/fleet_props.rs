@@ -230,3 +230,168 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Cold-tier churn is invisible: a durable fleet capped at ONE
+    /// resident premises per shard — so every multi-tenant chunk forces
+    /// spill/hydrate cycles — snapshotted mid-stream, killed, and
+    /// recovered, makes bitwise the same decisions as an unbounded
+    /// resident fleet and a standalone monitor fed the same epochs.
+    #[test]
+    fn hot_cap_churn_and_recovery_match_resident_and_standalone(plan in PlanStrategy) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let tenants = tenants();
+        let premises_ids: Vec<u64> = (0..plan.n_premises as u64).map(|i| i * 17 + 3).collect();
+        let dir = std::env::temp_dir().join(format!(
+            "gem_churn_props_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FleetConfig {
+            shards: 1,
+            max_batch: plan.max_batch,
+            queue_per_shard: 256,
+            dir: Some(dir.clone()),
+            snapshot_interval: None,
+            hot_premises_per_shard: Some(1),
+            ..FleetConfig::default()
+        };
+        // Records per premises submitted only to the recovered fleet.
+        const TAIL: usize = 3;
+
+        // Churn run: chunks, a snapshot after the first chunk, then a
+        // kill. Epochs decided after the snapshot live only in the
+        // journal.
+        let monitors: Vec<(u64, Monitor)> = premises_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, Monitor::new(restore(&tenants[i]), MonitorConfig::default())))
+            .collect();
+        let fleet = Fleet::spawn(monitors, cfg.clone()).unwrap();
+        let mut pre_events = Vec::new();
+        let mut snap_idx = 0usize;
+        let mut cursors = vec![0usize; premises_ids.len()];
+        for (c, &chunk) in plan.chunk_sizes.iter().enumerate() {
+            fleet.pause();
+            for (i, &p) in premises_ids.iter().enumerate() {
+                let stream = &tenants[i].stream;
+                for k in 0..chunk {
+                    let record = stream[(cursors[i] + k) % stream.len()].clone();
+                    prop_assert!(fleet.submit(p, record).accepted());
+                }
+                cursors[i] += chunk;
+            }
+            fleet.flush().unwrap();
+            while let Ok(e) = fleet.events().try_recv() {
+                pre_events.push(e);
+            }
+            fleet.resume();
+            if c == 0 {
+                fleet.snapshot().unwrap();
+                snap_idx = pre_events.len();
+            }
+        }
+        fleet.abort();
+
+        // Recovery replays exactly the post-snapshot decisions.
+        let recovery = Fleet::recover(cfg.clone()).unwrap();
+        for &p in &premises_ids {
+            prop_assert_eq!(
+                fleet_events_of(&recovery.replayed, p),
+                fleet_events_of(&pre_events[snap_idx..], p),
+                "replay diverged for premises {} (max_batch={})",
+                p, plan.max_batch
+            );
+        }
+        let fleet = recovery.fleet;
+        fleet.pause();
+        for (i, &p) in premises_ids.iter().enumerate() {
+            let stream = &tenants[i].stream;
+            for k in 0..TAIL {
+                let record = stream[(cursors[i] + k) % stream.len()].clone();
+                prop_assert!(fleet.submit(p, record).accepted());
+            }
+        }
+        fleet.flush().unwrap();
+        let mut tail_events = Vec::new();
+        while let Ok(e) = fleet.events().try_recv() {
+            tail_events.push(e);
+        }
+        fleet.shutdown().unwrap();
+
+        // Fully-resident run: same chunks plus the tail, no cap, no
+        // durability, no interruption.
+        let chunks_plus_tail: Vec<usize> =
+            plan.chunk_sizes.iter().copied().chain([TAIL]).collect();
+        let monitors: Vec<(u64, Monitor)> = premises_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, Monitor::new(restore(&tenants[i]), MonitorConfig::default())))
+            .collect();
+        let resident = Fleet::spawn(
+            monitors,
+            FleetConfig {
+                shards: 1,
+                max_batch: plan.max_batch,
+                queue_per_shard: 256,
+                dir: None,
+                snapshot_interval: None,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut resident_events = Vec::new();
+        let mut res_cursors = vec![0usize; premises_ids.len()];
+        for &chunk in &chunks_plus_tail {
+            resident.pause();
+            for (i, &p) in premises_ids.iter().enumerate() {
+                let stream = &tenants[i].stream;
+                for k in 0..chunk {
+                    let record = stream[(res_cursors[i] + k) % stream.len()].clone();
+                    prop_assert!(resident.submit(p, record).accepted());
+                }
+                res_cursors[i] += chunk;
+            }
+            resident.flush().unwrap();
+            while let Ok(e) = resident.events().try_recv() {
+                resident_events.push(e);
+            }
+            resident.resume();
+        }
+        resident.shutdown().unwrap();
+
+        // All three agree, per premises, event for event.
+        for (i, &p) in premises_ids.iter().enumerate() {
+            let mut reference = Monitor::new(restore(&tenants[i]), MonitorConfig::default());
+            let stream = &tenants[i].stream;
+            let mut expected = Vec::new();
+            let mut cursor = 0usize;
+            for &chunk in &chunks_plus_tail {
+                let records: Vec<SignalRecord> =
+                    (0..chunk).map(|k| stream[(cursor + k) % stream.len()].clone()).collect();
+                cursor += chunk;
+                for epoch in records.chunks(plan.max_batch) {
+                    expected.extend(reference.process_batch(epoch));
+                }
+            }
+            let mut churn = fleet_events_of(&pre_events, p);
+            churn.extend(fleet_events_of(&tail_events, p));
+            prop_assert_eq!(
+                &churn, &expected,
+                "churned fleet diverged from standalone for premises {} (max_batch={})",
+                p, plan.max_batch
+            );
+            let resident_got = fleet_events_of(&resident_events, p);
+            prop_assert_eq!(
+                &resident_got, &expected,
+                "resident fleet diverged from standalone for premises {}",
+                p
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

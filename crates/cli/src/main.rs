@@ -6,6 +6,8 @@
 //! gem eval     --dataset dataset.json --model model.json
 //! gem stream   --dataset dataset.json --model model.json --alert-after 3
 //! gem fleet    --models a.json,b.json --datasets a-ds.json,b-ds.json --shards 4
+//! gem serve    --listen 127.0.0.1:7979 --model model.json --premises 12
+//! gem loadgen  --connect 127.0.0.1:7979 --devices 12
 //! gem info     --model model.json
 //! ```
 //!
@@ -24,6 +26,7 @@ macro_rules! say {
 }
 
 mod args;
+mod loadgen;
 
 use args::Args;
 use gem_core::{Gem, GemConfig};
@@ -54,6 +57,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "eval" => eval(&args),
         "stream" => stream(&args),
         "fleet" => fleet(&args),
+        "serve" => serve(&args),
+        "loadgen" => loadgen::run(&args),
         "info" => info(&args),
         "help" | "--help" | "-h" => {
             say!("{}", usage());
@@ -73,6 +78,13 @@ fn usage() -> String {
      \x20 fleet    --models F1,F2,.. --datasets F1,F2,.. [--shards N] [--max-batch B]\n\
      \x20          [--alert-after K] [--dir DIR] [--snapshot-secs S] [--recover]\n\
      \x20          [--hot-cap N] [--metrics-addr HOST:PORT] [--trace-dir DIR] [--no-metrics]\n\
+     \x20 serve    --listen HOST:PORT (--model FILE [--premises N] | --models F1,F2,..)\n\
+     \x20          [--shards N] [--max-batch B] [--queue Q] [--alert-after K] [--dir DIR]\n\
+     \x20          [--snapshot-secs S] [--hot-cap N] [--credit W] [--read-timeout-secs S]\n\
+     \x20          [--duration-secs S] [--metrics-addr HOST:PORT] [--no-metrics]\n\
+     \x20 loadgen  --connect HOST:PORT [--devices N] [--scans-per-device N] [--user 1..10]\n\
+     \x20          [--seed X] [--churn F] [--pace-ms MS] [--metrics HOST:PORT]\n\
+     \x20          [--bench-out FILE] [--p99-ms MS] [--connect-timeout-secs S]\n\
      \x20 info     --model FILE"
         .to_string()
 }
@@ -197,31 +209,35 @@ fn stream(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Multi-tenant streaming: one premises per `--models`/`--datasets`
-/// pair, sharded across worker threads, with optional durability
-/// (`--dir` enables the write-ahead journal plus snapshots on
-/// `--snapshot-secs` and at shutdown) and crash recovery (`--recover`
-/// replays the journal before streaming). `--hot-cap` bounds resident
-/// premises per shard: idle tenants spill to their snapshot files and
-/// hydrate back on their next record (requires `--dir`; 0 = unlimited).
-/// `--metrics-addr` serves the
-/// fleet's registry as Prometheus text (`/metrics`) and JSON
-/// (`/metrics.json`) for the run's duration; `--trace-dir` dumps the
-/// per-shard decision-trace rings as JSONL at the end; `--no-metrics`
-/// turns histograms and tracing off (counters stay on).
-fn fleet(args: &Args) -> Result<(), String> {
-    use gem_service::{Fleet, FleetConfig, FleetEvent};
+/// Fleet tuning shared by `gem fleet` and `gem serve`:
+/// `--shards`/`--max-batch`/`--queue` size the worker pool, `--dir`
+/// enables the write-ahead journal plus snapshots (`--snapshot-secs`
+/// and at shutdown), `--hot-cap` bounds resident premises per shard
+/// (idle tenants spill to their snapshot files and hydrate back on
+/// their next record; requires `--dir`, and must be at least 1 — omit
+/// the flag for an unbounded hot tier), `--no-metrics` turns
+/// histograms and tracing off (counters stay on).
+fn fleet_config_from_args(args: &Args) -> Result<gem_service::FleetConfig, String> {
     use std::time::Duration;
 
-    let mut cfg = FleetConfig::default();
+    let mut cfg = gem_service::FleetConfig::default();
     cfg.obs.enabled = !args.flag("no-metrics");
     if let Some(shards) = args.get_parsed::<usize>("shards")? {
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
         cfg.shards = shards;
     }
     if let Some(b) = args.get_parsed::<usize>("max-batch")? {
+        if b == 0 {
+            return Err("--max-batch must be at least 1".into());
+        }
         cfg.max_batch = b;
     }
     if let Some(q) = args.get_parsed::<usize>("queue")? {
+        if q == 0 {
+            return Err("--queue must be at least 1".into());
+        }
         cfg.queue_per_shard = q;
     }
     cfg.dir = args.get_parsed::<std::path::PathBuf>("dir")?;
@@ -232,11 +248,32 @@ fn fleet(args: &Args) -> Result<(), String> {
         cfg.snapshot_interval = Some(Duration::from_secs_f64(secs));
     }
     if let Some(cap) = args.get_parsed::<usize>("hot-cap")? {
+        if cap == 0 {
+            return Err(
+                "--hot-cap must be at least 1 (omit the flag for an unbounded hot tier)".into()
+            );
+        }
         if cfg.dir.is_none() {
             return Err("--hot-cap requires --dir (cold premises spill to snapshots)".into());
         }
-        cfg.hot_premises_per_shard = if cap == 0 { None } else { Some(cap) };
+        cfg.hot_premises_per_shard = Some(cap);
     }
+    Ok(cfg)
+}
+
+/// Multi-tenant streaming: one premises per `--models`/`--datasets`
+/// pair, sharded across worker threads, with optional durability and
+/// crash recovery (`--recover` replays the journal before streaming) —
+/// see [`fleet_config_from_args`] for the shared tuning flags.
+/// `--metrics-addr` serves the
+/// fleet's registry as Prometheus text (`/metrics`) and JSON
+/// (`/metrics.json`) for the run's duration; `--trace-dir` dumps the
+/// per-shard decision-trace rings as JSONL at the end.
+fn fleet(args: &Args) -> Result<(), String> {
+    use gem_service::{Fleet, FleetEvent};
+    use std::time::Duration;
+
+    let cfg = fleet_config_from_args(args)?;
     let alert_after = args.get_parsed::<usize>("alert-after")?.unwrap_or(3);
 
     let datasets: Vec<Dataset> = match args.values_list("datasets") {
@@ -385,6 +422,116 @@ fn fleet(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Network ingress: bind `--listen` and serve the wire protocol in
+/// front of a fleet (see DESIGN.md, "Ingress architecture"). Premises
+/// come from either `--models F1,F2,..` (premises 1..=N, one model
+/// file each) or `--model FILE --premises N` (N monitors hydrated from
+/// one snapshot — the loadgen's shape, where every simulated device
+/// watches the same world). `--credit` caps the per-connection credit
+/// window, `--read-timeout-secs` disconnects silent clients, and
+/// `--duration-secs` exits after a fixed time (default: serve until
+/// killed). Fleet tuning flags are shared with `gem fleet`
+/// ([`fleet_config_from_args`]); `--metrics-addr` exposes the registry
+/// — ingress counters included — over HTTP for the run's duration.
+fn serve(args: &Args) -> Result<(), String> {
+    use gem_service::{Fleet, IngressConfig, IngressServer};
+    use std::time::Duration;
+
+    let listen = args.require("listen")?;
+    let cfg = fleet_config_from_args(args)?;
+    let alert_after = args.get_parsed::<usize>("alert-after")?.unwrap_or(3);
+    let mcfg = MonitorConfig { alert_after, ..MonitorConfig::default() };
+
+    // Validate every tuning flag before the (slow) model loads, so a
+    // typo'd invocation fails fast.
+    let mut icfg = IngressConfig::default();
+    if let Some(w) = args.get_parsed::<u16>("credit")? {
+        if w == 0 {
+            return Err("--credit must be at least 1".into());
+        }
+        icfg.credit_window = w;
+    }
+    if let Some(secs) = args.get_parsed::<f64>("read-timeout-secs")? {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err("--read-timeout-secs must be positive".into());
+        }
+        icfg.read_timeout = Duration::from_secs_f64(secs);
+    }
+    let duration = match args.get_parsed::<f64>("duration-secs")? {
+        Some(secs) => {
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err("--duration-secs must be positive".into());
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+        None => None,
+    };
+
+    let monitors: Vec<(u64, Monitor)> = if let Some(model) = args.get_parsed::<String>("model")? {
+        let premises: usize = args.get_parsed("premises")?.unwrap_or(1);
+        if premises == 0 {
+            return Err("--premises must be at least 1".into());
+        }
+        // One read, N hydrations: every premises starts from the same
+        // snapshot but owns its model (online updates diverge).
+        let json = std::fs::read_to_string(&model).map_err(|e| format!("reading {model}: {e}"))?;
+        (1..=premises as u64)
+            .map(|id| {
+                let gem = gem_core::GemSnapshot::from_json(&json)
+                    .and_then(|s| s.restore())
+                    .map_err(|e| format!("restoring {model}: {e}"))?;
+                Ok((id, Monitor::new(gem, mcfg)))
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        let model_paths = args
+            .values_list("models")
+            .ok_or("serve needs --model FILE [--premises N] or --models F1,F2,..")?;
+        model_paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let gem = Gem::load(p).map_err(|e| format!("loading {p}: {e}"))?;
+                Ok((i as u64 + 1, Monitor::new(gem, mcfg)))
+            })
+            .collect::<Result<_, String>>()?
+    };
+    let n_premises = monitors.len();
+    let mut fleet = Fleet::spawn(monitors, cfg).map_err(|e| e.to_string())?;
+
+    let _metrics_server = match args.get_parsed::<String>("metrics-addr")? {
+        Some(addr) => {
+            let server = gem_obs::MetricsServer::bind(&addr, fleet.registry())
+                .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
+            say!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    // The window the server will actually advertise in HELLO.
+    let advertised = (icfg.credit_window as usize).min(fleet.admission_quota()).max(1);
+    let ingress = IngressServer::bind(&listen, &mut fleet, icfg)
+        .map_err(|e| format!("binding ingress on {listen}: {e}"))?;
+    say!(
+        "ingress listening on {} ({} premises, credit window {})",
+        ingress.local_addr(),
+        n_premises,
+        advertised
+    );
+
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        // No duration: serve until the process is killed.
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    drop(ingress);
+    fleet.shutdown().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 fn info(args: &Args) -> Result<(), String> {
     let path = args.require("model")?;
     let snapshot = gem_core::GemSnapshot::load(&path).map_err(|e| e.to_string())?;
@@ -411,4 +558,41 @@ fn info(args: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+
+    fn run_with(argv: &[&str]) -> Result<(), String> {
+        run(argv.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// A degenerate knob value is a usage error up front, not a
+    /// silently different behavior (`--hot-cap 0` used to mean
+    /// "unlimited") or a pointless run (`--devices 0`).
+    #[test]
+    fn degenerate_flag_values_are_usage_errors() {
+        let err =
+            run_with(&["serve", "--listen", "127.0.0.1:0", "--dir", "/tmp", "--hot-cap", "0"])
+                .unwrap_err();
+        assert!(err.contains("--hot-cap"), "{err}");
+        let err = run_with(&["fleet", "--dir", "/tmp", "--hot-cap", "0"]).unwrap_err();
+        assert!(err.contains("--hot-cap"), "{err}");
+        let err = run_with(&["loadgen", "--connect", "127.0.0.1:1", "--devices", "0"]).unwrap_err();
+        assert!(err.contains("--devices"), "{err}");
+        let err = run_with(&["loadgen", "--connect", "127.0.0.1:1", "--scans-per-device", "0"])
+            .unwrap_err();
+        assert!(err.contains("--scans-per-device"), "{err}");
+        let err = run_with(&["serve", "--listen", "127.0.0.1:0", "--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = run_with(&["serve", "--listen", "127.0.0.1:0", "--credit", "0"]).unwrap_err();
+        assert!(err.contains("--credit"), "{err}");
+    }
+
+    #[test]
+    fn serve_requires_a_model_source() {
+        let err = run_with(&["serve", "--listen", "127.0.0.1:0"]).unwrap_err();
+        assert!(err.contains("--model"), "{err}");
+    }
 }

@@ -28,6 +28,7 @@ pub mod geometry;
 pub mod propagation;
 pub mod scenario;
 pub mod trajectory;
+pub mod workload;
 
 pub use device::DeviceModel;
 pub use dynamics::{prune_macs, MarkovOnOff};
@@ -36,3 +37,4 @@ pub use geometry::{Point, Rect, Segment};
 pub use propagation::{BandKind, NoiseField, PathLossModel};
 pub use scenario::{AccessPoint, Scenario, ScenarioConfig, TimeProfile, World};
 pub use trajectory::{perimeter_walk, waypoint_roam};
+pub use workload::{device_stream, device_stream_with, diurnal_schedule, ScheduleSegment};

@@ -1,0 +1,216 @@
+//! Device-fleet workload synthesis for load generation.
+//!
+//! A geofencing fleet is driven by commodity devices that scan on a
+//! fixed period while their owners live a day: at home in the morning,
+//! out in the afternoon, back in the evening. This module turns one
+//! [`Scenario`] (one premises' world) into per-device scan streams with
+//! exactly that shape:
+//!
+//! * **diurnal schedules** — each device's day is a sequence of
+//!   [`ScheduleSegment`]s over the scenario's [`TimeProfile`]s, with
+//!   per-device phase jitter so a fleet never moves in lockstep;
+//! * **in/out trajectories** — waypoint roams over the scenario's
+//!   inside/outside regions, one RNG stream per device, so two devices
+//!   on the same premises still walk different paths;
+//! * **AP churn** — ambient (non-home) MACs disappear mid-stream and
+//!   new ones replace them, like a real radio neighborhood.
+//!
+//! Streams are deterministic in `(scenario seed, device id)`: a load
+//! generator and a server that agree on the scenario config generate
+//! bit-identical worlds, so the server's model actually recognizes the
+//! records the simulated devices send.
+
+use std::collections::HashSet;
+
+use gem_signal::{Label, LabeledRecord, MacAddr};
+
+use crate::dynamics::churn_macs;
+use crate::geometry::Rect;
+use crate::scenario::{Scenario, TimeProfile};
+use crate::trajectory::waypoint_roam;
+
+/// One phase of a device's day: where the device is and under which
+/// radio profile, for how many scans.
+#[derive(Clone, Debug)]
+pub struct ScheduleSegment {
+    /// Radio conditions during the segment.
+    pub profile: TimeProfile,
+    /// True while the device is inside the premises.
+    pub inside: bool,
+    /// Scans emitted during the segment.
+    pub scans: usize,
+}
+
+/// A device's diurnal schedule: morning at home, out over the
+/// afternoon, home again in the evening, quiet night. The split of
+/// `scans` across phases shifts with `device_id` (different households
+/// leave and return at different times), and a small minority of
+/// devices spends the night segment outside (shift workers). The
+/// segment scan counts always sum to exactly `scans`.
+pub fn diurnal_schedule(device_id: u64, scans: usize) -> Vec<ScheduleSegment> {
+    // Phase fractions in percent; jitter moves up to 12% of the day
+    // from the afternoon-out phase into the morning-home phase.
+    let jitter = (device_id % 5) as usize * 3;
+    let morning = scans * (25 + jitter) / 100;
+    let afternoon = scans * (35 - jitter) / 100;
+    let evening = scans * 25 / 100;
+    let night = scans - morning - afternoon - evening;
+    let night_inside = device_id % 7 != 3;
+    vec![
+        ScheduleSegment { profile: TimeProfile::MORNING, inside: true, scans: morning },
+        ScheduleSegment { profile: TimeProfile::AFTERNOON, inside: false, scans: afternoon },
+        ScheduleSegment { profile: TimeProfile::EVENING, inside: true, scans: evening },
+        ScheduleSegment { profile: TimeProfile::QUIET, inside: night_inside, scans: night },
+    ]
+}
+
+/// MACs of the access points physically inside the premises — the ones
+/// ambient churn must never touch (a neighborhood changes around a
+/// home; the home's own APs stay).
+fn home_macs(scenario: &Scenario) -> HashSet<MacAddr> {
+    scenario
+        .world
+        .aps
+        .iter()
+        .filter(|ap| scenario.world.plan.contains(ap.pos))
+        .flat_map(|ap| (0..ap.bands.len()).map(|b| ap.mac(b)))
+        .collect()
+}
+
+/// Generates one device's scan stream: `scans` labeled records walking
+/// the [`diurnal_schedule`], with ambient-MAC churn applied at
+/// `churn_fraction` (0 disables). Timestamps advance by the scenario's
+/// scan period across the whole day. Labels carry the ground truth
+/// (inside/outside) so a closed-loop client can score the server's
+/// decisions, not just time them.
+pub fn device_stream(
+    scenario: &Scenario,
+    device_id: u64,
+    scans: usize,
+    churn_fraction: f64,
+) -> Vec<LabeledRecord> {
+    let schedule = diurnal_schedule(device_id, scans);
+    device_stream_with(scenario, device_id, &schedule, churn_fraction)
+}
+
+/// [`device_stream`] with an explicit schedule.
+pub fn device_stream_with(
+    scenario: &Scenario,
+    device_id: u64,
+    schedule: &[ScheduleSegment],
+    churn_fraction: f64,
+) -> Vec<LabeledRecord> {
+    // One RNG stream per device, derived from the scenario seed, so
+    // devices differ from each other but reproduce run to run.
+    let mut rng = scenario.rng(0xD0DE_u64 ^ device_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let inside_regions: Vec<(Rect, i32)> =
+        scenario.world.inside_regions.iter().map(|&(r, f)| (r.shrink(0.2), f)).collect();
+    let total: usize = schedule.iter().map(|s| s.scans).sum();
+    let mut out: Vec<LabeledRecord> = Vec::with_capacity(total);
+    let mut start_t = 0.0;
+    for seg in schedule {
+        if seg.scans == 0 {
+            continue;
+        }
+        let regions = if seg.inside { &inside_regions } else { &scenario.world.outside_regions };
+        let positions = waypoint_roam(
+            regions,
+            scenario.cfg.speed_mps,
+            scenario.cfg.sample_period_s,
+            seg.scans,
+            &mut rng,
+        );
+        let records = scenario.sense_positions(&positions, &seg.profile, start_t, &mut rng);
+        start_t += seg.scans as f64 * scenario.cfg.sample_period_s;
+        let label = if seg.inside { Label::In } else { Label::Out };
+        out.extend(
+            records.into_records().into_iter().map(|record| LabeledRecord { record, label }),
+        );
+    }
+    if churn_fraction > 0.0 {
+        let home = home_macs(scenario);
+        churn_macs(&mut out, &home, churn_fraction, &mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        let mut cfg = ScenarioConfig::user(1);
+        cfg.train_duration_s = 30.0;
+        Scenario::build(cfg)
+    }
+
+    #[test]
+    fn schedule_scan_counts_sum_exactly() {
+        for device in 0..20u64 {
+            for scans in [1usize, 7, 40, 399] {
+                let total: usize = diurnal_schedule(device, scans).iter().map(|s| s.scans).sum();
+                assert_eq!(total, scans, "device {device}, scans {scans}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_differ_across_devices() {
+        let a = diurnal_schedule(0, 100);
+        let b = diurnal_schedule(1, 100);
+        assert_ne!(
+            a.iter().map(|s| s.scans).collect::<Vec<_>>(),
+            b.iter().map(|s| s.scans).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_device_distinct() {
+        let s = scenario();
+        let a1 = device_stream(&s, 3, 24, 0.1);
+        let a2 = device_stream(&s, 3, 24, 0.1);
+        let b = device_stream(&s, 4, 24, 0.1);
+        assert_eq!(a1.len(), 24);
+        assert_eq!(a1, a2, "same (seed, device) must reproduce bit-identically");
+        assert_ne!(a1, b, "different devices must walk different days");
+    }
+
+    #[test]
+    fn timestamps_advance_monotonically() {
+        let s = scenario();
+        let stream = device_stream(&s, 5, 40, 0.0);
+        for pair in stream.windows(2) {
+            assert!(
+                pair[1].record.timestamp_s > pair[0].record.timestamp_s,
+                "timestamps must advance"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_mixes_in_and_out_scans() {
+        let s = scenario();
+        let stream = device_stream(&s, 2, 40, 0.0);
+        let ins = stream.iter().filter(|r| r.label.is_in()).count();
+        assert!(ins > 0 && ins < stream.len(), "a day has both home and away scans: {ins}");
+    }
+
+    #[test]
+    fn churn_rewrites_some_ambient_macs() {
+        let s = scenario();
+        let calm = device_stream(&s, 6, 40, 0.0);
+        let churned = device_stream(&s, 6, 40, 0.5);
+        assert_ne!(calm, churned, "churn must perturb the stream");
+        // Home APs survive churn: every home MAC seen in the calm
+        // stream that churn_macs could have touched stays present.
+        let home = home_macs(&s);
+        let seen_home = |recs: &[LabeledRecord]| {
+            recs.iter()
+                .flat_map(|r| r.record.readings.iter())
+                .filter(|r| home.contains(&r.mac))
+                .count()
+        };
+        assert_eq!(seen_home(&calm), seen_home(&churned), "home MACs must survive churn");
+    }
+}

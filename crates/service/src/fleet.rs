@@ -533,6 +533,28 @@ impl Fleet {
         &self.event_rx
     }
 
+    /// Detaches the event receiver for an external consumer (the
+    /// network ingress routes decisions back to device connections
+    /// from its own thread). Afterwards [`Fleet::events`] observes a
+    /// disconnected channel; there is only ever one event stream.
+    pub fn take_events(&mut self) -> Receiver<FleetEvent> {
+        let (_, dead_rx) = bounded::<FleetEvent>(1);
+        std::mem::replace(&mut self.event_rx, dead_rx)
+    }
+
+    /// The per-premises admission quota: records admitted but not yet
+    /// decided, above which a single premises is shed. Wire-level flow
+    /// control derives its credit window from this — a client holding
+    /// at most this many unresolved records can never be shed.
+    pub fn admission_quota(&self) -> usize {
+        self.ingress.quota
+    }
+
+    /// The observability options this fleet was spawned with.
+    pub fn obs_options(&self) -> &ObsOptions {
+        &self.cfg.obs
+    }
+
     /// Events dropped because the consumer let the event channel fill
     /// (see [`Fleet::events`]). Decisions themselves are never lost —
     /// the models updated and the epochs were journaled — only their

@@ -16,18 +16,26 @@
 //!   journal plus checksummed snapshots give bitwise crash recovery;
 //! * [`obs`] — the observability wiring: every metric and trace event the
 //!   runtime emits is registered there on a `gem_obs::Registry`, exposed
-//!   via [`Fleet::registry`] for Prometheus/JSON scraping.
+//!   via [`Fleet::registry`] for Prometheus/JSON scraping;
+//! * [`IngressServer`] + [`wire`] — the TCP front door: length-prefixed,
+//!   checksummed record frames parsed straight into shard submit calls,
+//!   with the [`Admission`] vocabulary mapped onto per-connection credit
+//!   flow control (see DESIGN.md, "Ingress architecture").
 
 pub mod fleet;
+pub mod ingress;
 pub mod journal;
 pub mod monitor;
 pub mod obs;
 mod shard;
 pub mod supervisor;
+pub mod wire;
 
 pub use fleet::{shard_for, Fleet, FleetConfig, FleetError, FleetSubmitter, Recovery};
+pub use ingress::{IngressConfig, IngressServer};
 pub use journal::{JournalEntry, JournalWriter};
 pub use monitor::{Event, Monitor, MonitorConfig, MonitorState, MonitorStats};
 pub use obs::{FleetStats, JournalObs, MonitorObs, ObsOptions, ShardStats};
 pub use shard::FleetEvent;
 pub use supervisor::{Admission, ShedReason, Supervisor};
+pub use wire::{Frame, WireError, WireShedReason, WireVerdict};

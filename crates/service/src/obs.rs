@@ -89,6 +89,79 @@ impl ShardAdmissionObs {
     }
 }
 
+/// Instruments of the network ingress ([`crate::IngressServer`]).
+/// Counters follow the admission naming (`verdict` label) so a scrape
+/// can reconcile wire-level accepts against the fleet's own admission
+/// series; rejects carry the connection-close reason.
+#[derive(Clone)]
+pub(crate) struct IngressObs {
+    pub(crate) enabled: bool,
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) connections_open: Arc<Gauge>,
+    /// Record frames parsed off the wire (before admission).
+    pub(crate) frames: Arc<Counter>,
+    pub(crate) accepts: Arc<Counter>,
+    pub(crate) queued: Arc<Counter>,
+    pub(crate) sheds: Arc<Counter>,
+    /// Records refused because another connection owns the premises.
+    pub(crate) busy_sheds: Arc<Counter>,
+    pub(crate) bytes_rx: Arc<Counter>,
+    pub(crate) bytes_tx: Arc<Counter>,
+    /// Connection rejects by reason (protocol violations + timeouts).
+    pub(crate) rejects_torn: Arc<Counter>,
+    pub(crate) rejects_bad_checksum: Arc<Counter>,
+    pub(crate) rejects_oversize: Arc<Counter>,
+    pub(crate) rejects_bad_frame: Arc<Counter>,
+    pub(crate) rejects_timeout: Arc<Counter>,
+    pub(crate) rejects_io: Arc<Counter>,
+    /// Decisions/alerts whose submitting connection was gone.
+    pub(crate) orphan_events: Arc<Counter>,
+    /// Frame parse → ACK written, nanoseconds.
+    pub(crate) ack_seconds: Arc<Histogram>,
+    /// Router dequeue → DECISION/ALERT written, nanoseconds.
+    pub(crate) reply_seconds: Arc<Histogram>,
+}
+
+impl IngressObs {
+    pub(crate) fn register(registry: &Registry, enabled: bool) -> IngressObs {
+        let verdict = |v| registry.counter("gem_ingress_records_total", &[("verdict", v)]);
+        let reject = |r| registry.counter("gem_ingress_rejects_total", &[("reason", r)]);
+        IngressObs {
+            enabled,
+            connections: registry.counter("gem_ingress_connections_total", &[]),
+            connections_open: registry.gauge("gem_ingress_connections_open", &[]),
+            frames: registry.counter("gem_ingress_frames_total", &[("kind", "record")]),
+            accepts: verdict("accept"),
+            queued: verdict("queued"),
+            sheds: verdict("shed"),
+            busy_sheds: verdict("busy"),
+            bytes_rx: registry.counter("gem_ingress_bytes_total", &[("dir", "rx")]),
+            bytes_tx: registry.counter("gem_ingress_bytes_total", &[("dir", "tx")]),
+            rejects_torn: reject("torn_frame"),
+            rejects_bad_checksum: reject("bad_checksum"),
+            rejects_oversize: reject("oversize"),
+            rejects_bad_frame: reject("bad_frame"),
+            rejects_timeout: reject("timeout"),
+            rejects_io: reject("io"),
+            orphan_events: registry.counter("gem_ingress_orphan_events_total", &[]),
+            ack_seconds: registry.histogram("gem_ingress_ack_seconds", &[]),
+            reply_seconds: registry.histogram("gem_ingress_reply_seconds", &[]),
+        }
+    }
+
+    /// The reject counter for a connection-close reason.
+    pub(crate) fn reject(&self, reason: &'static str) -> &Counter {
+        match reason {
+            "torn_frame" => &self.rejects_torn,
+            "bad_checksum" => &self.rejects_bad_checksum,
+            "oversize" => &self.rejects_oversize,
+            "timeout" => &self.rejects_timeout,
+            "io" => &self.rejects_io,
+            _ => &self.rejects_bad_frame,
+        }
+    }
+}
+
 /// Journal timing/volume instruments of one shard. Attach to a
 /// [`crate::journal::JournalWriter`] with `set_obs`.
 #[derive(Clone)]

@@ -1,0 +1,187 @@
+//! Property tests for the wire codec: every frame the protocol can
+//! express survives an encode→decode round trip bit-for-bit, and no
+//! single-byte corruption or truncation of an encoded frame is ever
+//! accepted (or panics the decoder) — the framing must fail closed.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use gem_service::wire::{self, Frame, WireShedReason, WireVerdict, MAX_FRAME_LEN};
+use gem_signal::{MacAddr, SignalRecord};
+
+/// Generates an arbitrary frame of any kind, with adversarially plain
+/// and extreme field values (NaN scores included — the codec carries
+/// bits, not semantics).
+struct FrameStrategy;
+
+impl Strategy for FrameStrategy {
+    type Value = Frame;
+
+    fn sample(&self, rng: &mut StdRng) -> Frame {
+        let f64s = [0.0, -1.5, 1e300, f64::NAN, f64::INFINITY, 42.25];
+        let f = |rng: &mut StdRng| f64s[rng.random_range(0..f64s.len())];
+        match rng.random_range(0..5u32) {
+            0 => Frame::Hello {
+                version: rng.random_range(0..=255u32) as u8,
+                credits: rng.random_range(0..=u16::MAX as u32) as u16,
+            },
+            1 => {
+                let n = rng.random_range(0..40usize);
+                let pairs: Vec<(MacAddr, f32)> = (0..n)
+                    .map(|_| {
+                        (
+                            MacAddr::from_raw(rng.random_range(0..=MacAddr::MASK)),
+                            rng.random_range(-120.0..0.0f64) as f32,
+                        )
+                    })
+                    .collect();
+                Frame::Record {
+                    premises_id: rng.random_range(0..=u64::MAX),
+                    record: SignalRecord::from_pairs(f(rng), pairs),
+                }
+            }
+            2 => {
+                let verdict = match rng.random_range(0..3u32) {
+                    0 => WireVerdict::Accept,
+                    1 => WireVerdict::Queued { depth: rng.random_range(0..=u32::MAX) },
+                    _ => WireVerdict::Shed(
+                        [
+                            WireShedReason::QueueFull,
+                            WireShedReason::Shutdown,
+                            WireShedReason::UnknownPremises,
+                            WireShedReason::Busy,
+                        ][rng.random_range(0..4usize)],
+                    ),
+                };
+                Frame::Ack { premises_id: rng.random_range(0..=u64::MAX), verdict }
+            }
+            3 => Frame::Decision {
+                premises_id: rng.random_range(0..=u64::MAX),
+                inside: rng.random_range(0..2u32) == 1,
+                timestamp_s: f(rng),
+                score: f(rng),
+                latency_s: f(rng),
+            },
+            _ => Frame::Alert {
+                premises_id: rng.random_range(0..=u64::MAX),
+                raised: rng.random_range(0..2u32) == 1,
+                timestamp_s: f(rng),
+                consecutive_out: rng.random_range(0..=u32::MAX),
+            },
+        }
+    }
+}
+
+/// Bitwise equality that treats NaN == NaN (frames carry f64 payloads;
+/// a round trip must preserve the exact bits, and `PartialEq` on NaN
+/// would report spurious mismatches).
+fn frames_bitwise_equal(a: &Frame, b: &Frame) -> bool {
+    let bits = |x: f64| x.to_bits();
+    match (a, b) {
+        (
+            Frame::Decision {
+                premises_id: p1,
+                inside: i1,
+                timestamp_s: t1,
+                score: s1,
+                latency_s: l1,
+            },
+            Frame::Decision {
+                premises_id: p2,
+                inside: i2,
+                timestamp_s: t2,
+                score: s2,
+                latency_s: l2,
+            },
+        ) => {
+            p1 == p2
+                && i1 == i2
+                && bits(*t1) == bits(*t2)
+                && bits(*s1) == bits(*s2)
+                && bits(*l1) == bits(*l2)
+        }
+        (
+            Frame::Alert { premises_id: p1, raised: r1, timestamp_s: t1, consecutive_out: c1 },
+            Frame::Alert { premises_id: p2, raised: r2, timestamp_s: t2, consecutive_out: c2 },
+        ) => p1 == p2 && r1 == r2 && bits(*t1) == bits(*t2) && c1 == c2,
+        (
+            Frame::Record { premises_id: p1, record: r1 },
+            Frame::Record { premises_id: p2, record: r2 },
+        ) => {
+            p1 == p2
+                && bits(r1.timestamp_s) == bits(r2.timestamp_s)
+                && r1.readings.len() == r2.readings.len()
+                && r1
+                    .readings
+                    .iter()
+                    .zip(&r2.readings)
+                    .all(|(x, y)| x.mac == y.mac && x.rssi.to_bits() == y.rssi.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// encode → read_frame is the identity on every expressible frame.
+    #[test]
+    fn any_frame_round_trips(frame in FrameStrategy) {
+        let mut wire_bytes = Vec::new();
+        wire::encode(&frame, &mut wire_bytes);
+        let mut buf = Vec::new();
+        let got = wire::read_frame(&mut Cursor::new(&wire_bytes), MAX_FRAME_LEN, &mut buf)
+            .expect("round trip must decode")
+            .expect("round trip must yield a frame");
+        prop_assert!(
+            frames_bitwise_equal(&frame, &got),
+            "round trip changed the frame: {:?} -> {:?}", frame, got
+        );
+        // And the stream is fully consumed: the next read is clean EOF.
+        let consumed = wire_bytes.len() as u64;
+        let mut cursor = Cursor::new(&wire_bytes);
+        let _ = wire::read_frame(&mut cursor, MAX_FRAME_LEN, &mut buf);
+        prop_assert_eq!(cursor.position(), consumed);
+    }
+
+    /// Flipping any single byte of an encoded frame is always detected:
+    /// the read errors (checksum, length, framing) — it never panics and
+    /// never yields a frame as if nothing happened.
+    #[test]
+    fn single_byte_corruption_is_always_detected(frame in FrameStrategy, noise in 0u64..u64::MAX) {
+        let mut wire_bytes = Vec::new();
+        wire::encode(&frame, &mut wire_bytes);
+        let pos = (noise as usize) % wire_bytes.len();
+        let flip = 1u8 << ((noise >> 32) % 8);
+        wire_bytes[pos] ^= flip;
+        let mut buf = Vec::new();
+        let result = wire::read_frame(&mut Cursor::new(&wire_bytes), MAX_FRAME_LEN, &mut buf);
+        prop_assert!(
+            result.is_err(),
+            "corruption at byte {} (bit {:#04x}) went undetected: {:?}",
+            pos, flip, result
+        );
+    }
+
+    /// Truncating an encoded frame anywhere strictly inside it reads as
+    /// Torn; truncating to nothing is a clean EOF.
+    #[test]
+    fn truncation_is_torn_or_clean_eof(frame in FrameStrategy, noise in 0u64..u64::MAX) {
+        let mut wire_bytes = Vec::new();
+        wire::encode(&frame, &mut wire_bytes);
+        let cut = (noise as usize) % wire_bytes.len();
+        let mut buf = Vec::new();
+        let result = wire::read_frame(&mut Cursor::new(&wire_bytes[..cut]), MAX_FRAME_LEN, &mut buf);
+        if cut == 0 {
+            prop_assert!(matches!(result, Ok(None)), "empty stream must be clean EOF: {:?}", result);
+        } else {
+            prop_assert!(
+                matches!(result, Err(wire::WireError::Torn)),
+                "cut at {} of {} must be Torn: {:?}", cut, wire_bytes.len(), result
+            );
+        }
+    }
+}

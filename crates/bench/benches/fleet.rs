@@ -24,11 +24,14 @@
 //! `GEM_FLEET_SHARDS=1,2` restricts the swept shard counts (CI smoke);
 //! the gates then apply to the largest count actually run.
 //!
-//! Two observability gates ride along: the decision-latency histograms
-//! exported on the fleet registry must agree with the bench's own
-//! externally sorted percentiles (within one log2 bucket — the
-//! histogram's stated resolution), and running with metrics fully on
-//! must cost < 3% throughput versus metrics off.
+//! Three observability gates ride along: the decision-latency
+//! histograms exported on the fleet registry must agree with the
+//! bench's own externally sorted percentiles (within one log2 bucket —
+//! the histogram's stated resolution), running with metrics fully on
+//! must cost < 3% throughput versus metrics off, and request tracing
+//! at a production-like 1% head-sampling rate must cost < 3% versus
+//! tracing fully off (same interleaved best-of-N protocol, with the
+//! within-mode spread reported as the noise floor).
 //!
 //! `GEM_BENCH_QUICK=1` shrinks the workload for CI smoke runs.
 
@@ -126,12 +129,22 @@ fn merged_latency_quantile(registry: &Registry, q: f64) -> Option<f64> {
     interpolate_quantile_seeded(&merged, q, min, max)
 }
 
+/// The observability configurations the bench sweeps: `metrics_off`
+/// turns everything off, `metrics_on` is the default production config
+/// (histograms + rings, tail-only trace capture), and the trace modes
+/// pin the head-sampling rate for the tracing-overhead gate.
+fn obs_mode(enabled: bool, trace_sample: f64, trace_tail_ms: f64) -> ObsOptions {
+    ObsOptions { enabled, trace_sample, trace_tail_ms, ..ObsOptions::default() }
+}
+
 fn run_fleet(
     tenants: &[Tenant],
     shards: usize,
     records_per_premises: usize,
-    obs: bool,
+    obs: ObsOptions,
 ) -> RunResult {
+    // Histogram agreement checks only make sense with metrics on.
+    let metrics_on = obs.enabled;
     let monitors: Vec<(u64, Monitor)> =
         tenants.iter().enumerate().map(|(i, t)| (i as u64 + 1, restore_monitor(t))).collect();
     let fleet = Fleet::spawn(
@@ -143,7 +156,7 @@ fn run_fleet(
             dir: None,
             snapshot_interval: None,
             hot_premises_per_shard: None,
-            obs: ObsOptions { enabled: obs, ..ObsOptions::default() },
+            obs,
         },
     )
     .unwrap();
@@ -213,7 +226,7 @@ fn run_fleet(
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
     let (mut hist_p50_ms, mut hist_p99_ms) = (0.0, 0.0);
-    if obs {
+    if metrics_on {
         // The histograms saw the same per-decision latencies the events
         // carried (recorded in ns by the shard), so the registry-side
         // quantile must land in the same log2 bucket as the externally
@@ -299,6 +312,15 @@ struct FleetBenchLine {
     /// Worst within-mode relative spread across the interleaved
     /// best-of-N samples — the run's noise floor.
     metrics_noise_floor_pct: f64,
+    /// Tracing-overhead gate: throughput with request tracing at a
+    /// production-like 1% head-sampling rate versus tracing fully off
+    /// (head 0, tail capture disabled), both with metrics on. Same
+    /// interleaved best-of-N protocol as the metrics gate.
+    tracing_on_records_per_sec: f64,
+    tracing_off_records_per_sec: f64,
+    tracing_overhead_pct: f64,
+    tracing_overhead_raw_pct: f64,
+    tracing_noise_floor_pct: f64,
 }
 
 /// Swept shard counts: `GEM_FLEET_SHARDS=1,2` overrides the default
@@ -327,7 +349,7 @@ fn main() {
     let counts = shard_counts();
     let mut shard_results = Vec::new();
     for &shards in &counts {
-        let r = run_fleet(&tenants, shards, records_per_premises, true);
+        let r = run_fleet(&tenants, shards, records_per_premises, ObsOptions::default());
         println!(
             "shards={shards}: {:.1} records/s, p50 {:.2} ms (hist {:.2}), p99 {:.2} ms \
              (hist {:.2}), shed rate {:.4}, busy {:?}",
@@ -382,11 +404,18 @@ fn main() {
     // zero — "metrics made it faster" is noise, not a negative cost.
     let overhead_records = records_per_premises.max(240);
     let pairs = if quick() { 3 } else { 4 };
-    run_fleet(&tenants, max_shards, overhead_records, true); // shared warmup, discarded
+    // Shared warmup, discarded.
+    run_fleet(&tenants, max_shards, overhead_records, ObsOptions::default());
     let (mut off_samples, mut on_samples) = (Vec::new(), Vec::new());
     for _ in 0..pairs {
-        off_samples.push(run_fleet(&tenants, max_shards, overhead_records, false).records_per_sec);
-        on_samples.push(run_fleet(&tenants, max_shards, overhead_records, true).records_per_sec);
+        off_samples.push(
+            run_fleet(&tenants, max_shards, overhead_records, obs_mode(false, 0.0, 0.0))
+                .records_per_sec,
+        );
+        on_samples.push(
+            run_fleet(&tenants, max_shards, overhead_records, ObsOptions::default())
+                .records_per_sec,
+        );
     }
     let best = |s: &[f64]| s.iter().copied().fold(0f64, f64::max);
     let worst = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
@@ -406,6 +435,42 @@ fn main() {
         "metrics-on throughput must be within 3% of metrics-off \
          (off {best_off:.1} rec/s, on {best_on:.1} rec/s, overhead {overhead_pct:.2}%)"
     );
+    // Tracing overhead gate: per-record span stamping + retention at a
+    // production-like 1% head-sampling rate, versus tracing fully off
+    // (head rate 0 and tail capture disabled, so the sampler is inert
+    // and the per-record fast path takes no stamps at all). Metrics
+    // stay on in both modes — this isolates the tracing cost from the
+    // histogram cost the previous gate already bounded. Same protocol:
+    // interleaved pairs, best-of-N, spread as the noise floor, raw
+    // difference clamped at zero.
+    let (mut trace_off_samples, mut trace_on_samples) = (Vec::new(), Vec::new());
+    for _ in 0..pairs {
+        trace_off_samples.push(
+            run_fleet(&tenants, max_shards, overhead_records, obs_mode(true, 0.0, 0.0))
+                .records_per_sec,
+        );
+        trace_on_samples.push(
+            run_fleet(&tenants, max_shards, overhead_records, obs_mode(true, 0.01, 250.0))
+                .records_per_sec,
+        );
+    }
+    let (best_trace_off, best_trace_on) = (best(&trace_off_samples), best(&trace_on_samples));
+    let tracing_noise_floor_pct = ((best_trace_off - worst(&trace_off_samples)) / best_trace_off)
+        .max((best_trace_on - worst(&trace_on_samples)) / best_trace_on)
+        * 100.0;
+    let tracing_overhead_raw_pct = (best_trace_off - best_trace_on) / best_trace_off * 100.0;
+    let tracing_overhead_pct = tracing_overhead_raw_pct.max(0.0);
+    println!(
+        "tracing overhead at {max_shards} shards: off {best_trace_off:.1} rec/s, \
+         1% sampled {best_trace_on:.1} rec/s (raw {tracing_overhead_raw_pct:+.2}%, \
+         clamped {tracing_overhead_pct:.2}%, noise floor {tracing_noise_floor_pct:.2}%)"
+    );
+    assert!(
+        tracing_overhead_pct < 3.0,
+        "tracing at 1% sampling must be within 3% of tracing-off \
+         (off {best_trace_off:.1} rec/s, on {best_trace_on:.1} rec/s, \
+         overhead {tracing_overhead_pct:.2}%)"
+    );
     let line = FleetBenchLine {
         bench: "fleet",
         cores,
@@ -423,6 +488,11 @@ fn main() {
         metrics_overhead_pct: overhead_pct,
         metrics_overhead_raw_pct: overhead_raw_pct,
         metrics_noise_floor_pct: noise_floor_pct,
+        tracing_on_records_per_sec: best_trace_on,
+        tracing_off_records_per_sec: best_trace_off,
+        tracing_overhead_pct,
+        tracing_overhead_raw_pct,
+        tracing_noise_floor_pct,
     };
     let json = serde_json::to_string(&line).expect("serialize bench line");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");

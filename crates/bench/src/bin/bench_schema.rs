@@ -5,6 +5,10 @@
 //! line must carry a `"bench"` tag naming its schema, every field the
 //! schema lists must be present with the right type (extra fields are
 //! fine — benches grow), and array fields are validated element-wise.
+//! A type prefixed with `?` (e.g. `"?number"`) marks the field
+//! optional: it may be absent, but when present it must match — used
+//! for conditionally-emitted fields like histogram quantiles, which
+//! are omitted when the histogram is empty.
 //!
 //! ```text
 //! cargo run -p gem-bench --bin bench_schema            # all BENCH_*.json at repo root
@@ -47,7 +51,12 @@ fn get<'a>(obj: &'a Value, key: &str) -> Option<&'a Value> {
 fn check_fields(line: &Value, fields: &Value, what: &str, errors: &mut Vec<String>) {
     for (name, want) in fields.as_object().unwrap_or(&[]) {
         let want = want.as_str().expect("schema field types are strings");
+        let (want, optional) = match want.strip_prefix('?') {
+            Some(bare) => (bare, true),
+            None => (want, false),
+        };
         match get(line, name) {
+            None if optional => {}
             None => errors.push(format!("{what}: missing field `{name}`")),
             Some(v) if !type_matches(want, v) => {
                 errors.push(format!("{what}: field `{name}` is {}, schema wants {want}", v.kind()))
@@ -107,6 +116,37 @@ fn validate_file(path: &Path) -> Vec<String> {
         errors.push("file is empty (expected at least one result line)".into());
     }
     errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(spec: &str) -> Value {
+        serde_json::from_str(spec).unwrap()
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent_but_must_type_check() {
+        let schema = fields("{\"count\":\"number\",\"p50_ns\":\"?number\"}");
+        let mut errors = Vec::new();
+        check_fields(&fields("{\"count\":0}"), &schema, "t", &mut errors);
+        assert!(errors.is_empty(), "absent optional field must pass: {errors:?}");
+        check_fields(&fields("{\"count\":1,\"p50_ns\":42}"), &schema, "t", &mut errors);
+        assert!(errors.is_empty(), "present optional field must pass: {errors:?}");
+        check_fields(&fields("{\"count\":1,\"p50_ns\":\"no\"}"), &schema, "t", &mut errors);
+        assert_eq!(errors.len(), 1, "mistyped optional field must fail");
+        assert!(errors[0].contains("p50_ns"), "{errors:?}");
+    }
+
+    #[test]
+    fn required_fields_still_fail_when_missing() {
+        let schema = fields("{\"count\":\"number\"}");
+        let mut errors = Vec::new();
+        check_fields(&fields("{}"), &schema, "t", &mut errors);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("missing field `count`"), "{errors:?}");
+    }
 }
 
 fn main() -> ExitCode {

@@ -2,9 +2,14 @@
 //! run a durable fleet with full metrics on, serve its registry on a
 //! real TCP port, then scrape `/metrics` and `/metrics.json` exactly
 //! like a monitoring agent would and validate the exposition — format,
-//! required metric names, and non-zero activity counters. Also dumps
-//! the per-shard decision-trace rings and checks the expected event
-//! kinds showed up.
+//! required metric names, and non-zero activity counters. The fleet
+//! runs with request tracing fully on (`trace_sample: 1.0`), so the
+//! smoke also drains `/trace.jsonl` and validates the span stream:
+//! every record yields a six-stage span whose stages cover ≥90% of its
+//! end-to-end time, and the decision-latency histogram's bucket
+//! exemplars point back at real span trace ids. Also dumps the
+//! per-shard decision-trace rings and checks the expected event kinds
+//! showed up.
 //!
 //! The parsed `/metrics.json` scrape is appended to `BENCH_metrics.json`
 //! at the repo root (tagged `"bench": "metrics"`), so `bench_schema`
@@ -20,7 +25,7 @@ use std::path::PathBuf;
 use gem_core::{Gem, GemConfig};
 use gem_obs::MetricsServer;
 use gem_rfsim::{Scenario, ScenarioConfig};
-use gem_service::{Fleet, FleetConfig, Monitor, MonitorConfig};
+use gem_service::{Fleet, FleetConfig, Monitor, MonitorConfig, ObsOptions};
 use gem_signal::SignalRecord;
 
 /// Every metric family the fleet promises to expose (ISSUE acceptance
@@ -53,6 +58,7 @@ const REQUIRED_METRICS: &[&str] = &[
     "gem_shard_hydrations_total",
     "gem_premises_hydrate_seconds",
     "gem_fleet_snapshot_errors_total",
+    "gem_trace_dropped_total",
 ];
 
 fn quick() -> bool {
@@ -127,10 +133,14 @@ fn main() {
         max_batch: 4,
         dir: Some(dir.clone()),
         hot_premises_per_shard: Some(1),
+        // Trace every record: the span checks below want full coverage,
+        // not a sampled subset.
+        obs: ObsOptions { trace_sample: 1.0, ..ObsOptions::default() },
         ..FleetConfig::default()
     };
     let fleet = Fleet::spawn(monitors, cfg).unwrap();
-    let server = MetricsServer::bind("127.0.0.1:0", fleet.registry()).expect("bind metrics");
+    let server = MetricsServer::bind_with_traces("127.0.0.1:0", fleet.registry(), fleet.trace_rings())
+        .expect("bind metrics");
     let addr = server.local_addr();
     println!("metrics on http://{addr}/metrics");
 
@@ -218,11 +228,91 @@ fn main() {
     assert!(status.contains("404"), "unknown path must 404: {status}");
     println!("/metrics.json OK ({} bytes)", json_body.len());
 
-    // --- decision traces ---
+    // --- /trace.jsonl: request spans + operational events ---
+    // This drains the rings, so it must run before dump_traces below.
+    let (status, headers, trace_body) = scrape(addr, "/trace.jsonl");
+    assert!(status.contains("200"), "GET /trace.jsonl: {status}");
+    assert!(
+        headers.to_ascii_lowercase().contains("application/x-ndjson"),
+        "jsonl content type: {headers}"
+    );
+    let mut kinds: Vec<String> = Vec::new();
+    let mut span_ids: Vec<String> = Vec::new();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    for line in trace_body.lines() {
+        let event: serde::Value = serde_json::from_str(line).expect("trace.jsonl line parses");
+        let field = |key: &str| {
+            event.as_object().and_then(|o| o.iter().find(|(k, _)| k == key)).map(|(_, v)| v)
+        };
+        let kind = field("kind").and_then(|v| v.as_str()).expect("trace event has a kind");
+        kinds.push(kind.to_string());
+        if kind != "span" {
+            continue;
+        }
+        // Every span carries the full six-stage attribution, and the
+        // stages account for (at least) 90% of the end-to-end time —
+        // with the exact-telescoping stamps they sum to ~100%.
+        let ns = |key: &str| {
+            field(key)
+                .and_then(|v| v.as_u64())
+                .unwrap_or_else(|| panic!("span missing {key}: {line}"))
+        };
+        let staged = ns("ingress_ns")
+            + ns("queue_ns")
+            + ns("hydrate_ns")
+            + ns("journal_ns")
+            + ns("infer_ns")
+            + ns("emit_ns");
+        let e2e = ns("e2e_ns");
+        assert!(
+            staged as f64 >= e2e as f64 * 0.90,
+            "span stages must cover >=90% of e2e ({staged} of {e2e} ns): {line}"
+        );
+        let trace = field("trace").and_then(|v| v.as_str()).expect("span has a trace id");
+        assert!(trace.len() == 16 && trace != "0000000000000000", "bad trace id: {line}");
+        span_ids.push(trace.to_string());
+    }
+    assert_eq!(
+        span_ids.len(),
+        total,
+        "trace_sample 1.0 must retain a span for every submitted record"
+    );
+    for required in ["epoch", "journal_append", "journal_retain", "snapshot"] {
+        assert!(
+            kinds.iter().any(|k| k == required),
+            "trace rings must contain a {required:?} event (got {kinds:?})"
+        );
+    }
+    // The decision-latency histogram's bucket exemplars must point back
+    // at spans that were actually retained in the drain above.
+    let exemplars: Vec<&str> = json_body
+        .split("\"exemplar\":\"")
+        .skip(1)
+        .map(|rest| &rest[..16])
+        .collect();
+    assert!(!exemplars.is_empty(), "traced run must expose at least one bucket exemplar");
+    for ex in &exemplars {
+        assert!(
+            span_ids.iter().any(|id| id == ex),
+            "exemplar {ex} does not match any retained span ({} spans)",
+            span_ids.len()
+        );
+    }
+    println!(
+        "/trace.jsonl OK: {} spans across {} events, {} exemplars resolved",
+        span_ids.len(),
+        kinds.len(),
+        exemplars.len()
+    );
+
+    // --- decision traces (file dump) ---
+    // The /trace.jsonl drain above emptied the rings; another snapshot
+    // round refills them so the dump has something real to write.
+    fleet.snapshot().unwrap();
     let trace_dir = dir.join("traces");
     let paths = fleet.dump_traces(&trace_dir).unwrap();
     assert_eq!(paths.len(), 2, "one trace file per shard");
-    let mut kinds: Vec<String> = Vec::new();
+    let mut dump_kinds: Vec<String> = Vec::new();
     for path in &paths {
         for line in std::fs::read_to_string(path).unwrap().lines() {
             let event: serde::Value = serde_json::from_str(line).expect("trace line parses");
@@ -231,16 +321,14 @@ fn main() {
                 .and_then(|o| o.iter().find(|(k, _)| k == "kind"))
                 .and_then(|(_, v)| v.as_str())
                 .expect("trace event has a kind");
-            kinds.push(kind.to_string());
+            dump_kinds.push(kind.to_string());
         }
     }
-    for required in ["epoch", "journal_append", "journal_retain", "snapshot"] {
-        assert!(
-            kinds.iter().any(|k| k == required),
-            "trace rings must contain a {required:?} event (got {kinds:?})"
-        );
-    }
-    println!("traces OK: {} events across {} shards", kinds.len(), paths.len());
+    assert!(
+        dump_kinds.iter().any(|k| k == "snapshot"),
+        "trace dump must contain the fresh snapshot event (got {dump_kinds:?})"
+    );
+    println!("traces OK: {} events across {} shards", dump_kinds.len(), paths.len());
 
     fleet.shutdown().unwrap();
     drop(server);

@@ -24,8 +24,9 @@ use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use gem_obs::SpanIdGen;
 use gem_rfsim::{workload, Scenario, ScenarioConfig};
-use gem_service::wire::{self, Frame, WireShedReason, WireVerdict};
+use gem_service::wire::{self, Frame, WireShedReason, WireTrace, WireVerdict};
 use gem_signal::LabeledRecord;
 
 use crate::args::Args;
@@ -126,6 +127,9 @@ pub fn run(args: &Args) -> Result<(), String> {
     let metrics_addr = args.get_parsed::<String>("metrics")?;
     let bench_out =
         args.get_parsed::<String>("bench-out")?.unwrap_or_else(|| "BENCH_ingress.json".into());
+    // --trace stamps every RECORD with client-minted trace context, so
+    // server-side spans join back to the device that sent the record.
+    let trace = args.flag("trace");
 
     // Build the same world the server trained on: the scenario is
     // deterministic in (user, seed), so the devices' scans look like
@@ -152,7 +156,9 @@ pub fn run(args: &Args) -> Result<(), String> {
             let stream = workload::device_stream(&scenario, premises_id, scans, churn);
             std::thread::Builder::new()
                 .name(format!("gem-loadgen-{premises_id}"))
-                .spawn(move || run_device(&connect, premises_id, &stream, connect_timeout, pace))
+                .spawn(move || {
+                    run_device(&connect, premises_id, &stream, connect_timeout, pace, trace)
+                })
                 .map_err(|e| format!("spawning device thread: {e}"))
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -315,7 +321,11 @@ fn run_device(
     day: &[LabeledRecord],
     connect_timeout: Duration,
     pace: Duration,
+    trace: bool,
 ) -> Result<DeviceReport, String> {
+    // Deterministic per-device trace ids: re-running the same workload
+    // mints the same ids, so captures from two runs line up.
+    let span_ids = trace.then(|| SpanIdGen::with_seed(premises_id));
     let ctx = |what: &str, e: &dyn std::fmt::Display| format!("device {premises_id}: {what}: {e}");
     let sock = connect_retry(connect, connect_timeout)
         .map_err(|e| ctx(&format!("connecting to {connect}"), &e))?;
@@ -365,7 +375,11 @@ fn run_device(
         // Refill the window: keep at most `window` records unresolved
         // (sent but neither decided nor shed).
         while sent < total && sent - decided - shed < window {
-            let frame = Frame::Record { premises_id, record: day[sent].record.clone() };
+            let trace = span_ids.as_ref().map(|gen| WireTrace {
+                trace_id: gen.next_id(),
+                parent_span: gen.next_id(),
+            });
+            let frame = Frame::Record { premises_id, record: day[sent].record.clone(), trace };
             wire::write_frame(&mut writer, &frame, &mut wbuf)
                 .map_err(|e| ctx(&format!("sending record {sent}"), &e))?;
             sent_at.push(Instant::now());

@@ -27,6 +27,7 @@ macro_rules! say {
 
 mod args;
 mod loadgen;
+mod trace;
 
 use args::Args;
 use gem_core::{Gem, GemConfig};
@@ -59,6 +60,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "fleet" => fleet(&args),
         "serve" => serve(&args),
         "loadgen" => loadgen::run(&args),
+        "trace" => trace::run(&args),
         "info" => info(&args),
         "help" | "--help" | "-h" => {
             say!("{}", usage());
@@ -78,13 +80,16 @@ fn usage() -> String {
      \x20 fleet    --models F1,F2,.. --datasets F1,F2,.. [--shards N] [--max-batch B]\n\
      \x20          [--alert-after K] [--dir DIR] [--snapshot-secs S] [--recover]\n\
      \x20          [--hot-cap N] [--metrics-addr HOST:PORT] [--trace-dir DIR] [--no-metrics]\n\
+     \x20          [--trace-sample F] [--trace-tail-ms MS]\n\
      \x20 serve    --listen HOST:PORT (--model FILE [--premises N] | --models F1,F2,..)\n\
      \x20          [--shards N] [--max-batch B] [--queue Q] [--alert-after K] [--dir DIR]\n\
      \x20          [--snapshot-secs S] [--hot-cap N] [--credit W] [--read-timeout-secs S]\n\
      \x20          [--duration-secs S] [--metrics-addr HOST:PORT] [--no-metrics]\n\
+     \x20          [--trace-sample F] [--trace-tail-ms MS]\n\
      \x20 loadgen  --connect HOST:PORT [--devices N] [--scans-per-device N] [--user 1..10]\n\
      \x20          [--seed X] [--churn F] [--pace-ms MS] [--metrics HOST:PORT]\n\
-     \x20          [--bench-out FILE] [--p99-ms MS] [--connect-timeout-secs S]\n\
+     \x20          [--bench-out FILE] [--p99-ms MS] [--connect-timeout-secs S] [--trace]\n\
+     \x20 trace    --input F1,F2,.. [--slowest N] [--min-coverage F]\n\
      \x20 info     --model FILE"
         .to_string()
 }
@@ -258,6 +263,18 @@ fn fleet_config_from_args(args: &Args) -> Result<gem_service::FleetConfig, Strin
         }
         cfg.hot_premises_per_shard = Some(cap);
     }
+    if let Some(rate) = args.get_parsed::<f64>("trace-sample")? {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err("--trace-sample must be within 0..1".into());
+        }
+        cfg.obs.trace_sample = rate;
+    }
+    if let Some(ms) = args.get_parsed::<f64>("trace-tail-ms")? {
+        if !ms.is_finite() || ms < 0.0 {
+            return Err("--trace-tail-ms must be non-negative (0 disables tail capture)".into());
+        }
+        cfg.obs.trace_tail_ms = ms;
+    }
     Ok(cfg)
 }
 
@@ -321,11 +338,13 @@ fn fleet(args: &Args) -> Result<(), String> {
     };
 
     // The server lives until the end of this function: the final scrape
-    // a supervisor makes still sees the complete run.
+    // a supervisor makes still sees the complete run. Shard trace rings
+    // ride along so `/trace.jsonl` serves retained spans.
     let _metrics_server = match args.get_parsed::<String>("metrics-addr")? {
         Some(addr) => {
-            let server = gem_obs::MetricsServer::bind(&addr, fleet.registry())
-                .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
+            let server =
+                gem_obs::MetricsServer::bind_with_traces(&addr, fleet.registry(), fleet.trace_rings())
+                    .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
             say!("serving metrics on http://{}/metrics", server.local_addr());
             Some(server)
         }
@@ -501,8 +520,9 @@ fn serve(args: &Args) -> Result<(), String> {
 
     let _metrics_server = match args.get_parsed::<String>("metrics-addr")? {
         Some(addr) => {
-            let server = gem_obs::MetricsServer::bind(&addr, fleet.registry())
-                .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
+            let server =
+                gem_obs::MetricsServer::bind_with_traces(&addr, fleet.registry(), fleet.trace_rings())
+                    .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
             say!("serving metrics on http://{}/metrics", server.local_addr());
             Some(server)
         }

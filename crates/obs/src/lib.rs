@@ -11,9 +11,11 @@
 //! * [`Registry`] — named, labelled metric registry with two exposition
 //!   formats: Prometheus text and a JSON dump for tooling;
 //! * [`MetricsServer`] — a minimal `/metrics` HTTP endpoint on a
-//!   [`std::net::TcpListener`];
+//!   [`std::net::TcpListener`], optionally serving `/trace.jsonl`;
 //! * [`TraceRing`] — a bounded, overwrite-oldest structured event ring
-//!   drainable as JSONL for post-mortem decision traces.
+//!   drainable as JSONL for post-mortem decision traces;
+//! * [`SpanContext`] / [`SpanIdGen`] / [`TraceSampler`] — causal
+//!   request-tracing identity and the head+tail sampling policy.
 //!
 //! The crate deliberately has **no dependencies** (consistent with the
 //! workspace's vendored-deps policy) so any layer — core, service, cli,
@@ -22,6 +24,7 @@
 mod metrics;
 mod registry;
 mod server;
+mod span;
 mod trace;
 
 pub use metrics::{
@@ -30,4 +33,5 @@ pub use metrics::{
 };
 pub use registry::{HistogramSnapshot, MetricSample, MetricValue, Registry};
 pub use server::MetricsServer;
+pub use span::{splitmix64, SpanContext, SpanIdGen, TraceSampler};
 pub use trace::{TraceEvent, TraceRing, TraceValue};

@@ -96,6 +96,9 @@ pub struct Histogram {
     /// quantiles: an estimate near the top of a wide log2 bucket is
     /// clamped down to the largest value actually observed.
     max: AtomicU64,
+    /// Last trace id to land in each bucket (0 = none): the exemplar
+    /// that links a latency bucket back to a concrete request trace.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -113,6 +116,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -152,6 +156,23 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one value and attaches `trace_id` as the bucket's
+    /// exemplar (last writer wins; 0 leaves the exemplar untouched, so
+    /// unsampled records never erase a sampled one).
+    #[inline]
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id != 0 {
+            self.exemplars[Self::bucket_index(value)].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-bucket exemplar trace ids (0 = none), index-aligned with
+    /// [`Histogram::bucket_counts`].
+    pub fn bucket_exemplars(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed))
     }
 
     /// Total recorded values.
@@ -362,5 +383,19 @@ mod tests {
         assert!(nanos > 0);
         h.start_timer().cancel();
         assert_eq!(h.count(), 2, "cancelled timers must not record");
+    }
+
+    #[test]
+    fn exemplars_track_last_trace_id_per_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(100, 0xAA);
+        h.record_with_exemplar(120, 0xBB); // same bucket, last wins
+        h.record_with_exemplar(1_000_000, 0xCC);
+        h.record_with_exemplar(130, 0); // unsampled: must not erase
+        let ex = h.bucket_exemplars();
+        assert_eq!(ex[Histogram::bucket_index(100)], 0xBB);
+        assert_eq!(ex[Histogram::bucket_index(1_000_000)], 0xCC);
+        assert_eq!(ex[Histogram::bucket_index(1 << 30)], 0, "untouched bucket has no exemplar");
+        assert_eq!(h.count(), 4, "exemplar recording still counts the value");
     }
 }

@@ -47,6 +47,9 @@ pub struct HistogramSnapshot {
     pub max: Option<u64>,
     /// Per-bucket counts, index-aligned with `Histogram::bucket_upper`.
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Per-bucket exemplar trace ids (0 = none), index-aligned with
+    /// `buckets`: the last sampled request to land in each bucket.
+    pub exemplars: [u64; HISTOGRAM_BUCKETS],
 }
 
 /// One [`Registry::snapshot`] row: `(name, sorted labels, value)`.
@@ -209,6 +212,7 @@ impl Registry {
                         min: h.min(),
                         max: h.max(),
                         buckets: h.bucket_counts(),
+                        exemplars: h.bucket_exemplars(),
                     })),
                 };
                 (e.name.clone(), e.labels.clone(), value)
@@ -306,25 +310,45 @@ impl Registry {
                         }
                         push_sep(&mut parts);
                         parts.push_str(&format!(
-                            "{{\"lo_ns\":{},\"hi_ns\":{},\"count\":{c}}}",
+                            "{{\"lo_ns\":{},\"hi_ns\":{},\"count\":{c}",
                             Histogram::bucket_lower(i),
                             Histogram::bucket_upper(i)
                         ));
+                        // The bucket's exemplar, when a sampled request
+                        // landed here: the trace id to look up in the
+                        // span dump.
+                        if h.exemplars[i] != 0 {
+                            parts.push_str(&format!(
+                                ",\"exemplar\":\"{:016x}\"",
+                                h.exemplars[i]
+                            ));
+                        }
+                        parts.push('}');
                     }
-                    let q = |p: f64| quantile_of(h, p);
+                    // Quantiles and extremes only exist once something
+                    // was recorded: an empty series must not publish
+                    // fake zeros for dashboards to ingest.
+                    let derived = if h.count == 0 {
+                        String::new()
+                    } else {
+                        let q = |p: f64| quantile_of(h, p);
+                        format!(
+                            "\"min_ns\":{},\"max_ns\":{},\
+                             \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},",
+                            h.min.unwrap_or(0),
+                            h.max.unwrap_or(0),
+                            q(0.50),
+                            q(0.99),
+                            q(0.999),
+                        )
+                    };
                     histograms.push_str(&format!(
                         "{{\"name\":{},\"labels\":{},\"count\":{},\"sum_ns\":{},\
-                         \"min_ns\":{},\"max_ns\":{},\
-                         \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"buckets\":[{parts}]}}",
+                         {derived}\"buckets\":[{parts}]}}",
                         json_string(name),
                         json_labels(labels),
                         h.count,
                         h.sum,
-                        h.min.unwrap_or(0),
-                        h.max.unwrap_or(0),
-                        q(0.50),
-                        q(0.99),
-                        q(0.999),
                     ));
                 }
             }
@@ -494,5 +518,35 @@ mod tests {
         assert!(json.contains(&format!("\"p99_ns\":{p99}")), "{json}");
         assert!(json.contains("\"min_ns\":1000"), "{json}");
         assert!(json.contains("\"max_ns\":1000000"), "{json}");
+    }
+
+    #[test]
+    fn zero_count_histograms_omit_quantile_fields() {
+        let r = Registry::new();
+        r.histogram("gem_idle_seconds", &[("shard", "1")]);
+        let json = r.render_json();
+        assert!(json.contains("\"name\":\"gem_idle_seconds\""), "{json}");
+        assert!(json.contains("\"count\":0"), "{json}");
+        for field in ["min_ns", "max_ns", "p50_ns", "p99_ns", "p999_ns"] {
+            assert!(!json.contains(field), "empty series must omit {field}: {json}");
+        }
+        // A non-empty series still carries all of them.
+        r.histogram("gem_idle_seconds", &[("shard", "1")]).record(5);
+        let json = r.render_json();
+        for field in ["min_ns", "max_ns", "p50_ns", "p99_ns", "p999_ns"] {
+            assert!(json.contains(field), "non-empty series must emit {field}: {json}");
+        }
+    }
+
+    #[test]
+    fn bucket_exemplars_appear_in_json() {
+        let r = Registry::new();
+        let h = r.histogram("gem_lat_seconds", &[]);
+        h.record_with_exemplar(1_000, 0xDEAD_BEEF);
+        h.record(1_000_000); // unsampled: bucket present, no exemplar
+        let json = r.render_json();
+        assert!(json.contains("\"exemplar\":\"00000000deadbeef\""), "{json}");
+        let buckets = json.split("\"buckets\":[").nth(1).unwrap();
+        assert_eq!(buckets.matches("exemplar").count(), 1, "{json}");
     }
 }

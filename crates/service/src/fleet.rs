@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use gem_core::{FleetManifest, GemSnapshot, PersistError, PremisesEntry};
-use gem_obs::{Counter, Registry, TraceEvent};
+use gem_obs::{Counter, Registry, SpanContext, SpanIdGen, TraceEvent, TraceRing};
 use gem_signal::SignalRecord;
 
 use crate::journal::read_all_journals;
@@ -49,8 +49,9 @@ use crate::monitor::{Monitor, MonitorState, MonitorStats};
 use crate::obs::{
     AdmissionObs, FleetStats, MonitorObs, ObsOptions, ShardAdmissionObs, ShardObs, ShardStats,
 };
-use crate::shard::{FleetEvent, PremisesSeed, ShardMsg, ShardWorker, Stored};
+use crate::shard::{FleetEvent, PremisesSeed, RecordMeta, ShardMsg, ShardWorker, Stored};
 use crate::supervisor::{Admission, ShedReason};
+use crate::wire::WireTrace;
 
 /// Fleet sizing and policy knobs.
 #[derive(Clone, Debug)]
@@ -173,11 +174,27 @@ struct Ingress {
     /// Per-shard trace rings (shed verdicts are traced; accepts are
     /// only counted — tracing every accept would melt the ring mutex).
     shard_obs: Vec<ShardObs>,
+    /// Trace/span id source for server-minted request contexts.
+    span_ids: SpanIdGen,
 }
 
 impl Ingress {
     /// The admission decision (see [`Fleet::submit`] for the contract).
     fn submit(&self, premises_id: u64, record: SignalRecord) -> Admission {
+        self.submit_traced(premises_id, record, Instant::now(), None)
+    }
+
+    /// Like [`Ingress::submit`], but with an explicit request origin
+    /// (when the caller started handling the record — e.g. frame parse
+    /// time on the TCP ingress) and an optional client-minted trace
+    /// context to adopt instead of minting one.
+    fn submit_traced(
+        &self,
+        premises_id: u64,
+        record: SignalRecord,
+        origin: Instant,
+        wire: Option<WireTrace>,
+    ) -> Admission {
         let Some(gate) = self.gates.get(&premises_id) else {
             self.admission.unknown_submitted.inc();
             self.admission.unknown_sheds.inc();
@@ -210,8 +227,29 @@ impl Ingress {
             self.shed(gate.shard, premises_id, "quota");
             return Admission::Shed(ShedReason::QueueFull);
         }
-        let sent =
-            shard.tx.send(ShardMsg::Record { premises_id, record, enqueued: Instant::now() });
+        // Trace identity: adopt a client-minted context when one rode
+        // in on the wire, mint otherwise. Skipped entirely (id 0) when
+        // the sampler can never retain a span, so tracing-off submits
+        // pay nothing.
+        let sampler = &self.shard_obs[gate.shard].sampler;
+        let ctx = if sampler.is_off() {
+            SpanContext { trace_id: 0, parent_span: 0, sampled: false }
+        } else {
+            match wire {
+                Some(w) if w.trace_id != 0 => sampler.adopt(w.trace_id, w.parent_span),
+                _ => sampler.mint(&self.span_ids),
+            }
+        };
+        let meta = RecordMeta {
+            ctx,
+            ingress_ns: if ctx.trace_id == 0 {
+                0
+            } else {
+                origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+            },
+            enqueued: Instant::now(),
+        };
+        let sent = shard.tx.send(ShardMsg::Record { premises_id, record, meta });
         match sent {
             Ok(()) => {
                 let admission = Admission::from_depth(depth);
@@ -241,6 +279,14 @@ impl Ingress {
                 .with("reason", reason),
         );
     }
+
+    /// Pushes a trace event onto the ring of the shard owning
+    /// `premises_id` (events for unknown premises are dropped).
+    fn trace_event(&self, premises_id: u64, event: TraceEvent) {
+        if let Some(gate) = self.gates.get(&premises_id) {
+            self.shard_obs[gate.shard].trace(event);
+        }
+    }
 }
 
 /// A cloneable, thread-safe admission handle to a running [`Fleet`]
@@ -256,6 +302,29 @@ impl FleetSubmitter {
     /// Submits a scan for a premises. Never blocks.
     pub fn submit(&self, premises_id: u64, record: SignalRecord) -> Admission {
         self.ingress.submit(premises_id, record)
+    }
+
+    /// Submits a scan with an explicit request origin (when the caller
+    /// started handling it) and an optional client-minted trace context
+    /// to adopt. The TCP ingress uses this so a span's `ingress_ns`
+    /// covers frame parse → shard enqueue, not just the submit call.
+    pub fn submit_traced(
+        &self,
+        premises_id: u64,
+        record: SignalRecord,
+        origin: Instant,
+        trace: Option<WireTrace>,
+    ) -> Admission {
+        self.ingress.submit_traced(premises_id, record, origin, trace)
+    }
+
+    /// Pushes a structured trace event onto the ring of the shard that
+    /// owns `premises_id` (dropped for unknown premises). External
+    /// stages of a record's journey — e.g. the ingress router writing
+    /// the DECISION reply — attach their span events to the same ring
+    /// the shard's own span landed on.
+    pub fn trace(&self, premises_id: u64, event: TraceEvent) {
+        self.ingress.trace_event(premises_id, event);
     }
 }
 
@@ -432,6 +501,7 @@ impl Fleet {
             admission,
             shard_admission,
             shard_obs,
+            span_ids: SpanIdGen::new(),
         });
         let mut fleet = Fleet {
             ingress,
@@ -728,6 +798,13 @@ impl Fleet {
         self.cfg.dir.as_deref()
     }
 
+    /// The per-shard trace rings, for serving `GET /trace.jsonl` via
+    /// [`gem_obs::MetricsServer::bind_with_traces`]: a collector drains
+    /// every retained span exactly once.
+    pub fn trace_rings(&self) -> Vec<Arc<TraceRing>> {
+        self.ingress.shard_obs.iter().map(|o| Arc::clone(&o.ring)).collect()
+    }
+
     /// Graceful shutdown: drain everything pending, take a final
     /// snapshot (when durable), then join every shard. Returns the
     /// monitors still resident with their learned state, sorted by
@@ -861,6 +938,7 @@ impl Fleet {
                         premises_id: entry.premises_id,
                         event,
                         latency_s: 0.0,
+                        trace: 0,
                     });
                 }
                 watermark = journal_entry.epoch;

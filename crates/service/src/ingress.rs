@@ -44,6 +44,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use gem_obs::{SpanContext, TraceEvent};
 use parking_lot::Mutex;
 
 use crate::fleet::{Fleet, FleetSubmitter};
@@ -233,7 +234,7 @@ fn route_events(shared: &Shared, events: &Receiver<FleetEvent>) {
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let FleetEvent { premises_id, event, latency_s } = event;
+        let FleetEvent { premises_id, event, latency_s, trace } = event;
         let frame = match event {
             Event::Decision { timestamp_s, label, score } => Frame::Decision {
                 premises_id,
@@ -257,11 +258,21 @@ fn route_events(shared: &Shared, events: &Receiver<FleetEvent>) {
             Some(writer) => {
                 let t = Instant::now();
                 if writer.send(&frame, &shared.obs).is_ok() {
+                    let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     if shared.obs.enabled {
-                        shared
-                            .obs
-                            .reply_seconds
-                            .record(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        shared.obs.reply_seconds.record(ns);
+                    }
+                    // The record's span ended at the shard; the reply
+                    // write is the trace's final stage, joined to the
+                    // span by trace id (`gem trace` does the join).
+                    if trace != 0 {
+                        shared.submitter.trace(
+                            premises_id,
+                            TraceEvent::new("span_ack")
+                                .with("trace", SpanContext::format_id(trace))
+                                .with("premises", premises_id)
+                                .with("ack_ns", ns),
+                        );
                     }
                 } else {
                     // The connection is dying; its reader unregisters
@@ -317,7 +328,7 @@ fn serve_conn(shared: &Shared, stream: TcpStream) -> Option<&'static str> {
     let reason = loop {
         match wire::read_frame(&mut reader, shared.max_frame_len, &mut buf) {
             Ok(None) => break None,
-            Ok(Some(Frame::Record { premises_id, record })) => {
+            Ok(Some(Frame::Record { premises_id, record, trace })) => {
                 shared.obs.bytes_rx.add((wire::HEADER_LEN + buf.len()) as u64);
                 shared.obs.frames.inc();
                 let t = Instant::now();
@@ -342,7 +353,7 @@ fn serve_conn(shared: &Shared, stream: TcpStream) -> Option<&'static str> {
                     drop(routes);
                     owned.push(premises_id);
                 }
-                let admission = shared.submitter.submit(premises_id, record);
+                let admission = shared.submitter.submit_traced(premises_id, record, t, trace);
                 match admission {
                     Admission::Accept => shared.obs.accepts.inc(),
                     Admission::Queued { .. } => shared.obs.queued.inc(),

@@ -38,4 +38,4 @@ pub use monitor::{Event, Monitor, MonitorConfig, MonitorState, MonitorStats};
 pub use obs::{FleetStats, JournalObs, MonitorObs, ObsOptions, ShardStats};
 pub use shard::FleetEvent;
 pub use supervisor::{Admission, ShedReason, Supervisor};
-pub use wire::{Frame, WireError, WireShedReason, WireVerdict};
+pub use wire::{Frame, WireError, WireShedReason, WireTrace, WireVerdict};

@@ -14,9 +14,10 @@
 //! trace-ring pushes — so the overhead of a metrics-off fleet matches
 //! the pre-observability runtime.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gem_obs::{Counter, Gauge, Histogram, Registry, TraceEvent, TraceRing};
+use gem_obs::{Counter, Gauge, Histogram, Registry, TraceEvent, TraceRing, TraceSampler};
 
 use crate::monitor::MonitorStats;
 
@@ -37,11 +38,43 @@ pub struct ObsOptions {
     /// [`crate::Fleet::stats`] still answers per-premises via the
     /// shards.
     pub per_premises: bool,
+    /// Head-based request-trace sampling rate in `0..=1`: the fraction
+    /// of records whose per-stage span is retained regardless of how
+    /// fast they were. 0 (the default) keeps only tail spans.
+    pub trace_sample: f64,
+    /// Tail-latency retention threshold, milliseconds: any record whose
+    /// end-to-end latency reaches this is retained even when the head
+    /// coin said no, so the p99 is always explained. ≤ 0 disables tail
+    /// capture.
+    pub trace_tail_ms: f64,
 }
 
 impl Default for ObsOptions {
     fn default() -> Self {
-        ObsOptions { enabled: true, ring_capacity: 512, per_premises: true }
+        ObsOptions {
+            enabled: true,
+            ring_capacity: 512,
+            per_premises: true,
+            trace_sample: 0.0,
+            trace_tail_ms: 250.0,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// The sampling policy these options describe ([`TraceSampler::off`]
+    /// when observability is disabled — no spans without the rings to
+    /// hold them).
+    pub fn trace_sampler(&self) -> TraceSampler {
+        if !self.enabled || self.ring_capacity == 0 {
+            return TraceSampler::off();
+        }
+        let tail_ns = if self.trace_tail_ms > 0.0 {
+            (self.trace_tail_ms * 1e6).min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        TraceSampler::new(self.trace_sample, tail_ns)
     }
 }
 
@@ -217,6 +250,12 @@ pub(crate) struct ShardObs {
     pub(crate) idle_ns: Arc<Counter>,
     pub(crate) journal: JournalObs,
     pub(crate) ring: Arc<TraceRing>,
+    /// Scrape-visible mirror of the ring's overwrite-drop count.
+    pub(crate) trace_dropped: Arc<Counter>,
+    /// Last ring drop count already mirrored into `trace_dropped`.
+    trace_dropped_synced: Arc<AtomicU64>,
+    /// Span sampling policy (head rate + tail threshold).
+    pub(crate) sampler: TraceSampler,
 }
 
 impl ShardObs {
@@ -241,13 +280,31 @@ impl ShardObs {
             idle_ns: registry.counter("gem_shard_idle_ns_total", labels),
             journal: JournalObs::register(registry, shard, opts.enabled),
             ring: Arc::new(TraceRing::new(if opts.enabled { opts.ring_capacity } else { 0 })),
+            trace_dropped: registry.counter("gem_trace_dropped_total", labels),
+            trace_dropped_synced: Arc::new(AtomicU64::new(0)),
+            sampler: opts.trace_sampler(),
         }
     }
 
-    /// Pushes a trace event when tracing is on.
+    /// Pushes a trace event when tracing is on, mirroring any
+    /// overwrite-drops the ring just performed into the scrape-visible
+    /// counter.
     pub(crate) fn trace(&self, event: TraceEvent) {
         if self.enabled {
             self.ring.push(event);
+            self.sync_trace_dropped();
+        }
+    }
+
+    /// Mirrors `ring.dropped()` into `gem_trace_dropped_total`. Uses a
+    /// `fetch_max` high-water mark so concurrent pushers (the shard
+    /// worker and the ingress router share the ring) never double-count
+    /// a drop.
+    pub(crate) fn sync_trace_dropped(&self) {
+        let dropped = self.ring.dropped();
+        let seen = self.trace_dropped_synced.fetch_max(dropped, Ordering::Relaxed);
+        if dropped > seen {
+            self.trace_dropped.add(dropped - seen);
         }
     }
 }
@@ -365,6 +422,68 @@ pub struct ShardStats {
     pub evictions: u64,
     /// Cold-tier hydrations since spawn.
     pub hydrations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_obs(ring_capacity: usize) -> (Registry, ShardObs) {
+        let registry = Registry::new();
+        let opts = ObsOptions { ring_capacity, ..ObsOptions::default() };
+        let obs = ShardObs::register(&registry, 0, &opts);
+        (registry, obs)
+    }
+
+    /// Overfilling a trace ring must surface every overwrite-drop in
+    /// `gem_trace_dropped_total{shard}`, exactly once.
+    #[test]
+    fn trace_drop_counter_mirrors_ring_overflow() {
+        let (_registry, obs) = shard_obs(4);
+        for i in 0..10u64 {
+            obs.trace(TraceEvent::new("span").with("i", i));
+        }
+        assert_eq!(obs.ring.dropped(), 6, "10 pushes into capacity 4 drop 6");
+        assert_eq!(obs.trace_dropped.get(), 6, "counter mirrors the ring's drops");
+        // Re-syncing without new drops must not double-count.
+        obs.sync_trace_dropped();
+        obs.sync_trace_dropped();
+        assert_eq!(obs.trace_dropped.get(), 6);
+        // Draining resets nothing: drops are cumulative.
+        let drained = obs.ring.drain();
+        assert_eq!(drained.len(), 4);
+        obs.trace(TraceEvent::new("span"));
+        assert_eq!(obs.trace_dropped.get(), 6, "push into a drained ring drops nothing");
+    }
+
+    /// The counter is visible through the registry's exposition under
+    /// the canonical name, labelled with the shard.
+    #[test]
+    fn trace_drop_counter_is_registered_per_shard() {
+        let (registry, obs) = shard_obs(2);
+        for _ in 0..5 {
+            obs.trace(TraceEvent::new("span"));
+        }
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("gem_trace_dropped_total{shard=\"0\"} 3"),
+            "exposition must carry the mirrored drop count:\n{text}"
+        );
+    }
+
+    /// With observability disabled the ring never sees events, so the
+    /// drop counter stays flat no matter how much is pushed.
+    #[test]
+    fn disabled_obs_never_counts_trace_drops() {
+        let registry = Registry::new();
+        let opts = ObsOptions { enabled: false, ring_capacity: 2, ..ObsOptions::default() };
+        let obs = ShardObs::register(&registry, 1, &opts);
+        for _ in 0..8 {
+            obs.trace(TraceEvent::new("span"));
+        }
+        assert_eq!(obs.ring.len(), 0);
+        assert_eq!(obs.trace_dropped.get(), 0);
+    }
 }
 
 /// Fleet-wide admission statistics, readable without any shard

@@ -17,6 +17,7 @@
 //! HELLO    = 1  [ver u8][credits u16]                    server → client
 //! RECORD   = 2  [premises u64][timestamp f64][n u16]     client → server
 //!               n × ([mac u64][rssi f32])
+//!               optionally [trace u64][parent u64]
 //! ACK      = 3  [premises u64][verdict u8][reason u8]    server → client
 //!               [depth u32]
 //! DECISION = 4  [premises u64][inside u8][timestamp f64] server → client
@@ -31,6 +32,15 @@
 //! parsed directly out of the connection's read buffer — one `Vec` for
 //! the readings, no intermediate serde tree — so a frame becomes a
 //! shard submit call with a single copy.
+//!
+//! The RECORD frame's trace-context tail ([`WireTrace`]: 16 extra
+//! bytes after the readings) is the protocol's one optional field: a
+//! client that wants its requests traced end to end sends the trace id
+//! it minted, an old client sends nothing, and both decode — the
+//! reading count `n` pins the readings' extent, so the remainder is
+//! unambiguously either empty (no context) or exactly one context.
+//! Any other remainder is rejected, and the checksum covers the tail
+//! like every other payload byte.
 
 use std::io::{Read, Write};
 
@@ -189,6 +199,18 @@ impl From<Admission> for WireVerdict {
     }
 }
 
+/// The optional trace-context tail of a RECORD frame: the trace id the
+/// client minted for this record plus its own span id, so the server's
+/// spans causally chain onto the client's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Client-minted trace id (never 0 on a well-formed frame; a 0 is
+    /// carried verbatim and treated as "no id" downstream).
+    pub trace_id: u64,
+    /// The client-side span the record departed from (0 = root).
+    pub parent_span: u64,
+}
+
 /// A decoded protocol frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -206,6 +228,10 @@ pub enum Frame {
         premises_id: u64,
         /// The scan itself.
         record: SignalRecord,
+        /// Optional client-minted trace context. `None` on the wire is
+        /// byte-identical to the pre-tracing frame layout, so old
+        /// clients and servers interoperate unchanged.
+        trace: Option<WireTrace>,
     },
     /// Admission verdict for a record, sent as soon as the fleet
     /// admits or sheds it.
@@ -260,7 +286,7 @@ pub fn encode(frame: &Frame, buf: &mut Vec<u8>) -> usize {
             buf.push(*version);
             buf.extend_from_slice(&credits.to_le_bytes());
         }
-        Frame::Record { premises_id, record } => {
+        Frame::Record { premises_id, record, trace } => {
             buf.push(KIND_RECORD);
             buf.extend_from_slice(&premises_id.to_le_bytes());
             buf.extend_from_slice(&record.timestamp_s.to_le_bytes());
@@ -269,6 +295,10 @@ pub fn encode(frame: &Frame, buf: &mut Vec<u8>) -> usize {
             for r in &record.readings {
                 buf.extend_from_slice(&r.mac.raw().to_le_bytes());
                 buf.extend_from_slice(&r.rssi.to_le_bytes());
+            }
+            if let Some(t) = trace {
+                buf.extend_from_slice(&t.trace_id.to_le_bytes());
+                buf.extend_from_slice(&t.parent_span.to_le_bytes());
             }
         }
         Frame::Ack { premises_id, verdict } => {
@@ -379,10 +409,15 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             let timestamp_s = c.f64("record timestamp")?;
             let n = c.u16("record reading count")? as usize;
             // Cheap structural bound before allocating: each reading is
-            // 12 bytes, and they must all fit in what remains.
-            if payload.len() - c.i != n * 12 {
-                return Err(WireError::BadPayload("record reading bytes"));
-            }
+            // 12 bytes, and after them the payload either ends (an
+            // untraced frame — the pre-tracing layout) or carries
+            // exactly one 16-byte trace context. Anything else rejects.
+            let rest = payload.len() - c.i;
+            let has_trace = match rest.checked_sub(n * 12) {
+                Some(0) => false,
+                Some(16) => true,
+                _ => return Err(WireError::BadPayload("record reading bytes")),
+            };
             let mut record = SignalRecord { timestamp_s, readings: Vec::with_capacity(n) };
             for _ in 0..n {
                 let mac = c.u64("reading mac")?;
@@ -392,7 +427,15 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                 let rssi = c.f32("reading rssi")?;
                 record.readings.push(Reading { mac: MacAddr::from_raw(mac), rssi });
             }
-            Frame::Record { premises_id, record }
+            let trace = if has_trace {
+                Some(WireTrace {
+                    trace_id: c.u64("trace id")?,
+                    parent_span: c.u64("trace parent span")?,
+                })
+            } else {
+                None
+            };
+            Frame::Record { premises_id, record, trace }
         }
         KIND_ACK => {
             let premises_id = c.u64("ack premises")?;
@@ -494,6 +537,12 @@ mod tests {
                 12.5,
                 [(MacAddr::from_raw(0xA1B2C3), -47.0), (MacAddr::from_raw(0x0F), -80.5)],
             ),
+            trace: None,
+        });
+        roundtrip(Frame::Record {
+            premises_id: 42,
+            record: SignalRecord::from_pairs(12.5, [(MacAddr::from_raw(0xA1B2C3), -47.0)]),
+            trace: Some(WireTrace { trace_id: 0xDEAD_BEEF_CAFE_F00D, parent_span: 7 }),
         });
         roundtrip(Frame::Ack { premises_id: 7, verdict: WireVerdict::Accept });
         roundtrip(Frame::Ack { premises_id: 7, verdict: WireVerdict::Queued { depth: 9 } });
@@ -518,7 +567,66 @@ mod tests {
 
     #[test]
     fn empty_record_roundtrips() {
-        roundtrip(Frame::Record { premises_id: 1, record: SignalRecord::new(0.0) });
+        roundtrip(Frame::Record { premises_id: 1, record: SignalRecord::new(0.0), trace: None });
+        roundtrip(Frame::Record {
+            premises_id: 1,
+            record: SignalRecord::new(0.0),
+            trace: Some(WireTrace { trace_id: 1, parent_span: 0 }),
+        });
+    }
+
+    /// A RECORD payload hand-built in the pre-tracing layout (readings
+    /// end the payload, no trace tail) must decode to `trace: None` —
+    /// old clients keep working against a tracing-aware server.
+    #[test]
+    fn old_record_layout_without_trace_field_decodes() {
+        let mut payload = vec![KIND_RECORD];
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.extend_from_slice(&1.5f64.to_le_bytes());
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        for (mac, rssi) in [(0xAAu64, -50.0f32), (0xBB, -71.5)] {
+            payload.extend_from_slice(&mac.to_le_bytes());
+            payload.extend_from_slice(&rssi.to_le_bytes());
+        }
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        let mut buf = Vec::new();
+        let frame =
+            read_frame(&mut std::io::Cursor::new(wire), MAX_FRAME_LEN, &mut buf).unwrap().unwrap();
+        match frame {
+            Frame::Record { premises_id, record, trace } => {
+                assert_eq!(premises_id, 9);
+                assert_eq!(record.readings.len(), 2);
+                assert_eq!(trace, None);
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+    }
+
+    /// A trace tail of the wrong size (neither absent nor 16 bytes)
+    /// must reject even with a valid checksum.
+    #[test]
+    fn wrong_size_trace_tail_is_rejected() {
+        for extra in [1usize, 8, 15, 17, 24] {
+            let mut payload = vec![KIND_RECORD];
+            payload.extend_from_slice(&9u64.to_le_bytes());
+            payload.extend_from_slice(&1.5f64.to_le_bytes());
+            payload.extend_from_slice(&0u16.to_le_bytes());
+            payload.extend(std::iter::repeat(0xEE).take(extra));
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+            wire.extend_from_slice(&payload);
+            let mut buf = Vec::new();
+            let err = read_frame(&mut std::io::Cursor::new(wire), MAX_FRAME_LEN, &mut buf)
+                .unwrap_err();
+            assert!(
+                matches!(err, WireError::BadPayload("record reading bytes")),
+                "{extra} extra bytes: {err}"
+            );
+        }
     }
 
     #[test]
@@ -558,6 +666,7 @@ mod tests {
             &Frame::Record {
                 premises_id: 9,
                 record: SignalRecord::from_pairs(1.0, [(MacAddr::from_raw(5), -60.0)]),
+                trace: None,
             },
             &mut wire,
         );

@@ -66,6 +66,11 @@ struct Client {
     buf: Vec<u8>,
     wbuf: Vec<u8>,
     credits: u16,
+    /// Frames read past while waiting for a specific kind. The ACK
+    /// (connection thread) and the DECISION (router thread) race to the
+    /// socket, so a DECISION may legitimately arrive before its ACK —
+    /// `recv_until` must keep it for the next caller, not discard it.
+    stash: std::collections::VecDeque<Frame>,
 }
 
 impl Client {
@@ -80,6 +85,7 @@ impl Client {
             buf: Vec::new(),
             wbuf: Vec::new(),
             credits: 0,
+            stash: std::collections::VecDeque::new(),
         };
         match client.recv() {
             Ok(Some(Frame::Hello { version, credits })) => {
@@ -97,19 +103,25 @@ impl Client {
     }
 
     fn send_record(&mut self, premises_id: u64, record: SignalRecord) -> std::io::Result<usize> {
-        self.send(&Frame::Record { premises_id, record })
+        self.send(&Frame::Record { premises_id, record, trace: None })
     }
 
     fn recv(&mut self) -> Result<Option<Frame>, wire::WireError> {
         wire::read_frame(&mut self.reader, MAX_FRAME_LEN, &mut self.buf)
     }
 
-    /// Reads until a frame matching `want` arrives; panics on EOF.
+    /// Reads until a frame matching `want` arrives (checking stashed
+    /// frames first); panics on EOF. Non-matching frames are stashed
+    /// for later `recv_until` calls — the server's two writer threads
+    /// give no cross-kind ordering guarantee.
     fn recv_until(&mut self, want: impl Fn(&Frame) -> bool) -> Frame {
+        if let Some(i) = self.stash.iter().position(&want) {
+            return self.stash.remove(i).unwrap();
+        }
         loop {
             match self.recv() {
                 Ok(Some(frame)) if want(&frame) => return frame,
-                Ok(Some(_)) => continue,
+                Ok(Some(frame)) => self.stash.push_back(frame),
                 other => panic!("connection ended while waiting: {other:?}"),
             }
         }
@@ -205,7 +217,7 @@ fn torn_frame_kills_the_connection_not_the_listener() {
 
     // A client that dies mid-header.
     let mut encoded = Vec::new();
-    wire::encode(&Frame::Record { premises_id: 1, record: record(0) }, &mut encoded);
+    wire::encode(&Frame::Record { premises_id: 1, record: record(0), trace: None }, &mut encoded);
     {
         let mut torn = Client::connect(server.local_addr());
         torn.writer.write_all(&encoded[..7]).unwrap();
@@ -240,7 +252,7 @@ fn bad_checksum_rejects_sender_and_spares_other_connections() {
     // ...and a corrupt one: valid header, payload bits flipped.
     let mut corrupt = Client::connect(server.local_addr());
     let mut encoded = Vec::new();
-    wire::encode(&Frame::Record { premises_id: 2, record: record(1) }, &mut encoded);
+    wire::encode(&Frame::Record { premises_id: 2, record: record(1), trace: None }, &mut encoded);
     let last = encoded.len() - 1;
     encoded[last] ^= 0x40;
     corrupt.writer.write_all(&encoded).unwrap();

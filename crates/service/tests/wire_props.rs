@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use gem_service::wire::{self, Frame, WireShedReason, WireVerdict, MAX_FRAME_LEN};
+use gem_service::wire::{self, Frame, WireShedReason, WireTrace, WireVerdict, MAX_FRAME_LEN};
 use gem_signal::{MacAddr, SignalRecord};
 
 /// Generates an arbitrary frame of any kind, with adversarially plain
@@ -38,9 +38,20 @@ impl Strategy for FrameStrategy {
                         )
                     })
                     .collect();
+                // Half the records carry the optional trace-context
+                // tail, half use the pre-tracing layout.
+                let trace = if rng.random_range(0..2u32) == 1 {
+                    Some(WireTrace {
+                        trace_id: rng.random_range(0..=u64::MAX),
+                        parent_span: rng.random_range(0..=u64::MAX),
+                    })
+                } else {
+                    None
+                };
                 Frame::Record {
                     premises_id: rng.random_range(0..=u64::MAX),
                     record: SignalRecord::from_pairs(f(rng), pairs),
+                    trace,
                 }
             }
             2 => {
@@ -108,10 +119,11 @@ fn frames_bitwise_equal(a: &Frame, b: &Frame) -> bool {
             Frame::Alert { premises_id: p2, raised: r2, timestamp_s: t2, consecutive_out: c2 },
         ) => p1 == p2 && r1 == r2 && bits(*t1) == bits(*t2) && c1 == c2,
         (
-            Frame::Record { premises_id: p1, record: r1 },
-            Frame::Record { premises_id: p2, record: r2 },
+            Frame::Record { premises_id: p1, record: r1, trace: t1 },
+            Frame::Record { premises_id: p2, record: r2, trace: t2 },
         ) => {
             p1 == p2
+                && t1 == t2
                 && bits(r1.timestamp_s) == bits(r2.timestamp_s)
                 && r1.readings.len() == r2.readings.len()
                 && r1
@@ -145,6 +157,33 @@ proptest! {
         let mut cursor = Cursor::new(&wire_bytes);
         let _ = wire::read_frame(&mut cursor, MAX_FRAME_LEN, &mut buf);
         prop_assert_eq!(cursor.position(), consumed);
+    }
+
+    /// A record without the trace tail is encoded in the pre-tracing
+    /// layout byte for byte (same frame, 16 bytes shorter than its
+    /// traced twin) and decodes to `trace: None` — old clients and old
+    /// captures keep working unchanged.
+    #[test]
+    fn untraced_records_keep_the_old_layout(frame in FrameStrategy) {
+        let Frame::Record { premises_id, record, .. } = frame else { return Ok(()) };
+        let old = Frame::Record { premises_id, record: record.clone(), trace: None };
+        let traced = Frame::Record {
+            premises_id,
+            record,
+            trace: Some(WireTrace { trace_id: 7, parent_span: 9 }),
+        };
+        let (mut old_bytes, mut traced_bytes) = (Vec::new(), Vec::new());
+        wire::encode(&old, &mut old_bytes);
+        wire::encode(&traced, &mut traced_bytes);
+        prop_assert_eq!(traced_bytes.len(), old_bytes.len() + 16);
+        let mut buf = Vec::new();
+        let got = wire::read_frame(&mut Cursor::new(&old_bytes), MAX_FRAME_LEN, &mut buf)
+            .expect("old layout must decode")
+            .expect("old layout must yield a frame");
+        let Frame::Record { trace, .. } = got else {
+            return Err("decoded to a different kind".to_string());
+        };
+        prop_assert_eq!(trace, None, "absent tail must decode as an untraced record");
     }
 
     /// Flipping any single byte of an encoded frame is always detected:
